@@ -1,0 +1,34 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark computes a paper figure's series in simulated time (fast and
+deterministic), asserts the *shape* the paper reports, and registers a
+figure-style table.  The tables print in the terminal summary (so they
+survive pytest's output capture) and are also written to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict
+
+_REPORTS: Dict[str, str] = {}
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record_report(key: str, text: str) -> None:
+    """Register a reproduction table for the terminal summary."""
+    _REPORTS[key] = text
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    (_RESULTS_DIR / f"{key}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("MDAgent reproduction results (simulated ms)")
+    for key in sorted(_REPORTS):
+        terminalreporter.write_line("")
+        for line in _REPORTS[key].splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")

@@ -1,0 +1,79 @@
+"""Ablation A5: context pipeline latency.
+
+How long from a user physically moving to the autonomous agent issuing the
+migration command?  The pipeline: Cricket sampling -> fusion window ->
+bus delivery -> AA decision (registry lookup + rule evaluation) -> MAM
+request -> suspension begins.  Sampling period and fusion window size
+dominate; the reasoning itself is sub-millisecond of simulated time.
+"""
+
+import pytest
+
+from conftest import record_report
+from repro.apps.music_player import MusicPlayerApp
+from repro.bench.reporting import format_kv_table
+from repro.core import Deployment, UserProfile
+
+
+def pipeline_latency(sample_period_ms: float, window_size: int = 3):
+    d = Deployment(seed=13)
+    d.fusion.window_size = window_size
+    d.add_space("office")
+    d.add_space("lab")
+    office_pc = d.add_host("office-pc", "office")
+    d.add_host("lab-pc", "lab")
+    d.add_gateway("gw-office", "office")
+    d.add_gateway("gw-lab", "lab")
+    d.connect_spaces("office", "lab")
+    app = MusicPlayerApp.build(
+        "player", "alice", track_bytes=mbytes(2),
+        user_profile=UserProfile("alice", preferences={"follow_user": True}))
+    office_pc.launch_application(app)
+    d.enable_location_sensing(sample_period_ms=sample_period_ms,
+                              noise_sigma_m=0.05)
+    d.add_beacon("office")
+    d.add_beacon("lab")
+    d.add_user("alice", "badge-1", "office")
+    d.run(until=20 * sample_period_ms)  # initial fix settles
+    moved_at = d.loop.now
+    d.move_user("badge-1", "lab")
+    d.run(until=moved_at + 60_000.0)  # sensors run forever; bound the sim
+    d.sensors.stop()
+    d.run_all()
+    outcomes = list(d.outcomes.values())
+    assert outcomes and outcomes[0].completed
+    return {
+        "sample_period_ms": sample_period_ms,
+        "fusion_window": window_size,
+        "detect_to_suspend_ms": outcomes[0].started_at - moved_at,
+        "move_to_resumed_ms": outcomes[0].resume_done_at - moved_at,
+    }
+
+
+def mbytes(n):
+    return int(n * 1e6)
+
+
+@pytest.fixture(scope="module")
+def latency_rows():
+    return [pipeline_latency(period) for period in (100.0, 200.0, 500.0)]
+
+
+def test_a5_pipeline_latency(benchmark, latency_rows):
+    record_report("ablation_a5_context_pipeline", format_kv_table(
+        "A5 -- sensing-to-migration latency vs Cricket sampling period",
+        latency_rows))
+    for row in latency_rows:
+        # Detection cannot beat one fusion window of samples.
+        floor = row["sample_period_ms"] * row["fusion_window"]
+        assert row["detect_to_suspend_ms"] >= floor * 0.5
+        assert row["move_to_resumed_ms"] > row["detect_to_suspend_ms"]
+    benchmark.pedantic(lambda: pipeline_latency(200.0), rounds=2,
+                       iterations=1)
+
+
+def test_a5_faster_sampling_reduces_latency(benchmark, latency_rows):
+    detects = [r["detect_to_suspend_ms"] for r in latency_rows]
+    assert detects[0] < detects[-1]
+    benchmark.pedantic(lambda: pipeline_latency(100.0), rounds=2,
+                       iterations=1)

@@ -1,0 +1,81 @@
+"""Ablation A10: destination selection -- contract-net vs first-fit.
+
+With several compatible hosts in the target space, first-fit piles every
+arriving application onto the first host in space order; the contract-net
+strategy lets hosts bid (load + CPU speed) and spreads the work.  This
+bench moves N users into a space with H hosts and measures the resulting
+placement balance.
+"""
+
+import pytest
+
+from conftest import record_report
+from repro.apps.music_player import MusicPlayerApp
+from repro.bench.reporting import format_kv_table
+from repro.core import Deployment, MiddlewareConfig, UserProfile
+
+
+def run_influx(strategy: str, users: int = 6, lab_hosts: int = 3):
+    config = MiddlewareConfig(destination_strategy=strategy)
+    d = Deployment(seed=27, config=config)
+    d.add_space("office")
+    d.add_space("lab")
+    office = d.add_host("office-pc", "office")
+    labs = [d.add_host(f"lab-{i}", "lab") for i in range(lab_hosts)]
+    d.add_gateway("gw-office", "office")
+    d.add_gateway("gw-lab", "lab")
+    d.connect_spaces("office", "lab")
+    for u in range(users):
+        user = f"user{u}"
+        app = MusicPlayerApp.build(
+            f"{user}-music", user, track_bytes=200_000,
+            user_profile=UserProfile(user,
+                                     preferences={"follow_user": True}))
+        office.launch_application(app)
+    d.run_all()
+    # Everyone walks to the lab, one after another.
+    for u in range(users):
+        d.announce_location(f"user{u}", "lab", previous="office")
+        d.run_all()
+    loads = {
+        m.host_name: sum(1 for a in m.applications.values()
+                         if a.status.value == "running")
+        for m in (d.middleware(f"lab-{i}") for i in range(lab_hosts))
+    }
+    total = sum(loads.values())
+    return {
+        "strategy": strategy,
+        "apps_placed": total,
+        "max_host_load": max(loads.values()),
+        "min_host_load": min(loads.values()),
+        "spread": max(loads.values()) - min(loads.values()),
+    }
+
+
+@pytest.fixture(scope="module")
+def placement_rows():
+    return [run_influx("first-fit"), run_influx("contract-net")]
+
+
+def test_a10_contract_net_balances_load(benchmark, placement_rows):
+    record_report("ablation_a10_contract_net", format_kv_table(
+        "A10 -- placement of 6 incoming apps across 3 lab hosts",
+        placement_rows))
+    by = {r["strategy"]: r for r in placement_rows}
+    # Both strategies place every app...
+    assert by["first-fit"]["apps_placed"] == 6
+    assert by["contract-net"]["apps_placed"] == 6
+    # ... but first-fit stacks them on one host while contract-net spreads.
+    assert by["first-fit"]["max_host_load"] == 6
+    assert by["contract-net"]["max_host_load"] <= 3
+    assert by["contract-net"]["spread"] < by["first-fit"]["spread"]
+    benchmark.pedantic(lambda: run_influx("contract-net", users=2),
+                       rounds=2, iterations=1)
+
+
+def test_a10_balanced_placement_is_even(benchmark, placement_rows):
+    by = {r["strategy"]: r for r in placement_rows}
+    # 6 apps on 3 hosts, arriving sequentially: perfect balance is 2/2/2.
+    assert by["contract-net"]["spread"] <= 1
+    benchmark.pedantic(lambda: run_influx("first-fit", users=2),
+                       rounds=2, iterations=1)

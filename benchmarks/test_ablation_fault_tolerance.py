@@ -1,0 +1,101 @@
+"""Ablation A9: transfer retries under message loss.
+
+Mobile-agent transfers ride real (lossy) links.  This bench sweeps link
+loss rate with retries disabled vs enabled and measures migration success
+rate, mean latency of successful migrations, and how often the source
+rollback saved the user's application.
+"""
+
+import pytest
+
+from conftest import record_report
+from repro.agents.mobility import CostModel
+from repro.apps.music_player import MusicPlayerApp
+from repro.bench.reporting import format_kv_table
+from repro.core import Deployment
+from repro.core.application import AppStatus
+from repro.net.topology import LinkSpec
+
+SEEDS = range(25)
+
+
+def run_one(loss_rate: float, retries: int, seed: int):
+    d = Deployment(seed=seed)
+    d.add_space("room", lan=LinkSpec(bandwidth_mbps=10.0, latency_ms=1.0,
+                                     loss_rate=loss_rate))
+    src = d.add_host("pc1", "room")
+    dst = d.add_host("pc2", "room")
+    d.platform.mobility.cost_model = CostModel(max_transfer_retries=retries)
+    app = MusicPlayerApp.build("player", "alice", track_bytes=200_000)
+    src.launch_application(app)
+    d.run_all()
+    outcome = src.migrate("player", "pc2")
+    d.run_all()
+    rolled_back = (outcome.failed
+                   and app.status is AppStatus.RUNNING)
+    return outcome, rolled_back
+
+
+def sweep_cell(loss_rate: float, retries: int):
+    completed, totals, rollbacks = 0, [], 0
+    for seed in SEEDS:
+        outcome, rolled_back = run_one(loss_rate, retries, seed)
+        if outcome.completed:
+            completed += 1
+            totals.append(outcome.total_ms)
+        elif rolled_back:
+            rollbacks += 1
+    return {
+        "loss_rate": loss_rate,
+        "retries": retries,
+        "success_rate": round(completed / len(SEEDS), 2),
+        "rollbacks": rollbacks,
+        "mean_total_ms": round(sum(totals) / len(totals), 1) if totals
+        else 0.0,
+    }
+
+
+@pytest.fixture(scope="module")
+def fault_rows():
+    rows = []
+    for loss in (0.0, 0.05, 0.15, 0.30):
+        for retries in (0, 3):
+            rows.append(sweep_cell(loss, retries))
+    return rows
+
+
+def test_a9_retries_recover_losses(benchmark, fault_rows):
+    record_report("ablation_a9_fault_tolerance", format_kv_table(
+        "A9 -- migration success under link loss (25 seeds per cell)",
+        fault_rows))
+    by = {(r["loss_rate"], r["retries"]): r for r in fault_rows}
+    # No loss -> always succeeds either way.
+    assert by[(0.0, 0)]["success_rate"] == 1.0
+    assert by[(0.0, 3)]["success_rate"] == 1.0
+    # Under loss, retries dominate no-retries at every loss rate.
+    for loss in (0.05, 0.15, 0.30):
+        assert by[(loss, 3)]["success_rate"] >= \
+            by[(loss, 0)]["success_rate"]
+    # At heavy loss the gap is substantial.
+    assert by[(0.30, 3)]["success_rate"] - by[(0.30, 0)]["success_rate"] \
+        >= 0.2
+    benchmark.pedantic(lambda: run_one(0.15, 3, 1), rounds=3, iterations=1)
+
+
+def test_a9_every_failure_is_rolled_back(benchmark, fault_rows):
+    """No failure mode loses the user's application: failures all ended in
+    a rollback (the success_rate + rollback count covers every seed)."""
+    for row in fault_rows:
+        failures = len(SEEDS) - round(row["success_rate"] * len(SEEDS))
+        assert row["rollbacks"] == failures
+    benchmark.pedantic(lambda: run_one(0.30, 0, 2), rounds=3, iterations=1)
+
+
+def test_a9_retries_cost_latency_under_loss(benchmark, fault_rows):
+    """Recovered migrations pay retry latency: mean total under loss with
+    retries is at least the loss-free mean."""
+    by = {(r["loss_rate"], r["retries"]): r for r in fault_rows}
+    clean = by[(0.0, 3)]["mean_total_ms"]
+    lossy = by[(0.30, 3)]["mean_total_ms"]
+    assert lossy >= clean
+    benchmark.pedantic(lambda: run_one(0.05, 3, 3), rounds=3, iterations=1)

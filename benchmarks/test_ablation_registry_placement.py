@@ -1,0 +1,74 @@
+"""Ablation A8: registry-center placement.
+
+The paper centralizes application/resource information in one registry
+(jUDDI + MySQL).  Every migration decision pays registry round trips
+*before* suspension begins, so registry placement sets the floor of the
+decision latency.  This bench compares the registry co-located with the
+source host, on a dedicated host in the same space, and across gateways in
+another space.
+"""
+
+import pytest
+
+from conftest import record_report
+from repro.apps.music_player import MusicPlayerApp
+from repro.bench.reporting import format_kv_table
+from repro.core import Deployment
+
+
+def run_with_registry(placement: str):
+    d = Deployment(seed=23)
+    d.add_space("room-a")
+    if placement == "dedicated-same-space":
+        d.install_registry("room-a", host_name="registry")
+    elif placement == "across-gateways":
+        d.add_space("registry-room")
+        d.install_registry("registry-room", host_name="registry")
+        d.add_gateway("gw-reg", "registry-room", processing_delay_ms=10.0)
+    src = d.add_host("pc1", "room-a")  # co-located: registry lands here
+    dst = d.add_host("pc2", "room-a")
+    if placement == "across-gateways":
+        d.add_gateway("gw-a", "room-a", processing_delay_ms=10.0)
+        d.connect_spaces("room-a", "registry-room")
+    app = MusicPlayerApp.build("player", "alice", track_bytes=2_000_000)
+    src.launch_application(app)
+    d.run_all()
+    request_at = d.loop.now
+    outcome = src.migrate("player", "pc2")
+    d.run_all()
+    assert outcome.completed, outcome.failure_reason
+    return {
+        "placement": placement,
+        "planning_ms": outcome.started_at - request_at,
+        "total_from_request_ms": outcome.resume_done_at - request_at,
+        "measured_total_ms": outcome.total_ms,
+    }
+
+
+PLACEMENTS = ("co-located", "dedicated-same-space", "across-gateways")
+
+
+@pytest.fixture(scope="module")
+def placement_rows():
+    return [run_with_registry(p) for p in PLACEMENTS]
+
+
+def test_a8_planning_latency_orders_by_distance(benchmark, placement_rows):
+    record_report("ablation_a8_registry_placement", format_kv_table(
+        "A8 -- registry placement: planning latency before suspension",
+        placement_rows))
+    by = {r["placement"]: r for r in placement_rows}
+    assert by["co-located"]["planning_ms"] <= \
+        by["dedicated-same-space"]["planning_ms"] < \
+        by["across-gateways"]["planning_ms"]
+    benchmark.pedantic(lambda: run_with_registry("co-located"),
+                       rounds=2, iterations=1)
+
+
+def test_a8_measured_phases_exclude_planning(benchmark, placement_rows):
+    """The paper measures from suspension start, so the three placements
+    report (near-)identical suspend+migrate+resume."""
+    totals = [r["measured_total_ms"] for r in placement_rows]
+    assert max(totals) - min(totals) < 10.0
+    benchmark.pedantic(lambda: run_with_registry("dedicated-same-space"),
+                       rounds=2, iterations=1)

@@ -1,0 +1,70 @@
+"""Macro-benchmark: an hour of multi-user churn in a smart building.
+
+The paper measures single migrations; this workload answers the deployment
+question: with N users wandering between M spaces, does the middleware keep
+every follow-me application running, and what does the churn cost?
+"""
+
+import pytest
+
+from conftest import record_report
+from repro.bench.reporting import format_kv_table
+from repro.bench.scenarios import SmartBuildingWorkload, WorkloadConfig
+
+
+def run_workload(users: int, spaces: int, seed: int = 1,
+                 duration_ms: float = 1_800_000.0):
+    workload = SmartBuildingWorkload(WorkloadConfig(
+        users=users, spaces=spaces, duration_ms=duration_ms, seed=seed))
+    return workload, workload.run()
+
+
+@pytest.fixture(scope="module")
+def workload_rows():
+    rows = []
+    for users, spaces in ((3, 3), (6, 4), (12, 4)):
+        _, report = run_workload(users, spaces)
+        rows.append(report.as_row())
+    return rows
+
+
+def test_workload_every_app_survives(benchmark, workload_rows):
+    record_report("workload_day", format_kv_table(
+        "Macro workload -- 30 simulated minutes of user churn",
+        workload_rows))
+    for row in workload_rows:
+        assert row["failed"] == 0
+        # Every move away from an app's space triggers a follow-me.
+        assert row["migrations"] > 0
+    benchmark.pedantic(
+        lambda: run_workload(3, 3, duration_ms=600_000.0),
+        rounds=2, iterations=1)
+
+
+def test_workload_users_keep_running_apps(benchmark):
+    workload, report = run_workload(6, 4, duration_ms=900_000.0)
+    # One RUNNING app per user, wherever they ended up.
+    assert report.apps_running_at_end == workload.config.users
+    d = workload.deployment
+    for user, space in workload.user_locations.items():
+        running = [
+            a for m in d.middlewares.values()
+            for a in m.applications.values()
+            if a.owner == user and a.status.value == "running"
+        ]
+        assert len(running) == 1
+        host_space = d.topology.space_of(running[0].host)
+        assert host_space == space, (
+            f"{user} is in {space} but their app runs in {host_space}")
+    benchmark.pedantic(
+        lambda: run_workload(6, 4, duration_ms=300_000.0),
+        rounds=2, iterations=1)
+
+
+def test_workload_migration_latency_bounded(benchmark, workload_rows):
+    for row in workload_rows:
+        assert row["mean_mig_ms"] < 3_000.0
+        assert row["max_mig_ms"] < 6_000.0
+    benchmark.pedantic(
+        lambda: run_workload(12, 4, duration_ms=300_000.0),
+        rounds=1, iterations=1)

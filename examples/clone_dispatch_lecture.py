@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Clone-dispatch lecture: the paper's second demo, end to end.
+
+"One lecture is going to be given, but so many listeners that one room is
+not big enough ... the meeting applications might clone themselves (copy),
+and move the copy to the destination (paste).  The application would start
+automatically and synchronize with the source application."
+
+Each overflow room already has the presentation app and a projector; the
+mobile agents carry only the slide deck across the gateways and establish
+synchronization links back to the speaker's room.  The speaker's slide
+controls then propagate everywhere, and a question from an overflow room
+(a replica-side control) round-trips through the master.
+
+Run:  python examples/clone_dispatch_lecture.py
+"""
+
+from repro import Deployment, MigrationKind
+from repro.apps import SlideShowApp
+from repro.core.components import LogicComponent, PresentationComponent
+
+OVERFLOW_ROOMS = 3
+
+
+def main() -> None:
+    deployment = Deployment(seed=17)
+    deployment.add_space("main-room")
+    main_pc = deployment.add_host("main-pc", "main-room")
+    deployment.add_gateway("gw-main", "main-room")
+
+    rooms = []
+    for i in range(2, 2 + OVERFLOW_ROOMS):
+        space = f"room-{i}"
+        deployment.add_space(space)
+        pc = deployment.add_host(f"pc-{i}", space)
+        deployment.add_gateway(f"gw-{i}", space)
+        deployment.connect_spaces("main-room", space)
+        # "Each meeting room is equipped with a presentation application,
+        # a projector; what lacks is the slides."
+        partial = SlideShowApp("lecture", "speaker")
+        partial.add_component(LogicComponent("impress-logic", 400_000))
+        partial.add_component(PresentationComponent("slide-ui", 300_000))
+        pc.install_application(partial)
+        pc.register_resource(f"imcl:projector-{space}", ["imcl:Projector"])
+        rooms.append(pc)
+    deployment.run_all()
+
+    show = SlideShowApp.build("lecture", "speaker", slide_count=40)
+    main_pc.launch_application(show)
+    deployment.run_all()
+    print(f"[{deployment.loop.now:8.1f} ms] lecture running in main-room, "
+          f"slide {show.displayed_slide}")
+
+    print(f"--- cloning to {OVERFLOW_ROOMS} overflow rooms ---")
+    outcomes = [
+        main_pc.migrate("lecture", f"pc-{i}",
+                        kind=MigrationKind.CLONE_DISPATCH)
+        for i in range(2, 2 + OVERFLOW_ROOMS)
+    ]
+    deployment.run_all()
+    for outcome in outcomes:
+        print(f"  clone to {outcome.plan.destination}: "
+              f"{outcome.total_ms:7.1f} ms total, carried "
+              f"{outcome.plan.carry_components}, reused "
+              f"{outcome.plan.reuse_components}, "
+              f"{outcome.bytes_transferred:,} B on the wire")
+    print(f"sync replicas of the master: "
+          f"{show.coordinator.replica_hosts}")
+
+    print("--- the speaker advances the slides ---")
+    for _ in range(3):
+        show.next_slide()
+    deployment.run_all()
+    for pc in rooms:
+        replica = pc.application("lecture")
+        print(f"  {pc.host_name}: showing slide "
+              f"{replica.displayed_slide}")
+
+    print("--- a question: room-3 jumps back to slide 2 ---")
+    rooms[1].application("lecture").goto_slide(2)
+    deployment.run_all()
+    print(f"  main-room now shows slide {show.displayed_slide}")
+    for pc in rooms:
+        print(f"  {pc.host_name}: showing slide "
+              f"{pc.application('lecture').displayed_slide}")
+
+    print()
+    print(f"coordinator traffic: master sent "
+          f"{show.coordinator.updates_sent} sync updates")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""A day in a smart building: several applications, devices and users.
+
+Exercises the wider API surface in one scenario:
+
+- a left-handed user whose editor follows her and mirrors its layout,
+- a handheld music player adapting to a PDA-class device (slow CPU,
+  tiny screen),
+- semantic resource rebinding: her print job rebinds to a *differently
+  named* printer of the same ontology class at the destination,
+- an instant messenger carrying its conversation across a migration,
+- the Markov predictor learning her office->meeting-room->office routine.
+
+Run:  python examples/smart_space_day.py
+"""
+
+from repro import Deployment, DeviceProfile, UserProfile
+from repro.apps import (
+    EditorApp,
+    MessengerApp,
+    build_handheld_music_player,
+)
+from repro.core.components import ResourceBinding
+from repro.core.profiles import handheld_profile
+
+
+def main() -> None:
+    deployment = Deployment(seed=99)
+    deployment.add_space("office")
+    deployment.add_space("meeting-room")
+    office_pc = deployment.add_host("office-pc", "office")
+    meeting_pc = deployment.add_host(
+        "meeting-pc", "meeting-room",
+        profile=DeviceProfile("meeting-pc", screen_width=1920,
+                              screen_height=1080, resolution_dpi=140))
+    pda = deployment.add_host("pda", "meeting-room",
+                              profile=handheld_profile("pda"))
+    deployment.add_gateway("gw-office", "office")
+    deployment.add_gateway("gw-meeting", "meeting-room")
+    deployment.connect_spaces("office", "meeting-room")
+
+    # Differently named printers, same semantic class, different rooms.
+    office_pc.register_resource("imcl:hp-laserjet-821", ["imcl:Printer"])
+    meeting_pc.register_resource("imcl:canon-mx-922", ["imcl:Printer"])
+    deployment.run_all()
+
+    maya = UserProfile("maya", handedness="left",
+                       preferences={"theme": "dark", "follow_user": True})
+
+    # -- 09:00 -- Maya drafts a report in her office -------------------------
+    editor = EditorApp.build("report", "maya",
+                             initial_text="Q3 report\n", user_profile=maya)
+    editor.add_component(ResourceBinding("print-binding",
+                                         "imcl:hp-laserjet-821",
+                                         "imcl:Printer"))
+    office_pc.launch_application(editor)
+    deployment.run_all()
+    editor.type_text("Revenue grew in all regions.\n")
+    print(f"editor on {editor.host}: layout="
+          f"{editor.component('editor-ui').attributes['layout']} "
+          f"(adapted at launch for a left-handed user)")
+
+    # -- 10:00 -- meeting: the editor follows Maya ---------------------------
+    deployment.announce_location("maya", "office")
+    outcome = office_pc.migrate("report", "meeting-pc")
+    deployment.run_all()
+    deployment.announce_location("maya", "meeting-room", previous="office")
+    deployment.run_all()
+    moved = meeting_pc.application("report")
+    ui = moved.component("editor-ui")
+    print(f"editor now on {moved.host}: buffer intact "
+          f"({len(moved.buffer)} chars), layout={ui.attributes['layout']} "
+          f"(left-handed mirror), dpi={ui.attributes['resolution_dpi']}")
+    printing = moved.component("print-binding")
+    print(f"print binding rebound semantically: {printing.resource_id} "
+          f"({printing.mode}) -- different name, same imcl:Printer class")
+
+    # -- 11:00 -- music moves to her handheld --------------------------------
+    player = build_handheld_music_player("tunes", "maya",
+                                         track_bytes=3_000_000,
+                                         user_profile=maya)
+    meeting_pc.launch_application(player)
+    deployment.run_all()
+    deployment.loop.advance(10_000.0)
+    outcome = meeting_pc.migrate("tunes", "pda")
+    deployment.run_all()
+    handheld = pda.application("tunes")
+    hud = handheld.component("player-ui")
+    print(f"player on the PDA: position "
+          f"{handheld.position_ms / 1000:.1f} s, toolbar="
+          f"{hud.attributes['toolbar']}, animations="
+          f"{hud.attributes['animations']} (handheld adaptation); "
+          f"resume took {outcome.resume_ms:.0f} ms on the slow CPU")
+
+    # -- 12:00 -- messenger keeps the conversation ---------------------------
+    chat = MessengerApp.build("chat", "maya", contact="sam",
+                              user_profile=maya)
+    meeting_pc.launch_application(chat)
+    deployment.run_all()
+    chat.send_message("lunch at noon?")
+    chat.receive_message("sam", "see you there")
+    meeting_pc.migrate("chat", "office-pc")
+    deployment.run_all()
+    back = office_pc.application("chat")
+    print(f"messenger back on {back.host}: "
+          f"{len(back.conversation)} messages survived the move "
+          f"(last: {back.last_message['text']!r})")
+
+    # -- 17:00 -- the predictor knows her routine ----------------------------
+    deployment.announce_location("maya", "office", previous="meeting-room")
+    deployment.announce_location("maya", "meeting-room", previous="office")
+    deployment.run_all()
+    print(f"predictor: after meeting-room, maya usually goes to "
+          f"{deployment.predictor.predict('maya')!r}")
+
+
+if __name__ == "__main__":
+    main()

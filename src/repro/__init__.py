@@ -1,0 +1,71 @@
+"""MDAgent: agent-based middleware for application mobility in pervasive
+environments.
+
+A from-scratch Python reproduction of Zhou et al., "A Middleware Support for
+Agent-Based Application Mobility in Pervasive Environments" (ICDCS Workshops
+2007), including every substrate the paper depends on: a discrete-event
+network simulator, a JADE-style agent platform with mobile-agent migration,
+a Cricket-style context/sensing pipeline, an OWL/Jena-style ontology and
+rule engine, and a jUDDI-style registry center.
+
+Quick start::
+
+    from repro import Deployment, MigrationKind, BindingPolicy
+    from repro.apps import MusicPlayerApp
+
+    d = Deployment(seed=1)
+    d.add_space("room821")
+    src = d.add_host("desk-pc", "room821")
+    dst = d.add_host("wall-pc", "room821")
+    app = MusicPlayerApp.build("player", "alice", track_bytes=5_000_000)
+    src.launch_application(app)
+    d.run_all()
+    outcome = src.migrate("player", "wall-pc")
+    d.run_all()
+    print(outcome.phases())
+"""
+
+from repro.core import (
+    Application,
+    AppStatus,
+    BindingPolicy,
+    DataComponent,
+    DecisionEngine,
+    Deployment,
+    DeviceProfile,
+    LogicComponent,
+    MDAgentMiddleware,
+    MiddlewareConfig,
+    MigrationKind,
+    MigrationOutcome,
+    MigrationPlan,
+    PresentationComponent,
+    ResourceBinding,
+    UserProfile,
+    register_application_type,
+    summarize,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AppStatus",
+    "Application",
+    "BindingPolicy",
+    "DataComponent",
+    "DecisionEngine",
+    "Deployment",
+    "DeviceProfile",
+    "LogicComponent",
+    "MDAgentMiddleware",
+    "MiddlewareConfig",
+    "MigrationKind",
+    "MigrationOutcome",
+    "MigrationPlan",
+    "PresentationComponent",
+    "ResourceBinding",
+    "UserProfile",
+    "__version__",
+    "register_application_type",
+    "summarize",
+]

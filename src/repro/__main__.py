@@ -1,0 +1,112 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+- ``quickstart``      run a single follow-me migration and print the phases
+- ``sweep``           run the Fig. 8/9/10 file-size sweep and print tables
+- ``lecture``         run the clone-dispatch lecture scenario
+- ``version``         print the library version
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_quickstart(args: argparse.Namespace) -> int:
+    from repro import BindingPolicy, Deployment
+    from repro.apps import MusicPlayerApp
+    from repro.core.trace import DeploymentTracer
+
+    d = Deployment(seed=args.seed)
+    d.add_space("lab")
+    src = d.add_host("host1", "lab")
+    dst = d.add_host("host2", "lab")
+    tracer = DeploymentTracer(d)
+    app = MusicPlayerApp.build("player", "alice",
+                               track_bytes=int(args.size_mb * 1e6))
+    src.launch_application(app)
+    d.run_all()
+    d.loop.advance(10_000.0)
+    policy = BindingPolicy(args.policy)
+    outcome = src.migrate("player", "host2", policy=policy)
+    tracer.watch_outcome(outcome)
+    d.run_all()
+    print(tracer.timeline())
+    print()
+    for phase, value in outcome.phases().items():
+        print(f"{phase:>8}: {value:8.1f} ms")
+    return 0 if outcome.completed else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.bench.harness import MigrationExperiment
+    from repro.bench.reporting import format_comparison_table, format_phase_table
+    from repro.bench.workloads import PAPER_FILE_SIZES_MB
+    from repro.core import BindingPolicy
+
+    experiment = MigrationExperiment()
+    adaptive = experiment.sweep(PAPER_FILE_SIZES_MB, BindingPolicy.ADAPTIVE)
+    static = experiment.sweep(PAPER_FILE_SIZES_MB, BindingPolicy.STATIC)
+    print(format_phase_table(
+        "Fig. 8 -- adaptive component binding", adaptive))
+    print()
+    print(format_phase_table(
+        "Fig. 9 -- static component binding", static))
+    print()
+    print(format_comparison_table(
+        "Fig. 10 -- comparative total cost", adaptive, static))
+    return 0
+
+
+def cmd_lecture(args: argparse.Namespace) -> int:
+    from repro.bench.harness import clone_dispatch_experiment
+
+    result = clone_dispatch_experiment(room_count=args.rooms)
+    for key, value in result.items():
+        print(f"{key:>20}: {value}")
+    return 0
+
+
+def cmd_version(args: argparse.Namespace) -> int:
+    import repro
+    print(f"repro (MDAgent reproduction) {repro.__version__}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="MDAgent: agent-based application mobility middleware "
+                    "(ICDCSW'07 reproduction)")
+    sub = parser.add_subparsers(dest="command")
+    quickstart = sub.add_parser("quickstart",
+                                help="one follow-me migration with a trace")
+    quickstart.add_argument("--size-mb", type=float, default=5.0)
+    quickstart.add_argument("--policy", choices=["adaptive", "static"],
+                            default="adaptive")
+    quickstart.add_argument("--seed", type=int, default=42)
+    quickstart.set_defaults(func=cmd_quickstart)
+    sweep = sub.add_parser("sweep", help="reproduce Figs. 8-10")
+    sweep.set_defaults(func=cmd_sweep)
+    lecture = sub.add_parser("lecture",
+                             help="clone-dispatch lecture scenario")
+    lecture.add_argument("--rooms", type=int, default=3)
+    lecture.set_defaults(func=cmd_lecture)
+    version = sub.add_parser("version", help="print the version")
+    version.set_defaults(func=cmd_version)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "command", None):
+        parser.print_help()
+        return 2
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Directory Facilitator: JADE-style yellow pages.
+
+Agents advertise :class:`ServiceDescription`s (a name, a service type and
+free-form properties); other agents search by type/name/property subset.
+The MDAgent middleware registers application and resource services here so
+autonomous agents can discover counterparts on candidate destination hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class ServiceDescription:
+    """One advertised service."""
+
+    name: str
+    service_type: str
+    owner: str  # agent aid
+    properties: Dict[str, Any] = field(default_factory=dict)
+
+    def matches(self, service_type: Optional[str] = None,
+                name: Optional[str] = None,
+                properties: Optional[Dict[str, Any]] = None) -> bool:
+        if service_type is not None and self.service_type != service_type:
+            return False
+        if name is not None and self.name != name:
+            return False
+        for key, value in (properties or {}).items():
+            if self.properties.get(key) != value:
+                return False
+        return True
+
+
+class DirectoryFacilitator:
+    """Register / deregister / search services."""
+
+    def __init__(self) -> None:
+        self._services: List[ServiceDescription] = []
+        self.registrations = 0
+        self.searches = 0
+
+    def register(self, description: ServiceDescription) -> ServiceDescription:
+        if self.find(description.name, description.owner) is not None:
+            raise ValueError(
+                f"service {description.name!r} already registered by "
+                f"{description.owner!r}")
+        self._services.append(description)
+        self.registrations += 1
+        return description
+
+    def deregister(self, name: str, owner: str) -> bool:
+        """Remove one service; returns False when absent."""
+        service = self.find(name, owner)
+        if service is None:
+            return False
+        self._services.remove(service)
+        return True
+
+    def deregister_owner(self, owner: str) -> int:
+        """Remove everything an agent advertised (on deletion/migration)."""
+        before = len(self._services)
+        self._services = [s for s in self._services if s.owner != owner]
+        return before - len(self._services)
+
+    def find(self, name: str, owner: str) -> Optional[ServiceDescription]:
+        for service in self._services:
+            if service.name == name and service.owner == owner:
+                return service
+        return None
+
+    def search(self, service_type: Optional[str] = None,
+               name: Optional[str] = None,
+               properties: Optional[Dict[str, Any]] = None
+               ) -> List[ServiceDescription]:
+        self.searches += 1
+        return [s for s in self._services
+                if s.matches(service_type, name, properties)]
+
+    def __len__(self) -> int:
+        return len(self._services)

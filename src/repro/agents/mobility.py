@@ -1,0 +1,274 @@
+"""Mobile-agent migration: check-out, transfer, check-in, clone.
+
+"Mobile agent will wrap the corresponding components, check out from the
+current site, check in at the destination, inform the coordinator ... and
+resume the execution." (paper §4.3.)
+
+The protocol (weak mobility, as in JADE):
+
+1. **check-out** -- the agent enters TRANSIT, its plain-data state is
+   serialized into an :class:`~repro.agents.serialization.AgentSnapshot`
+   (CPU cost proportional to size, scaled by the host's ``cpu_factor``),
+   and it is deregistered from the source container.
+2. **transfer** -- the snapshot (plus any queued messages) rides the
+   simulated network, paying latency + size/bandwidth per hop.
+3. **check-in** -- the destination container deserializes (CPU cost again),
+   registers a fresh instance, re-activates it and calls ``after_move``.
+
+``clone`` is identical except the original stays active and the copy gets a
+new name and ``after_clone`` -- the primitive under clone-dispatch mobility.
+
+Host-local clock stamps (``t1``..``t4`` style) are recorded on the results
+so experiments can apply the paper's Fig. 7 round-trip correction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from repro.agents.acl import ACLMessage
+from repro.agents.agent import Agent, AgentError, AgentState
+from repro.agents.serialization import AgentSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.agents.platform import AgentContainer, AgentPlatform
+
+TRANSFER_PROTOCOL = "agents.transfer"
+
+
+@dataclass
+class CostModel:
+    """CPU cost of (de)serialization, scaled by each host's cpu_factor.
+
+    Defaults are calibrated so the two-PC / 10 Mbps testbed of the paper
+    lands in the right regime: tens of ms of fixed agent overhead plus a
+    size-proportional term.
+    """
+
+    checkout_base_ms: float = 60.0
+    serialize_ms_per_mb: float = 40.0
+    checkin_base_ms: float = 100.0
+    deserialize_ms_per_mb: float = 60.0
+    #: Transfer retries on loss before the migration is declared failed.
+    max_transfer_retries: int = 3
+    retry_backoff_ms: float = 50.0
+
+    def checkout_ms(self, size_bytes: int, cpu_factor: float) -> float:
+        mb = size_bytes / 1e6
+        return (self.checkout_base_ms + self.serialize_ms_per_mb * mb) * cpu_factor
+
+    def checkin_ms(self, size_bytes: int, cpu_factor: float) -> float:
+        mb = size_bytes / 1e6
+        return (self.checkin_base_ms + self.deserialize_ms_per_mb * mb) * cpu_factor
+
+
+@dataclass
+class MigrationResult:
+    """Observable outcome of one move; completed asynchronously."""
+
+    agent_name: str
+    source: str
+    destination: str
+    size_bytes: int = 0
+    started_at: float = 0.0
+    checked_out_at: float = 0.0
+    arrived_at: float = 0.0
+    checked_in_at: float = 0.0
+    completed: bool = False
+    failed: bool = False
+    failure_reason: str = ""
+    #: Host-local clock stamps (Fig. 7): departure on the source clock,
+    #: arrival on the destination clock.
+    depart_local: float = 0.0
+    arrive_local: float = 0.0
+    agent: Optional[Agent] = None
+    _callbacks: List[Callable[["MigrationResult"], None]] = field(
+        default_factory=list, repr=False)
+
+    def on_complete(self, callback: Callable[["MigrationResult"], None]) -> None:
+        if self.completed or self.failed:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _finish(self) -> None:
+        for callback in self._callbacks:
+            callback(self)
+        self._callbacks.clear()
+
+    @property
+    def total_ms(self) -> float:
+        return self.checked_in_at - self.started_at
+
+    @property
+    def transfer_ms(self) -> float:
+        return self.arrived_at - self.checked_out_at
+
+
+@dataclass
+class CloneResult(MigrationResult):
+    """Outcome of a clone; ``agent`` is the new copy at the destination."""
+
+    clone_name: str = ""
+
+
+class MobilityService:
+    """Implements move/clone for every container on the platform."""
+
+    def __init__(self, platform: "AgentPlatform",
+                 cost_model: Optional[CostModel] = None):
+        self.platform = platform
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.moves_started = 0
+        self.moves_completed = 0
+        self.clones_completed = 0
+        self.transfers_dropped = 0
+
+    def attach(self, container: "AgentContainer") -> None:
+        """Install the transfer protocol handler on a new container."""
+        container.host.register_handler(TRANSFER_PROTOCOL,
+                                        lambda m: self._on_transfer(container, m))
+
+    # -- move -------------------------------------------------------------------
+
+    def move(self, agent: Agent, destination_host: str) -> MigrationResult:
+        """Start a follow-me style migration; returns immediately."""
+        container = agent.container
+        if container is None:
+            raise AgentError("agent is not in a container")
+        if agent.state not in (AgentState.ACTIVE, AgentState.SUSPENDED):
+            raise AgentError(f"cannot move agent in state {agent.state}")
+        if destination_host == container.host_name:
+            raise AgentError("destination equals current host")
+        if not self.platform.has_container(destination_host):
+            raise AgentError(f"no agent container on {destination_host!r}")
+        loop = self.platform.loop
+        snapshot = AgentSnapshot(type(agent).__name__, agent.local_name,
+                                 agent.get_state())
+        result = MigrationResult(
+            agent_name=agent.local_name,
+            source=container.host_name,
+            destination=destination_host,
+            size_bytes=snapshot.size_bytes,
+            started_at=loop.now,
+        )
+        self.moves_started += 1
+        agent.state = AgentState.TRANSIT
+        checkout = self.cost_model.checkout_ms(snapshot.size_bytes,
+                                               container.host.cpu_factor)
+        loop.call_later(checkout, self._check_out, agent, container,
+                        snapshot, result, "move")
+        return result
+
+    def clone(self, agent: Agent, destination_host: str,
+              new_name: str) -> CloneResult:
+        """Start a clone-dispatch: copy the agent to the destination."""
+        container = agent.container
+        if container is None:
+            raise AgentError("agent is not in a container")
+        if agent.state is not AgentState.ACTIVE:
+            raise AgentError(f"cannot clone agent in state {agent.state}")
+        if not self.platform.has_container(destination_host):
+            raise AgentError(f"no agent container on {destination_host!r}")
+        if self.platform.where_is(new_name) is not None:
+            raise AgentError(f"agent name {new_name!r} already in use")
+        loop = self.platform.loop
+        snapshot = AgentSnapshot(type(agent).__name__, new_name,
+                                 agent.get_state())
+        result = CloneResult(
+            agent_name=agent.local_name,
+            source=container.host_name,
+            destination=destination_host,
+            size_bytes=snapshot.size_bytes,
+            started_at=loop.now,
+            clone_name=new_name,
+        )
+        checkout = self.cost_model.checkout_ms(snapshot.size_bytes,
+                                               container.host.cpu_factor)
+        # The original keeps running; only the snapshot departs.
+        loop.call_later(checkout, self._send_snapshot, container, snapshot,
+                        [], result, "clone")
+        return result
+
+    # -- protocol steps -------------------------------------------------------------
+
+    def _check_out(self, agent: Agent, container: "AgentContainer",
+                   snapshot: AgentSnapshot, result: MigrationResult,
+                   kind: str) -> None:
+        # Capture the queue now so messages that arrived during the
+        # serialization delay migrate with the agent.
+        carried = list(agent._queue)
+        agent._queue.clear()
+        container.remove_agent(agent)
+        self.platform.df.deregister_owner(
+            f"{agent.local_name}@{container.host_name}")
+        self._send_snapshot(container, snapshot, carried, result, kind)
+
+    def _send_snapshot(self, container: "AgentContainer",
+                       snapshot: AgentSnapshot, carried: List[ACLMessage],
+                       result: MigrationResult, kind: str,
+                       attempt: int = 0) -> None:
+        if attempt == 0:
+            result.checked_out_at = self.platform.loop.now
+            result.depart_local = container.host.local_time()
+        payload = (snapshot, carried, kind, result)
+
+        def on_dropped(receipt):
+            self.transfers_dropped += 1
+            if attempt < self.cost_model.max_transfer_retries:
+                delay = self.cost_model.retry_backoff_ms * (attempt + 1)
+                self.platform.loop.call_later(
+                    delay, self._send_snapshot, container, snapshot,
+                    carried, result, kind, attempt + 1)
+            else:
+                result.failed = True
+                result.failure_reason = (
+                    f"transfer to {result.destination!r} lost after "
+                    f"{attempt + 1} attempts")
+                result._finish()
+
+        try:
+            self.platform.network.send(
+                container.host_name, result.destination, TRANSFER_PROTOCOL,
+                payload, snapshot.size_bytes, on_dropped=on_dropped)
+        except Exception as exc:
+            result.failed = True
+            result.failure_reason = str(exc)
+            result._finish()
+
+    def _on_transfer(self, container: "AgentContainer", net_message) -> None:
+        snapshot, carried, kind, result = net_message.payload
+        loop = self.platform.loop
+        result.arrived_at = loop.now
+        result.arrive_local = container.host.local_time()
+        checkin = self.cost_model.checkin_ms(snapshot.size_bytes,
+                                             container.host.cpu_factor)
+        loop.call_later(checkin, self._check_in, container, snapshot,
+                        carried, kind, result)
+
+    def _check_in(self, container: "AgentContainer", snapshot: AgentSnapshot,
+                  carried: List[ACLMessage], kind: str,
+                  result: MigrationResult) -> None:
+        try:
+            agent = snapshot.instantiate()
+        except Exception as exc:  # registration/restore failures surface here
+            result.failed = True
+            result.failure_reason = str(exc)
+            result._finish()
+            return
+        agent.state = AgentState.TRANSIT
+        container.add_agent(agent)
+        agent.do_activate()
+        for message in carried:
+            agent.post(message)
+        if kind == "move":
+            agent.after_move()
+            self.moves_completed += 1
+        else:
+            agent.after_clone()
+            self.clones_completed += 1
+        result.agent = agent
+        result.checked_in_at = self.platform.loop.now
+        result.completed = True
+        result._finish()

@@ -1,0 +1,34 @@
+"""Demo applications built on the MDAgent public API (paper §5).
+
+The paper built six demos: "smart media player, follow-me editor, ubiquitous
+slide show, handheld editor, handheld music player, and follow-me instant
+messenger".  All six are here:
+
+- :class:`MusicPlayerApp` -- the follow-me music player whose migration cost
+  the paper measures (Figs. 8-10).
+- :class:`SlideShowApp` -- the clone-dispatch ubiquitous slide show with
+  synchronized presentations across rooms.
+- :class:`EditorApp` -- follow-me text editor.
+- :class:`MessengerApp` -- follow-me instant messenger.
+- :func:`build_handheld_editor` / :func:`build_handheld_music_player` --
+  handheld variants exercising the adaptor's device customization.
+"""
+
+from repro.apps.editor import EditorApp
+from repro.apps.handheld import build_handheld_editor, build_handheld_music_player
+from repro.apps.media import make_document, make_slide_deck, make_track
+from repro.apps.messenger import MessengerApp
+from repro.apps.music_player import MusicPlayerApp
+from repro.apps.slideshow import SlideShowApp
+
+__all__ = [
+    "EditorApp",
+    "MessengerApp",
+    "MusicPlayerApp",
+    "SlideShowApp",
+    "build_handheld_editor",
+    "build_handheld_music_player",
+    "make_document",
+    "make_slide_deck",
+    "make_track",
+]

@@ -1,0 +1,89 @@
+"""The follow-me text editor (paper §5 demo).
+
+Document buffer and cursor migrate with the user; the document data
+component's size tracks the buffer so migration cost reflects the real
+document, and user preferences (handedness) drive the adaptor's layout
+choice at each destination.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.apps.media import make_document
+from repro.core.application import Application, register_application_type
+from repro.core.components import LogicComponent, PresentationComponent
+from repro.core.profiles import UserProfile
+
+EDITOR_LOGIC_BYTES = 180_000
+EDITOR_UI_BYTES = 220_000
+
+
+@register_application_type
+class EditorApp(Application):
+    """A text editor with a migratable buffer."""
+
+    def __init__(self, name: str, owner: str, **kwargs):
+        kwargs.setdefault("device_requirements",
+                          {"min_screen_width": 320})
+        super().__init__(name, owner, **kwargs)
+        self.buffer = ""
+        self.cursor = 0
+        self.dirty = False
+
+    @classmethod
+    def build(cls, name: str, owner: str, initial_text: str = "",
+              user_profile: Optional[UserProfile] = None,
+              ui_bytes: int = EDITOR_UI_BYTES) -> "EditorApp":
+        app = cls(name, owner, user_profile=user_profile)
+        app.add_component(LogicComponent("editor-logic", EDITOR_LOGIC_BYTES))
+        app.add_component(PresentationComponent(
+            "editor-ui", ui_bytes, attributes={"width": 1024, "height": 768}))
+        app.add_component(make_document("document", initial_text))
+        app.buffer = initial_text
+        app.cursor = len(initial_text)
+        return app
+
+    # -- editing -----------------------------------------------------------
+
+    def type_text(self, text: str) -> None:
+        self.buffer = (self.buffer[:self.cursor] + text
+                       + self.buffer[self.cursor:])
+        self.cursor += len(text)
+        self.dirty = True
+        self._sync_document_size()
+        self.coordinator.update("length", len(self.buffer))
+
+    def delete_backwards(self, count: int = 1) -> None:
+        count = min(count, self.cursor)
+        self.buffer = (self.buffer[:self.cursor - count]
+                       + self.buffer[self.cursor:])
+        self.cursor -= count
+        self.dirty = True
+        self._sync_document_size()
+        self.coordinator.update("length", len(self.buffer))
+
+    def move_cursor(self, position: int) -> None:
+        self.cursor = max(0, min(position, len(self.buffer)))
+
+    def save(self) -> None:
+        self.dirty = False
+        self.coordinator.update("saved_length", len(self.buffer))
+
+    def _sync_document_size(self) -> None:
+        if self.has_component("document"):
+            document = self.component("document")
+            document.size_bytes = max(len(self.buffer.encode("utf-8")), 1)
+            document.touch()
+
+    # -- migratable state ---------------------------------------------------------
+
+    def get_app_state(self) -> Dict[str, Any]:
+        return {"buffer": self.buffer, "cursor": self.cursor,
+                "dirty": self.dirty}
+
+    def restore_app_state(self, state: Dict[str, Any]) -> None:
+        self.buffer = state["buffer"]
+        self.cursor = state["cursor"]
+        self.dirty = state["dirty"]
+        self._sync_document_size()

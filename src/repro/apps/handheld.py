@@ -1,0 +1,44 @@
+"""Handheld application variants (paper §5: "handheld editor, handheld
+music player").
+
+Handheld builds use smaller UI bundles and relaxed device requirements so
+they run on PDA-class hosts (see
+:func:`repro.core.profiles.handheld_profile`); the adaptor then compacts
+toolbars and disables animations on arrival.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.editor import EditorApp
+from repro.apps.music_player import MusicPlayerApp
+from repro.core.profiles import UserProfile
+
+HANDHELD_UI_BYTES = 80_000
+
+
+def build_handheld_editor(name: str, owner: str, initial_text: str = "",
+                          user_profile: Optional[UserProfile] = None
+                          ) -> EditorApp:
+    """An editor sized for PDA screens (touch input, small UI bundle)."""
+    app = EditorApp.build(name, owner, initial_text,
+                          user_profile=user_profile,
+                          ui_bytes=HANDHELD_UI_BYTES)
+    app.device_requirements = {"min_screen_width": 240}
+    ui = app.component("editor-ui")
+    ui.attributes.update(width=320, height=240)
+    return app
+
+
+def build_handheld_music_player(name: str, owner: str,
+                                track_bytes: int = 3_000_000,
+                                user_profile: Optional[UserProfile] = None
+                                ) -> MusicPlayerApp:
+    """A music player for handhelds; smaller UI, same codec + data model."""
+    app = MusicPlayerApp.build(name, owner, track_bytes,
+                               user_profile=user_profile)
+    ui = app.component("player-ui")
+    ui.size_bytes = HANDHELD_UI_BYTES
+    ui.attributes.update(width=320, height=240)
+    return app

@@ -1,0 +1,77 @@
+"""The follow-me instant messenger (paper §5 demo).
+
+Conversation history migrates with the user.  Two messenger instances can
+also be linked through the coordinator (like the slide show) so a
+conversation stays live across a clone-dispatch to a second device.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.application import Application, register_application_type
+from repro.core.components import DataComponent, LogicComponent, PresentationComponent
+from repro.core.profiles import UserProfile
+
+MESSENGER_LOGIC_BYTES = 160_000
+MESSENGER_UI_BYTES = 200_000
+
+
+@register_application_type
+class MessengerApp(Application):
+    """An instant messenger with migratable conversation state."""
+
+    def __init__(self, name: str, owner: str, **kwargs):
+        super().__init__(name, owner, **kwargs)
+        self.conversation: List[Dict[str, Any]] = []
+        self.contact = ""
+        self.unread = 0
+
+    @classmethod
+    def build(cls, name: str, owner: str, contact: str = "",
+              user_profile: Optional[UserProfile] = None) -> "MessengerApp":
+        app = cls(name, owner, user_profile=user_profile)
+        app.add_component(LogicComponent("im-logic", MESSENGER_LOGIC_BYTES))
+        app.add_component(PresentationComponent(
+            "im-ui", MESSENGER_UI_BYTES,
+            attributes={"width": 480, "height": 640}))
+        app.add_component(DataComponent("history", 1,
+                                        content_tag=f"im:{name}"))
+        app.contact = contact
+        return app
+
+    # -- messaging -----------------------------------------------------------
+
+    def send_message(self, text: str) -> None:
+        self._append({"from": self.owner, "text": text})
+        self.coordinator.update("messages", len(self.conversation))
+
+    def receive_message(self, sender: str, text: str) -> None:
+        self._append({"from": sender, "text": text})
+        self.unread += 1
+        self.coordinator.update("messages", len(self.conversation))
+
+    def mark_read(self) -> None:
+        self.unread = 0
+
+    def _append(self, message: Dict[str, Any]) -> None:
+        self.conversation.append(message)
+        if self.has_component("history"):
+            history = self.component("history")
+            history.size_bytes += len(message["text"].encode("utf-8")) + 32
+            history.touch()
+
+    @property
+    def last_message(self) -> Optional[Dict[str, Any]]:
+        return self.conversation[-1] if self.conversation else None
+
+    # -- migratable state ----------------------------------------------------------
+
+    def get_app_state(self) -> Dict[str, Any]:
+        return {"conversation": [dict(m) for m in self.conversation],
+                "contact": self.contact, "unread": self.unread}
+
+    def restore_app_state(self, state: Dict[str, Any]) -> None:
+        self.conversation = [dict(m) for m in state["conversation"]]
+        self.contact = state["contact"]
+        self.unread = state["unread"]

@@ -1,0 +1,188 @@
+"""The follow-me music player (the paper's first demo, §5).
+
+"It can stop music when listener is out of the room and continue playing
+when the listener enters the room within the same space.  In this demo,
+application is divided into several functional components, codec logic,
+interface, and data files."
+
+Playback position advances with simulated time while the app runs; suspend
+freezes it and resume continues from the same position on the new host --
+the state-continuity property the snapshot manager guarantees.  When the
+music file is not carried (adaptive binding, large file), playback streams
+from the source host over a remote URL binding.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.apps.media import make_track
+from repro.core.application import Application, register_application_type
+from repro.core.components import LogicComponent, PresentationComponent, ResourceBinding
+from repro.core.profiles import UserProfile
+
+#: Component sizes measured off a typical small player build.
+CODEC_LOGIC_BYTES = 150_000
+PLAYER_UI_BYTES = 250_000
+
+
+@register_application_type
+class MusicPlayerApp(Application):
+    """A stateful music player application."""
+
+    def __init__(self, name: str, owner: str, **kwargs):
+        kwargs.setdefault("device_requirements", {"audio_output": True})
+        super().__init__(name, owner, **kwargs)
+        self.playing = False
+        self.position_ms = 0.0
+        self.track_name = ""
+        self.track_duration_ms = 0.0
+        self.volume = 70
+        self.playlist: list = []
+        self.track_durations: dict = {}
+        self._resumed_at: Optional[float] = None
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(cls, name: str, owner: str, track_bytes: int = 5_000_000,
+              track_name: str = "track-01",
+              user_profile: Optional[UserProfile] = None
+              ) -> "MusicPlayerApp":
+        """A fully assembled player: codec logic + UI + track + speaker."""
+        return cls.build_with_playlist(name, owner,
+                                       [(track_name, track_bytes)],
+                                       user_profile=user_profile)
+
+    @classmethod
+    def build_with_playlist(cls, name: str, owner: str, tracks,
+                            user_profile: Optional[UserProfile] = None
+                            ) -> "MusicPlayerApp":
+        """A player with several music files (``[(name, bytes), ...]``).
+
+        Each track is its own data component, so adaptive binding decides
+        carry-vs-stream per file.
+        """
+        if not tracks:
+            raise ValueError("playlist needs at least one track")
+        app = cls(name, owner, user_profile=user_profile)
+        app.add_component(LogicComponent("codec", CODEC_LOGIC_BYTES,
+                                         entry_point="codec.play"))
+        app.add_component(PresentationComponent(
+            "player-ui", PLAYER_UI_BYTES,
+            attributes={"width": 800, "height": 600}))
+        durations = {}
+        for track_name, track_bytes in tracks:
+            track = make_track(track_name, track_bytes)
+            app.add_component(track)
+            durations[track_name] = track.duration_ms
+        app.add_component(ResourceBinding("speaker-binding",
+                                          f"imcl:speaker-of-{name}",
+                                          "imcl:Speaker"))
+        app.playlist = [t[0] for t in tracks]
+        app.track_durations = durations
+        app.track_name = app.playlist[0]
+        app.track_duration_ms = durations[app.track_name]
+        return app
+
+    # -- playback control ---------------------------------------------------------
+
+    def _now(self) -> float:
+        if self.middleware is None:
+            raise RuntimeError("player is not running on any host")
+        return self.middleware.loop.now
+
+    def current_position_ms(self) -> float:
+        """Playback position, advancing with simulated time while playing."""
+        if self.playing and self._resumed_at is not None:
+            elapsed = self._now() - self._resumed_at
+            return min(self.position_ms + elapsed, self.track_duration_ms)
+        return self.position_ms
+
+    def play(self) -> None:
+        if self.playing:
+            return
+        self.playing = True
+        self._resumed_at = self._now()
+        self.coordinator.update("playing", True)
+
+    def pause(self) -> None:
+        if not self.playing:
+            return
+        self.position_ms = self.current_position_ms()
+        self.playing = False
+        self._resumed_at = None
+        self.coordinator.update("playing", False)
+
+    def seek(self, position_ms: float) -> None:
+        self.position_ms = max(0.0, min(position_ms, self.track_duration_ms))
+        if self.playing:
+            self._resumed_at = self._now()
+        self.coordinator.update("position", self.position_ms)
+
+    def set_volume(self, volume: int) -> None:
+        self.volume = max(0, min(100, volume))
+        self.coordinator.update("volume", self.volume)
+
+    def select_track(self, track_name: str) -> None:
+        """Switch to another playlist entry (position restarts)."""
+        if track_name not in self.track_durations:
+            raise ValueError(f"track {track_name!r} is not in the playlist")
+        self.track_name = track_name
+        self.track_duration_ms = self.track_durations[track_name]
+        self.position_ms = 0.0
+        if self.playing:
+            self._resumed_at = self._now()
+        self.coordinator.update("track", track_name)
+
+    def next_track(self) -> None:
+        """Advance through the playlist (wraps around)."""
+        if not self.playlist:
+            return
+        index = self.playlist.index(self.track_name) \
+            if self.track_name in self.playlist else -1
+        self.select_track(self.playlist[(index + 1) % len(self.playlist)])
+
+    @property
+    def streaming_remotely(self) -> bool:
+        """True when the track is bound to a remote URL (not carried)."""
+        return any(d.is_remote for d in self.data_components)
+
+    # -- lifecycle hooks ---------------------------------------------------------------
+
+    def on_start(self) -> None:
+        self.play()
+
+    def on_suspend(self) -> None:
+        # Freeze the playback position before the snapshot is captured.
+        if self.playing:
+            self.position_ms = self.current_position_ms()
+            self.playing = False
+            self._resumed_at = None
+
+    def on_resume(self) -> None:
+        self.play()
+
+    # -- migratable state -----------------------------------------------------------------
+
+    def get_app_state(self) -> Dict[str, Any]:
+        return {
+            "playing": self.playing,
+            "position_ms": self.current_position_ms()
+            if self.middleware is not None else self.position_ms,
+            "track_name": self.track_name,
+            "track_duration_ms": self.track_duration_ms,
+            "volume": self.volume,
+            "playlist": list(self.playlist),
+            "track_durations": dict(self.track_durations),
+        }
+
+    def restore_app_state(self, state: Dict[str, Any]) -> None:
+        self.position_ms = state["position_ms"]
+        self.track_name = state["track_name"]
+        self.track_duration_ms = state["track_duration_ms"]
+        self.volume = state["volume"]
+        self.playlist = list(state.get("playlist", ()))
+        self.track_durations = dict(state.get("track_durations", {}))
+        self.playing = False  # on_resume()/on_start() restarts playback
+        self._resumed_at = None

@@ -1,0 +1,92 @@
+"""The ubiquitous slide show (the paper's clone-dispatch demo, §5).
+
+"Our demo ... lets agent clone the application and migrate to the separate
+rooms and establish the synchronization links with the main room
+automatically. ... each meeting room is equipped with a presentation
+application, a projector, what lacks is the slides.  So MAs just need to
+carry the slides to the destination ... and synchronize the slides with the
+speaker's presentation controls."
+
+Slide changes flow through the coordinator's sync links: the master room's
+controls propagate to every replica, and a replica's local control action
+is forwarded to the master and rebroadcast.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.apps.media import make_slide_deck
+from repro.core.application import Application, register_application_type
+from repro.core.components import LogicComponent, PresentationComponent, ResourceBinding
+from repro.core.profiles import UserProfile
+
+IMPRESS_LOGIC_BYTES = 400_000
+SLIDE_UI_BYTES = 300_000
+
+
+@register_application_type
+class SlideShowApp(Application):
+    """A synchronized slide-show application."""
+
+    def __init__(self, name: str, owner: str, **kwargs):
+        kwargs.setdefault("device_requirements", {"min_screen_width": 640})
+        super().__init__(name, owner, **kwargs)
+        self.current_slide = 1
+        self.slide_count = 0
+        self.presenter_notes_visible = False
+
+    @classmethod
+    def build(cls, name: str, owner: str, slide_count: int = 40,
+              per_slide_bytes: int = 120_000,
+              user_profile: Optional[UserProfile] = None) -> "SlideShowApp":
+        app = cls(name, owner, user_profile=user_profile)
+        app.add_component(LogicComponent("impress-logic", IMPRESS_LOGIC_BYTES,
+                                         entry_point="impress.show"))
+        app.add_component(PresentationComponent(
+            "slide-ui", SLIDE_UI_BYTES,
+            attributes={"width": 1024, "height": 768}))
+        app.add_component(make_slide_deck("slides", slide_count,
+                                          per_slide_bytes))
+        app.add_component(ResourceBinding("projector-binding",
+                                          f"imcl:projector-of-{name}",
+                                          "imcl:Projector"))
+        app.slide_count = slide_count
+        return app
+
+    # -- presentation control (synchronized across replicas) ----------------
+
+    def goto_slide(self, number: int) -> None:
+        number = max(1, min(number, self.slide_count or number))
+        self.coordinator.update("slide", number)
+
+    def next_slide(self) -> None:
+        self.goto_slide(self.displayed_slide + 1)
+
+    def previous_slide(self) -> None:
+        self.goto_slide(self.displayed_slide - 1)
+
+    @property
+    def displayed_slide(self) -> int:
+        """What the audience sees (coordinator state wins over local)."""
+        return int(self.coordinator.state.get("slide", self.current_slide))
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def on_start(self) -> None:
+        if "slide" not in self.coordinator.state:
+            self.coordinator.update("slide", self.current_slide)
+
+    # -- migratable state --------------------------------------------------------------
+
+    def get_app_state(self) -> Dict[str, Any]:
+        return {
+            "current_slide": self.displayed_slide,
+            "slide_count": self.slide_count,
+            "presenter_notes_visible": self.presenter_notes_visible,
+        }
+
+    def restore_app_state(self, state: Dict[str, Any]) -> None:
+        self.current_slide = state["current_slide"]
+        self.slide_count = state["slide_count"]
+        self.presenter_notes_visible = state["presenter_notes_visible"]

@@ -1,0 +1,32 @@
+"""Benchmark harness: reproduces the paper's evaluation (Figs. 7-10).
+
+- :mod:`repro.bench.harness` -- the two-PC testbed builder and migration
+  experiment runner.
+- :mod:`repro.bench.workloads` -- the paper's file-size sweep and scenario
+  parameters.
+- :mod:`repro.bench.reporting` -- figure-style series tables.
+"""
+
+from repro.bench.harness import (
+    MigrationExperiment,
+    SweepRow,
+    TestbedConfig,
+    build_paper_testbed,
+    clone_dispatch_experiment,
+    round_trip_experiment,
+)
+from repro.bench.reporting import format_comparison_table, format_phase_table
+from repro.bench.workloads import PAPER_FILE_SIZES_MB, mb
+
+__all__ = [
+    "MigrationExperiment",
+    "PAPER_FILE_SIZES_MB",
+    "SweepRow",
+    "TestbedConfig",
+    "build_paper_testbed",
+    "clone_dispatch_experiment",
+    "format_comparison_table",
+    "format_phase_table",
+    "mb",
+    "round_trip_experiment",
+]

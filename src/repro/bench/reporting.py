@@ -1,0 +1,58 @@
+"""Figure-style text tables for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.bench.harness import SweepRow
+
+
+def format_phase_table(title: str, rows: Sequence[SweepRow]) -> str:
+    """A Fig. 8/9-style table: suspend / migrate / resume / total per size."""
+    lines = [title, "-" * len(title)]
+    header = (f"{'File Size':>10} {'suspend':>10} {'migrate':>10} "
+              f"{'resume':>10} {'total':>10}")
+    lines.append(header)
+    for row in rows:
+        lines.append(
+            f"{row.size_mb:>9.1f}M {row.suspend_ms:>9.0f}ms "
+            f"{row.migrate_ms:>9.0f}ms {row.resume_ms:>9.0f}ms "
+            f"{row.total_ms:>9.0f}ms")
+    return "\n".join(lines)
+
+
+def format_comparison_table(title: str, adaptive: Sequence[SweepRow],
+                            static: Sequence[SweepRow]) -> str:
+    """The Fig. 10 comparative table: adaptive vs static total cost."""
+    if len(adaptive) != len(static):
+        raise ValueError("sweeps must cover the same sizes")
+    lines = [title, "-" * len(title)]
+    lines.append(f"{'File Size':>10} {'Adaptive':>12} {'Static':>12} "
+                 f"{'Static/Adaptive':>16}")
+    for a, s in zip(adaptive, static):
+        if a.size_mb != s.size_mb:
+            raise ValueError("size mismatch between sweeps")
+        ratio = s.total_ms / a.total_ms if a.total_ms else float("inf")
+        lines.append(f"{a.size_mb:>9.1f}M {a.total_ms:>10.0f}ms "
+                     f"{s.total_ms:>10.0f}ms {ratio:>15.1f}x")
+    return "\n".join(lines)
+
+
+def format_kv_table(title: str, rows: List[Dict[str, object]]) -> str:
+    """Generic table from a list of uniform dicts (ablation output)."""
+    if not rows:
+        return title
+    lines = [title, "-" * len(title)]
+    keys = list(rows[0].keys())
+    lines.append("  ".join(f"{k:>18}" for k in keys))
+    for row in rows:
+        cells = []
+        for key in keys:
+            value = row[key]
+            if isinstance(value, float):
+                text = f"{value:.2f}".rstrip("0").rstrip(".")
+                cells.append(f"{text:>18}")
+            else:
+                cells.append(f"{str(value):>18}")
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,215 @@
+"""Synthetic multi-user workloads: a day in a smart building.
+
+Generates a building of smart spaces, a population of users with
+Markov-style mobility between them, and one follow-me application per user;
+then replays hours of movement and aggregates what the middleware did
+(migrations, bytes, failures, latencies).  This is the macro-benchmark
+counterpart to the paper's micro-measurements: it answers "what does a
+whole deployment look like under realistic churn?".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Dict, List, Optional
+
+from repro.apps.editor import EditorApp
+from repro.apps.messenger import MessengerApp
+from repro.apps.music_player import MusicPlayerApp
+from repro.core import Deployment, UserProfile
+from repro.core.application import AppStatus
+from repro.net.topology import LinkSpec
+
+
+@dataclass
+class WorkloadConfig:
+    """Shape of the synthetic building and population."""
+
+    spaces: int = 4
+    hosts_per_space: int = 2
+    users: int = 6
+    #: Simulated duration of the workload.
+    duration_ms: float = 3_600_000.0  # one hour
+    #: Mean dwell time in a space before a user moves on.
+    mean_dwell_ms: float = 300_000.0  # five minutes
+    #: App mix per user (cycled): music (2 MB), editor, messenger.
+    track_bytes: int = 2_000_000
+    #: "random": next space uniformly at random; "routine": each user
+    #: cycles a fixed personal route (predictable -- lets the Markov
+    #: predictor and pre-staging shine).
+    mobility_pattern: str = "random"
+    #: Enable predictor-driven pre-staging for the run.
+    prestaging: bool = False
+    prestaging_threshold: float = 0.6
+    lan: Optional[LinkSpec] = None
+    gateway_delay_ms: float = 5.0
+    seed: int = 1
+
+
+@dataclass
+class WorkloadReport:
+    """Aggregate results of one workload run."""
+
+    config: WorkloadConfig
+    moves_injected: int = 0
+    migrations_completed: int = 0
+    migrations_failed: int = 0
+    bytes_migrated: int = 0
+    mean_migration_ms: float = 0.0
+    max_migration_ms: float = 0.0
+    apps_running_at_end: int = 0
+    apps_total: int = 0
+    sim_time_ms: float = 0.0
+    events_processed: int = 0
+    #: Fraction of user moves that triggered a follow-me migration (moves
+    #: into the space an app already occupies trigger none).
+    follow_rate: float = 0.0
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "users": self.config.users,
+            "spaces": self.config.spaces,
+            "moves": self.moves_injected,
+            "migrations": self.migrations_completed,
+            "failed": self.migrations_failed,
+            "follow_rate": round(self.follow_rate, 2),
+            "mean_mig_ms": round(self.mean_migration_ms, 1),
+            "max_mig_ms": round(self.max_migration_ms, 1),
+            "MB_migrated": round(self.bytes_migrated / 1e6, 2),
+        }
+
+
+class SmartBuildingWorkload:
+    """Builds and replays one synthetic workload."""
+
+    def __init__(self, config: Optional[WorkloadConfig] = None):
+        self.config = config if config is not None else WorkloadConfig()
+        self.rng = random.Random(self.config.seed)
+        self.deployment: Optional[Deployment] = None
+        self.user_locations: Dict[str, str] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def build(self) -> Deployment:
+        config = self.config
+        d = Deployment(seed=config.seed)
+        for s in range(config.spaces):
+            space = f"space{s}"
+            d.add_space(space, lan=config.lan)
+            for h in range(config.hosts_per_space):
+                d.add_host(f"pc{s}-{h}", space)
+            d.add_gateway(f"gw{s}", space, config.gateway_delay_ms)
+        # Ring + chords so every pair of spaces is reachable.
+        for s in range(config.spaces):
+            d.connect_spaces(f"space{s}",
+                             f"space{(s + 1) % config.spaces}")
+        self.deployment = d
+        self._populate()
+        return d
+
+    def _populate(self) -> None:
+        d = self.deployment
+        config = self.config
+        builders = [self._music, self._editor, self._messenger]
+        for u in range(config.users):
+            user = f"user{u}"
+            home_space = f"space{u % config.spaces}"
+            self.user_locations[user] = home_space
+            home_host = f"pc{u % config.spaces}-0"
+            app = builders[u % len(builders)](user)
+            d.middleware(home_host).launch_application(app)
+        d.run_all()
+
+    def _music(self, user: str) -> MusicPlayerApp:
+        return MusicPlayerApp.build(
+            f"{user}-music", user, track_bytes=self.config.track_bytes,
+            user_profile=UserProfile(user,
+                                     preferences={"follow_user": True}))
+
+    def _editor(self, user: str) -> EditorApp:
+        return EditorApp.build(
+            f"{user}-editor", user, initial_text=f"{user}'s notes\n",
+            user_profile=UserProfile(user,
+                                     preferences={"follow_user": True}))
+
+    def _messenger(self, user: str) -> MessengerApp:
+        return MessengerApp.build(
+            f"{user}-chat", user, contact="colleague",
+            user_profile=UserProfile(user,
+                                     preferences={"follow_user": True}))
+
+    # -- replay ------------------------------------------------------------------
+
+    def run(self) -> WorkloadReport:
+        """Replay user movement for the configured duration."""
+        if self.deployment is None:
+            self.build()
+        d = self.deployment
+        config = self.config
+        if config.prestaging:
+            d.enable_prestaging(config.prestaging_threshold)
+        report = WorkloadReport(config)
+        end = d.loop.now + config.duration_ms
+        # Schedule each user's moves as a Poisson-ish renewal process.
+        for user in list(self.user_locations):
+            self._schedule_next_move(user, end, report)
+        d.run(until=end)
+        d.run_all()
+        self._aggregate(report)
+        return report
+
+    def _schedule_next_move(self, user: str, end: float,
+                            report: WorkloadReport) -> None:
+        d = self.deployment
+        dwell = self.rng.expovariate(1.0 / self.config.mean_dwell_ms)
+        due = d.loop.now + max(dwell, 1_000.0)
+        if due >= end:
+            return
+        d.loop.call_at(due, self._move_user, user, end, report)
+
+    def _move_user(self, user: str, end: float,
+                   report: WorkloadReport) -> None:
+        d = self.deployment
+        previous = self.user_locations[user]
+        destination = self._next_space(user, previous)
+        self.user_locations[user] = destination
+        report.moves_injected += 1
+        d.announce_location(user, destination, previous=previous)
+        self._schedule_next_move(user, end, report)
+
+    def _next_space(self, user: str, previous: str) -> str:
+        config = self.config
+        if config.mobility_pattern == "routine":
+            # Each user cycles a personal two-space commute: home <-> the
+            # next space over (perfectly learnable).
+            index = int(user.replace("user", ""))
+            home = f"space{index % config.spaces}"
+            away = f"space{(index + 1) % config.spaces}"
+            return away if previous == home else home
+        choices = [f"space{s}" for s in range(config.spaces)
+                   if f"space{s}" != previous]
+        return self.rng.choice(choices)
+
+    def _aggregate(self, report: WorkloadReport) -> None:
+        d = self.deployment
+        outcomes = [o for o in d.outcomes.values()]
+        completed = [o for o in outcomes if o.completed]
+        report.migrations_completed = len(completed)
+        report.migrations_failed = sum(1 for o in outcomes if o.failed)
+        report.bytes_migrated = sum(o.bytes_transferred for o in completed)
+        if completed:
+            totals = [o.total_ms for o in completed]
+            report.mean_migration_ms = mean(totals)
+            report.max_migration_ms = max(totals)
+        apps = [a for m in d.middlewares.values()
+                for a in m.applications.values()]
+        report.apps_total = len(apps)
+        report.apps_running_at_end = sum(
+            1 for a in apps if a.status is AppStatus.RUNNING)
+        report.sim_time_ms = d.loop.now
+        report.events_processed = d.loop.processed
+        report.follow_rate = (report.migrations_completed
+                              / report.moves_injected
+                              if report.moves_injected else 0.0)

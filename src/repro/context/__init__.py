@@ -1,0 +1,55 @@
+"""Context substrate: the Sensor and Context layers of Fig. 2.
+
+The pipeline mirrors the paper's prototype:
+
+1. :mod:`repro.context.sensors` -- simulated Cricket beacons/listeners and
+   network probes produce *raw* readings ("distance, badge (listener)
+   identity, etc.").
+2. :mod:`repro.context.fusion` -- context fusion maps raw data to useful
+   information (room-level location, user identity) with confidence scores.
+3. :mod:`repro.context.classifier` + :mod:`repro.context.store` -- a
+   classifier files context into databases by temporal class (frequently
+   changing location vs. stable preferences).
+4. :mod:`repro.context.monitor` -- a context monitor watches the stream and
+   triggers autonomous agents when predefined conditions occur.
+5. :mod:`repro.context.prediction` -- Markov next-location prediction.
+
+Everything communicates over the publish/subscribe :class:`ContextBus`
+("context kernel employs a publish/subscribe design pattern ... the
+information will be multicast to the registered listeners").
+"""
+
+from repro.context.bus import ContextBus, Subscription
+from repro.context.classifier import ContextClassifier, default_temporal_policy
+from repro.context.fusion import IdentityRegistry, LocationFusion
+from repro.context.model import ContextEvent, TemporalClass
+from repro.context.monitor import Condition, ContextMonitor
+from repro.context.prediction import MarkovPredictor
+from repro.context.sensors import (
+    CricketBeacon,
+    CricketListener,
+    CricketSensorNetwork,
+    NetworkSensor,
+    PhysicalWorld,
+)
+from repro.context.store import ContextStore
+
+__all__ = [
+    "Condition",
+    "ContextBus",
+    "ContextClassifier",
+    "ContextEvent",
+    "ContextMonitor",
+    "ContextStore",
+    "CricketBeacon",
+    "CricketListener",
+    "CricketSensorNetwork",
+    "IdentityRegistry",
+    "LocationFusion",
+    "MarkovPredictor",
+    "NetworkSensor",
+    "PhysicalWorld",
+    "Subscription",
+    "TemporalClass",
+    "default_temporal_policy",
+]

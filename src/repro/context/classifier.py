@@ -1,0 +1,62 @@
+"""The classifier component of the context layer (Fig. 2).
+
+Subscribes to fused context topics and files each event into the
+:class:`~repro.context.store.ContextStore` database matching its temporal
+class.  The topic -> temporal-class mapping is a policy dict so deployments
+can add their own context kinds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.context.bus import ContextBus
+from repro.context.model import (
+    ContextEvent,
+    TemporalClass,
+    TOPIC_DEVICE,
+    TOPIC_LOCATION,
+    TOPIC_NETWORK,
+    TOPIC_PREFERENCE,
+    TOPIC_USER_COMMAND,
+)
+from repro.context.store import ContextStore
+
+
+def default_temporal_policy() -> Dict[str, TemporalClass]:
+    """The paper's examples: location/network are dynamic, preferences are
+    static, device profiles sit in between."""
+    return {
+        TOPIC_LOCATION: TemporalClass.DYNAMIC,
+        TOPIC_NETWORK: TemporalClass.DYNAMIC,
+        TOPIC_USER_COMMAND: TemporalClass.DYNAMIC,
+        TOPIC_DEVICE: TemporalClass.STABLE,
+        TOPIC_PREFERENCE: TemporalClass.STATIC,
+    }
+
+
+class ContextClassifier:
+    """Stores context events into per-temporal-class databases.
+
+    Only ``context.*`` topics are classified -- raw sensor readings stay on
+    the bus for fusion ("due to the variety and frequent inaccuracy of these
+    data sources, they cannot be used directly in the upper level").
+    Unmapped context topics fall back to ``default_class``.
+    """
+
+    def __init__(self, bus: ContextBus, store: ContextStore,
+                 policy: Optional[Dict[str, TemporalClass]] = None,
+                 default_class: TemporalClass = TemporalClass.DYNAMIC):
+        self.bus = bus
+        self.store = store
+        self.policy = policy if policy is not None else default_temporal_policy()
+        self.default_class = default_class
+        self.classified = 0
+        bus.subscribe("context.*", self._on_event)
+
+    def classify(self, event: ContextEvent) -> TemporalClass:
+        return self.policy.get(event.topic, self.default_class)
+
+    def _on_event(self, event: ContextEvent) -> None:
+        self.store.store(event, self.classify(event))
+        self.classified += 1

@@ -1,0 +1,90 @@
+"""The context monitor: predefined conditions that wake autonomous agents.
+
+"A context monitor will observe this process.  If some predefined conditions
+occur, the autonomous agents will be triggered and these agents will continue
+the following process." (paper §4.1.)
+
+A :class:`Condition` names a topic plus a predicate over the event (and
+optionally the context store, for conditions like "location changed AND the
+destination differs from where the app runs").  When a matching event
+arrives, every registered trigger fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.context.bus import ContextBus
+from repro.context.model import ContextEvent, TOPIC_LOCATION
+from repro.context.store import ContextStore
+
+Trigger = Callable[[ContextEvent, "Condition"], None]
+
+
+@dataclass
+class Condition:
+    """A named, predefined condition over the context stream."""
+
+    name: str
+    topic: str
+    predicate: Callable[[ContextEvent, ContextStore], bool] = \
+        field(default=lambda event, store: True)
+    #: Times this condition has fired.
+    fired: int = 0
+
+    def evaluate(self, event: ContextEvent, store: ContextStore) -> bool:
+        return self.predicate(event, store)
+
+
+def location_changed_condition(name: str = "user-location-changed") -> Condition:
+    """The paper's canonical trigger: a user's fused location changed."""
+    return Condition(
+        name=name,
+        topic=TOPIC_LOCATION,
+        predicate=lambda event, store: event.get("location") is not None
+        and event.get("location") != event.get("previous"),
+    )
+
+
+class ContextMonitor:
+    """Watches the bus and fires triggers when conditions occur."""
+
+    def __init__(self, bus: ContextBus, store: ContextStore):
+        self.bus = bus
+        self.store = store
+        self._conditions: Dict[str, Condition] = {}
+        self._triggers: Dict[str, List[Trigger]] = {}
+        self.events_seen = 0
+        bus.subscribe("context.*", self._on_event)
+
+    def add_condition(self, condition: Condition) -> Condition:
+        if condition.name in self._conditions:
+            raise ValueError(f"duplicate condition {condition.name!r}")
+        self._conditions[condition.name] = condition
+        self._triggers.setdefault(condition.name, [])
+        return condition
+
+    def remove_condition(self, name: str) -> None:
+        self._conditions.pop(name, None)
+        self._triggers.pop(name, None)
+
+    def on_condition(self, name: str, trigger: Trigger) -> None:
+        """Register a trigger (typically an autonomous agent's wake-up)."""
+        if name not in self._conditions:
+            raise KeyError(f"unknown condition {name!r}")
+        self._triggers[name].append(trigger)
+
+    def _on_event(self, event: ContextEvent) -> None:
+        self.events_seen += 1
+        for condition in list(self._conditions.values()):
+            if condition.topic != event.topic:
+                continue
+            if condition.evaluate(event, self.store):
+                condition.fired += 1
+                for trigger in self._triggers.get(condition.name, ()):
+                    trigger(event, condition)
+
+    @property
+    def conditions(self) -> List[Condition]:
+        return list(self._conditions.values())

@@ -1,0 +1,79 @@
+"""Next-location prediction (paper §3.4: "some context reasoning and
+prediction functionalities should also be provided to improve the
+performance").
+
+An order-k Markov model over each user's location sequence.  The middleware
+can use predictions to pre-stage components at the likely next host before
+the user arrives, cutting perceived migration latency.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+
+class MarkovPredictor:
+    """Per-user order-k Markov chain over visited locations."""
+
+    def __init__(self, order: int = 1):
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        self.order = order
+        self._sequences: Dict[str, List[str]] = defaultdict(list)
+        # user -> {history tuple -> {next location -> count}}
+        self._transitions: Dict[str, Dict[Tuple[str, ...], Dict[str, int]]] = \
+            defaultdict(lambda: defaultdict(lambda: defaultdict(int)))
+
+    def observe(self, user: str, location: str) -> None:
+        """Record a location visit (consecutive duplicates are collapsed)."""
+        sequence = self._sequences[user]
+        if sequence and sequence[-1] == location:
+            return
+        if len(sequence) >= self.order:
+            history = tuple(sequence[-self.order:])
+            self._transitions[user][history][location] += 1
+        sequence.append(location)
+
+    def predict(self, user: str) -> Optional[str]:
+        """Most likely next location, or None without enough history.
+
+        Falls back to shorter histories (order-k down to order-1) before
+        giving up, and breaks ties deterministically by location name.
+        """
+        sequence = self._sequences.get(user)
+        if not sequence:
+            return None
+        for k in range(min(self.order, len(sequence)), 0, -1):
+            history = tuple(sequence[-k:])
+            counts = self._counts_for(user, history, k)
+            if counts:
+                return min(counts, key=lambda loc: (-counts[loc], loc))
+        return None
+
+    def _counts_for(self, user: str, history: Tuple[str, ...],
+                    k: int) -> Dict[str, int]:
+        if k == self.order:
+            return dict(self._transitions[user].get(history, {}))
+        # Aggregate over all full-length histories ending with `history`.
+        merged: Dict[str, int] = defaultdict(int)
+        for full, nexts in self._transitions[user].items():
+            if full[-k:] == history:
+                for loc, count in nexts.items():
+                    merged[loc] += count
+        return dict(merged)
+
+    def probability(self, user: str, next_location: str) -> float:
+        """P(next == next_location | current history), 0.0 if unknown."""
+        sequence = self._sequences.get(user)
+        if not sequence:
+            return 0.0
+        for k in range(min(self.order, len(sequence)), 0, -1):
+            counts = self._counts_for(user, tuple(sequence[-k:]), k)
+            total = sum(counts.values())
+            if total:
+                return counts.get(next_location, 0) / total
+        return 0.0
+
+    def visits(self, user: str) -> List[str]:
+        return list(self._sequences.get(user, ()))

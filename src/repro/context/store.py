@@ -1,0 +1,105 @@
+"""Context databases partitioned by temporal class.
+
+"A classifier component will store the data into different databases
+according to their temporal characteristics" (paper §4.1).  Each
+:class:`TemporalClass` gets its own :class:`ContextDatabase` with a
+retention policy suited to its churn: the dynamic database keeps a bounded
+history window, the static one effectively keeps everything.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.context.model import ContextEvent, TemporalClass
+
+
+class ContextDatabase:
+    """History + current-value store for one temporal class."""
+
+    def __init__(self, temporal_class: TemporalClass, max_history: int = 1000):
+        if max_history < 1:
+            raise ValueError("max_history must be >= 1")
+        self.temporal_class = temporal_class
+        self.max_history = max_history
+        self._history: Deque[ContextEvent] = deque(maxlen=max_history)
+        # (topic, subject) -> latest event
+        self._current: Dict[Tuple[str, str], ContextEvent] = {}
+        self.stored = 0
+
+    def store(self, event: ContextEvent) -> None:
+        self._history.append(event)
+        self._current[(event.topic, event.subject)] = event
+        self.stored += 1
+
+    def current(self, topic: str, subject: str) -> Optional[ContextEvent]:
+        return self._current.get((topic, subject))
+
+    def history(self, topic: Optional[str] = None,
+                subject: Optional[str] = None,
+                since: float = 0.0) -> List[ContextEvent]:
+        """Chronological events filtered by topic/subject/timestamp."""
+        return [
+            e for e in self._history
+            if (topic is None or e.topic == topic)
+            and (subject is None or e.subject == subject)
+            and e.timestamp >= since
+        ]
+
+    def subjects(self, topic: str) -> List[str]:
+        return sorted({s for (t, s) in self._current if t == topic})
+
+    def __len__(self) -> int:
+        return len(self._history)
+
+
+class ContextStore:
+    """The set of per-temporal-class databases plus convenience lookups."""
+
+    def __init__(self, dynamic_history: int = 1000, stable_history: int = 500,
+                 static_history: int = 500):
+        self._databases: Dict[TemporalClass, ContextDatabase] = {
+            TemporalClass.DYNAMIC: ContextDatabase(TemporalClass.DYNAMIC,
+                                                   dynamic_history),
+            TemporalClass.STABLE: ContextDatabase(TemporalClass.STABLE,
+                                                  stable_history),
+            TemporalClass.STATIC: ContextDatabase(TemporalClass.STATIC,
+                                                  static_history),
+        }
+
+    def database(self, temporal_class: TemporalClass) -> ContextDatabase:
+        return self._databases[temporal_class]
+
+    def store(self, event: ContextEvent, temporal_class: TemporalClass) -> None:
+        self._databases[temporal_class].store(event)
+
+    def current(self, topic: str, subject: str) -> Optional[ContextEvent]:
+        """Latest event for (topic, subject) across all databases."""
+        best: Optional[ContextEvent] = None
+        for db in self._databases.values():
+            event = db.current(topic, subject)
+            if event is not None and (best is None
+                                      or event.timestamp >= best.timestamp):
+                best = event
+        return best
+
+    def current_value(self, topic: str, subject: str, key: str,
+                      default=None):
+        event = self.current(topic, subject)
+        if event is None:
+            return default
+        return event.get(key, default)
+
+    def history(self, topic: Optional[str] = None,
+                subject: Optional[str] = None,
+                since: float = 0.0) -> List[ContextEvent]:
+        merged: List[ContextEvent] = []
+        for db in self._databases.values():
+            merged.extend(db.history(topic, subject, since))
+        merged.sort(key=lambda e: (e.timestamp, e.event_id))
+        return merged
+
+    @property
+    def total_stored(self) -> int:
+        return sum(db.stored for db in self._databases.values())

@@ -1,0 +1,110 @@
+"""The adaptor: post-migration adaptation to the destination environment.
+
+"After migration, the application needs to be adapted in the new
+environments; the mobile agent will contact adaptor to conduct necessary
+adaptations according to some customizable parameters to adjust some sizes,
+resolutions, etc." (paper §4.2.2.)
+
+Adaptation covers the paper's two customization axes (§3.3): per-device
+(scale presentation geometry to the screen, drop features the device lacks)
+and per-user (apply handedness and preference overrides).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List
+
+from repro.core.application import Application
+from repro.core.components import PresentationComponent
+from repro.core.errors import AdaptationError
+from repro.core.profiles import DeviceProfile, UserProfile
+
+
+@dataclass
+class AdaptationChange:
+    """One recorded change: which component/attribute, from what, to what."""
+
+    component: str
+    attribute: str
+    before: Any
+    after: Any
+
+
+@dataclass
+class AdaptationReport:
+    """Everything the adaptor did to one application."""
+
+    app_name: str
+    host: str
+    changes: List[AdaptationChange] = field(default_factory=list)
+    satisfied: bool = True
+    notes: List[str] = field(default_factory=list)
+
+    def changed(self, component: str, attribute: str) -> bool:
+        return any(c.component == component and c.attribute == attribute
+                   for c in self.changes)
+
+
+class Adaptor:
+    """Adapts presentations to a device profile and a user profile."""
+
+    def adapt(self, app: Application, device: DeviceProfile,
+              user: UserProfile = None) -> AdaptationReport:
+        """Rewrite presentation attributes in place; returns the report.
+
+        Raises AdaptationError when the device cannot satisfy the app's
+        hard requirements at all.
+        """
+        if not device.satisfies(app.device_requirements):
+            raise AdaptationError(
+                f"device {device.host!r} does not satisfy requirements "
+                f"{app.device_requirements} of {app.name!r}")
+        user = user if user is not None else app.user_profile
+        report = AdaptationReport(app.name, device.host)
+        for presentation in app.presentations:
+            self._fit_geometry(presentation, device, report)
+            self._apply_resolution(presentation, device, report)
+            self._apply_user(presentation, user, report)
+            if device.is_handheld:
+                self._simplify_for_handheld(presentation, report)
+        return report
+
+    @staticmethod
+    def _record(report: AdaptationReport, comp: PresentationComponent,
+                attribute: str, value: Any) -> None:
+        before = comp.attributes.get(attribute)
+        if before != value:
+            comp.attributes[attribute] = value
+            report.changes.append(
+                AdaptationChange(comp.name, attribute, before, value))
+
+    def _fit_geometry(self, comp: PresentationComponent,
+                      device: DeviceProfile, report: AdaptationReport) -> None:
+        width = comp.attributes.get("width", 800)
+        height = comp.attributes.get("height", 600)
+        scale = min(device.screen_width / max(width, 1),
+                    device.screen_height / max(height, 1), 1.0)
+        if scale < 1.0:
+            self._record(report, comp, "width", int(width * scale))
+            self._record(report, comp, "height", int(height * scale))
+            report.notes.append(
+                f"{comp.name}: scaled by {scale:.2f} to fit "
+                f"{device.screen_width}x{device.screen_height}")
+
+    def _apply_resolution(self, comp: PresentationComponent,
+                          device: DeviceProfile,
+                          report: AdaptationReport) -> None:
+        self._record(report, comp, "resolution_dpi", device.resolution_dpi)
+
+    def _apply_user(self, comp: PresentationComponent, user: UserProfile,
+                    report: AdaptationReport) -> None:
+        layout = "mirrored" if user.handedness == "left" else "standard"
+        self._record(report, comp, "layout", layout)
+        for key, value in user.preferences.items():
+            self._record(report, comp, f"pref.{key}", value)
+
+    def _simplify_for_handheld(self, comp: PresentationComponent,
+                               report: AdaptationReport) -> None:
+        self._record(report, comp, "toolbar", "compact")
+        self._record(report, comp, "animations", False)

@@ -1,0 +1,250 @@
+"""The two-level application model (paper Fig. 3).
+
+Upper level: logic, presentations, data, resource bindings, plus profiles --
+the parts users see.  Base level: coordinator, snapshot management, mobile
+agent binding and adaptor -- "transient to end users", provided by the
+middleware when the application is launched.
+
+Application classes register with :func:`register_application_type` so a
+mobile agent can re-materialize an app (or the missing parts of one) at the
+destination host from its plain-dict manifest.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, List, Optional, Type
+
+from repro.core.components import (
+    Component,
+    ComponentKind,
+    DataComponent,
+    PresentationComponent,
+    ResourceBinding,
+)
+from repro.core.coordinator import Coordinator
+from repro.core.errors import ApplicationError
+from repro.core.profiles import ResourceProfile, UserProfile
+
+
+class AppStatus(enum.Enum):
+    #: Present on a host (components installed) but not executing.
+    INSTALLED = "installed"
+    RUNNING = "running"
+    SUSPENDED = "suspended"
+
+
+_APP_TYPES: Dict[str, Type["Application"]] = {}
+
+
+def register_application_type(cls: Type["Application"]) -> Type["Application"]:
+    """Class decorator making an Application subclass re-instantiable from a
+    manifest at a destination host."""
+    _APP_TYPES[cls.__name__] = cls
+    return cls
+
+
+def application_type(name: str) -> Type["Application"]:
+    try:
+        return _APP_TYPES[name]
+    except KeyError:
+        raise ApplicationError(
+            f"application type {name!r} is not registered; decorate it "
+            f"with @register_application_type") from None
+
+
+@register_application_type
+class Application:
+    """Base application; subclasses add domain behaviour via the hooks.
+
+    Subclasses keep their custom runtime state in plain data returned by
+    :meth:`get_app_state` -- that is what the snapshot manager captures and
+    what survives a migration.
+    """
+
+    def __init__(self, name: str, owner: str,
+                 device_requirements: Optional[Dict[str, Any]] = None,
+                 user_profile: Optional[UserProfile] = None,
+                 resource_profile: Optional[ResourceProfile] = None):
+        if not name or not owner:
+            raise ApplicationError("application needs a name and an owner")
+        self.name = name
+        self.owner = owner
+        self.device_requirements = dict(device_requirements or {})
+        self.user_profile = user_profile or UserProfile(owner)
+        self.resource_profile = resource_profile or ResourceProfile()
+        self.status = AppStatus.INSTALLED
+        self.host: Optional[str] = None
+        self.coordinator = Coordinator(name)
+        self._components: Dict[str, Component] = {}
+        #: Set by the middleware at launch; None while uninstalled.
+        self.middleware = None
+
+    # -- components -----------------------------------------------------------
+
+    def add_component(self, component: Component) -> Component:
+        if component.name in self._components:
+            raise ApplicationError(
+                f"duplicate component {component.name!r} in {self.name!r}")
+        self._components[component.name] = component
+        if isinstance(component, PresentationComponent):
+            self.coordinator.register_observer(component)
+        return component
+
+    def remove_component(self, name: str) -> Component:
+        component = self.component(name)
+        del self._components[name]
+        if isinstance(component, PresentationComponent):
+            self.coordinator.unregister_observer(component)
+        return component
+
+    def component(self, name: str) -> Component:
+        try:
+            return self._components[name]
+        except KeyError:
+            raise ApplicationError(
+                f"no component {name!r} in application {self.name!r}") from None
+
+    def has_component(self, name: str) -> bool:
+        return name in self._components
+
+    @property
+    def components(self) -> List[Component]:
+        return list(self._components.values())
+
+    def components_of_kind(self, kind: ComponentKind) -> List[Component]:
+        return [c for c in self._components.values() if c.kind is kind]
+
+    @property
+    def presentations(self) -> List[PresentationComponent]:
+        return [c for c in self._components.values()
+                if isinstance(c, PresentationComponent)]
+
+    @property
+    def data_components(self) -> List[DataComponent]:
+        return [c for c in self._components.values()
+                if isinstance(c, DataComponent)]
+
+    @property
+    def resource_bindings(self) -> List[ResourceBinding]:
+        return [c for c in self._components.values()
+                if isinstance(c, ResourceBinding)]
+
+    def component_kinds(self) -> List[str]:
+        """Kind names present, for registry records ("logic", ...)."""
+        return sorted({c.kind.value for c in self._components.values()})
+
+    @property
+    def total_size_bytes(self) -> int:
+        return sum(c.size_bytes for c in self._components.values())
+
+    # -- lifecycle (driven by the middleware) -------------------------------------
+
+    def start(self, middleware) -> None:
+        if self.status is AppStatus.RUNNING:
+            raise ApplicationError(f"{self.name!r} is already running")
+        self.middleware = middleware
+        self.host = middleware.host_name
+        self.coordinator.host = middleware.host_name
+        self.coordinator.resume()
+        self.status = AppStatus.RUNNING
+        self.on_start()
+
+    def suspend(self) -> None:
+        if self.status is not AppStatus.RUNNING:
+            raise ApplicationError(
+                f"cannot suspend {self.name!r} from {self.status}")
+        self.on_suspend()
+        self.coordinator.suspend()
+        self.status = AppStatus.SUSPENDED
+
+    def resume(self) -> None:
+        if self.status is not AppStatus.SUSPENDED:
+            raise ApplicationError(
+                f"cannot resume {self.name!r} from {self.status}")
+        self.coordinator.resume()
+        self.status = AppStatus.RUNNING
+        self.on_resume()
+
+    def stop(self) -> None:
+        if self.status is AppStatus.RUNNING:
+            self.on_suspend()
+        self.coordinator.suspend()
+        self.status = AppStatus.INSTALLED
+
+    # -- domain hooks (override in subclasses) --------------------------------------
+
+    def on_start(self) -> None:
+        """Called when the application starts running on a host."""
+
+    def on_suspend(self) -> None:
+        """Called just before suspension (stop playback, flush buffers)."""
+
+    def on_resume(self) -> None:
+        """Called after resumption at the (possibly new) host."""
+
+    # -- state (captured by the snapshot manager) -------------------------------------
+
+    def get_app_state(self) -> Dict[str, Any]:
+        """Custom plain-data runtime state; override in subclasses."""
+        return {}
+
+    def restore_app_state(self, state: Dict[str, Any]) -> None:
+        """Restore what :meth:`get_app_state` captured; override."""
+
+    # -- manifests (for migration) ------------------------------------------------------
+
+    def to_manifest(self, component_names: Optional[List[str]] = None
+                    ) -> Dict[str, Any]:
+        """Serialize the app shell plus selected components to plain data."""
+        if component_names is None:
+            selected = list(self._components.values())
+        else:
+            selected = [self.component(n) for n in component_names]
+        return {
+            "type": type(self).__name__,
+            "name": self.name,
+            "owner": self.owner,
+            "device_requirements": dict(self.device_requirements),
+            "user_profile": self.user_profile.to_dict(),
+            "resource_profile": self.resource_profile.to_dict(),
+            "components": [c.to_dict() for c in selected],
+        }
+
+    @classmethod
+    def from_manifest(cls, manifest: Dict[str, Any]) -> "Application":
+        """Re-materialize an application shell + components from a manifest."""
+        app_cls = application_type(manifest["type"])
+        app = app_cls(
+            manifest["name"],
+            manifest["owner"],
+            device_requirements=manifest.get("device_requirements"),
+            user_profile=UserProfile.from_dict(manifest["user_profile"]),
+            resource_profile=ResourceProfile.from_dict(
+                manifest["resource_profile"]),
+        )
+        for data in manifest.get("components", ()):
+            app.add_component(Component.from_dict(data))
+        return app
+
+    def merge_components(self, manifest: Dict[str, Any]) -> List[str]:
+        """Absorb carried components into this (partial) installation.
+
+        Same-name components are replaced when the carried version is newer.
+        Returns the names of components actually merged.
+        """
+        merged = []
+        for data in manifest.get("components", ()):
+            incoming = Component.from_dict(data)
+            existing = self._components.get(incoming.name)
+            if existing is not None:
+                if incoming.version < existing.version:
+                    continue
+                self.remove_component(existing.name)
+            self.add_component(incoming)
+            merged.append(incoming.name)
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<{type(self).__name__} {self.name!r} {self.status.value} "
+                f"on {self.host}>")

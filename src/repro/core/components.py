@@ -1,0 +1,244 @@
+"""Application component model.
+
+"An executing application generally consists of user interfaces, logic,
+computation states, and resource bindings" (paper §1); the application
+model "should be decomposed into separate parts, such as logics,
+presentations, resources, data" (§3.1).  Each part is a
+:class:`Component` with an explicit serialized size -- the quantity that
+drives migration cost -- and flags describing whether it can move.
+
+Components serialize to plain dicts (``to_dict`` / ``from_dict`` with a type
+registry) so a mobile agent can wrap any subset and re-materialize it at the
+destination.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, List, Optional, Type
+
+from repro.core.errors import ApplicationError
+
+
+class ComponentKind(enum.Enum):
+    LOGIC = "logic"
+    PRESENTATION = "presentation"
+    DATA = "data"
+    RESOURCE = "resource"
+
+
+class Component:
+    """Base application component.
+
+    Subclasses must keep all mutable state in plain-data attributes listed
+    by :meth:`to_dict`; that is the migration contract.
+    """
+
+    kind: ComponentKind
+
+    def __init__(self, name: str, size_bytes: int, transferable: bool = True):
+        if not name:
+            raise ApplicationError("component name must be non-empty")
+        if size_bytes < 0:
+            raise ApplicationError(f"negative component size: {size_bytes}")
+        self.name = name
+        self.size_bytes = int(size_bytes)
+        self.transferable = transferable
+        self.version = 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": type(self).__name__,
+            "name": self.name,
+            "size_bytes": self.size_bytes,
+            "transferable": self.transferable,
+            "version": self.version,
+            # The serializer charges this as real payload bytes, so a
+            # wrapped component costs its full content size on the wire.
+            "__virtual_bytes__": self.size_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Component":
+        component_cls = _COMPONENT_TYPES.get(data["type"])
+        if component_cls is None:
+            raise ApplicationError(f"unknown component type {data['type']!r}")
+        return component_cls._build(data)
+
+    @classmethod
+    def _build(cls, data: Dict[str, Any]) -> "Component":
+        component = cls(data["name"], data["size_bytes"],
+                        data.get("transferable", True))
+        component.version = data.get("version", 1)
+        return component
+
+    def touch(self) -> None:
+        """Bump the version (content changed)."""
+        self.version += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<{type(self).__name__} {self.name!r} "
+                f"{self.size_bytes}B v{self.version}>")
+
+
+_COMPONENT_TYPES: Dict[str, Type[Component]] = {}
+
+
+def register_component_type(cls: Type[Component]) -> Type[Component]:
+    """Class decorator: allow this component type to be re-materialized."""
+    _COMPONENT_TYPES[cls.__name__] = cls
+    return cls
+
+
+@register_component_type
+class LogicComponent(Component):
+    """Application logic (the "codec logic" of the music player demo).
+
+    In the weak-mobility model the logic component stands for the code
+    bundle; shipping it costs its size, and having it present at the
+    destination means the app can run there without carrying it.
+    """
+
+    kind = ComponentKind.LOGIC
+
+    def __init__(self, name: str, size_bytes: int = 150_000,
+                 entry_point: str = ""):
+        super().__init__(name, size_bytes, transferable=True)
+        self.entry_point = entry_point
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = super().to_dict()
+        data["entry_point"] = self.entry_point
+        return data
+
+    @classmethod
+    def _build(cls, data: Dict[str, Any]) -> "LogicComponent":
+        component = cls(data["name"], data["size_bytes"],
+                        data.get("entry_point", ""))
+        component.version = data.get("version", 1)
+        return component
+
+
+@register_component_type
+class PresentationComponent(Component):
+    """A user interface surface; observes application state changes.
+
+    ``attributes`` hold adaptable display properties (width, height,
+    resolution...) that the Adaptor rewrites for the destination device.
+    ``updates`` logs (key, value) notifications received through the
+    coordinator -- the observable behaviour tests and demos assert on.
+    """
+
+    kind = ComponentKind.PRESENTATION
+
+    def __init__(self, name: str, size_bytes: int = 250_000,
+                 attributes: Optional[Dict[str, Any]] = None):
+        super().__init__(name, size_bytes, transferable=True)
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.updates: List[tuple] = []
+
+    def notify(self, key: str, value: Any) -> None:
+        """Observer callback: the coordinator pushes state changes here."""
+        self.updates.append((key, value))
+
+    @property
+    def last_update(self) -> Optional[tuple]:
+        return self.updates[-1] if self.updates else None
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = super().to_dict()
+        data["attributes"] = dict(self.attributes)
+        return data
+
+    @classmethod
+    def _build(cls, data: Dict[str, Any]) -> "PresentationComponent":
+        component = cls(data["name"], data["size_bytes"],
+                        data.get("attributes"))
+        component.version = data.get("version", 1)
+        return component
+
+
+@register_component_type
+class DataComponent(Component):
+    """Bulk application data (music files, slide decks, documents).
+
+    The content itself is virtual -- only ``size_bytes`` matters to the
+    simulation -- but a content digest tag keeps copies distinguishable.
+    ``remote_url`` is set when the data stays behind and is streamed from
+    the source host ("they will be played remotely through URL in the
+    original host").
+    """
+
+    kind = ComponentKind.DATA
+
+    def __init__(self, name: str, size_bytes: int, content_tag: str = "",
+                 transferable: bool = True):
+        super().__init__(name, size_bytes, transferable=transferable)
+        self.content_tag = content_tag or name
+        self.remote_url: str = ""
+
+    @property
+    def is_remote(self) -> bool:
+        return bool(self.remote_url)
+
+    def bind_remote(self, url: str) -> None:
+        self.remote_url = url
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = super().to_dict()
+        data["content_tag"] = self.content_tag
+        data["remote_url"] = self.remote_url
+        return data
+
+    @classmethod
+    def _build(cls, data: Dict[str, Any]) -> "DataComponent":
+        component = cls(data["name"], data["size_bytes"],
+                        data.get("content_tag", ""),
+                        data.get("transferable", True))
+        component.remote_url = data.get("remote_url", "")
+        component.version = data.get("version", 1)
+        return component
+
+
+@register_component_type
+class ResourceBinding(Component):
+    """A binding to an environmental resource (printer, display, speaker).
+
+    Never transferable itself -- the *binding* is re-established at the
+    destination, either to a semantically compatible local resource or back
+    to the original over the network (remote binding).
+    """
+
+    kind = ComponentKind.RESOURCE
+
+    def __init__(self, name: str, resource_id: str, resource_class: str,
+                 size_bytes: int = 256):
+        super().__init__(name, size_bytes, transferable=False)
+        if not resource_id or not resource_class:
+            raise ApplicationError(
+                "resource binding needs resource_id and resource_class")
+        self.resource_id = resource_id
+        self.resource_class = resource_class
+        #: "local" | "remote" | "unbound"
+        self.mode = "local"
+
+    def rebind(self, resource_id: str, mode: str = "local") -> None:
+        if mode not in ("local", "remote", "unbound"):
+            raise ApplicationError(f"invalid binding mode {mode!r}")
+        self.resource_id = resource_id
+        self.mode = mode
+        self.touch()
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = super().to_dict()
+        data.update(resource_id=self.resource_id,
+                    resource_class=self.resource_class, mode=self.mode)
+        return data
+
+    @classmethod
+    def _build(cls, data: Dict[str, Any]) -> "ResourceBinding":
+        component = cls(data["name"], data["resource_id"],
+                        data["resource_class"], data["size_bytes"])
+        component.mode = data.get("mode", "local")
+        component.version = data.get("version", 1)
+        return component

@@ -1,0 +1,707 @@
+"""The per-host MDAgent middleware facade and the deployment builder.
+
+:class:`MDAgentMiddleware` wires all four layers of Fig. 2 on one host:
+sensors/context feed the resident autonomous agent, which commands the
+mobile agent manager, which drives the application layer through the
+coordinator / snapshot manager / adaptor.  :class:`Deployment` builds
+multi-space, multi-host scenarios (network + topology + agent platform +
+context kernel + registry) with a few calls.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.agents.acl import ACLMessage, Performative
+from repro.agents.platform import AgentContainer, AgentPlatform
+from repro.context.bus import ContextBus
+from repro.context.classifier import ContextClassifier
+from repro.context.fusion import IdentityRegistry, LocationFusion
+from repro.context.model import (
+    ContextEvent,
+    TOPIC_LOCATION,
+    TOPIC_NETWORK,
+    TOPIC_RAW_NETWORK,
+    TOPIC_USER_COMMAND,
+)
+from repro.context.monitor import ContextMonitor, location_changed_condition
+from repro.context.prediction import MarkovPredictor
+from repro.context.sensors import CricketSensorNetwork, PhysicalWorld
+from repro.context.store import ContextStore
+from repro.core.adaptor import Adaptor
+from repro.core.application import Application, AppStatus
+from repro.core.autonomous_agent import MDAutonomousAgent, MDMobileAgentManager
+from repro.core.binding import (
+    BindingPolicy,
+    BindingResolver,
+    MigrationKind,
+    MigrationPlan,
+)
+from repro.core.errors import MigrationError, MiddlewareError
+from repro.core.metrics import MigrationOutcome
+from repro.core.mobile_agent import MDMobileAgent
+from repro.core.mobility import MobilityConfig, MobilityManager
+from repro.core.profiles import DeviceProfile
+from repro.core.snapshot import SnapshotManager
+from repro.net.kernel import EventLoop
+from repro.net.simnet import Host, Message, Network
+from repro.net.topology import LinkSpec, Topology
+from repro.registry.records import ApplicationRecord, InterfaceDescription, Operation
+from repro.registry.registry import (
+    CachingRegistryClient,
+    RegistryClient,
+    RegistryServer,
+    install_registry,
+)
+
+SYNC_PROTOCOL = "md.sync"
+DATA_PROTOCOL = "md.data"
+
+
+@dataclass
+class MiddlewareConfig:
+    """Tunables for one middleware instance."""
+
+    #: Rule 3's network threshold: migrate only when RTT is below this.
+    response_time_threshold_ms: float = 1000.0
+    #: Adaptive binding: data up to this size is carried, larger stays
+    #: remote when absent at the destination.
+    data_carry_threshold_bytes: int = 512_000
+    #: RTT assumed when no probe measurement exists yet.
+    probe_default_rtt_ms: float = 10.0
+    #: Wire size of one coordinator sync update.
+    sync_message_size: int = 96
+    #: How autonomous agents pick among several compatible destination
+    #: hosts: "first-fit" (deterministic order) or "contract-net" (CFP to
+    #: every candidate's MA manager, award to the least-loaded bidder).
+    destination_strategy: str = "first-fit"
+    #: TTL of the middleware's registry read cache; 0 disables caching
+    #: (every planning lookup pays the round trip).
+    registry_cache_ttl_ms: float = 0.0
+    mobility: MobilityConfig = field(default_factory=MobilityConfig)
+
+
+class MDAgentMiddleware:
+    """The middleware runtime on one host."""
+
+    def __init__(self, deployment: "Deployment", host: Host,
+                 container: AgentContainer, device_profile: DeviceProfile,
+                 config: Optional[MiddlewareConfig] = None):
+        self.deployment = deployment
+        self.host = host
+        self.container = container
+        self.device_profile = device_profile
+        self.config = config if config is not None else MiddlewareConfig()
+        self.applications: Dict[str, Application] = {}
+        self.snapshot_manager = SnapshotManager()
+        self.adaptor = Adaptor()
+        self.resolver = BindingResolver(self.config.data_carry_threshold_bytes)
+        self.mobility_manager = MobilityManager(self, self.config.mobility)
+        if self.config.registry_cache_ttl_ms > 0:
+            self.registry_client = CachingRegistryClient(
+                deployment.network, host.name, deployment.registry_host,
+                cache_ttl_ms=self.config.registry_cache_ttl_ms)
+        else:
+            self.registry_client = RegistryClient(
+                deployment.network, host.name, deployment.registry_host)
+        self._response_times: Dict[str, float] = {}
+        self._fetch_callbacks: Dict[int, Callable[[], None]] = {}
+        self._fetch_ids = itertools.count(1)
+        host.middleware = self  # type: ignore[attr-defined]
+        host.register_handler(SYNC_PROTOCOL, self._on_sync)
+        host.register_handler(DATA_PROTOCOL, self._on_data)
+        # Resident agents (Fig. 2's agent layer).
+        self.aa: MDAutonomousAgent = container.create_agent(
+            MDAutonomousAgent, f"aa-{host.name}")
+        self.aa.attach(self)
+        self.mam: MDMobileAgentManager = container.create_agent(
+            MDMobileAgentManager, f"mam-{host.name}")
+        self.mam.attach(self)
+        # Context bridges: location events and explicit user commands wake
+        # the AA; network probes feed the response-time cache Rule 3
+        # thresholds against.
+        deployment.bus.subscribe(TOPIC_LOCATION, self._bridge_location)
+        deployment.bus.subscribe(TOPIC_USER_COMMAND, self._bridge_command)
+        deployment.bus.subscribe(
+            TOPIC_RAW_NETWORK, self._on_network_probe,
+            predicate=lambda e: e.subject == host.name)
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def host_name(self) -> str:
+        return self.host.name
+
+    @property
+    def loop(self) -> EventLoop:
+        return self.deployment.loop
+
+    @property
+    def network(self) -> Network:
+        return self.deployment.network
+
+    @property
+    def ma_manager_aid(self) -> str:
+        return f"mam-{self.host_name}@{self.host_name}"
+
+    # -- application management -------------------------------------------------
+
+    def install_application(self, app: Application,
+                            register: bool = True) -> Application:
+        """Make an application (or partial installation) present here."""
+        if app.name in self.applications:
+            raise MiddlewareError(
+                f"application {app.name!r} already installed on "
+                f"{self.host_name!r}")
+        self.applications[app.name] = app
+        app.host = self.host_name
+        app.coordinator.host = self.host_name
+        app.coordinator.attach_sync_transport(self._send_sync)
+        if register:
+            self.registry_client.call(
+                "register_application",
+                {"record": self._application_record(app).to_dict()},
+                lambda result, error: None)
+        return app
+
+    def launch_application(self, app: Application) -> Application:
+        """Install, adapt and start an application on this host.
+
+        Raises AdaptationError when this device cannot satisfy the app's
+        hard requirements.
+        """
+        if app.name not in self.applications:
+            self.install_application(app)
+        self.adaptor.adapt(app, self.device_profile, app.user_profile)
+        app.start(self)
+        self.publish_app_event(app, "started")
+        return app
+
+    def uninstall_application(self, app_name: str) -> None:
+        app = self.applications.pop(app_name, None)
+        if app is None:
+            return
+        if app.status is AppStatus.RUNNING:
+            app.stop()
+        self.registry_client.call(
+            "deregister_application",
+            {"app_name": app_name, "host": self.host_name},
+            lambda result, error: None)
+
+    def application(self, name: str) -> Application:
+        try:
+            return self.applications[name]
+        except KeyError:
+            raise MiddlewareError(
+                f"no application {name!r} on {self.host_name!r}") from None
+
+    def register_resource(self, resource_id: str, classes: List[str],
+                          properties: Optional[Dict[str, Any]] = None) -> None:
+        """Advertise a local resource to the registry center."""
+        self.registry_client.call(
+            "register_resource",
+            {"record": {"resource_id": resource_id, "host": self.host_name,
+                        "classes": list(classes),
+                        "properties": dict(properties or {})}},
+            lambda result, error: None)
+
+    def _application_record(self, app: Application) -> ApplicationRecord:
+        return ApplicationRecord(
+            app_name=app.name,
+            host=self.host_name,
+            components=app.component_kinds(),
+            interface=InterfaceDescription(
+                app.name,
+                [Operation("suspend"), Operation("resume"),
+                 Operation("update", ["key", "value"])],
+                binding=f"acl://{self.ma_manager_aid}",
+            ),
+            device_requirements=dict(app.device_requirements),
+            user_preferences=dict(app.user_profile.preferences),
+        )
+
+    # -- migration ------------------------------------------------------------------
+
+    def migrate(self, app_name: str, destination: str,
+                kind: MigrationKind = MigrationKind.FOLLOW_ME,
+                policy: BindingPolicy = BindingPolicy.ADAPTIVE
+                ) -> MigrationOutcome:
+        """Plan and execute a migration; returns the (async) outcome.
+
+        Planning (registry lookups for destination inventory and resource
+        matches) happens before the measured suspension phase begins, which
+        matches the paper's measurement window.
+        """
+        app = self.application(app_name)
+        if app.status is not AppStatus.RUNNING:
+            raise MigrationError(f"{app_name!r} is not running")
+        if destination == self.host_name:
+            raise MigrationError("destination equals current host")
+        if not self.network.has_host(destination):
+            raise MigrationError(f"unknown destination host {destination!r}")
+        provisional = MigrationPlan(app_name, self.host_name, destination,
+                                    kind, policy)
+        outcome = MigrationOutcome(provisional)
+        token = self.deployment.new_outcome_token(app_name)
+        self.deployment.outcomes[token] = outcome
+
+        def with_components(components, error):
+            if error is not None:
+                self._fail(outcome, f"registry lookup failed: {error}")
+                return
+            required = [b.resource_id for b in app.resource_bindings]
+            if not required:
+                finish_plan(components or [], {})
+                return
+            self.registry_client.call(
+                "rebind_map",
+                {"required": required, "host": destination},
+                lambda matches, err2: finish_plan(components or [],
+                                                  matches or {})
+                if err2 is None else self._fail(outcome, err2))
+
+        def finish_plan(components: List[str],
+                        matches: Dict[str, Optional[str]]):
+            plan = self.resolver.plan(
+                app, self.host_name, destination,
+                destination_components=components,
+                resource_matches=matches, kind=kind, policy=policy)
+            plan.token = token  # type: ignore[attr-defined]
+            outcome.plan = plan
+            outcome.log(f"plan: {plan.summary()}")
+            try:
+                self.mobility_manager.execute(app, plan, outcome)
+            except Exception as exc:
+                self._fail(outcome, str(exc))
+
+        self.registry_client.call(
+            "components_at", {"app_name": app_name, "host": destination},
+            with_components)
+        return outcome
+
+    def prestage(self, app_name: str, destination: str) -> MigrationOutcome:
+        """Push this app's missing components to ``destination`` ahead of a
+        predicted move; execution stays here, but a later migration finds
+        the components installed and wraps only the state."""
+        app = self.application(app_name)
+        if destination == self.host_name:
+            raise MigrationError("cannot prestage to the current host")
+        if not self.network.has_host(destination):
+            raise MigrationError(f"unknown destination host {destination!r}")
+        provisional = MigrationPlan(app_name, self.host_name, destination,
+                                    MigrationKind.FOLLOW_ME,
+                                    BindingPolicy.ADAPTIVE, prestage=True)
+        outcome = MigrationOutcome(provisional)
+        token = self.deployment.new_outcome_token(app_name)
+        self.deployment.outcomes[token] = outcome
+
+        def with_components(components, error):
+            if error is not None:
+                self._fail(outcome, f"registry lookup failed: {error}")
+                return
+            plan = self.resolver.plan(
+                app, self.host_name, destination,
+                destination_components=components or [],
+                kind=MigrationKind.FOLLOW_ME,
+                policy=BindingPolicy.ADAPTIVE)
+            # Pre-staging ships code/UI only: data streams (or travels)
+            # at real migration time, and resource bindings re-match then.
+            plan.remote_data = []
+            plan.remote_data_bytes = {}
+            plan.resource_rebinds = []
+            plan.prestage = True
+            plan.token = token
+            outcome.plan = plan
+            if not plan.carry_components:
+                outcome.completed = True
+                outcome.log("nothing to prestage: destination already has "
+                            "every component kind")
+                outcome._finish()
+                return
+            outcome.log(f"prestage plan: {plan.summary()}")
+            self.mobility_manager.prestage_execute(app, plan, outcome)
+
+        self.registry_client.call(
+            "components_at", {"app_name": app_name, "host": destination},
+            with_components)
+        return outcome
+
+    @staticmethod
+    def _fail(outcome: MigrationOutcome, reason: str) -> None:
+        outcome.failed = True
+        outcome.failure_reason = reason
+        outcome._finish()
+
+    def _on_mobile_agent_arrival(self, ma: MDMobileAgent) -> None:
+        token = ma.plan.get("token", "")
+        outcome = self.deployment.outcomes.get(token)
+        try:
+            self.mobility_manager.receive(ma, outcome)
+        except Exception as exc:
+            # Unwrapping failed (e.g. unregistered application type at the
+            # destination); surface through the outcome instead of crashing
+            # the destination host's event handling.
+            if outcome is not None:
+                self._fail(outcome, f"unwrap failed at {self.host_name}: "
+                                    f"{exc}")
+            ma.do_delete()
+
+    # -- coordinator sync links ---------------------------------------------------------
+
+    def _send_sync(self, peer_host: str, app_name: str, key: str, value: Any,
+                   origin_host: str) -> None:
+        self.network.send(self.host_name, peer_host, SYNC_PROTOCOL,
+                          ("update", app_name, key, value, origin_host),
+                          self.config.sync_message_size)
+
+    def establish_sync_replica(self, app: Application,
+                               master_host: str) -> None:
+        """Configure a freshly arrived clone as a sync replica."""
+        app.coordinator.attach_sync_transport(self._send_sync)
+        app.coordinator.become_replica(master_host)
+        self.network.send(self.host_name, master_host, SYNC_PROTOCOL,
+                          ("control", "add_replica", app.name,
+                           self.host_name), 64)
+
+    def assume_sync_master(self, app: Application,
+                           replicas: List[str]) -> None:
+        """Take over as sync master (after a master migrated here)."""
+        app.coordinator.attach_sync_transport(self._send_sync)
+        app.coordinator.become_master()
+        for replica in replicas:
+            if replica == self.host_name:
+                continue
+            app.coordinator.add_replica(replica)
+            self.network.send(self.host_name, replica, SYNC_PROTOCOL,
+                              ("control", "set_master", app.name,
+                               self.host_name), 64)
+
+    def _on_sync(self, message: Message) -> None:
+        payload = message.payload
+        if payload[0] == "update":
+            _, app_name, key, value, origin = payload
+            app = self.applications.get(app_name)
+            if app is not None:
+                app.coordinator.apply_remote_update(key, value, origin)
+        elif payload[0] == "control" and payload[1] == "add_replica":
+            _, _, app_name, replica_host = payload
+            app = self.applications.get(app_name)
+            if app is not None:
+                if app.coordinator.sync_role.value != "master":
+                    app.coordinator.become_master()
+                app.coordinator.add_replica(replica_host)
+        elif payload[0] == "control" and payload[1] == "set_master":
+            _, _, app_name, master_host = payload
+            app = self.applications.get(app_name)
+            if app is not None and \
+                    app.coordinator.sync_role.value == "replica":
+                app.coordinator.master_host = master_host
+
+    # -- remote data streaming -------------------------------------------------------------
+
+    def fetch_remote_data(self, source_host: str, app_name: str,
+                          nbytes: int, callback: Callable[[], None]) -> None:
+        """Fetch ``nbytes`` of a remote-bound data component from its home.
+
+        Pays a request trip plus the data transfer; the callback fires when
+        the bytes arrive (stream opened / first buffer filled).
+        """
+        if nbytes <= 0 or source_host == self.host_name:
+            self.loop.call_soon(callback)
+            return
+        token = next(self._fetch_ids)
+        self._fetch_callbacks[token] = callback
+        self.network.send(self.host_name, source_host, DATA_PROTOCOL,
+                          ("fetch", token, app_name, nbytes, self.host_name),
+                          256)
+
+    def _on_data(self, message: Message) -> None:
+        payload = message.payload
+        if payload[0] == "fetch":
+            _, token, app_name, nbytes, requester = payload
+            self.network.send(self.host_name, requester, DATA_PROTOCOL,
+                              ("data", token, app_name), nbytes)
+        elif payload[0] == "data":
+            _, token, _app_name = payload
+            callback = self._fetch_callbacks.pop(token, None)
+            if callback is not None:
+                callback()
+
+    # -- context plumbing ------------------------------------------------------------------
+
+    def _bridge_location(self, event: ContextEvent) -> None:
+        """Forward fused location events to the resident AA as INFORM."""
+        message = ACLMessage(
+            Performative.INFORM,
+            sender=f"context-bridge@{self.host_name}",
+            receivers=[f"aa-{self.host_name}@{self.host_name}"],
+            content={"topic": event.topic, "subject": event.subject,
+                     "location": event.get("location"),
+                     "previous": event.get("previous")},
+        )
+        self.aa.post(message)
+
+    def _bridge_command(self, event: ContextEvent) -> None:
+        """Forward explicit user commands ("move my app there") to the AA."""
+        message = ACLMessage(
+            Performative.INFORM,
+            sender=f"context-bridge@{self.host_name}",
+            receivers=[f"aa-{self.host_name}@{self.host_name}"],
+            content={"topic": event.topic, "subject": event.subject,
+                     "action": event.get("action"),
+                     "app_name": event.get("app_name"),
+                     "destination": event.get("destination")},
+        )
+        self.aa.post(message)
+
+    def _on_network_probe(self, event: ContextEvent) -> None:
+        peer = event.get("peer")
+        rtt = event.get("response_time_ms")
+        if peer is not None and rtt is not None:
+            self._response_times[peer] = float(rtt)
+            self.deployment.bus.publish(ContextEvent(
+                topic=TOPIC_NETWORK, subject=f"{self.host_name}->{peer}",
+                attributes={"response_time_ms": rtt},
+                timestamp=self.loop.now, source="middleware"))
+
+    def measured_response_time(self, peer: str) -> float:
+        """Latest probed RTT to ``peer``, or the configured default."""
+        return self._response_times.get(peer,
+                                        self.config.probe_default_rtt_ms)
+
+    def publish_app_event(self, app: Application, what: str) -> None:
+        self.deployment.bus.publish(ContextEvent(
+            topic="context.app", subject=app.name,
+            attributes={"event": what, "host": self.host_name,
+                        "owner": app.owner},
+            timestamp=self.loop.now, source="middleware"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<MDAgentMiddleware {self.host_name} "
+                f"apps={sorted(self.applications)}>")
+
+
+class Deployment:
+    """Builds and owns a full MDAgent scenario.
+
+    Typical use::
+
+        d = Deployment(seed=1)
+        d.add_space("room821")
+        src = d.add_host("pc1", "room821")
+        dst = d.add_host("pc2", "room821")       # intra-space peer
+        # inter-space requires gateways:
+        d.add_space("room822")
+        d.add_gateway("gw821", "room821")
+        d.add_gateway("gw822", "room822")
+        d.connect_spaces("room821", "room822")
+        ...
+        d.run_all()
+    """
+
+    def __init__(self, seed: int = 0,
+                 config: Optional[MiddlewareConfig] = None,
+                 backbone: Optional[LinkSpec] = None):
+        self.loop = EventLoop()
+        self.network = Network(self.loop, seed=seed)
+        self.topology = Topology(self.network, backbone=backbone)
+        self.platform = AgentPlatform(self.network)
+        self.bus = ContextBus(self.loop)
+        self.store = ContextStore()
+        self.classifier = ContextClassifier(self.bus, self.store)
+        self.monitor = ContextMonitor(self.bus, self.store)
+        self.monitor.add_condition(location_changed_condition())
+        self.identities = IdentityRegistry()
+        self.world = PhysicalWorld()
+        self.fusion = LocationFusion(self.bus, self.identities)
+        self.predictor = MarkovPredictor()
+        # The predictor learns from every fused location event.
+        self.bus.subscribe(
+            TOPIC_LOCATION,
+            lambda e: self.predictor.observe(e.subject, e.get("location"))
+            if e.get("location") else None)
+        self.sensors: Optional[CricketSensorNetwork] = None
+        self.config = config if config is not None else MiddlewareConfig()
+        self.middlewares: Dict[str, MDAgentMiddleware] = {}
+        self.device_profiles: Dict[str, DeviceProfile] = {}
+        self.registry_server: Optional[RegistryServer] = None
+        self.registry_host: Optional[str] = None
+        self.outcomes: Dict[str, MigrationOutcome] = {}
+        self._outcome_seq = itertools.count(1)
+        self.prestaging = None
+
+    # -- construction ------------------------------------------------------
+
+    def add_space(self, name: str, lan: Optional[LinkSpec] = None):
+        return self.topology.add_space(name, lan)
+
+    def add_host(self, name: str, space: str,
+                 profile: Optional[DeviceProfile] = None,
+                 skew_ms: float = 0.0, drift_ppm: float = 0.0
+                 ) -> MDAgentMiddleware:
+        """Create a host in a space and start a middleware on it.
+
+        The first host added also becomes the registry center unless
+        :meth:`install_registry` ran earlier.
+        """
+        profile = profile if profile is not None else DeviceProfile(host=name)
+        host = self.topology.add_host(name, space, skew_ms=skew_ms,
+                                      drift_ppm=drift_ppm,
+                                      cpu_factor=profile.cpu_factor)
+        if self.registry_host is None:
+            self.registry_server = install_registry(self.network, name)
+            self.registry_host = name
+        container = self.platform.create_container(name)
+        middleware = MDAgentMiddleware(self, host, container, profile,
+                                       self.config)
+        self.middlewares[name] = middleware
+        self.device_profiles[name] = profile
+        return middleware
+
+    def install_registry(self, space: str,
+                         host_name: str = "registry") -> RegistryServer:
+        """Dedicate a host to the registry center (call before add_host)."""
+        if self.registry_host is not None:
+            raise MiddlewareError("registry already installed")
+        self.topology.add_host(host_name, space)
+        self.registry_server = install_registry(self.network, host_name)
+        self.registry_host = host_name
+        return self.registry_server
+
+    def add_gateway(self, name: str, space: str,
+                    processing_delay_ms: float = 5.0):
+        return self.topology.add_gateway(name, space, processing_delay_ms)
+
+    def connect_spaces(self, space_a: str, space_b: str,
+                       spec: Optional[LinkSpec] = None) -> None:
+        self.topology.connect_spaces(space_a, space_b, spec)
+
+    def enable_prestaging(self, probability_threshold: float = 0.5):
+        """Start predictor-driven component pre-staging (see
+        :class:`repro.core.prestage.PrestagingService`)."""
+        if self.prestaging is None:
+            from repro.core.prestage import PrestagingService
+            self.prestaging = PrestagingService(self, probability_threshold)
+        return self.prestaging
+
+    # -- sensing -----------------------------------------------------------------
+
+    def enable_location_sensing(self, sample_period_ms: float = 200.0,
+                                noise_sigma_m: float = 0.3,
+                                seed: int = 0) -> CricketSensorNetwork:
+        """Start the Cricket sensor network (beacons added per space)."""
+        if self.sensors is None:
+            self.sensors = CricketSensorNetwork(
+                self.loop, self.bus, self.world,
+                sample_period_ms=sample_period_ms,
+                noise_sigma_m=noise_sigma_m, seed=seed)
+            self.sensors.start()
+        return self.sensors
+
+    def add_beacon(self, space: str, x: float = 2.0, y: float = 2.0,
+                   beacon_id: str = "") -> None:
+        if self.sensors is None:
+            raise MiddlewareError("call enable_location_sensing() first")
+        self.sensors.add_beacon(beacon_id or f"beacon-{space}", space, x, y)
+
+    def add_user(self, user_id: str, badge_id: str, space: str,
+                 x: float = 1.0, y: float = 1.0) -> None:
+        self.world.add_user(user_id, badge_id, space, x, y)
+        self.identities.register(badge_id, user_id)
+
+    def move_user(self, badge_id: str, space: str, x: float = 1.0,
+                  y: float = 1.0) -> None:
+        self.world.move_user(badge_id, space, x, y)
+
+    def announce_location(self, user_id: str, location: str,
+                          previous: Optional[str] = None) -> None:
+        """Inject a fused location event directly (no sensors needed)."""
+        self.bus.publish(ContextEvent(
+            topic=TOPIC_LOCATION, subject=user_id,
+            attributes={"location": location, "previous": previous},
+            timestamp=self.loop.now, source="manual"))
+
+    def announce_command(self, user_id: str, action: str, app_name: str,
+                         destination: str) -> None:
+        """Inject an explicit user command -- the paper's "user's
+        indication to move an application to a remote host (cut-paste kind
+        or copy paste kind)".  ``action`` is ``"move"`` or ``"clone"``."""
+        if action not in ("move", "clone"):
+            raise MiddlewareError(f"unknown command action {action!r}")
+        self.bus.publish(ContextEvent(
+            topic=TOPIC_USER_COMMAND, subject=user_id,
+            attributes={"action": action, "app_name": app_name,
+                        "destination": destination},
+            timestamp=self.loop.now, source="user"))
+
+    # -- queries ---------------------------------------------------------------------
+
+    def middleware(self, host_name: str) -> MDAgentMiddleware:
+        try:
+            return self.middlewares[host_name]
+        except KeyError:
+            raise MiddlewareError(
+                f"no middleware on host {host_name!r}") from None
+
+    def device_profile_of(self, host_name: str) -> Optional[DeviceProfile]:
+        return self.device_profiles.get(host_name)
+
+    def find_host_in_space(self, space: str, requirements: Dict[str, Any],
+                           exclude: Optional[str] = None) -> Optional[str]:
+        """First middleware host in ``space`` whose device satisfies the
+        requirements (deterministic order)."""
+        try:
+            space_obj = self.topology.space(space)
+        except Exception:
+            return None
+        for host_name in space_obj.host_names:
+            if host_name == exclude or host_name not in self.middlewares:
+                continue
+            profile = self.device_profiles[host_name]
+            if profile.satisfies(requirements):
+                return host_name
+        return None
+
+    def new_outcome_token(self, app_name: str) -> str:
+        return f"{app_name}#{next(self._outcome_seq)}"
+
+    # -- statistics ---------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate counters across every layer (for dashboards/tests)."""
+        outcomes = list(self.outcomes.values())
+        completed = [o for o in outcomes if o.completed]
+        failed = [o for o in outcomes if o.failed]
+        return {
+            "sim_time_ms": self.loop.now,
+            "events_processed": self.loop.processed,
+            "hosts": len(self.middlewares),
+            "spaces": len(self.topology.spaces),
+            "applications": sum(len(m.applications)
+                                for m in self.middlewares.values()),
+            "agents": len(self.platform.agents),
+            "acl_messages_sent": self.platform.messages_sent,
+            "acl_messages_failed": self.platform.messages_failed,
+            "agent_moves_completed": self.platform.mobility.moves_completed,
+            "agent_clones_completed": self.platform.mobility.clones_completed,
+            "agent_transfers_dropped": self.platform.mobility.transfers_dropped,
+            "migrations_total": len(outcomes),
+            "migrations_completed": len(completed),
+            "migrations_failed": len(failed),
+            "bytes_migrated": sum(o.bytes_transferred for o in completed),
+            "context_events_published": self.bus.published,
+            "context_events_stored": self.store.total_stored,
+            "registry_lookups": (self.registry_server.center.lookups
+                                 if self.registry_server else 0),
+            "network_messages_dropped": self.network.messages_dropped,
+        }
+
+    # -- running ----------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> int:
+        return self.loop.run(until=until)
+
+    def run_all(self, max_events: int = 1_000_000) -> int:
+        return self.loop.run_until_idle(max_events=max_events)

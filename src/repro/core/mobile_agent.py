@@ -1,0 +1,61 @@
+"""The MDAgent mobile agent: wraps components and carries them.
+
+"Mobile agent is not bounded to a specific component of applications;
+instead it can wrap any serializable part and migrate to the destination"
+(paper §4.3).  :class:`MDMobileAgent` is a plain migratable agent whose
+state is exactly the wrapped cargo: an application manifest (the selected
+components), a state snapshot, and the migration plan.  On arrival it hands
+itself to the destination host's middleware, which unwraps, rebinds,
+adapts and resumes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.agents.agent import Agent
+from repro.agents.serialization import register_agent_type
+
+
+@register_agent_type
+class MDMobileAgent(Agent):
+    """Carries wrapped application components between hosts."""
+
+    def __init__(self, local_name: str):
+        super().__init__(local_name)
+        #: Application manifest: shell + carried component dicts.
+        self.manifest: Dict[str, Any] = {}
+        #: Snapshot dict (SnapshotManager wire format).
+        self.snapshot: Dict[str, Any] = {}
+        #: Migration plan dict (plan_to_dict wire format).
+        self.plan: Dict[str, Any] = {}
+
+    def load_cargo(self, manifest: Dict[str, Any], snapshot: Dict[str, Any],
+                   plan: Dict[str, Any]) -> None:
+        self.manifest = manifest
+        self.snapshot = snapshot
+        self.plan = plan
+
+    def get_state(self) -> Dict[str, Any]:
+        return {"manifest": self.manifest, "snapshot": self.snapshot,
+                "plan": self.plan}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self.manifest = state["manifest"]
+        self.snapshot = state["snapshot"]
+        self.plan = state["plan"]
+
+    def _hand_over(self) -> None:
+        middleware = getattr(self.container.host, "middleware", None)
+        if middleware is None:
+            raise RuntimeError(
+                f"host {self.container.host_name!r} runs no MDAgent "
+                f"middleware; mobile agent {self.local_name!r} is stranded")
+        middleware._on_mobile_agent_arrival(self)
+
+    def after_move(self) -> None:
+        """Check-in complete: hand the cargo to the local middleware."""
+        self._hand_over()
+
+    def after_clone(self) -> None:
+        self._hand_over()

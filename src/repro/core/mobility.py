@@ -1,0 +1,387 @@
+"""The mobility manager: executes migration plans end-to-end.
+
+Implements the Fig. 4 interaction: suspend (coordinator + snapshot manager),
+wrap (mobile agent), migrate (agent platform check-out / transfer /
+check-in), unwrap + rebind + adapt + resume at the destination, and --
+for clone-dispatch -- establish the synchronization link back to the master.
+
+Phase timing matches the paper's three measured segments: *suspension*
+(suspend + snapshot), *migration* (the mobile agent's journey), and
+*resumption* (restore + rebind + adapt + remote-data open).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.core.application import AppStatus, Application
+from repro.core.binding import (
+    BindingPolicy,
+    MigrationKind,
+    MigrationPlan,
+    ResourceRebind,
+)
+from repro.core.errors import MigrationError
+from repro.core.metrics import MigrationOutcome
+from repro.core.mobile_agent import MDMobileAgent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.middleware import MDAgentMiddleware
+
+
+@dataclass
+class MobilityConfig:
+    """Cost knobs for the application-level migration phases.
+
+    Calibrated so the paper's testbed regime (10 Mbps link, single-PC-class
+    hosts) lands near its reported phase magnitudes; all CPU-bound terms
+    scale with the host's ``cpu_factor``.
+    """
+
+    #: Suspension: stop the app + capture the snapshot.
+    suspend_base_ms: float = 90.0
+    snapshot_ms_per_mb: float = 25.0
+    #: Clone-dispatch does not stop the source app; it only snapshots.
+    clone_snapshot_base_ms: float = 25.0
+    #: Resumption: restore state, rebind resources, adapt, restart.
+    resume_base_ms: float = 180.0
+    restore_ms_per_mb: float = 40.0
+    rebind_ms_per_resource: float = 8.0
+    adapt_ms: float = 12.0
+    #: Remote data open ("played remotely through URL"): a fixed handshake
+    #: plus fetching this fraction of the file (seek tables / first buffer).
+    remote_open_base_ms: float = 100.0
+    remote_open_fraction: float = 0.04
+
+
+def plan_to_dict(plan: MigrationPlan) -> Dict[str, Any]:
+    """Plain-data wire form of a plan (rides inside the mobile agent)."""
+    return {
+        "app_name": plan.app_name,
+        "source": plan.source,
+        "destination": plan.destination,
+        "kind": plan.kind.value,
+        "policy": plan.policy.value,
+        "carry_components": list(plan.carry_components),
+        "reuse_components": list(plan.reuse_components),
+        "remote_data": list(plan.remote_data),
+        "remote_data_bytes": dict(plan.remote_data_bytes),
+        "resource_rebinds": [
+            {"binding_name": r.binding_name,
+             "original_resource": r.original_resource,
+             "target_resource": r.target_resource,
+             "mode": r.mode}
+            for r in plan.resource_rebinds],
+        "estimated_bytes": plan.estimated_bytes,
+        "token": plan.token,
+        "prestage": plan.prestage,
+    }
+
+
+def plan_from_dict(data: Dict[str, Any]) -> MigrationPlan:
+    return MigrationPlan(
+        app_name=data["app_name"],
+        source=data["source"],
+        destination=data["destination"],
+        kind=MigrationKind(data["kind"]),
+        policy=BindingPolicy(data["policy"]),
+        carry_components=list(data["carry_components"]),
+        reuse_components=list(data["reuse_components"]),
+        remote_data=list(data["remote_data"]),
+        remote_data_bytes=dict(data.get("remote_data_bytes", {})),
+        resource_rebinds=[
+            ResourceRebind(r["binding_name"], r["original_resource"],
+                           r["target_resource"], r["mode"])
+            for r in data["resource_rebinds"]],
+        estimated_bytes=data["estimated_bytes"],
+        token=data.get("token", ""),
+        prestage=data.get("prestage", False),
+    )
+
+
+class MobilityManager:
+    """Source-side executor of migration plans (one per middleware)."""
+
+    def __init__(self, middleware: "MDAgentMiddleware",
+                 config: Optional[MobilityConfig] = None):
+        self.middleware = middleware
+        self.config = config if config is not None else MobilityConfig()
+        # Per-instance so identical deployments produce identical agent
+        # names (and therefore bit-identical wire sizes).
+        self._ma_seq = itertools.count(1)
+        self.migrations_started = 0
+
+    @property
+    def loop(self):
+        return self.middleware.loop
+
+    def execute(self, app: Application, plan: MigrationPlan,
+                outcome: MigrationOutcome) -> MigrationOutcome:
+        """Run a plan: suspend -> wrap -> migrate (dest side continues)."""
+        middleware = self.middleware
+        if app.status is not AppStatus.RUNNING:
+            raise MigrationError(
+                f"cannot migrate {app.name!r}: status is {app.status}")
+        if plan.source != middleware.host_name:
+            raise MigrationError(
+                f"plan source {plan.source!r} is not this host "
+                f"{middleware.host_name!r}")
+        self.migrations_started += 1
+        outcome.started_at = self.loop.now
+        cpu = middleware.host.cpu_factor
+        config = self.config
+        if plan.kind is MigrationKind.FOLLOW_ME:
+            app.suspend()
+            outcome.log(f"suspended {app.name} at {self.loop.now:.1f}")
+        snapshot = middleware.snapshot_manager.capture(app, now=self.loop.now)
+        size_mb = snapshot.size_bytes / 1e6
+        if plan.kind is MigrationKind.FOLLOW_ME:
+            suspend_cost = (config.suspend_base_ms
+                            + config.snapshot_ms_per_mb * size_mb) * cpu
+        else:
+            suspend_cost = (config.clone_snapshot_base_ms
+                            + config.snapshot_ms_per_mb * size_mb) * cpu
+        self.loop.call_later(suspend_cost, self._wrap_and_send, app, plan,
+                             outcome, snapshot)
+        return outcome
+
+    def _wrap_and_send(self, app: Application, plan: MigrationPlan,
+                       outcome: MigrationOutcome, snapshot) -> None:
+        middleware = self.middleware
+        outcome.suspend_done_at = self.loop.now
+        manifest = app.to_manifest(plan.carry_components)
+        # A migrating sync master hands its replica set over: the manifest
+        # carries the list so the new host can re-point every replica.
+        coordinator = app.coordinator
+        if (plan.kind is MigrationKind.FOLLOW_ME
+                and coordinator.sync_role.value == "master"
+                and coordinator.replica_hosts):
+            manifest["sync_master"] = {
+                "replicas": list(coordinator.replica_hosts)}
+        # Remote-bound data components still appear in the manifest as
+        # lightweight stubs (size 0 on the wire) so the destination knows
+        # the URL to stream from.
+        for name in plan.remote_data:
+            if app.has_component(name):
+                component = app.component(name)
+                stub = component.to_dict()
+                stub["size_bytes"] = 0
+                stub["__virtual_bytes__"] = 0
+                stub["remote_url"] = f"md://{plan.source}/{app.name}/{name}"
+                manifest["components"].append(stub)
+        # Resource bindings are tiny metadata: they always travel so the
+        # destination can re-establish them (to a local match or remotely).
+        carried_names = {c["name"] for c in manifest["components"]}
+        for rebind in plan.resource_rebinds:
+            if rebind.binding_name in carried_names:
+                continue
+            if app.has_component(rebind.binding_name):
+                manifest["components"].append(
+                    app.component(rebind.binding_name).to_dict())
+        ma_name = f"ma-{plan.app_name}-{next(self._ma_seq)}"
+        ma = middleware.container.create_agent(MDMobileAgent, ma_name)
+        ma.load_cargo(manifest, snapshot.to_dict(), plan_to_dict(plan))
+        result = ma.do_move(plan.destination)
+        outcome.bytes_transferred = result.size_bytes
+        outcome.depart_local = 0.0  # filled when checkout completes
+
+        def on_moved(r):
+            outcome.depart_local = r.depart_local
+            outcome.arrive_local = r.arrive_local
+            outcome.agent_departed_at = r.checked_out_at
+            outcome.agent_arrived_at = r.arrived_at
+            if r.failed:
+                outcome.failed = True
+                outcome.failure_reason = r.failure_reason
+                if plan.kind is MigrationKind.FOLLOW_ME:
+                    self._rollback(app, snapshot, outcome)
+                outcome._finish()
+
+        result.on_complete(on_moved)
+        if plan.kind is MigrationKind.FOLLOW_ME:
+            # Cut-paste: the source copy stops (data files stay on disk for
+            # remote streaming, but the user-facing instance is gone).
+            app.stop()
+            outcome.log(f"source instance of {app.name} stopped")
+
+    def _rollback(self, app: Application, snapshot,
+                  outcome: MigrationOutcome) -> None:
+        """Fault tolerance: the agent was lost in transit -- restore the
+        stopped source instance from its own snapshot and resume it, so the
+        user keeps a working application ("stronger resilience capability",
+        paper §1)."""
+        middleware = self.middleware
+        if app.status is not AppStatus.INSTALLED:
+            return  # nothing to roll back (clone, or already restarted)
+        middleware.snapshot_manager.restore(app, snapshot)
+        app.start(middleware)
+        middleware.publish_app_event(app, "rolled-back")
+        outcome.log(f"rolled back {app.name} at source "
+                    f"{middleware.host_name} after transfer failure")
+
+    # -- pre-staging (predictor-driven warm-up) -----------------------------
+
+    def prestage_execute(self, app: Application, plan: MigrationPlan,
+                         outcome: MigrationOutcome) -> MigrationOutcome:
+        """Push the plan's components to the destination without moving
+        execution; the app keeps running at the source untouched."""
+        plan.prestage = True
+        outcome.started_at = self.loop.now
+        pack_cost = (self.config.clone_snapshot_base_ms
+                     * self.middleware.host.cpu_factor)
+        self.loop.call_later(pack_cost, self._send_prestage, app, plan,
+                             outcome)
+        return outcome
+
+    def _send_prestage(self, app: Application, plan: MigrationPlan,
+                       outcome: MigrationOutcome) -> None:
+        outcome.suspend_done_at = self.loop.now
+        manifest = app.to_manifest(plan.carry_components)
+        empty_snapshot = {
+            "app_name": app.name, "snapshot_id": 0,
+            "taken_at": self.loop.now, "coordinator_state": {},
+            "app_state": {}, "component_versions": {}, "size_bytes": 64,
+        }
+        ma_name = f"pre-{plan.app_name}-{next(self._ma_seq)}"
+        ma = self.middleware.container.create_agent(MDMobileAgent, ma_name)
+        ma.load_cargo(manifest, empty_snapshot, plan_to_dict(plan))
+        result = ma.do_move(plan.destination)
+        outcome.bytes_transferred = result.size_bytes
+
+        def on_moved(r):
+            if r.failed:
+                outcome.failed = True
+                outcome.failure_reason = r.failure_reason
+                outcome._finish()
+
+        result.on_complete(on_moved)
+
+    def _finish_prestage(self, app: Application, plan: MigrationPlan,
+                         outcome: Optional[MigrationOutcome],
+                         ma: MDMobileAgent) -> None:
+        middleware = self.middleware
+        middleware.registry_client.call(
+            "register_application",
+            {"record": middleware._application_record(app).to_dict()},
+            lambda result, error: None)
+        if outcome is not None:
+            outcome.resume_done_at = self.loop.now
+            outcome.completed = True
+            outcome.log(f"prestaged {plan.carry_components} on "
+                        f"{middleware.host_name}")
+            outcome._finish()
+        ma.do_delete()
+
+    # -- destination side (invoked by the middleware on MA arrival) --------
+
+    def receive(self, ma: MDMobileAgent, outcome: Optional[MigrationOutcome]
+                ) -> None:
+        """Unwrap cargo at the destination and resume the application."""
+        middleware = self.middleware
+        plan = plan_from_dict(ma.plan)
+        manifest = ma.manifest
+        snapshot_data = ma.snapshot
+        now = self.loop.now
+        if outcome is not None:
+            outcome.migrate_done_at = now
+            outcome.log(f"mobile agent {ma.local_name} checked in at "
+                        f"{now:.1f}")
+        app = middleware.applications.get(plan.app_name)
+        if app is None:
+            app = Application.from_manifest(manifest)
+            middleware.install_application(app, register=True)
+        else:
+            merged = app.merge_components(manifest)
+            if outcome is not None and merged:
+                outcome.log(f"merged carried components: {merged}")
+        if plan.prestage:
+            # Components are installed; execution stays at the source.
+            install_cost = (self.config.clone_snapshot_base_ms
+                            * middleware.host.cpu_factor)
+            self.loop.call_later(install_cost, self._finish_prestage, app,
+                                 plan, outcome, ma)
+            return
+        config = self.config
+        cpu = middleware.host.cpu_factor
+        size_mb = snapshot_data.get("size_bytes", 0) / 1e6
+        resume_cost = (config.resume_base_ms
+                       + config.restore_ms_per_mb * size_mb
+                       + config.rebind_ms_per_resource
+                       * len(plan.resource_rebinds)
+                       + config.adapt_ms) * cpu
+        self.loop.call_later(resume_cost, self._rebind_and_open, app, plan,
+                             snapshot_data, outcome, ma)
+
+    def _rebind_and_open(self, app: Application, plan: MigrationPlan,
+                         snapshot_data: Dict[str, Any],
+                         outcome: Optional[MigrationOutcome],
+                         ma: MDMobileAgent) -> None:
+        middleware = self.middleware
+        # Re-establish resource bindings per the plan.
+        for rebind in plan.resource_rebinds:
+            if app.has_component(rebind.binding_name):
+                binding = app.component(rebind.binding_name)
+                binding.rebind(rebind.target_resource or
+                               rebind.original_resource, rebind.mode)
+                if outcome is not None:
+                    outcome.log(f"rebound {rebind.binding_name} -> "
+                                f"{rebind.target_resource} ({rebind.mode})")
+        remote_total = sum(plan.remote_data_bytes.values())
+        if remote_total > 0:
+            # "They will be played remotely through URL in the original
+            # host": open the stream by fetching the initial fraction.
+            fetch_bytes = int(remote_total * self.config.remote_open_fraction)
+            self.loop.call_later(
+                self.config.remote_open_base_ms,
+                middleware.fetch_remote_data, plan.source, plan.app_name,
+                fetch_bytes,
+                lambda: self._finish_resume(app, plan, snapshot_data,
+                                            outcome, ma))
+            if outcome is not None:
+                outcome.log(f"opening remote data: fetching {fetch_bytes} B "
+                            f"from {plan.source}")
+        else:
+            self._finish_resume(app, plan, snapshot_data, outcome, ma)
+
+    def _finish_resume(self, app: Application, plan: MigrationPlan,
+                       snapshot_data: Dict[str, Any],
+                       outcome: Optional[MigrationOutcome],
+                       ma: MDMobileAgent) -> None:
+        middleware = self.middleware
+        from repro.core.snapshot import Snapshot
+        snapshot = Snapshot.from_dict(snapshot_data)
+        if app.status is AppStatus.RUNNING:
+            # Already running here (e.g. a sync replica); just refresh state.
+            middleware.snapshot_manager.restore(app, snapshot)
+        else:
+            middleware.snapshot_manager.restore(app, snapshot)
+            app.start(middleware)
+        # Adapt to the destination device and the owner's preferences.
+        report = middleware.adaptor.adapt(app, middleware.device_profile,
+                                          app.user_profile)
+        if outcome is not None and report.changes:
+            outcome.log(f"adapted: {len(report.changes)} attribute changes")
+        if plan.kind is MigrationKind.CLONE_DISPATCH:
+            middleware.establish_sync_replica(app, plan.source)
+            if outcome is not None:
+                outcome.log(f"sync link established to master {plan.source}")
+        sync_master = getattr(ma, "manifest", {}).get("sync_master")
+        if sync_master is not None:
+            # Master handoff: reclaim the replica set and re-point every
+            # replica at this host.
+            middleware.assume_sync_master(app, sync_master["replicas"])
+            if outcome is not None:
+                outcome.log(f"sync master moved; re-pointed replicas "
+                            f"{sync_master['replicas']}")
+        middleware.registry_client.call(
+            "register_application",
+            {"record": middleware._application_record(app).to_dict()},
+            lambda result, error: None)
+        middleware.publish_app_event(app, "resumed")
+        if outcome is not None:
+            outcome.resume_done_at = self.loop.now
+            outcome.completed = True
+            outcome._finish()
+        ma.do_delete()

@@ -1,0 +1,109 @@
+"""Predictor-driven component pre-staging.
+
+The paper calls for "context reasoning and prediction functionalities ...
+to improve the performance" (§3.4).  This service closes that loop: every
+fused location event updates the per-user Markov model; when the predicted
+next space is confident enough, the components a user's applications would
+need there are pushed ahead of time.  When the user actually moves, the
+adaptive binding resolver finds them installed and wraps only the state --
+cutting the user-visible migration latency to near its floor.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.context.model import ContextEvent, TOPIC_LOCATION
+from repro.core.application import AppStatus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.middleware import Deployment
+
+
+class PrestagingService:
+    """Watches location events and pre-stages applications.
+
+    One service per deployment; enable with
+    :meth:`Deployment.enable_prestaging`.
+    """
+
+    def __init__(self, deployment: "Deployment",
+                 probability_threshold: float = 0.5):
+        if not 0.0 < probability_threshold <= 1.0:
+            raise ValueError(
+                f"threshold must be in (0, 1]: {probability_threshold}")
+        self.deployment = deployment
+        self.probability_threshold = probability_threshold
+        self.prestages_started = 0
+        self.predictions_skipped = 0
+        #: (app, destination) pairs already pushed, to avoid re-pushing.
+        self._already_staged: set = set()
+        deployment.bus.subscribe(TOPIC_LOCATION, self._on_location)
+
+    def _on_location(self, event: ContextEvent) -> None:
+        user = event.subject
+        predicted = self.deployment.predictor.predict(user)
+        if predicted is None:
+            self.predictions_skipped += 1
+            return
+        probability = self.deployment.predictor.probability(user, predicted)
+        if probability < self.probability_threshold:
+            self.predictions_skipped += 1
+            return
+        self._stage_for(user, predicted)
+
+    def _stage_for(self, user: str, predicted_space: str) -> None:
+        deployment = self.deployment
+        for middleware in deployment.middlewares.values():
+            for app in list(middleware.applications.values()):
+                if app.owner != user or app.status is not AppStatus.RUNNING:
+                    continue
+                if not app.user_profile.preference("follow_user", True):
+                    continue
+                if deployment.topology.space_of(middleware.host_name) \
+                        == predicted_space:
+                    continue  # already where the user is headed
+                destination = self._choose_destination(
+                    middleware, app, predicted_space)
+                if destination is None:
+                    continue
+                key = (app.name, destination)
+                if key in self._already_staged:
+                    continue
+                self._already_staged.add(key)
+                self.prestages_started += 1
+                middleware.prestage(app.name, destination)
+
+    def _choose_destination(self, middleware, app,
+                            predicted_space: str) -> Optional[str]:
+        """Pick the host the AA would pick, so staged components land where
+        the later migration actually goes.
+
+        Under the contract-net strategy this ranks candidates by the same
+        (load, cpu, name) key the hosting bids carry -- computed directly,
+        since pre-staging is a deployment-level optimization service.
+        """
+        deployment = self.deployment
+        if middleware.config.destination_strategy != "contract-net":
+            return deployment.find_host_in_space(
+                predicted_space, app.device_requirements,
+                exclude=middleware.host_name)
+        try:
+            space = deployment.topology.space(predicted_space)
+        except Exception:
+            return None
+        candidates = []
+        for host in space.host_names:
+            if host == middleware.host_name or \
+                    host not in deployment.middlewares:
+                continue
+            peer = deployment.middlewares[host]
+            if not peer.device_profile.satisfies(app.device_requirements):
+                continue
+            running = sum(1 for a in peer.applications.values()
+                          if a.status is AppStatus.RUNNING)
+            candidates.append((running, peer.device_profile.cpu_factor,
+                               host))
+        if not candidates:
+            return None
+        return min(candidates)[2]

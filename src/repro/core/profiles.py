@@ -1,0 +1,135 @@
+"""Descriptor profiles: users, devices, resources (paper Fig. 3).
+
+The application's upper level carries "some description files, such as user
+profiles, device profiles, resource profiles and interface descriptions".
+Profiles are plain-data and serializable so they ride along with migrating
+components and feed the adaptor and the autonomous agents' decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass
+class UserProfile:
+    """Who the user is and how they like their applications.
+
+    The paper's §1 motivating example: "if one person is left-handed, he
+    will certainly feel uneasy to work in right-handed application
+    environments" -- hence ``handedness`` is first-class.
+    """
+
+    user_id: str
+    handedness: str = "right"
+    preferences: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.handedness not in ("left", "right"):
+            raise ValueError(f"handedness must be left/right: {self.handedness!r}")
+
+    def preference(self, key: str, default: Any = None) -> Any:
+        return self.preferences.get(key, default)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"user_id": self.user_id, "handedness": self.handedness,
+                "preferences": dict(self.preferences)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "UserProfile":
+        return cls(data["user_id"], data.get("handedness", "right"),
+                   dict(data.get("preferences", {})))
+
+
+@dataclass
+class DeviceProfile:
+    """Capabilities of a host: "different devices usually have different
+    properties, such as screen size, resolution ratio, and computation
+    capability" (paper §1)."""
+
+    host: str
+    screen_width: int = 1024
+    screen_height: int = 768
+    resolution_dpi: int = 96
+    audio_output: bool = True
+    input_methods: List[str] = field(default_factory=lambda: ["keyboard", "mouse"])
+    is_handheld: bool = False
+    #: Relative CPU speed; >1 means slower (matches Host.cpu_factor).
+    cpu_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.screen_width <= 0 or self.screen_height <= 0:
+            raise ValueError("screen dimensions must be positive")
+
+    def satisfies(self, requirements: Dict[str, Any]) -> bool:
+        """Check an application's device requirements against this device.
+
+        Supported requirement keys: ``audio_output`` (bool),
+        ``min_screen_width`` / ``min_screen_height`` (int),
+        ``input_method`` (must be available), ``allow_handheld`` (False
+        rejects handhelds).
+        """
+        if requirements.get("audio_output") and not self.audio_output:
+            return False
+        if self.screen_width < requirements.get("min_screen_width", 0):
+            return False
+        if self.screen_height < requirements.get("min_screen_height", 0):
+            return False
+        needed_input = requirements.get("input_method")
+        if needed_input is not None and needed_input not in self.input_methods:
+            return False
+        if self.is_handheld and not requirements.get("allow_handheld", True):
+            return False
+        return True
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "host": self.host,
+            "screen_width": self.screen_width,
+            "screen_height": self.screen_height,
+            "resolution_dpi": self.resolution_dpi,
+            "audio_output": self.audio_output,
+            "input_methods": list(self.input_methods),
+            "is_handheld": self.is_handheld,
+            "cpu_factor": self.cpu_factor,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DeviceProfile":
+        return cls(
+            data["host"],
+            data.get("screen_width", 1024),
+            data.get("screen_height", 768),
+            data.get("resolution_dpi", 96),
+            data.get("audio_output", True),
+            list(data.get("input_methods", ["keyboard", "mouse"])),
+            data.get("is_handheld", False),
+            data.get("cpu_factor", 1.0),
+        )
+
+
+#: Canonical handheld profile used by the handheld demo applications.
+def handheld_profile(host: str) -> DeviceProfile:
+    return DeviceProfile(host, screen_width=320, screen_height=240,
+                         resolution_dpi=120, audio_output=True,
+                         input_methods=["touch"], is_handheld=True,
+                         cpu_factor=4.0)
+
+
+@dataclass
+class ResourceProfile:
+    """Resources an application needs, by ontology class, plus the concrete
+    bindings it currently holds."""
+
+    required_classes: List[str] = field(default_factory=list)
+    bound_resources: Dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"required_classes": list(self.required_classes),
+                "bound_resources": dict(self.bound_resources)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ResourceProfile":
+        return cls(list(data.get("required_classes", ())),
+                   dict(data.get("bound_resources", {})))

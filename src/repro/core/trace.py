@@ -1,0 +1,107 @@
+"""Deployment event tracing: a queryable, printable timeline.
+
+Attaches to a deployment's context bus and migration outcomes and records
+everything of interest -- location fixes, app lifecycle events, migration
+phase boundaries -- as timestamped entries.  Useful for debugging scenarios
+and for the narrated examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.context.model import ContextEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.middleware import Deployment
+
+
+@dataclass
+class TraceEntry:
+    """One recorded event."""
+
+    timestamp: float
+    category: str
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:
+        return (f"[{self.timestamp:10.1f} ms] {self.category:<10} "
+                f"{self.subject:<16} {self.detail}")
+
+
+class DeploymentTracer:
+    """Records a deployment's observable events in order."""
+
+    def __init__(self, deployment: "Deployment",
+                 topics: Optional[List[str]] = None):
+        self.deployment = deployment
+        self.entries: List[TraceEntry] = []
+        for topic in topics if topics is not None else ["context.*"]:
+            deployment.bus.subscribe(topic, self._on_event)
+
+    def _on_event(self, event: ContextEvent) -> None:
+        if event.topic == "context.location":
+            detail = (f"-> {event.get('location')} "
+                      f"(from {event.get('previous')}, "
+                      f"confidence {event.confidence:.2f})")
+            category = "location"
+        elif event.topic == "context.app":
+            detail = f"{event.get('event')} on {event.get('host')}"
+            category = "app"
+        elif event.topic == "context.network":
+            detail = f"rtt {event.get('response_time_ms'):.1f} ms"
+            category = "network"
+        else:
+            detail = str(event.attributes)
+            category = event.topic.split(".", 1)[-1]
+        self.record(category, event.subject, detail,
+                    timestamp=event.timestamp)
+
+    def record(self, category: str, subject: str, detail: str,
+               timestamp: Optional[float] = None) -> TraceEntry:
+        """Append a custom entry (also used by outcome watching)."""
+        entry = TraceEntry(
+            timestamp if timestamp is not None else self.deployment.loop.now,
+            category, subject, detail)
+        self.entries.append(entry)
+        return entry
+
+    def watch_outcome(self, outcome) -> None:
+        """Record a migration outcome's phase boundaries on completion."""
+
+        def on_done(o):
+            subject = o.plan.app_name
+            if o.failed:
+                self.record("migration", subject,
+                            f"FAILED: {o.failure_reason}")
+                return
+            self.record("migration", subject,
+                        f"{o.plan.source} -> {o.plan.destination} "
+                        f"suspend={o.suspend_ms:.0f}ms "
+                        f"migrate={o.migrate_ms:.0f}ms "
+                        f"resume={o.resume_ms:.0f}ms "
+                        f"({o.bytes_transferred:,} B)",
+                        timestamp=o.resume_done_at)
+
+        outcome.on_complete(on_done)
+
+    # -- queries ------------------------------------------------------------
+
+    def by_category(self, category: str) -> List[TraceEntry]:
+        return [e for e in self.entries if e.category == category]
+
+    def by_subject(self, subject: str) -> List[TraceEntry]:
+        return [e for e in self.entries if e.subject == subject]
+
+    def between(self, start_ms: float, end_ms: float) -> List[TraceEntry]:
+        return [e for e in self.entries if start_ms <= e.timestamp <= end_ms]
+
+    def timeline(self) -> str:
+        """The whole trace, chronologically, one line per entry."""
+        ordered = sorted(self.entries, key=lambda e: e.timestamp)
+        return "\n".join(str(e) for e in ordered)
+
+    def __len__(self) -> int:
+        return len(self.entries)

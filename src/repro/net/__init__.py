@@ -1,0 +1,48 @@
+"""Simulated network substrate for the MDAgent middleware.
+
+This package replaces the physical testbed used in the paper (two PCs on a
+10 Mbps Ethernet, Cricket sensor network, inter-space gateways) with a
+deterministic discrete-event simulation:
+
+- :mod:`repro.net.kernel` -- the event loop driving simulated time.
+- :mod:`repro.net.clock` -- per-host clocks with skew/drift, used to
+  reproduce the paper's Fig. 7 round-trip timing correction.
+- :mod:`repro.net.simnet` -- hosts, links (latency + bandwidth) and
+  byte-accurate message delivery.
+- :mod:`repro.net.topology` -- smart spaces and inter-space gateways.
+
+All times are in **milliseconds** of simulated time and all payload sizes in
+**bytes**, matching the units the paper reports.
+"""
+
+from repro.net.clock import HostClock, round_trip_cost
+from repro.net.kernel import EventLoop, SimulationError, Timer
+from repro.net.simnet import (
+    DeliveryReceipt,
+    Host,
+    Link,
+    Message,
+    Network,
+    NetworkError,
+    UnreachableHostError,
+)
+from repro.net.topology import Gateway, SmartSpace, Topology, TopologyError
+
+__all__ = [
+    "DeliveryReceipt",
+    "EventLoop",
+    "Gateway",
+    "Host",
+    "HostClock",
+    "Link",
+    "Message",
+    "Network",
+    "NetworkError",
+    "SimulationError",
+    "SmartSpace",
+    "Timer",
+    "Topology",
+    "TopologyError",
+    "UnreachableHostError",
+    "round_trip_cost",
+]

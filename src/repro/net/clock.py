@@ -1,0 +1,66 @@
+"""Per-host clocks with skew and drift.
+
+The paper measures migration across two hosts whose clocks are *not*
+synchronized, and cancels the unknown offset with a round-trip sum (Fig. 7)::
+
+    T2@H2 - T1@H1 + T4@H1 - T3@H2  ==  (T2 - T1) + (T4 - T3) measured on one clock
+
+because "the difference of time values of clocks at the same time is nearly a
+constant value" (stable crystal frequency).  :class:`HostClock` models exactly
+that: a constant offset (skew) plus an optional small frequency drift, so the
+correction -- and its failure mode under drift -- can be studied.
+"""
+
+from __future__ import annotations
+
+from repro.net.kernel import EventLoop
+
+
+class HostClock:
+    """A host-local clock derived from the global simulated time.
+
+    ``local = true_time * (1 + drift_ppm * 1e-6) + skew_ms``
+
+    With ``drift_ppm == 0`` the offset between two HostClocks is exactly
+    constant, which is the paper's assumption.
+    """
+
+    def __init__(self, loop: EventLoop, skew_ms: float = 0.0, drift_ppm: float = 0.0):
+        self._loop = loop
+        self.skew_ms = float(skew_ms)
+        self.drift_ppm = float(drift_ppm)
+
+    def now(self) -> float:
+        """Current host-local time in milliseconds."""
+        true = self._loop.now
+        return true * (1.0 + self.drift_ppm * 1e-6) + self.skew_ms
+
+    def offset_from(self, other: "HostClock") -> float:
+        """Instantaneous offset ``self.now() - other.now()``."""
+        return self.now() - other.now()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<HostClock skew={self.skew_ms:+.3f}ms drift={self.drift_ppm:+.1f}ppm>"
+
+
+def round_trip_cost(t1_at_h1: float, t2_at_h2: float, t3_at_h2: float, t4_at_h1: float) -> float:
+    """Fig. 7 skew-cancelling round-trip migration cost.
+
+    ``t1`` = departure from H1 (H1 clock), ``t2`` = arrival at H2 (H2 clock),
+    ``t3`` = departure from H2 (H2 clock), ``t4`` = arrival back at H1 (H1
+    clock).  The returned sum of the two one-way costs is independent of the
+    constant offset between the two clocks:
+
+    ``(T2@H2 - T1@H1) + (T4@H1 - T3@H2) == (T2 - T1) + (T4 - T3)`` on any
+    single reference clock.
+    """
+    return (t2_at_h2 - t1_at_h1) + (t4_at_h1 - t3_at_h2)
+
+
+def one_way_estimate(t1_at_h1: float, t2_at_h2: float, t3_at_h2: float, t4_at_h1: float) -> float:
+    """Symmetric-path estimate of a single one-way migration cost.
+
+    Half the round-trip sum; exact when the outbound and return transfers
+    cost the same, which holds for equal payloads on a symmetric link.
+    """
+    return round_trip_cost(t1_at_h1, t2_at_h2, t3_at_h2, t4_at_h1) / 2.0

@@ -1,0 +1,182 @@
+"""Discrete-event simulation kernel.
+
+The kernel keeps a priority queue of timestamped callbacks and advances a
+global *simulated* clock to each event's due time.  Nothing here sleeps or
+reads the wall clock, so experiments are fast and fully deterministic.
+
+Events scheduled for the same instant fire in scheduling order (a
+monotonically increasing sequence number breaks ties), which keeps causally
+ordered callbacks causally ordered.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised on invalid kernel operations (e.g. scheduling in the past)."""
+
+
+class Timer:
+    """Handle for a scheduled event; supports cancellation.
+
+    Returned by :meth:`EventLoop.call_at` / :meth:`EventLoop.call_later`.
+    Cancelling an already fired or already cancelled timer is a no-op.
+    """
+
+    __slots__ = ("due", "seq", "callback", "args", "cancelled", "fired")
+
+    def __init__(self, due: float, seq: int, callback: Callable[..., None], args: Tuple[Any, ...]):
+        self.due = due
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op if it already ran)."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """True while the timer is pending (not fired and not cancelled)."""
+        return not (self.cancelled or self.fired)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"<Timer due={self.due:.3f} {state}>"
+
+
+class EventLoop:
+    """Deterministic discrete-event loop over simulated milliseconds.
+
+    Typical use::
+
+        loop = EventLoop()
+        loop.call_later(10.0, hello)
+        loop.run()            # drains every event
+        loop.now              # -> 10.0
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: List[Tuple[float, int, Timer]] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return sum(1 for _, _, t in self._queue if t.active)
+
+    @property
+    def processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._processed
+
+    def call_at(self, when: float, callback: Callable[..., None], *args: Any) -> Timer:
+        """Schedule ``callback(*args)`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {when:.3f} < now {self._now:.3f}"
+            )
+        timer = Timer(float(when), next(self._seq), callback, args)
+        heapq.heappush(self._queue, (timer.due, timer.seq, timer))
+        return timer
+
+    def call_later(self, delay: float, callback: Callable[..., None], *args: Any) -> Timer:
+        """Schedule ``callback(*args)`` after ``delay`` ms of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.call_at(self._now + delay, callback, *args)
+
+    def call_soon(self, callback: Callable[..., None], *args: Any) -> Timer:
+        """Schedule ``callback(*args)`` at the current instant (after the
+        currently running event and anything already queued for *now*)."""
+        return self.call_at(self._now, callback, *args)
+
+    def _pop_due(self) -> Optional[Timer]:
+        while self._queue:
+            _, _, timer = heapq.heappop(self._queue)
+            if not timer.cancelled:
+                return timer
+        return None
+
+    def step(self) -> bool:
+        """Run the single earliest pending event.
+
+        Returns False when the queue is empty (time does not advance).
+        """
+        timer = self._pop_due()
+        if timer is None:
+            return False
+        self._now = timer.due
+        timer.fired = True
+        self._processed += 1
+        timer.callback(*timer.args)
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have executed.  Returns the number of events run.
+
+        ``until`` is inclusive: events due exactly at ``until`` run, and on
+        exit the clock is advanced to ``until`` even if the queue drained
+        earlier (so idle time is observable).
+        """
+        if self._running:
+            raise SimulationError("event loop is re-entrant: run() called from a callback")
+        self._running = True
+        ran = 0
+        try:
+            while True:
+                if max_events is not None and ran >= max_events:
+                    break
+                timer = self._peek_due()
+                if timer is None:
+                    break
+                if until is not None and timer.due > until:
+                    break
+                self.step()
+                ran += 1
+        finally:
+            self._running = False
+        if until is not None and until > self._now:
+            self._now = until
+        return ran
+
+    def _peek_due(self) -> Optional[Timer]:
+        while self._queue:
+            _, _, timer = self._queue[0]
+            if timer.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return timer
+        return None
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        """Drain the whole queue; guard against runaway loops via max_events."""
+        ran = self.run(max_events=max_events)
+        if ran >= max_events and self._peek_due() is not None:
+            raise SimulationError(f"simulation did not quiesce within {max_events} events")
+        return ran
+
+    def advance(self, delay: float) -> int:
+        """Run all events due within the next ``delay`` ms and move the
+        clock exactly ``delay`` forward."""
+        if delay < 0:
+            raise SimulationError(f"negative advance: {delay}")
+        return self.run(until=self._now + delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<EventLoop now={self._now:.3f} pending={self.pending}>"

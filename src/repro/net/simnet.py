@@ -1,0 +1,401 @@
+"""Hosts, links and byte-accurate message delivery.
+
+The paper's testbed is two PCs joined by 10 Mbps Ethernet; migration cost is
+dominated by (serialized payload size) / (link bandwidth).  This module
+models that directly:
+
+- a :class:`Link` charges ``latency + bytes * 8 / bandwidth`` per message and
+  serializes concurrent transfers (a busy link queues the next message), and
+- a :class:`Host` dispatches delivered messages to per-protocol handlers.
+
+Multi-hop routes (e.g. across an inter-space gateway) are store-and-forward:
+each hop is charged in sequence, plus any per-gateway processing delay that
+:mod:`repro.net.topology` configures.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.net.clock import HostClock
+from repro.net.kernel import EventLoop
+
+
+class NetworkError(RuntimeError):
+    """Base class for network-layer failures."""
+
+
+class UnreachableHostError(NetworkError):
+    """No route exists between the two hosts."""
+
+
+class DuplicateHostError(NetworkError):
+    """A host with the same name is already part of the network."""
+
+
+@dataclass
+class Message:
+    """A network message.
+
+    ``size_bytes`` drives transfer time; ``payload`` is opaque to the network
+    and handed verbatim to the destination handler for ``protocol``.
+    """
+
+    source: str
+    destination: str
+    protocol: str
+    payload: Any
+    size_bytes: int
+    message_id: int = field(default=0)
+    sent_at: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"negative message size: {self.size_bytes}")
+
+
+@dataclass
+class DeliveryReceipt:
+    """Outcome of a send: filled in when the message is delivered or dropped."""
+
+    message: Message
+    delivered: bool = False
+    dropped: bool = False
+    delivered_at: float = 0.0
+    hops: int = 0
+
+    @property
+    def in_flight(self) -> bool:
+        return not (self.delivered or self.dropped)
+
+    @property
+    def transfer_ms(self) -> float:
+        """End-to-end transfer time; only meaningful once delivered."""
+        return self.delivered_at - self.message.sent_at
+
+
+MessageHandler = Callable[[Message], None]
+
+
+class Host:
+    """A network endpoint with its own (possibly skewed) clock.
+
+    Higher layers (the agent platform, registry, context kernel) attach
+    per-protocol handlers; the network invokes the matching handler when a
+    message is delivered.
+    """
+
+    def __init__(self, name: str, loop: EventLoop, clock: Optional[HostClock] = None,
+                 cpu_factor: float = 1.0):
+        if not name:
+            raise ValueError("host name must be non-empty")
+        self.name = name
+        self.loop = loop
+        self.clock = clock if clock is not None else HostClock(loop)
+        #: Relative CPU speed; >1 means slower (handhelds), used by higher
+        #: layers to scale local processing costs such as (de)serialization.
+        self.cpu_factor = float(cpu_factor)
+        self.space: Optional[str] = None
+        self.online = True
+        self._handlers: Dict[str, MessageHandler] = {}
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.messages_received = 0
+
+    def register_handler(self, protocol: str, handler: MessageHandler) -> None:
+        """Route delivered messages with ``protocol`` to ``handler``.
+
+        Registering a protocol twice replaces the previous handler.
+        """
+        self._handlers[protocol] = handler
+
+    def unregister_handler(self, protocol: str) -> None:
+        self._handlers.pop(protocol, None)
+
+    def handles(self, protocol: str) -> bool:
+        return protocol in self._handlers
+
+    def deliver(self, message: Message) -> None:
+        """Called by the network on message arrival; dispatches by protocol."""
+        self.bytes_received += message.size_bytes
+        self.messages_received += 1
+        handler = self._handlers.get(message.protocol)
+        if handler is None:
+            raise NetworkError(
+                f"host {self.name!r} has no handler for protocol {message.protocol!r}"
+            )
+        handler(message)
+
+    def local_time(self) -> float:
+        """Host-local clock reading in ms (includes skew/drift)."""
+        return self.clock.now()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Host {self.name} space={self.space}>"
+
+
+class Link:
+    """A bidirectional point-to-point link.
+
+    Transfers are serialized per direction-agnostic link: a message begins
+    transmission when the link frees up, takes ``size*8/bandwidth`` to put on
+    the wire, then ``latency`` (plus jitter) to propagate.
+    """
+
+    def __init__(self, a: str, b: str, bandwidth_mbps: float = 10.0,
+                 latency_ms: float = 1.0, jitter_ms: float = 0.0,
+                 loss_rate: float = 0.0):
+        if bandwidth_mbps <= 0:
+            raise ValueError(f"bandwidth must be positive: {bandwidth_mbps}")
+        if latency_ms < 0 or jitter_ms < 0:
+            raise ValueError("latency and jitter must be non-negative")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1): {loss_rate}")
+        self.a = a
+        self.b = b
+        self.bandwidth_mbps = float(bandwidth_mbps)
+        self.latency_ms = float(latency_ms)
+        self.jitter_ms = float(jitter_ms)
+        self.loss_rate = float(loss_rate)
+        self.busy_until = 0.0
+        self.bytes_carried = 0
+        self.messages_carried = 0
+
+    def endpoints(self) -> Tuple[str, str]:
+        return (self.a, self.b)
+
+    def connects(self, x: str, y: str) -> bool:
+        return {x, y} == {self.a, self.b}
+
+    def transmission_ms(self, size_bytes: int) -> float:
+        """Time to serialize ``size_bytes`` onto the wire (no latency)."""
+        return size_bytes * 8.0 / (self.bandwidth_mbps * 1e6) * 1e3
+
+    def schedule_transfer(self, now: float, size_bytes: int,
+                          rng: random.Random) -> Tuple[float, bool]:
+        """Reserve the link and return ``(arrival_time, lost)``.
+
+        The link is busy until the payload has been fully serialized;
+        propagation latency overlaps with the next transmission.
+        """
+        start = max(now, self.busy_until)
+        tx = self.transmission_ms(size_bytes)
+        self.busy_until = start + tx
+        jitter = rng.uniform(0.0, self.jitter_ms) if self.jitter_ms > 0 else 0.0
+        arrival = start + tx + self.latency_ms + jitter
+        lost = self.loss_rate > 0 and rng.random() < self.loss_rate
+        if not lost:
+            self.bytes_carried += size_bytes
+            self.messages_carried += 1
+        return arrival, lost
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Link {self.a}<->{self.b} {self.bandwidth_mbps}Mbps "
+                f"{self.latency_ms}ms>")
+
+
+class Network:
+    """The simulated network: hosts + links + routing + delivery.
+
+    Routing is hop-minimal (BFS) over the link graph.  Multi-hop messages are
+    forwarded store-and-forward with an optional per-host forwarding delay
+    (used for inter-space gateways).
+    """
+
+    def __init__(self, loop: EventLoop, seed: int = 0):
+        self.loop = loop
+        self.rng = random.Random(seed)
+        self._hosts: Dict[str, Host] = {}
+        self._links: List[Link] = []
+        self._adjacency: Dict[str, List[Link]] = {}
+        self._forward_delay: Dict[str, float] = {}
+        self._msg_ids = itertools.count(1)
+        self.messages_dropped = 0
+
+    # -- construction -----------------------------------------------------
+
+    def add_host(self, host: Host) -> Host:
+        if host.name in self._hosts:
+            raise DuplicateHostError(f"duplicate host {host.name!r}")
+        self._hosts[host.name] = host
+        self._adjacency.setdefault(host.name, [])
+        return host
+
+    def create_host(self, name: str, skew_ms: float = 0.0, drift_ppm: float = 0.0,
+                    cpu_factor: float = 1.0) -> Host:
+        """Convenience: build a Host with its own clock and add it."""
+        clock = HostClock(self.loop, skew_ms=skew_ms, drift_ppm=drift_ppm)
+        return self.add_host(Host(name, self.loop, clock, cpu_factor=cpu_factor))
+
+    def connect(self, a: str, b: str, bandwidth_mbps: float = 10.0,
+                latency_ms: float = 1.0, jitter_ms: float = 0.0,
+                loss_rate: float = 0.0) -> Link:
+        """Add a bidirectional link between two existing hosts."""
+        for name in (a, b):
+            if name not in self._hosts:
+                raise NetworkError(f"unknown host {name!r}")
+        if a == b:
+            raise NetworkError(f"cannot link host {a!r} to itself")
+        if self.link_between(a, b) is not None:
+            raise NetworkError(f"hosts {a!r} and {b!r} are already linked")
+        link = Link(a, b, bandwidth_mbps, latency_ms, jitter_ms, loss_rate)
+        self._links.append(link)
+        self._adjacency[a].append(link)
+        self._adjacency[b].append(link)
+        return link
+
+    def disconnect(self, a: str, b: str) -> Link:
+        """Remove the link between two hosts (device roamed away).
+
+        Messages already in flight on the link still arrive (their delivery
+        events were scheduled when transmission began); new sends will no
+        longer route over it.
+        """
+        link = self.link_between(a, b)
+        if link is None:
+            raise NetworkError(f"no link between {a!r} and {b!r}")
+        self._links.remove(link)
+        self._adjacency[a].remove(link)
+        self._adjacency[b].remove(link)
+        return link
+
+    def set_forward_delay(self, host: str, delay_ms: float) -> None:
+        """Charge ``delay_ms`` whenever ``host`` forwards a multi-hop message
+        (gateway processing cost)."""
+        if host not in self._hosts:
+            raise NetworkError(f"unknown host {host!r}")
+        self._forward_delay[host] = float(delay_ms)
+
+    # -- introspection ----------------------------------------------------
+
+    def host(self, name: str) -> Host:
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise NetworkError(f"unknown host {name!r}") from None
+
+    def has_host(self, name: str) -> bool:
+        return name in self._hosts
+
+    @property
+    def hosts(self) -> List[Host]:
+        return list(self._hosts.values())
+
+    @property
+    def links(self) -> List[Link]:
+        return list(self._links)
+
+    def link_between(self, a: str, b: str) -> Optional[Link]:
+        for link in self._adjacency.get(a, []):
+            if link.connects(a, b):
+                return link
+        return None
+
+    def route(self, source: str, destination: str) -> List[str]:
+        """Hop-minimal path of host names from source to destination (BFS).
+
+        Offline hosts cannot relay.  Raises UnreachableHostError when no
+        path exists.
+        """
+        if source not in self._hosts or destination not in self._hosts:
+            raise NetworkError(f"unknown endpoint {source!r} or {destination!r}")
+        if source == destination:
+            return [source]
+        visited = {source}
+        frontier: List[List[str]] = [[source]]
+        while frontier:
+            next_frontier: List[List[str]] = []
+            for path in frontier:
+                tail = path[-1]
+                for link in self._adjacency[tail]:
+                    nxt = link.b if link.a == tail else link.a
+                    if nxt in visited:
+                        continue
+                    if nxt == destination:
+                        return path + [nxt]
+                    if not self._hosts[nxt].online:
+                        continue
+                    visited.add(nxt)
+                    next_frontier.append(path + [nxt])
+            frontier = next_frontier
+        raise UnreachableHostError(f"no route from {source!r} to {destination!r}")
+
+    # -- sending ----------------------------------------------------------
+
+    def send(self, source: str, destination: str, protocol: str, payload: Any,
+             size_bytes: int,
+             on_delivered: Optional[Callable[[DeliveryReceipt], None]] = None,
+             on_dropped: Optional[Callable[[DeliveryReceipt], None]] = None
+             ) -> DeliveryReceipt:
+        """Send a message; returns a receipt updated on delivery/drop.
+
+        Local delivery (source == destination) is immediate but still goes
+        through the event loop so handler ordering stays consistent.
+        ``on_dropped`` fires if the message is lost on a lossy link or the
+        destination goes offline mid-flight.
+        """
+        src = self.host(source)
+        if not src.online:
+            raise NetworkError(f"source host {source!r} is offline")
+        dst = self.host(destination)
+        if not dst.online:
+            raise NetworkError(f"destination host {destination!r} is offline")
+        message = Message(source, destination, protocol, payload, size_bytes,
+                          message_id=next(self._msg_ids), sent_at=self.loop.now)
+        receipt = DeliveryReceipt(message)
+        path = self.route(source, destination)
+        src.bytes_sent += size_bytes
+        if len(path) == 1:
+            self.loop.call_soon(self._deliver, receipt, on_delivered,
+                                on_dropped)
+            return receipt
+        self._forward(receipt, path, 0, on_delivered, on_dropped)
+        return receipt
+
+    def _drop(self, receipt: DeliveryReceipt,
+              on_dropped: Optional[Callable[[DeliveryReceipt], None]]) -> None:
+        self.messages_dropped += 1
+        receipt.dropped = True
+        if on_dropped is not None:
+            on_dropped(receipt)
+
+    def _forward(self, receipt: DeliveryReceipt, path: List[str], hop_index: int,
+                 on_delivered: Optional[Callable[[DeliveryReceipt], None]],
+                 on_dropped: Optional[Callable[[DeliveryReceipt], None]]) -> None:
+        here, there = path[hop_index], path[hop_index + 1]
+        link = self.link_between(here, there)
+        if link is None:  # pragma: no cover - route() only returns linked hops
+            raise NetworkError(f"no link between {here!r} and {there!r}")
+        arrival, lost = link.schedule_transfer(
+            self.loop.now, receipt.message.size_bytes, self.rng)
+        if lost:
+            self._drop(receipt, on_dropped)
+            return
+        receipt.hops += 1
+        if hop_index + 2 == len(path):
+            self.loop.call_at(arrival, self._deliver, receipt, on_delivered,
+                              on_dropped)
+        else:
+            delay = self._forward_delay.get(there, 0.0)
+            self.loop.call_at(arrival + delay, self._forward, receipt, path,
+                              hop_index + 1, on_delivered, on_dropped)
+
+    def _deliver(self, receipt: DeliveryReceipt,
+                 on_delivered: Optional[Callable[[DeliveryReceipt], None]],
+                 on_dropped: Optional[Callable[[DeliveryReceipt], None]] = None
+                 ) -> None:
+        dst = self._hosts[receipt.message.destination]
+        if not dst.online:
+            self._drop(receipt, on_dropped)
+            return
+        receipt.delivered = True
+        receipt.delivered_at = self.loop.now
+        dst.deliver(receipt.message)
+        if on_delivered is not None:
+            on_delivered(receipt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Network hosts={len(self._hosts)} links={len(self._links)}>"

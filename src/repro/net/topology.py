@@ -1,0 +1,230 @@
+"""Smart spaces and inter-space gateways (Fig. 1 mobility-domain axis).
+
+The paper distinguishes *intra-space* migration (both hosts inside one smart
+space) from *inter-space* migration, which "requires additional gateway
+support".  A :class:`Topology` groups hosts into :class:`SmartSpace`s, wires
+every pair of hosts inside a space with a LAN-grade link, and joins spaces
+through dedicated :class:`Gateway` hosts that charge a forwarding delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.net.simnet import Host, Network, NetworkError
+
+
+class TopologyError(NetworkError):
+    """Raised on inconsistent topology construction."""
+
+
+@dataclass
+class LinkSpec:
+    """Link parameters applied when the topology auto-wires hosts."""
+
+    bandwidth_mbps: float = 10.0
+    latency_ms: float = 1.0
+    jitter_ms: float = 0.0
+    loss_rate: float = 0.0
+
+
+#: The paper's testbed link: 10 Mbps Ethernet, ~1 ms LAN latency.
+PAPER_LAN = LinkSpec(bandwidth_mbps=10.0, latency_ms=1.0)
+
+#: A typical inter-space backbone: faster but higher latency than the LAN.
+DEFAULT_BACKBONE = LinkSpec(bandwidth_mbps=100.0, latency_ms=5.0)
+
+
+class SmartSpace:
+    """A named smart space (room/zone) containing hosts.
+
+    Hosts inside a space are fully connected with the space's LAN link spec;
+    locations (for the context layer) are identified by the space name.
+    """
+
+    def __init__(self, name: str, lan: Optional[LinkSpec] = None):
+        if not name:
+            raise TopologyError("space name must be non-empty")
+        self.name = name
+        self.lan = lan if lan is not None else PAPER_LAN
+        self.host_names: List[str] = []
+        self.gateway_name: Optional[str] = None
+
+    def __contains__(self, host_name: str) -> bool:
+        return host_name in self.host_names or host_name == self.gateway_name
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SmartSpace {self.name} hosts={self.host_names}>"
+
+
+@dataclass
+class Gateway:
+    """An inter-space gateway: a host bridging one space to the backbone."""
+
+    name: str
+    space: str
+    processing_delay_ms: float = 5.0
+    host: Host = field(default=None, repr=False)  # type: ignore[assignment]
+
+
+class Topology:
+    """Builder/registry for a multi-space deployment.
+
+    Usage::
+
+        topo = Topology(network)
+        topo.add_space("room821")
+        topo.add_space("room822")
+        h1 = topo.add_host("desk-pc", "room821")
+        h2 = topo.add_host("wall-display", "room822")
+        topo.add_gateway("gw821", "room821")
+        topo.add_gateway("gw822", "room822")
+        topo.connect_spaces("room821", "room822")
+    """
+
+    def __init__(self, network: Network, backbone: Optional[LinkSpec] = None):
+        self.network = network
+        self.backbone = backbone if backbone is not None else DEFAULT_BACKBONE
+        self._spaces: Dict[str, SmartSpace] = {}
+        self._gateways: Dict[str, Gateway] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_space(self, name: str, lan: Optional[LinkSpec] = None) -> SmartSpace:
+        if name in self._spaces:
+            raise TopologyError(f"duplicate space {name!r}")
+        space = SmartSpace(name, lan)
+        self._spaces[name] = space
+        return space
+
+    def add_host(self, name: str, space_name: str, skew_ms: float = 0.0,
+                 drift_ppm: float = 0.0, cpu_factor: float = 1.0) -> Host:
+        """Create a host inside ``space_name`` and wire it to every host
+        already in that space (full LAN mesh)."""
+        space = self.space(space_name)
+        host = self.network.create_host(name, skew_ms=skew_ms,
+                                        drift_ppm=drift_ppm,
+                                        cpu_factor=cpu_factor)
+        host.space = space_name
+        self._wire_into_space(name, space)
+        space.host_names.append(name)
+        return host
+
+    def adopt_host(self, host: Host, space_name: str) -> Host:
+        """Place an already-created host into a space and wire it up."""
+        space = self.space(space_name)
+        if not self.network.has_host(host.name):
+            self.network.add_host(host)
+        host.space = space_name
+        self._wire_into_space(host.name, space)
+        space.host_names.append(host.name)
+        return host
+
+    def _wire_into_space(self, name: str, space: SmartSpace) -> None:
+        peers = list(space.host_names)
+        if space.gateway_name is not None:
+            peers.append(space.gateway_name)
+        for peer in peers:
+            self.network.connect(name, peer,
+                                 bandwidth_mbps=space.lan.bandwidth_mbps,
+                                 latency_ms=space.lan.latency_ms,
+                                 jitter_ms=space.lan.jitter_ms,
+                                 loss_rate=space.lan.loss_rate)
+
+    def add_gateway(self, name: str, space_name: str,
+                    processing_delay_ms: float = 5.0) -> Gateway:
+        """Create the gateway host for a space (one gateway per space)."""
+        space = self.space(space_name)
+        if space.gateway_name is not None:
+            raise TopologyError(f"space {space_name!r} already has a gateway")
+        host = self.network.create_host(name)
+        host.space = space_name
+        for peer in space.host_names:
+            self.network.connect(name, peer,
+                                 bandwidth_mbps=space.lan.bandwidth_mbps,
+                                 latency_ms=space.lan.latency_ms,
+                                 jitter_ms=space.lan.jitter_ms,
+                                 loss_rate=space.lan.loss_rate)
+        self.network.set_forward_delay(name, processing_delay_ms)
+        gateway = Gateway(name, space_name, processing_delay_ms, host)
+        self._gateways[name] = gateway
+        space.gateway_name = name
+        return gateway
+
+    def connect_spaces(self, space_a: str, space_b: str,
+                       spec: Optional[LinkSpec] = None) -> None:
+        """Join two spaces' gateways over the backbone."""
+        gw_a = self._require_gateway(space_a)
+        gw_b = self._require_gateway(space_b)
+        link = spec if spec is not None else self.backbone
+        self.network.connect(gw_a.name, gw_b.name,
+                             bandwidth_mbps=link.bandwidth_mbps,
+                             latency_ms=link.latency_ms,
+                             jitter_ms=link.jitter_ms,
+                             loss_rate=link.loss_rate)
+
+    def _require_gateway(self, space_name: str) -> Gateway:
+        space = self.space(space_name)
+        if space.gateway_name is None:
+            raise TopologyError(f"space {space_name!r} has no gateway")
+        return self._gateways[space.gateway_name]
+
+    def move_host(self, host_name: str, new_space_name: str) -> None:
+        """Physically roam a host (e.g. a PDA) to another smart space.
+
+        All LAN links to the old space are torn down and the host is wired
+        into the new space's mesh.  Gateways cannot roam.
+        """
+        host = self.network.host(host_name)
+        if host_name in self._gateways:
+            raise TopologyError(f"gateway {host_name!r} cannot roam")
+        old_space_name = host.space
+        if old_space_name == new_space_name:
+            return
+        new_space = self.space(new_space_name)
+        if old_space_name is not None:
+            old_space = self.space(old_space_name)
+            peers = list(old_space.host_names)
+            if old_space.gateway_name is not None:
+                peers.append(old_space.gateway_name)
+            for peer in peers:
+                if peer != host_name and \
+                        self.network.link_between(host_name, peer) is not None:
+                    self.network.disconnect(host_name, peer)
+            old_space.host_names.remove(host_name)
+        self._wire_into_space(host_name, new_space)
+        new_space.host_names.append(host_name)
+        host.space = new_space_name
+
+    # -- queries ----------------------------------------------------------
+
+    def space(self, name: str) -> SmartSpace:
+        try:
+            return self._spaces[name]
+        except KeyError:
+            raise TopologyError(f"unknown space {name!r}") from None
+
+    @property
+    def spaces(self) -> List[SmartSpace]:
+        return list(self._spaces.values())
+
+    @property
+    def gateways(self) -> List[Gateway]:
+        return list(self._gateways.values())
+
+    def space_of(self, host_name: str) -> str:
+        host = self.network.host(host_name)
+        if host.space is None:
+            raise TopologyError(f"host {host_name!r} is not in any space")
+        return host.space
+
+    def same_space(self, host_a: str, host_b: str) -> bool:
+        """True when both hosts sit in the same smart space -- the paper's
+        intra-space case, which needs no gateway."""
+        return self.space_of(host_a) == self.space_of(host_b)
+
+    def mobility_domain(self, host_a: str, host_b: str) -> str:
+        """Classify a migration per Fig. 1: ``"intra-space"`` or
+        ``"inter-space"``."""
+        return "intra-space" if self.same_space(host_a, host_b) else "inter-space"

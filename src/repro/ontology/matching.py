@@ -1,0 +1,199 @@
+"""Semantic resource matching (paper §4.4 + Fig. 6 Rule 2).
+
+Hosts often have "the same resources but with different names"; syntactic
+name matching is too strict, so the middleware matches *semantically*: two
+resources are compatible when they are instances of a common resource class
+(e.g. both ``imcl:Printer`` types), regardless of their local names.
+
+The paper's taxonomy also classifies resources along two axes:
+
+- **transferability** -- a printer is not transferable, a PDA is;
+- **substitutability** -- a printer is substitutable (any printer will do),
+  a database is not; a PDA is not ("users' profiles ... are installed").
+
+Both axes are modelled as marker classes, and :class:`ResourceMatcher`
+answers the questions the autonomous agents ask before issuing a migration
+plan: is this resource compatible with one at the destination, can it be
+substituted, or must it be carried / remoted?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Set
+
+from repro.ontology.owl import Ontology
+from repro.ontology.schema import SchemaReasoner
+from repro.ontology.vocabulary import IMCL, OWL_THING
+
+#: Marker classes (not "real" resource types; excluded from compatibility).
+TRANSFERABLE = IMCL.Transferable
+UNTRANSFERABLE = IMCL.UnTransferable
+SUBSTITUTABLE = IMCL.Substitutable
+UNSUBSTITUTABLE = IMCL.UnSubstitutable
+RESOURCE = IMCL.Resource
+
+_MARKERS: Set[str] = {
+    TRANSFERABLE, UNTRANSFERABLE, SUBSTITUTABLE, UNSUBSTITUTABLE,
+    RESOURCE, OWL_THING, "owl:Class",
+}
+
+
+def base_resource_ontology() -> Ontology:
+    """The shared upper taxonomy every MDAgent deployment starts from.
+
+    Mirrors the paper's examples: printers (substitutable, untransferable),
+    databases (neither), PDAs (transferable, unsubstitutable), plus media
+    and application-component classes the demo applications use.
+    """
+    onto = Ontology("imcl")
+    onto.declare_class(RESOURCE)
+    for marker in (TRANSFERABLE, UNTRANSFERABLE, SUBSTITUTABLE, UNSUBSTITUTABLE):
+        onto.declare_class(marker)
+    onto.object_property(IMCL.locatedIn, transitive=True)
+    onto.datatype_property(IMCL.responseTime)
+    onto.datatype_property(IMCL.address)
+
+    def resource_class(name: str, markers: Iterable[str],
+                       parent: str = RESOURCE) -> str:
+        return onto.declare_class(name, parents=[parent, *markers])
+
+    # Paper §4.4 examples.
+    resource_class(IMCL.Printer, [SUBSTITUTABLE, UNTRANSFERABLE])
+    resource_class(IMCL.Database, [UNSUBSTITUTABLE, UNTRANSFERABLE])
+    resource_class(IMCL.PDA, [TRANSFERABLE, UNSUBSTITUTABLE])
+    # Output devices for the demo applications.
+    resource_class(IMCL.Display, [SUBSTITUTABLE, UNTRANSFERABLE])
+    onto.declare_class(IMCL.Projector, parents=[IMCL.Display])
+    resource_class(IMCL.Speaker, [SUBSTITUTABLE, UNTRANSFERABLE])
+    # Files and software components are transferable and substitutable
+    # (an identical copy elsewhere is as good as the original).
+    resource_class(IMCL.File, [TRANSFERABLE, SUBSTITUTABLE])
+    onto.declare_class(IMCL.MediaFile, parents=[IMCL.File])
+    onto.declare_class(IMCL.MusicFile, parents=[IMCL.MediaFile])
+    onto.declare_class(IMCL.SlideDeck, parents=[IMCL.MediaFile])
+    onto.declare_class(IMCL.Document, parents=[IMCL.File])
+    resource_class(IMCL.SoftwareComponent, [TRANSFERABLE, SUBSTITUTABLE])
+    onto.declare_class(IMCL.Codec, parents=[IMCL.SoftwareComponent])
+    onto.declare_class(IMCL.UserInterface, parents=[IMCL.SoftwareComponent])
+    onto.declare_class(IMCL.ApplicationLogic, parents=[IMCL.SoftwareComponent])
+    return onto
+
+
+@dataclass
+class MatchResult:
+    """Outcome of matching one required resource against a candidate set."""
+
+    required: str
+    matched: bool
+    candidate: Optional[str] = None
+    common_classes: Set[str] = field(default_factory=set)
+    score: int = 0
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.matched
+
+
+class ResourceMatcher:
+    """Semantic compatibility checks over a resource ontology.
+
+    The matcher operates on the *inferred* class structure, so declaring
+    ``hpLaserJet ⊑ Printer`` is enough for an ``hpLaserJet`` instance to be
+    compatible with any other printer.
+    """
+
+    def __init__(self, ontology: Ontology):
+        self.ontology = ontology
+        self._reasoner = SchemaReasoner(ontology.graph)
+
+    def refresh(self) -> None:
+        """Rebuild the subsumption index after ontology mutation."""
+        self._reasoner = SchemaReasoner(self.ontology.graph)
+
+    # -- classification ------------------------------------------------------
+
+    def semantic_classes(self, individual: str) -> Set[str]:
+        """Resource classes of an individual, excluding the marker axes."""
+        return {
+            cls for cls in self._reasoner.types_of(individual)
+            if cls not in _MARKERS
+        }
+
+    def _has_marker(self, individual: str, marker: str,
+                    negative_marker: str, default: bool) -> bool:
+        types = self._reasoner.types_of(individual)
+        if negative_marker in types:
+            return False
+        if marker in types:
+            return True
+        return default
+
+    def is_transferable(self, individual: str) -> bool:
+        """Can this resource itself move hosts? (default: no -- being
+        conservative about physical devices)."""
+        return self._has_marker(individual, TRANSFERABLE, UNTRANSFERABLE, False)
+
+    def is_substitutable(self, individual: str) -> bool:
+        """Can a same-class resource at the destination stand in? (default:
+        no)."""
+        return self._has_marker(individual, SUBSTITUTABLE, UNSUBSTITUTABLE, False)
+
+    # -- compatibility (Rule 2) -----------------------------------------------
+
+    def compatible(self, source: str, destination: str) -> bool:
+        """True when the two individuals share a non-marker resource class --
+        the paper's Rule 2 ("if the resources in the source and destination
+        are both the 'printer' types, then they are compatible")."""
+        return bool(self.common_classes(source, destination))
+
+    def common_classes(self, source: str, destination: str) -> Set[str]:
+        return self.semantic_classes(source) & self.semantic_classes(destination)
+
+    def match(self, required: str, candidates: Iterable[str]) -> MatchResult:
+        """Pick the best compatible candidate for a required resource.
+
+        Score favours the most *specific* shared classes (more shared
+        classes = closer match); candidates sharing nothing are skipped.
+        Deterministic tie-break on candidate name.
+        """
+        best: Optional[MatchResult] = None
+        for candidate in sorted(candidates):
+            common = self.common_classes(required, candidate)
+            if not common:
+                continue
+            result = MatchResult(required, True, candidate, common,
+                                 score=len(common),
+                                 reason=f"shares classes {sorted(common)}")
+            if best is None or result.score > best.score:
+                best = result
+        if best is None:
+            return MatchResult(required, False,
+                               reason="no semantically compatible candidate")
+        return best
+
+    def rebind_plan(self, required: Iterable[str],
+                    available: Iterable[str]) -> Dict[str, MatchResult]:
+        """Match every required resource against the destination inventory.
+
+        Substitutable resources may rebind to any compatible candidate;
+        non-substitutable ones only match an *identical* individual (same
+        name), which models "database is neither transferable nor easily
+        substituted".
+        """
+        available = list(available)
+        plan: Dict[str, MatchResult] = {}
+        for resource in required:
+            if not self.is_substitutable(resource):
+                if resource in available:
+                    plan[resource] = MatchResult(
+                        resource, True, resource, self.semantic_classes(resource),
+                        score=len(self.semantic_classes(resource)),
+                        reason="identical resource present")
+                else:
+                    plan[resource] = MatchResult(
+                        resource, False,
+                        reason="not substitutable and absent at destination")
+            else:
+                plan[resource] = self.match(resource, available)
+        return plan

@@ -1,0 +1,102 @@
+"""Conjunctive pattern queries -- the OWL-QL stand-in.
+
+The paper's autonomous agents "retrieve the resources available in the
+destination host from the registry center in the standard OWL Query
+Language".  :class:`Query` provides the part of OWL-QL the middleware needs:
+conjunctive triple patterns with ``must-bind`` variables, evaluated against
+a (usually inferred) graph, returning binding rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.ontology.rules import Bindings, TriplePattern, parse_term, _split_terms
+from repro.ontology.reasoner import _match_pattern
+from repro.ontology.triples import Graph, Term
+
+
+class QueryError(ValueError):
+    """Raised on malformed queries."""
+
+
+def _to_pattern(pattern: Union[TriplePattern, str, Sequence]) -> TriplePattern:
+    if isinstance(pattern, TriplePattern):
+        return pattern
+    if isinstance(pattern, str):
+        text = pattern.strip()
+        if text.startswith("(") and text.endswith(")"):
+            text = text[1:-1]
+        terms = _split_terms(text)
+        if len(terms) != 3:
+            raise QueryError(f"pattern needs 3 terms: {pattern!r}")
+        return TriplePattern(*(parse_term(t) for t in terms))
+    if len(pattern) == 3:
+        return TriplePattern(*pattern)
+    raise QueryError(f"cannot interpret pattern: {pattern!r}")
+
+
+class Query:
+    """A conjunctive query over triple patterns.
+
+    Example::
+
+        q = Query(["(?r rdf:type imcl:Printer)",
+                   "(?r imcl:locatedIn imcl:Office821)"])
+        rows = q.run(graph)         # -> [{"?r": "imcl:hp4350"}, ...]
+    """
+
+    def __init__(self, patterns: Sequence[Union[TriplePattern, str, Sequence]],
+                 select: Optional[Sequence[str]] = None):
+        if not patterns:
+            raise QueryError("query needs at least one pattern")
+        self.patterns: List[TriplePattern] = [_to_pattern(p) for p in patterns]
+        all_vars = {v for p in self.patterns for v in p.variables()}
+        if select is None:
+            self.select_vars = sorted(all_vars)
+        else:
+            for var in select:
+                if var not in all_vars:
+                    raise QueryError(f"select variable {var!r} not in any pattern")
+            self.select_vars = list(select)
+
+    def bindings(self, graph: Graph) -> Iterator[Bindings]:
+        """Yield full binding dicts for every solution."""
+
+        def recurse(index: int, bindings: Bindings) -> Iterator[Bindings]:
+            if index == len(self.patterns):
+                yield bindings
+                return
+            for extended in _match_pattern(graph, self.patterns[index], bindings):
+                yield from recurse(index + 1, extended)
+
+        yield from recurse(0, {})
+
+    def run(self, graph: Graph) -> List[Dict[str, Term]]:
+        """Solutions projected to the selected variables, de-duplicated,
+        in a deterministic order."""
+        seen = set()
+        rows: List[Dict[str, Term]] = []
+        for bindings in self.bindings(graph):
+            row = {v: bindings[v] for v in self.select_vars}
+            key = tuple(row[v] for v in self.select_vars)
+            if key not in seen:
+                seen.add(key)
+                rows.append(row)
+        rows.sort(key=lambda r: tuple(str(r[v]) for v in self.select_vars))
+        return rows
+
+    def ask(self, graph: Graph) -> bool:
+        """True when at least one solution exists."""
+        for _ in self.bindings(graph):
+            return True
+        return False
+
+    def count(self, graph: Graph) -> int:
+        return len(self.run(graph))
+
+
+def select(graph: Graph, *patterns: Union[TriplePattern, str, Sequence],
+           variables: Optional[Sequence[str]] = None) -> List[Dict[str, Term]]:
+    """One-shot query: ``select(g, "(?r rdf:type imcl:Printer)")``."""
+    return Query(list(patterns), select=variables).run(graph)

@@ -1,0 +1,76 @@
+"""RDF / RDFS / OWL / XSD / IMCL vocabularies.
+
+Terms are compact QName strings (``"rdf:type"``) rather than full IRIs;
+the paper's own namespace is ``imcl:`` (Internet and Mobile Computing Lab),
+visible in its Fig. 6 rules (``imcl:locatedIn``, ``imcl:compatible``, ...).
+"""
+
+from __future__ import annotations
+
+
+class Namespace:
+    """QName factory: ``Namespace("imcl").locatedIn == "imcl:locatedIn"``."""
+
+    def __init__(self, prefix: str):
+        if not prefix or ":" in prefix:
+            raise ValueError(f"invalid namespace prefix: {prefix!r}")
+        self._prefix = prefix
+
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+    def term(self, local: str) -> str:
+        if not local:
+            raise ValueError("local name must be non-empty")
+        return f"{self._prefix}:{local}"
+
+    def __getattr__(self, local: str) -> str:
+        if local.startswith("_"):
+            raise AttributeError(local)
+        return self.term(local)
+
+    def __getitem__(self, local: str) -> str:
+        return self.term(local)
+
+    def __contains__(self, qname: object) -> bool:
+        return isinstance(qname, str) and qname.startswith(self._prefix + ":")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Namespace({self._prefix!r})"
+
+
+class _RDF(Namespace):
+    """rdf: core terms."""
+
+    def __init__(self) -> None:
+        super().__init__("rdf")
+
+    @property
+    def type(self) -> str:
+        return "rdf:type"
+
+
+RDF = _RDF()
+RDFS = Namespace("rdfs")
+OWL = Namespace("owl")
+XSD = Namespace("xsd")
+#: The paper's application namespace (Fig. 6 rules use ``imcl:``).
+IMCL = Namespace("imcl")
+
+#: Schema-level terms the reasoner interprets.
+RDF_TYPE = RDF.type
+RDFS_SUBCLASSOF = RDFS.subClassOf
+RDFS_SUBPROPERTYOF = RDFS.subPropertyOf
+RDFS_DOMAIN = RDFS.domain
+RDFS_RANGE = RDFS.range
+OWL_TRANSITIVE = OWL.TransitiveProperty
+OWL_SYMMETRIC = OWL.SymmetricProperty
+OWL_INVERSE_OF = OWL.inverseOf
+OWL_FUNCTIONAL = OWL.FunctionalProperty
+OWL_CLASS = OWL.Class
+OWL_OBJECT_PROPERTY = OWL.ObjectProperty
+OWL_DATATYPE_PROPERTY = OWL.DatatypeProperty
+OWL_SAME_AS = OWL.sameAs
+OWL_EQUIVALENT_CLASS = OWL.equivalentClass
+OWL_THING = OWL.Thing

@@ -1,0 +1,46 @@
+"""Application & resource registry center (the jUDDI + MySQL replacement).
+
+"Applications first register themselves to the application and resource
+registry centers with their interface descriptions and other parameters
+such as specific device requirements, user preferences, etc, in a WSDL-like
+format." (paper §4.2.2.)
+
+- :mod:`repro.registry.records` -- WSDL-like interface descriptions and the
+  application / resource records stored in the registry.
+- :mod:`repro.registry.registry` -- the :class:`RegistryCenter` itself plus
+  a network-backed :class:`RegistryServer` / :class:`RegistryClient` pair so
+  remote lookups pay real (simulated) round trips.
+"""
+
+from repro.registry.records import (
+    ApplicationRecord,
+    InterfaceDescription,
+    Operation,
+    RecordError,
+    ResourceRecord,
+)
+from repro.registry.registry import (
+    CachingRegistryClient,
+    RegistryCenter,
+    RegistryClient,
+    RegistryError,
+    RegistryServer,
+    install_registry,
+)
+from repro.registry.store import load_registry, save_registry
+
+__all__ = [
+    "ApplicationRecord",
+    "CachingRegistryClient",
+    "InterfaceDescription",
+    "Operation",
+    "RecordError",
+    "RegistryCenter",
+    "RegistryClient",
+    "RegistryError",
+    "RegistryServer",
+    "ResourceRecord",
+    "install_registry",
+    "load_registry",
+    "save_registry",
+]

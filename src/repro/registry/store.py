@@ -1,0 +1,62 @@
+"""File-backed persistence for the registry center.
+
+The paper's registry is jUDDI over MySQL -- registrations survive restarts.
+:func:`save_registry` / :func:`load_registry` provide the equivalent for
+:class:`~repro.registry.registry.RegistryCenter`: a JSON snapshot of every
+application record, resource record and the full resource ontology
+(including any deployment-specific class declarations).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+from repro.ontology.owl import Ontology
+from repro.registry.records import ApplicationRecord, ResourceRecord
+from repro.registry.registry import RegistryCenter
+
+#: Format marker so future layouts can migrate old files.
+_FORMAT_VERSION = 1
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_registry(center: RegistryCenter, path: PathLike) -> None:
+    """Write the registry's full contents as JSON."""
+    records = []
+    for by_host in center._applications.values():
+        records.extend(record.to_dict() for record in by_host.values())
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "ontology": center.ontology.to_dict(),
+        "applications": sorted(records,
+                               key=lambda r: (r["app_name"], r["host"])),
+        "resources": [r.to_dict() for r in sorted(
+            center._resources.values(), key=lambda r: r.resource_id)],
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2,
+                                             sort_keys=True))
+
+
+def load_registry(path: PathLike) -> RegistryCenter:
+    """Rebuild a registry center from a JSON snapshot."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported registry file version: {version!r}")
+    center = RegistryCenter(Ontology.from_dict(payload["ontology"]))
+    for record in payload["applications"]:
+        restored = ApplicationRecord.from_dict(record)
+        center.register_application(restored)
+        # register_application bumps versions on re-registration; keep the
+        # persisted version authoritative.
+        restored.version = record.get("version", 1)
+    for record in payload["resources"]:
+        resource = ResourceRecord.from_dict(record)
+        # The ontology snapshot already holds this resource's triples;
+        # register only the record to avoid double-asserting.
+        center._resources[resource.resource_id] = resource
+    center.matcher.refresh()
+    return center

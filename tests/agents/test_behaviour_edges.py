@@ -1,0 +1,174 @@
+"""Edge-case tests for behaviour composition and weak mobility."""
+
+import pytest
+
+from repro.agents.acl import ACLMessage, Performative
+from repro.agents.agent import Agent, AgentState
+from repro.agents.behaviours import (
+    CyclicBehaviour,
+    FSMBehaviour,
+    OneShotBehaviour,
+    SequentialBehaviour,
+    TickerBehaviour,
+    WakerBehaviour,
+)
+from repro.agents.platform import AgentPlatform
+from repro.agents.serialization import register_agent_type
+from repro.net.kernel import EventLoop
+from repro.net.simnet import Network
+
+
+@pytest.fixture
+def rig():
+    loop = EventLoop()
+    net = Network(loop)
+    net.create_host("h1")
+    net.create_host("h2")
+    net.connect("h1", "h2")
+    platform = AgentPlatform(net)
+    return loop, platform, platform.create_container("h1"), \
+        platform.create_container("h2")
+
+
+class WaitForMessage(Behaviour := CyclicBehaviour):
+    """Blocks until any message arrives, then records it and finishes."""
+
+    def __init__(self):
+        super().__init__()
+        self.got = None
+
+    def action(self):
+        message = self.agent.receive()
+        if message is None:
+            self.block()
+            return
+        self.got = message
+
+    def done(self):
+        return self.got is not None
+
+
+class TestSequentialWithBlockingChildren:
+    def test_sequence_waits_for_blocked_child(self, rig):
+        loop, platform, c1, c2 = rig
+        agent = c1.create_agent(Agent, "a")
+        order = []
+        seq = SequentialBehaviour()
+        seq.add_child(OneShotBehaviour(lambda: order.append("first")))
+        waiter = WaitForMessage()
+        seq.add_child(waiter)
+        seq.add_child(OneShotBehaviour(lambda: order.append("third")))
+        agent.add_behaviour(seq)
+        loop.run()
+        assert order == ["first"]  # stuck on the waiter
+        sender = c1.create_agent(Agent, "s")
+        sender.send(ACLMessage(Performative.INFORM, receivers=["a@h1"]))
+        loop.run()
+        assert order == ["first", "third"]
+        assert waiter.got is not None
+        assert seq.done()
+
+    def test_waker_inside_sequence(self, rig):
+        loop, platform, c1, c2 = rig
+        agent = c1.create_agent(Agent, "a")
+        times = []
+        seq = SequentialBehaviour()
+        seq.add_child(WakerBehaviour(100.0, lambda: times.append(loop.now)))
+        seq.add_child(OneShotBehaviour(lambda: times.append(loop.now)))
+        agent.add_behaviour(seq)
+        loop.run()
+        assert times[0] == pytest.approx(100.0)
+        assert times[1] >= times[0]
+
+
+class TestFSMWithBlockingStates:
+    def test_fsm_state_waits_for_message(self, rig):
+        loop, platform, c1, c2 = rig
+        agent = c1.create_agent(Agent, "a")
+        fsm = FSMBehaviour()
+        waiter = WaitForMessage()
+        fsm.register_state("wait", waiter, initial=True)
+        fsm.register_state("end", OneShotBehaviour(lambda: None), final=True)
+        fsm.register_transition("wait", "end")
+        agent.add_behaviour(fsm)
+        loop.run()
+        assert not fsm.done()
+        c1.create_agent(Agent, "s").send(
+            ACLMessage(Performative.INFORM, receivers=["a@h1"]))
+        loop.run()
+        assert fsm.done()
+        assert fsm.visited == ["wait", "end"]
+
+
+class TestTickerInteraction:
+    def test_two_tickers_interleave(self, rig):
+        loop, platform, c1, c2 = rig
+        agent = c1.create_agent(Agent, "a")
+        events = []
+        agent.add_behaviour(TickerBehaviour(100.0,
+                                            lambda: events.append("fast")))
+        agent.add_behaviour(TickerBehaviour(250.0,
+                                            lambda: events.append("slow")))
+        loop.run(until=500.0)
+        assert events.count("fast") == 5
+        assert events.count("slow") == 2
+
+
+@register_agent_type
+class RestartingAgent(Agent):
+    """Weak mobility demo: behaviours do not migrate; after_move rebuilds
+    them from carried state."""
+
+    def __init__(self, local_name):
+        super().__init__(local_name)
+        self.ticks = 0
+        self.resumed_ticking = False
+
+    def get_state(self):
+        return {"ticks": self.ticks}
+
+    def restore_state(self, state):
+        self.ticks = state["ticks"]
+
+    def setup(self):
+        self._start_ticking()
+
+    def after_move(self):
+        # Weak mobility: execution state (behaviours) is NOT carried; the
+        # agent re-creates its activity from data state.
+        self.resumed_ticking = True
+        self._start_ticking()
+
+    def _start_ticking(self):
+        agent = self
+
+        def tick():
+            agent.ticks += 1
+
+        self.add_behaviour(TickerBehaviour(100.0, tick, name="ticker"))
+
+
+class TestWeakMobility:
+    def test_behaviours_do_not_migrate_but_state_does(self, rig):
+        loop, platform, c1, c2 = rig
+        agent = c1.create_agent(RestartingAgent, "r")
+        loop.run(until=550.0)
+        assert agent.ticks == 5
+        agent.do_move("h2")
+        loop.run(until=2_000.0)
+        moved = c2.agent("r")
+        assert moved.resumed_ticking
+        # Counter continued from the carried value.
+        assert moved.ticks > 5
+        # Fresh behaviour object: the old ticker is gone with the old host.
+        assert len(moved.behaviours) == 1
+
+    def test_deleted_agent_stops_ticking(self, rig):
+        loop, platform, c1, c2 = rig
+        agent = c1.create_agent(RestartingAgent, "r")
+        loop.run(until=250.0)
+        ticks = agent.ticks
+        agent.do_delete()
+        loop.run(until=1_000.0)
+        assert agent.ticks == ticks
+        assert agent.state is AgentState.DELETED

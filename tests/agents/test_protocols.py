@@ -1,0 +1,237 @@
+"""Tests for the FIPA request protocol helpers."""
+
+import pytest
+
+from repro.agents.agent import Agent
+from repro.agents.platform import AgentPlatform
+from repro.agents.protocols import (
+    RequestInitiator,
+    RequestResponder,
+    ResponderDecision,
+)
+from repro.net.kernel import EventLoop
+from repro.net.simnet import Network
+
+
+@pytest.fixture
+def rig():
+    loop = EventLoop()
+    net = Network(loop)
+    net.create_host("h1")
+    net.create_host("h2")
+    net.connect("h1", "h2", latency_ms=1.0)
+    platform = AgentPlatform(net)
+    c1 = platform.create_container("h1")
+    c2 = platform.create_container("h2")
+    return loop, platform, c1, c2
+
+
+def serve(container, name, handler, protocol="svc"):
+    agent = container.create_agent(Agent, name)
+    agent.add_behaviour(RequestResponder(protocol, handler))
+    return agent
+
+
+def ask(container, name, receiver, content, protocol="svc", **callbacks):
+    agent = container.create_agent(Agent, name)
+    initiator = RequestInitiator(receiver, content, protocol, **callbacks)
+    agent.add_behaviour(initiator)
+    return agent, initiator
+
+
+def test_agree_and_inform_flow(rig):
+    loop, platform, c1, c2 = rig
+    serve(c2, "worker",
+          lambda req: ResponderDecision.agree_with(req.content * 2))
+    log = []
+    ask(c1, "boss", "worker@h2", 21,
+        on_agree=lambda m: log.append("agree"),
+        on_inform=lambda m: log.append(("inform", m.content)))
+    loop.run()
+    assert log == ["agree", ("inform", 42)]
+
+
+def test_refuse_flow(rig):
+    loop, platform, c1, c2 = rig
+    serve(c2, "worker", lambda req: ResponderDecision.refuse("busy"))
+    log = []
+    _, initiator = ask(c1, "boss", "worker@h2", "job",
+                       on_refuse=lambda m: log.append(m.content),
+                       on_inform=lambda m: log.append("inform"))
+    loop.run()
+    assert log == ["busy"]
+    assert initiator.done()
+
+
+def test_failure_flow(rig):
+    loop, platform, c1, c2 = rig
+    serve(c2, "worker",
+          lambda req: ResponderDecision(True, "exploded", failed=True))
+    log = []
+    ask(c1, "boss", "worker@h2", "job",
+        on_failure=lambda m: log.append(m.content))
+    loop.run()
+    assert log == ["exploded"]
+
+
+def test_deferred_completion(rig):
+    loop, platform, c1, c2 = rig
+    pending = []
+
+    def handler(request):
+        decision = ResponderDecision.agree_with().defer()
+        pending.append(decision)
+        return decision
+
+    serve(c2, "worker", handler)
+    log = []
+    ask(c1, "boss", "worker@h2", "long-job",
+        on_agree=lambda m: log.append("agree"),
+        on_inform=lambda m: log.append(("inform", m.content)))
+    loop.run()
+    assert log == ["agree"]  # INFORM not yet sent
+    pending[0].complete("done at last")
+    loop.run()
+    assert log == ["agree", ("inform", "done at last")]
+
+
+def test_deferred_failure(rig):
+    loop, platform, c1, c2 = rig
+    pending = []
+
+    def handler(request):
+        decision = ResponderDecision.agree_with().defer()
+        pending.append(decision)
+        return decision
+
+    serve(c2, "worker", handler)
+    log = []
+    ask(c1, "boss", "worker@h2", "job",
+        on_failure=lambda m: log.append(m.content))
+    loop.run()
+    pending[0].fail("gave up")
+    loop.run()
+    assert log == ["gave up"]
+
+
+def test_timeout_finishes_initiator(rig):
+    loop, platform, c1, c2 = rig
+    # No responder exists; messages to h2 fail silently at the platform.
+    agent = c1.create_agent(Agent, "boss")
+    initiator = RequestInitiator("nobody@h2", "job", "svc",
+                                 timeout_ms=500.0)
+    agent.add_behaviour(initiator)
+    loop.run()
+    assert initiator.timed_out
+    assert initiator.done()
+
+
+def test_concurrent_conversations_do_not_cross(rig):
+    loop, platform, c1, c2 = rig
+    serve(c2, "worker", lambda req: ResponderDecision.agree_with(req.content))
+    results = {}
+    for i in range(3):
+        ask(c1, f"boss{i}", "worker@h2", f"job-{i}",
+            on_inform=lambda m, i=i: results.__setitem__(i, m.content))
+    loop.run()
+    assert results == {0: "job-0", 1: "job-1", 2: "job-2"}
+
+
+def test_responder_serves_many(rig):
+    loop, platform, c1, c2 = rig
+    worker = c2.create_agent(Agent, "worker")
+    responder = RequestResponder("svc",
+                                 lambda req: ResponderDecision.agree_with())
+    worker.add_behaviour(responder)
+    for i in range(5):
+        ask(c1, f"client{i}", "worker@h2", i)
+    loop.run()
+    assert responder.served == 5
+
+
+def test_protocol_isolation(rig):
+    """A responder for protocol A never consumes protocol B requests."""
+    loop, platform, c1, c2 = rig
+    worker = c2.create_agent(Agent, "worker")
+    worker.add_behaviour(RequestResponder(
+        "svc-a", lambda req: ResponderDecision.agree_with("A")))
+    worker.add_behaviour(RequestResponder(
+        "svc-b", lambda req: ResponderDecision.agree_with("B")))
+    log = []
+    ask(c1, "boss", "worker@h2", None, protocol="svc-b",
+        on_inform=lambda m: log.append(m.content))
+    loop.run()
+    assert log == ["B"]
+
+
+class TestSubscriptionProtocol:
+    def make_publisher(self, rig, on_subscribe=None):
+        from repro.agents.protocols import SubscriptionResponder
+        loop, platform, c1, c2 = rig
+        publisher = c2.create_agent(Agent, "publisher")
+        responder = SubscriptionResponder("news", on_subscribe=on_subscribe)
+        publisher.add_behaviour(responder)
+        return publisher, responder
+
+    def subscribe(self, rig, on_notification):
+        from repro.agents.protocols import SubscriptionInitiator
+        loop, platform, c1, c2 = rig
+        subscriber = c1.create_agent(Agent, "subscriber")
+        initiator = SubscriptionInitiator("publisher@h2", None, "news",
+                                          on_notification)
+        subscriber.add_behaviour(initiator)
+        return subscriber, initiator
+
+    def test_subscribe_and_notify(self, rig):
+        loop, platform, c1, c2 = rig
+        publisher, responder = self.make_publisher(rig)
+        got = []
+        self.subscribe(rig, lambda m: got.append(m.content))
+        loop.run()
+        assert len(responder.subscribers) == 1
+        responder.notify("edition-1")
+        responder.notify("edition-2")
+        loop.run()
+        assert got == ["edition-1", "edition-2"]
+
+    def test_cancel_stops_notifications(self, rig):
+        loop, platform, c1, c2 = rig
+        publisher, responder = self.make_publisher(rig)
+        got = []
+        subscriber, initiator = self.subscribe(rig,
+                                               lambda m: got.append(m.content))
+        loop.run()
+        responder.notify("before")
+        loop.run()
+        initiator.cancel()
+        loop.run()
+        assert len(responder.subscribers) == 0
+        responder.notify("after")
+        loop.run()
+        assert got == ["before"]
+
+    def test_refused_subscription(self, rig):
+        loop, platform, c1, c2 = rig
+        publisher, responder = self.make_publisher(
+            rig, on_subscribe=lambda m: False)
+        got = []
+        self.subscribe(rig, lambda m: got.append(m))
+        loop.run()
+        assert responder.subscribers == {}
+        assert responder.notify("x") == 0
+
+    def test_multiple_subscribers(self, rig):
+        from repro.agents.protocols import SubscriptionInitiator
+        loop, platform, c1, c2 = rig
+        publisher, responder = self.make_publisher(rig)
+        counts = {"a": 0, "b": 0}
+        for name in counts:
+            agent = c1.create_agent(Agent, f"sub-{name}")
+            agent.add_behaviour(SubscriptionInitiator(
+                "publisher@h2", None, "news",
+                lambda m, name=name: counts.__setitem__(
+                    name, counts[name] + 1)))
+        loop.run()
+        assert responder.notify("tick") == 2
+        loop.run()
+        assert counts == {"a": 1, "b": 1}

@@ -1,0 +1,108 @@
+"""Tests for size-accounted serialization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.agents.agent import Agent
+from repro.agents.serialization import (
+    AgentSnapshot,
+    SerializationError,
+    deep_size_bytes,
+    register_agent_type,
+    registered_agent_type,
+)
+
+
+class TestDeepSize:
+    def test_primitives(self):
+        assert deep_size_bytes(None) == 1
+        assert deep_size_bytes(True) == 1
+        assert deep_size_bytes(42) == 8
+        assert deep_size_bytes(3.14) == 8
+
+    def test_string_scales_with_length(self):
+        short = deep_size_bytes("ab")
+        long = deep_size_bytes("ab" * 100)
+        assert long - short == 2 * 99
+
+    def test_bytes(self):
+        assert deep_size_bytes(b"x" * 1000) == 16 + 1000
+
+    def test_unicode_utf8_length(self):
+        assert deep_size_bytes("日") == 16 + 3
+
+    def test_containers_sum_children(self):
+        flat = deep_size_bytes([1, 2, 3])
+        assert flat == 16 + 24
+        nested = deep_size_bytes({"key": [1, 2]})
+        assert nested == 16 + (16 + 3) + (16 + 16)
+
+    def test_unsizable_rejected(self):
+        with pytest.raises(SerializationError):
+            deep_size_bytes(object())
+
+    def test_domain_object_with_size_bytes(self):
+        class Blob:
+            size_bytes = 5000
+        assert deep_size_bytes(Blob()) == 16 + 5000
+
+    @given(st.recursive(
+        st.one_of(st.none(), st.booleans(), st.integers(), st.floats(allow_nan=False),
+                  st.text(max_size=20), st.binary(max_size=20)),
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.dictionaries(st.text(max_size=5), children, max_size=4)),
+        max_leaves=20))
+    def test_size_always_positive(self, value):
+        assert deep_size_bytes(value) >= 1
+
+    def test_bigger_payload_bigger_size(self):
+        small = deep_size_bytes({"data": b"x" * 100})
+        big = deep_size_bytes({"data": b"x" * 10_000})
+        assert big - small == 9_900
+
+
+@register_agent_type
+class StatefulAgent(Agent):
+    def __init__(self, local_name):
+        super().__init__(local_name)
+        self.counter = 0
+        self.notes = ""
+
+    def get_state(self):
+        return {"counter": self.counter, "notes": self.notes}
+
+    def restore_state(self, state):
+        self.counter = state["counter"]
+        self.notes = state["notes"]
+
+
+class TestSnapshot:
+    def test_snapshot_size_accounts_state(self):
+        small = AgentSnapshot("StatefulAgent", "a", {"notes": "x"})
+        big = AgentSnapshot("StatefulAgent", "a", {"notes": "x" * 10_000})
+        assert big.size_bytes - small.size_bytes == 9_999
+
+    def test_instantiate_restores_state(self):
+        agent = StatefulAgent("original")
+        agent.counter = 7
+        agent.notes = "hello"
+        snapshot = AgentSnapshot(type(agent).__name__, "original",
+                                 agent.get_state())
+        clone = snapshot.instantiate()
+        assert isinstance(clone, StatefulAgent)
+        assert clone.counter == 7
+        assert clone.notes == "hello"
+        assert clone.local_name == "original"
+
+    def test_unregistered_type_rejected(self):
+        snapshot = AgentSnapshot("GhostAgent", "g", {})
+        with pytest.raises(SerializationError):
+            snapshot.instantiate()
+
+    def test_registered_agent_type_lookup(self):
+        assert registered_agent_type("StatefulAgent") is StatefulAgent
+
+    def test_unserializable_state_rejected_at_snapshot(self):
+        with pytest.raises(SerializationError):
+            AgentSnapshot("StatefulAgent", "a", {"bad": object()})

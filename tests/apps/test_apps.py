@@ -1,0 +1,354 @@
+"""Tests for the six demo applications."""
+
+import pytest
+
+from repro.apps import (
+    EditorApp,
+    MessengerApp,
+    MusicPlayerApp,
+    SlideShowApp,
+    build_handheld_editor,
+    build_handheld_music_player,
+    make_document,
+    make_slide_deck,
+    make_track,
+)
+from repro.core import Deployment
+from repro.core.application import AppStatus, Application
+from repro.core.profiles import handheld_profile
+
+
+@pytest.fixture
+def rig():
+    d = Deployment(seed=5)
+    d.add_space("room")
+    src = d.add_host("pc1", "room")
+    dst = d.add_host("pc2", "room")
+    return d, src, dst
+
+
+class TestMedia:
+    def test_track_duration_scales_with_size(self):
+        short = make_track("a", 1_000_000)
+        long = make_track("b", 4_000_000)
+        assert long.duration_ms == pytest.approx(4 * short.duration_ms,
+                                                 rel=1e-4)
+
+    def test_slide_deck_sizing(self):
+        deck = make_slide_deck("slides", 10, per_slide_bytes=100_000)
+        assert deck.size_bytes == 1_000_000
+        assert deck.slide_count == 10
+        with pytest.raises(ValueError):
+            make_slide_deck("x", 0)
+
+    def test_document_size_tracks_text(self):
+        assert make_document("d", "hello").size_bytes == 5
+        assert make_document("d").size_bytes == 1
+
+
+class TestMusicPlayer:
+    def test_build_has_all_components(self):
+        app = MusicPlayerApp.build("p", "alice")
+        assert app.component_kinds() == ["data", "logic", "presentation",
+                                         "resource"]
+
+    def test_position_advances_while_playing(self, rig):
+        d, src, dst = rig
+        app = MusicPlayerApp.build("p", "alice", track_bytes=5_000_000)
+        src.launch_application(app)
+        d.run_all()
+        assert app.playing
+        start = app.current_position_ms()
+        d.loop.advance(10_000.0)
+        assert app.current_position_ms() == pytest.approx(start + 10_000.0)
+
+    def test_pause_freezes_position(self, rig):
+        d, src, dst = rig
+        app = MusicPlayerApp.build("p", "alice")
+        src.launch_application(app)
+        d.run_all()
+        d.loop.advance(5_000.0)
+        app.pause()
+        frozen = app.current_position_ms()
+        d.loop.advance(5_000.0)
+        assert app.current_position_ms() == frozen
+
+    def test_position_capped_at_duration(self, rig):
+        d, src, dst = rig
+        app = MusicPlayerApp.build("p", "alice", track_bytes=100_000)
+        src.launch_application(app)
+        d.run_all()
+        d.loop.advance(10 * app.track_duration_ms)
+        assert app.current_position_ms() == app.track_duration_ms
+
+    def test_seek_and_volume(self, rig):
+        d, src, dst = rig
+        app = MusicPlayerApp.build("p", "alice")
+        src.launch_application(app)
+        d.run_all()
+        app.seek(9_000.0)
+        assert app.current_position_ms() == pytest.approx(9_000.0)
+        app.seek(-5)
+        assert app.position_ms == 0.0
+        app.set_volume(150)
+        assert app.volume == 100
+        ui = app.component("player-ui")
+        assert ("volume", 100) in ui.updates
+
+    def test_state_roundtrip(self):
+        app = MusicPlayerApp.build("p", "alice")
+        app.position_ms = 1234.0
+        app.volume = 33
+        state = app.get_app_state()
+        fresh = MusicPlayerApp.build("p", "alice")
+        fresh.restore_app_state(state)
+        assert fresh.position_ms == 1234.0
+        assert fresh.volume == 33
+        assert not fresh.playing
+
+
+class TestEditor:
+    def test_typing_and_cursor(self):
+        app = EditorApp.build("ed", "alice", initial_text="hello")
+        app.move_cursor(5)
+        app.type_text(" world")
+        assert app.buffer == "hello world"
+        app.delete_backwards(6)
+        assert app.buffer == "hello"
+        assert app.dirty
+
+    def test_document_component_tracks_buffer(self):
+        app = EditorApp.build("ed", "alice")
+        app.type_text("x" * 1000)
+        assert app.component("document").size_bytes == 1000
+
+    def test_editor_migrates_with_buffer(self, rig):
+        d, src, dst = rig
+        app = EditorApp.build("ed", "alice", initial_text="draft: ")
+        src.launch_application(app)
+        d.run_all()
+        app.type_text("the quick brown fox")
+        outcome = src.migrate("ed", "pc2")
+        d.run_all()
+        assert outcome.completed
+        moved = dst.application("ed")
+        assert moved.buffer == "draft: the quick brown fox"
+        assert moved.cursor == len(moved.buffer)
+
+    def test_save_clears_dirty(self):
+        app = EditorApp.build("ed", "alice")
+        app.type_text("x")
+        app.save()
+        assert not app.dirty
+
+
+class TestMessenger:
+    def test_conversation_accumulates(self):
+        app = MessengerApp.build("im", "alice", contact="bob")
+        app.send_message("hi bob")
+        app.receive_message("bob", "hi alice")
+        assert len(app.conversation) == 2
+        assert app.unread == 1
+        app.mark_read()
+        assert app.unread == 0
+        assert app.last_message["from"] == "bob"
+
+    def test_history_component_grows(self):
+        app = MessengerApp.build("im", "alice")
+        before = app.component("history").size_bytes
+        app.send_message("a fairly long message indeed")
+        assert app.component("history").size_bytes > before
+
+    def test_messenger_migrates_with_conversation(self, rig):
+        d, src, dst = rig
+        app = MessengerApp.build("im", "alice", contact="bob")
+        src.launch_application(app)
+        d.run_all()
+        app.send_message("one")
+        app.receive_message("bob", "two")
+        src.migrate("im", "pc2")
+        d.run_all()
+        moved = dst.application("im")
+        assert [m["text"] for m in moved.conversation] == ["one", "two"]
+        assert moved.contact == "bob"
+
+
+class TestSlideShow:
+    def test_navigation_clamped(self):
+        app = SlideShowApp.build("show", "speaker", slide_count=10)
+        app.coordinator.resume()
+        app.goto_slide(99)
+        assert app.displayed_slide == 10
+        app.previous_slide()
+        assert app.displayed_slide == 9
+        app.goto_slide(-5)
+        assert app.displayed_slide == 1
+
+    def test_state_roundtrip(self):
+        app = SlideShowApp.build("show", "speaker", slide_count=10)
+        app.coordinator.resume()
+        app.goto_slide(4)
+        state = app.get_app_state()
+        fresh = SlideShowApp.build("show", "speaker", slide_count=10)
+        fresh.restore_app_state(state)
+        assert fresh.current_slide == 4
+
+
+class TestHandheld:
+    def test_handheld_editor_fits_pda(self):
+        app = build_handheld_editor("hed", "alice")
+        profile = handheld_profile("pda1")
+        assert profile.satisfies(app.device_requirements)
+        assert app.component("editor-ui").size_bytes == 80_000
+
+    def test_handheld_player_small_ui(self):
+        app = build_handheld_music_player("hmp", "alice")
+        ui = app.component("player-ui")
+        assert ui.size_bytes == 80_000
+        assert ui.attributes["width"] == 320
+
+    def test_handheld_migration_pays_slow_cpu(self):
+        """Check-in on a PDA-class host is slower than on a PC."""
+        def run(profile):
+            d = Deployment(seed=5)
+            d.add_space("room")
+            src = d.add_host("pc1", "room")
+            dst = d.add_host("target", "room", profile=profile)
+            app = build_handheld_editor("hed", "alice", "text")
+            src.launch_application(app)
+            d.run_all()
+            outcome = src.migrate("hed", "target")
+            d.run_all()
+            assert outcome.completed
+            return outcome.resume_ms
+
+        from repro.core.profiles import DeviceProfile
+        fast = run(DeviceProfile("target"))
+        slow = run(handheld_profile("target"))
+        assert slow > 2 * fast
+
+    def test_handheld_adaptation_on_arrival(self):
+        d = Deployment(seed=5)
+        d.add_space("room")
+        src = d.add_host("pc1", "room")
+        d.add_host("pda", "room", profile=handheld_profile("pda"))
+        app = build_handheld_editor("hed", "alice")
+        src.launch_application(app)
+        d.run_all()
+        src.migrate("hed", "pda")
+        d.run_all()
+        ui = d.middleware("pda").application("hed").component("editor-ui")
+        assert ui.attributes["toolbar"] == "compact"
+
+
+class TestMessengerCloneSync:
+    """Clone-dispatch keeps a conversation live on two devices."""
+
+    def rig(self):
+        d = Deployment(seed=33)
+        d.add_space("desk")
+        d.add_space("couch")
+        desk = d.add_host("desk-pc", "desk")
+        couch = d.add_host("couch-tablet", "couch")
+        d.add_gateway("gw-desk", "desk")
+        d.add_gateway("gw-couch", "couch")
+        d.connect_spaces("desk", "couch")
+        app = MessengerApp.build("im", "alice", contact="bob")
+        desk.launch_application(app)
+        d.run_all()
+        from repro.core import MigrationKind
+        outcome = desk.migrate("im", "couch-tablet",
+                               kind=MigrationKind.CLONE_DISPATCH)
+        d.run_all()
+        assert outcome.completed
+        return d, desk, couch, app
+
+    def test_clone_carries_conversation_state(self):
+        d, desk, couch, app = self.rig()
+        replica = couch.application("im")
+        assert replica.contact == "bob"
+
+    def test_message_counter_syncs_across_devices(self):
+        d, desk, couch, app = self.rig()
+        app.send_message("from the desk")
+        d.run_all()
+        replica = couch.application("im")
+        # The coordinator's shared counter reached the tablet's UI.
+        assert replica.coordinator.state.get("messages") == 1
+        assert ("messages", 1) in replica.component("im-ui").updates
+
+    def test_replica_activity_reaches_master(self):
+        d, desk, couch, app = self.rig()
+        replica = couch.application("im")
+        replica.send_message("from the couch")
+        d.run_all()
+        assert app.coordinator.state.get("messages") == 1
+
+
+class TestPlaylist:
+    def test_build_with_playlist(self):
+        app = MusicPlayerApp.build_with_playlist(
+            "p", "alice", [("song-a", 2_000_000), ("song-b", 1_000_000)])
+        assert app.playlist == ["song-a", "song-b"]
+        assert app.track_name == "song-a"
+        assert len(app.data_components) == 2
+
+    def test_empty_playlist_rejected(self):
+        with pytest.raises(ValueError):
+            MusicPlayerApp.build_with_playlist("p", "alice", [])
+
+    def test_next_track_wraps(self, rig):
+        d, src, dst = rig
+        app = MusicPlayerApp.build_with_playlist(
+            "p", "alice", [("a", 1_000_000), ("b", 1_000_000)])
+        src.launch_application(app)
+        d.run_all()
+        app.next_track()
+        assert app.track_name == "b"
+        app.next_track()
+        assert app.track_name == "a"
+        ui = app.component("player-ui")
+        assert ("track", "b") in ui.updates
+
+    def test_select_unknown_track_rejected(self, rig):
+        d, src, dst = rig
+        app = MusicPlayerApp.build_with_playlist("p", "alice",
+                                                 [("a", 1_000_000)])
+        src.launch_application(app)
+        d.run_all()
+        with pytest.raises(ValueError):
+            app.select_track("nope")
+
+    def test_select_track_resets_position(self, rig):
+        d, src, dst = rig
+        app = MusicPlayerApp.build_with_playlist(
+            "p", "alice", [("a", 4_000_000), ("b", 4_000_000)])
+        src.launch_application(app)
+        d.run_all()
+        d.loop.advance(8_000.0)
+        assert app.current_position_ms() > 0
+        app.select_track("b")
+        assert app.current_position_ms() == pytest.approx(0.0, abs=1.0)
+        d.loop.advance(3_000.0)
+        assert app.current_position_ms() == pytest.approx(3_000.0)
+
+    def test_migration_streams_every_big_track(self, rig):
+        """All playlist files bind remotely under adaptive binding."""
+        d, src, dst = rig
+        app = MusicPlayerApp.build_with_playlist(
+            "p", "alice", [("a", 3_000_000), ("b", 2_000_000),
+                           ("jingle", 100_000)])
+        src.launch_application(app)
+        d.run_all()
+        outcome = src.migrate("p", "pc2")
+        d.run_all()
+        assert outcome.completed
+        assert sorted(outcome.plan.remote_data) == ["a", "b"]
+        assert "jingle" in outcome.plan.carry_components  # small: carried
+        moved = dst.application("p")
+        assert moved.playlist == ["a", "b", "jingle"]
+        # Both big tracks bound to remote URLs; the jingle is local.
+        remote = {c.name for c in moved.data_components if c.is_remote}
+        assert remote == {"a", "b"}
+        moved.next_track()  # playlist still functional after the move
+        assert moved.track_name == "b"

@@ -1,0 +1,104 @@
+"""Tests for the smart-building workload generator."""
+
+import pytest
+
+from repro.bench.scenarios import SmartBuildingWorkload, WorkloadConfig
+
+
+def small_config(**overrides):
+    defaults = dict(users=3, spaces=3, duration_ms=300_000.0, seed=2)
+    defaults.update(overrides)
+    return WorkloadConfig(**defaults)
+
+
+def test_build_creates_population():
+    workload = SmartBuildingWorkload(small_config())
+    d = workload.build()
+    assert len(d.middlewares) == 3 * 2  # spaces * hosts_per_space
+    apps = [a for m in d.middlewares.values()
+            for a in m.applications.values()]
+    assert len(apps) == 3  # one per user
+    owners = {a.owner for a in apps}
+    assert owners == {"user0", "user1", "user2"}
+
+
+def test_app_mix_cycles():
+    workload = SmartBuildingWorkload(small_config())
+    d = workload.build()
+    names = sorted(a.name for m in d.middlewares.values()
+                   for a in m.applications.values())
+    assert names == ["user0-music", "user1-editor", "user2-chat"]
+
+
+def test_run_reports_consistent_counts():
+    workload = SmartBuildingWorkload(small_config())
+    report = workload.run()
+    assert report.moves_injected > 0
+    assert report.migrations_completed <= report.moves_injected
+    assert report.migrations_failed == 0
+    assert report.sim_time_ms >= report.config.duration_ms
+    assert report.apps_running_at_end == report.config.users
+
+
+def test_deterministic_under_seed():
+    a = SmartBuildingWorkload(small_config(seed=5)).run()
+    b = SmartBuildingWorkload(small_config(seed=5)).run()
+    assert a.as_row() == b.as_row()
+
+
+def test_different_seeds_differ():
+    a = SmartBuildingWorkload(small_config(seed=5)).run()
+    b = SmartBuildingWorkload(small_config(seed=6)).run()
+    assert a.moves_injected != b.moves_injected or \
+        a.as_row() != b.as_row()
+
+
+def test_zero_duration_runs_nothing():
+    workload = SmartBuildingWorkload(small_config(duration_ms=0.0))
+    report = workload.run()
+    assert report.moves_injected == 0
+    assert report.migrations_completed == 0
+
+
+def test_as_row_keys_stable():
+    report = SmartBuildingWorkload(small_config()).run()
+    assert set(report.as_row()) == {
+        "users", "spaces", "moves", "migrations", "failed", "follow_rate",
+        "mean_mig_ms", "max_mig_ms", "MB_migrated"}
+
+
+class TestMobilityPatterns:
+    def test_routine_pattern_is_cyclic(self):
+        workload = SmartBuildingWorkload(small_config(
+            mobility_pattern="routine", duration_ms=1_200_000.0))
+        report = workload.run()
+        assert report.moves_injected > 0
+        # Every user oscillates between exactly two spaces.
+        for user in workload.user_locations:
+            index = int(user.replace("user", ""))
+            home = f"space{index % workload.config.spaces}"
+            away = f"space{(index + 1) % workload.config.spaces}"
+            assert workload.user_locations[user] in (home, away)
+
+    def test_prestaging_flag_runs_clean(self):
+        workload = SmartBuildingWorkload(small_config(
+            mobility_pattern="routine", prestaging=True,
+            duration_ms=1_200_000.0))
+        report = workload.run()
+        assert report.migrations_failed == 0
+        assert workload.deployment.prestaging is not None
+
+    def test_steady_state_latency_equal_with_and_without_prestaging(self):
+        """A documented negative result: because installed components
+        persist at visited hosts, repeat visits are warm either way --
+        pre-staging only accelerates *first* visits (see ablation A7)."""
+        def run(prestaging):
+            workload = SmartBuildingWorkload(small_config(
+                mobility_pattern="routine", prestaging=prestaging,
+                duration_ms=1_800_000.0))
+            return workload.run()
+
+        cold = run(False)
+        warm = run(True)
+        assert cold.mean_migration_ms == pytest.approx(
+            warm.mean_migration_ms, rel=0.05)

@@ -1,0 +1,129 @@
+"""Tests for Markov next-location prediction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.context.prediction import MarkovPredictor
+
+
+def test_no_history_no_prediction():
+    assert MarkovPredictor().predict("alice") is None
+
+
+def test_single_visit_no_prediction():
+    p = MarkovPredictor()
+    p.observe("alice", "office")
+    assert p.predict("alice") is None
+
+
+def test_learns_simple_transition():
+    p = MarkovPredictor()
+    for _ in range(3):
+        p.observe("alice", "office")
+        p.observe("alice", "lab")
+    assert p.predict("alice") == "office"  # currently in lab, lab->office twice
+
+
+def test_majority_transition_wins():
+    p = MarkovPredictor()
+    # office -> lab 3x, office -> cafe 1x
+    for nxt in ("lab", "lab", "cafe", "lab"):
+        p.observe("alice", "office")
+        p.observe("alice", nxt)
+    p.observe("alice", "office")
+    assert p.predict("alice") == "lab"
+
+
+def test_probability():
+    p = MarkovPredictor()
+    for nxt in ("lab", "lab", "cafe", "lab"):
+        p.observe("alice", "office")
+        p.observe("alice", nxt)
+    p.observe("alice", "office")
+    assert p.probability("alice", "lab") == pytest.approx(0.75)
+    assert p.probability("alice", "cafe") == pytest.approx(0.25)
+    assert p.probability("alice", "roof") == 0.0
+    assert p.probability("ghost", "lab") == 0.0
+
+
+def test_consecutive_duplicates_collapsed():
+    p = MarkovPredictor()
+    p.observe("alice", "office")
+    p.observe("alice", "office")
+    p.observe("alice", "lab")
+    assert p.visits("alice") == ["office", "lab"]
+
+
+def test_users_are_independent():
+    p = MarkovPredictor()
+    p.observe("alice", "office")
+    p.observe("alice", "lab")
+    p.observe("alice", "office")
+    p.observe("bob", "cafe")
+    p.observe("bob", "gym")
+    p.observe("bob", "cafe")
+    assert p.predict("alice") == "lab"
+    assert p.predict("bob") == "gym"
+
+
+def test_order2_distinguishes_paths():
+    """Order-2 can tell office->lab->X from cafe->lab->X."""
+    p = MarkovPredictor(order=2)
+    for _ in range(3):
+        p.observe("alice", "office")
+        p.observe("alice", "lab")
+        p.observe("alice", "meeting")
+        p.observe("alice", "cafe")
+        p.observe("alice", "lab")
+        p.observe("alice", "gym")
+    p.observe("alice", "office")
+    p.observe("alice", "lab")
+    assert p.predict("alice") == "meeting"
+    p.observe("alice", "cafe")
+    p.observe("alice", "lab")
+    assert p.predict("alice") == "gym"
+
+
+def test_order2_falls_back_to_order1():
+    p = MarkovPredictor(order=2)
+    p.observe("alice", "a")
+    p.observe("alice", "b")
+    p.observe("alice", "c")
+    # history (b, c) unseen going forward, but order-1 c->? also unseen;
+    # next observation creates data:
+    p.observe("alice", "b")  # (b,c)->b recorded
+    p.observe("alice", "c")
+    assert p.predict("alice") == "b"
+
+
+def test_deterministic_tiebreak():
+    p = MarkovPredictor()
+    p.observe("alice", "office")
+    p.observe("alice", "bravo")
+    p.observe("alice", "office")
+    p.observe("alice", "alpha")
+    p.observe("alice", "office")
+    assert p.predict("alice") == "alpha"  # equal counts -> lexicographic
+
+
+def test_order_validation():
+    with pytest.raises(ValueError):
+        MarkovPredictor(order=0)
+
+
+@given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=2, max_size=50))
+def test_prediction_is_a_seen_location_or_none(seq):
+    p = MarkovPredictor()
+    for loc in seq:
+        p.observe("u", loc)
+    prediction = p.predict("u")
+    assert prediction is None or prediction in set(seq)
+
+
+@given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=2, max_size=50),
+       st.sampled_from(["a", "b", "c"]))
+def test_probabilities_bounded(seq, target):
+    p = MarkovPredictor()
+    for loc in seq:
+        p.observe("u", loc)
+    assert 0.0 <= p.probability("u", target) <= 1.0

@@ -1,0 +1,218 @@
+"""Tests for simulated Cricket sensors, network probes and fusion."""
+
+import pytest
+
+from repro.context.bus import ContextBus
+from repro.context.fusion import IdentityRegistry, LocationFusion
+from repro.context.model import TOPIC_LOCATION, TOPIC_RAW_CRICKET, TOPIC_RAW_NETWORK
+from repro.context.sensors import (
+    CricketSensorNetwork,
+    NetworkSensor,
+    PhysicalWorld,
+    Position,
+)
+from repro.net.kernel import EventLoop
+from repro.net.simnet import Network
+
+
+@pytest.fixture
+def loop():
+    return EventLoop()
+
+
+@pytest.fixture
+def bus(loop):
+    return ContextBus(loop)
+
+
+def build_cricket(loop, bus, noise=0.0, period=100.0):
+    world = PhysicalWorld()
+    sensors = CricketSensorNetwork(loop, bus, world,
+                                   sample_period_ms=period,
+                                   noise_sigma_m=noise, seed=1)
+    sensors.add_beacon("b-821", "room821", 2.0, 2.0)
+    sensors.add_beacon("b-822", "room822", 2.0, 2.0)
+    return world, sensors
+
+
+class TestPosition:
+    def test_same_space_distance(self):
+        a = Position("r", 0.0, 0.0)
+        b = Position("r", 3.0, 4.0)
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    def test_cross_space_is_none(self):
+        assert Position("r1", 0, 0).distance_to(Position("r2", 0, 0)) is None
+
+
+class TestCricket:
+    def test_raw_readings_published(self, loop, bus):
+        world, sensors = build_cricket(loop, bus)
+        world.add_user("alice", "badge-1", "room821", 1.0, 1.0)
+        raws = []
+        bus.subscribe(TOPIC_RAW_CRICKET, raws.append)
+        sensors.start()
+        loop.run(until=350.0)
+        assert len(raws) == 3  # ticks at 100, 200, 300
+        assert raws[0].get("beacon") == "b-821"
+        assert raws[0].get("distance_m") == pytest.approx(2 ** 0.5)
+
+    def test_out_of_range_beacon_silent(self, loop, bus):
+        world, sensors = build_cricket(loop, bus)
+        sensors.add_beacon("b-far", "room821", 100.0, 100.0, range_m=5.0)
+        world.add_user("alice", "badge-1", "room821", 1.0, 1.0)
+        raws = []
+        bus.subscribe(TOPIC_RAW_CRICKET, raws.append)
+        sensors.start()
+        loop.run(until=150.0)
+        assert {r.get("beacon") for r in raws} == {"b-821"}
+
+    def test_beacons_do_not_hear_across_spaces(self, loop, bus):
+        world, sensors = build_cricket(loop, bus)
+        world.add_user("alice", "badge-1", "room822", 2.0, 2.0)
+        raws = []
+        bus.subscribe(TOPIC_RAW_CRICKET, raws.append)
+        sensors.start()
+        loop.run(until=150.0)
+        assert {r.get("beacon") for r in raws} == {"b-822"}
+
+    def test_noise_applied_deterministically(self, loop, bus):
+        world, sensors = build_cricket(loop, bus, noise=0.5)
+        world.add_user("alice", "badge-1", "room821", 1.0, 1.0)
+        raws = []
+        bus.subscribe(TOPIC_RAW_CRICKET, raws.append)
+        sensors.start()
+        loop.run(until=550.0)
+        distances = [r.get("distance_m") for r in raws]
+        assert len(set(distances)) > 1  # noise varies
+        assert all(d >= 0.0 for d in distances)
+
+    def test_stop_halts_sampling(self, loop, bus):
+        world, sensors = build_cricket(loop, bus)
+        world.add_user("alice", "badge-1", "room821", 1.0, 1.0)
+        sensors.start()
+        loop.run(until=150.0)
+        count = sensors.samples_published
+        sensors.stop()
+        loop.run(until=1000.0)
+        assert sensors.samples_published == count
+
+    def test_duplicate_badge_rejected(self):
+        world = PhysicalWorld()
+        world.add_user("alice", "b1", "r")
+        with pytest.raises(ValueError):
+            world.add_user("bob", "b1", "r")
+
+    def test_duplicate_beacon_rejected(self, loop, bus):
+        world, sensors = build_cricket(loop, bus)
+        with pytest.raises(ValueError):
+            sensors.add_beacon("b-821", "roomX", 0, 0)
+
+    def test_unknown_badge_move_rejected(self):
+        with pytest.raises(KeyError):
+            PhysicalWorld().move_user("ghost", "r")
+
+
+class TestLocationFusion:
+    def setup_pipeline(self, loop, bus, noise=0.0):
+        world, sensors = build_cricket(loop, bus, noise=noise)
+        identities = IdentityRegistry()
+        identities.register("badge-1", "alice")
+        fusion = LocationFusion(bus, identities, window_size=3)
+        return world, sensors, fusion
+
+    def test_first_fix_emits_location(self, loop, bus):
+        world, sensors, fusion = self.setup_pipeline(loop, bus)
+        world.add_user("alice", "badge-1", "room821", 1.0, 1.0)
+        locations = []
+        bus.subscribe(TOPIC_LOCATION, locations.append)
+        sensors.start()
+        loop.run(until=500.0)
+        assert len(locations) == 1
+        assert locations[0].subject == "alice"  # identity resolved
+        assert locations[0].get("location") == "room821"
+        assert locations[0].get("previous") is None
+
+    def test_transition_emits_change_event(self, loop, bus):
+        world, sensors, fusion = self.setup_pipeline(loop, bus)
+        world.add_user("alice", "badge-1", "room821", 1.0, 1.0)
+        locations = []
+        bus.subscribe(TOPIC_LOCATION, locations.append)
+        sensors.start()
+        loop.call_later(700.0, world.move_user, "badge-1", "room822", 1.0, 1.0)
+        loop.run(until=1500.0)
+        assert [e.get("location") for e in locations] == ["room821", "room822"]
+        assert locations[1].get("previous") == "room821"
+
+    def test_no_event_without_change(self, loop, bus):
+        world, sensors, fusion = self.setup_pipeline(loop, bus)
+        world.add_user("alice", "badge-1", "room821", 1.0, 1.0)
+        locations = []
+        bus.subscribe(TOPIC_LOCATION, locations.append)
+        sensors.start()
+        loop.run(until=3000.0)
+        assert len(locations) == 1  # only the initial fix
+
+    def test_unregistered_badge_falls_back_to_badge_id(self, loop, bus):
+        world, sensors = build_cricket(loop, bus)
+        fusion = LocationFusion(bus, IdentityRegistry(), window_size=3)
+        world.add_user("whoever", "badge-9", "room821", 1.0, 1.0)
+        locations = []
+        bus.subscribe(TOPIC_LOCATION, locations.append)
+        sensors.start()
+        loop.run(until=500.0)
+        assert locations[0].subject == "badge-9"
+
+    def test_confidence_reflects_agreement(self, loop, bus):
+        world, sensors, fusion = self.setup_pipeline(loop, bus)
+        world.add_user("alice", "badge-1", "room821", 1.0, 1.0)
+        locations = []
+        bus.subscribe(TOPIC_LOCATION, locations.append)
+        sensors.start()
+        loop.run(until=500.0)
+        assert locations[0].confidence == pytest.approx(1.0)
+
+    def test_current_location_query(self, loop, bus):
+        world, sensors, fusion = self.setup_pipeline(loop, bus)
+        world.add_user("alice", "badge-1", "room821", 1.0, 1.0)
+        sensors.start()
+        loop.run(until=500.0)
+        assert fusion.current_location("badge-1") == "room821"
+        assert fusion.current_location("nobody") is None
+
+    def test_window_size_validation(self, bus):
+        with pytest.raises(ValueError):
+            LocationFusion(bus, IdentityRegistry(), window_size=0)
+
+
+class TestNetworkSensor:
+    def test_response_time_measured(self, loop, bus):
+        net = Network(loop)
+        net.create_host("h1")
+        net.create_host("h2")
+        net.connect("h1", "h2", latency_ms=4.0)
+        sensor = NetworkSensor(loop, bus, net, "h1", ["h2"],
+                               probe_period_ms=1000.0)
+        readings = []
+        bus.subscribe(TOPIC_RAW_NETWORK, readings.append)
+        sensor.start()
+        loop.run(until=500.0)
+        sensor.stop()
+        assert len(readings) == 1
+        assert readings[0].get("peer") == "h2"
+        assert readings[0].get("response_time_ms") == pytest.approx(8.0)
+
+    def test_periodic_probing(self, loop, bus):
+        net = Network(loop)
+        net.create_host("h1")
+        net.create_host("h2")
+        net.connect("h1", "h2")
+        sensor = NetworkSensor(loop, bus, net, "h1", ["h2"],
+                               probe_period_ms=100.0)
+        readings = []
+        bus.subscribe(TOPIC_RAW_NETWORK, readings.append)
+        sensor.start()
+        loop.run(until=450.0)
+        sensor.stop()
+        loop.run(until=451)
+        assert len(readings) == 5  # t=0,100,200,300,400

@@ -1,0 +1,207 @@
+"""Tests for context databases, the classifier and the monitor."""
+
+import pytest
+
+from repro.context.bus import ContextBus
+from repro.context.classifier import ContextClassifier, default_temporal_policy
+from repro.context.model import (
+    ContextEvent,
+    TemporalClass,
+    TOPIC_LOCATION,
+    TOPIC_PREFERENCE,
+)
+from repro.context.monitor import (
+    Condition,
+    ContextMonitor,
+    location_changed_condition,
+)
+from repro.context.store import ContextDatabase, ContextStore
+from repro.net.kernel import EventLoop
+
+
+def ev(topic=TOPIC_LOCATION, subject="alice", ts=0.0, **attrs):
+    return ContextEvent(topic=topic, subject=subject, attributes=attrs,
+                        timestamp=ts)
+
+
+class TestContextDatabase:
+    def test_store_and_current(self):
+        db = ContextDatabase(TemporalClass.DYNAMIC)
+        db.store(ev(location="room1", ts=1.0))
+        db.store(ev(location="room2", ts=2.0))
+        assert db.current(TOPIC_LOCATION, "alice").get("location") == "room2"
+        assert len(db) == 2
+
+    def test_history_filters(self):
+        db = ContextDatabase(TemporalClass.DYNAMIC)
+        db.store(ev(subject="alice", ts=1.0))
+        db.store(ev(subject="bob", ts=2.0))
+        db.store(ev(subject="alice", ts=3.0))
+        assert len(db.history(subject="alice")) == 2
+        assert len(db.history(since=2.0)) == 2
+        assert len(db.history(topic="nope")) == 0
+
+    def test_retention_bounded(self):
+        db = ContextDatabase(TemporalClass.DYNAMIC, max_history=5)
+        for i in range(10):
+            db.store(ev(ts=float(i)))
+        assert len(db) == 5
+        assert db.history()[0].timestamp == 5.0
+        assert db.stored == 10
+
+    def test_subjects(self):
+        db = ContextDatabase(TemporalClass.DYNAMIC)
+        db.store(ev(subject="bob"))
+        db.store(ev(subject="alice"))
+        assert db.subjects(TOPIC_LOCATION) == ["alice", "bob"]
+
+    def test_max_history_validation(self):
+        with pytest.raises(ValueError):
+            ContextDatabase(TemporalClass.STATIC, max_history=0)
+
+
+class TestContextStore:
+    def test_current_across_databases(self):
+        store = ContextStore()
+        store.store(ev(topic=TOPIC_PREFERENCE, handed="left", ts=1.0),
+                    TemporalClass.STATIC)
+        store.store(ev(location="room1", ts=2.0), TemporalClass.DYNAMIC)
+        assert store.current_value(TOPIC_PREFERENCE, "alice", "handed") == "left"
+        assert store.current_value(TOPIC_LOCATION, "alice", "location") == "room1"
+
+    def test_current_value_default(self):
+        store = ContextStore()
+        assert store.current_value("t", "s", "k", default="d") == "d"
+
+    def test_merged_history_sorted(self):
+        store = ContextStore()
+        store.store(ev(ts=3.0), TemporalClass.DYNAMIC)
+        store.store(ev(topic=TOPIC_PREFERENCE, ts=1.0), TemporalClass.STATIC)
+        history = store.history()
+        assert [e.timestamp for e in history] == [1.0, 3.0]
+
+    def test_total_stored(self):
+        store = ContextStore()
+        store.store(ev(), TemporalClass.DYNAMIC)
+        store.store(ev(), TemporalClass.STABLE)
+        assert store.total_stored == 2
+
+
+class TestClassifier:
+    def test_policy_routes_to_databases(self):
+        loop = EventLoop()
+        bus = ContextBus(loop)
+        store = ContextStore()
+        classifier = ContextClassifier(bus, store)
+        bus.publish(ev(location="room1"))
+        bus.publish(ev(topic=TOPIC_PREFERENCE, handed="left"))
+        loop.run()
+        assert store.database(TemporalClass.DYNAMIC).stored == 1
+        assert store.database(TemporalClass.STATIC).stored == 1
+        assert classifier.classified == 2
+
+    def test_raw_topics_not_classified(self):
+        loop = EventLoop()
+        bus = ContextBus(loop)
+        store = ContextStore()
+        ContextClassifier(bus, store)
+        bus.publish(ev(topic="raw.cricket"))
+        loop.run()
+        assert store.total_stored == 0
+
+    def test_unmapped_topic_uses_default(self):
+        loop = EventLoop()
+        bus = ContextBus(loop)
+        store = ContextStore()
+        ContextClassifier(bus, store,
+                          default_class=TemporalClass.STABLE)
+        bus.publish(ev(topic="context.custom"))
+        loop.run()
+        assert store.database(TemporalClass.STABLE).stored == 1
+
+    def test_default_policy_contents(self):
+        policy = default_temporal_policy()
+        assert policy[TOPIC_LOCATION] is TemporalClass.DYNAMIC
+        assert policy[TOPIC_PREFERENCE] is TemporalClass.STATIC
+
+
+class TestMonitor:
+    def make(self):
+        loop = EventLoop()
+        bus = ContextBus(loop)
+        store = ContextStore()
+        monitor = ContextMonitor(bus, store)
+        return loop, bus, store, monitor
+
+    def test_condition_triggers(self):
+        loop, bus, store, monitor = self.make()
+        monitor.add_condition(location_changed_condition())
+        fired = []
+        monitor.on_condition("user-location-changed",
+                             lambda event, cond: fired.append(event))
+        bus.publish(ev(location="room2", previous="room1"))
+        loop.run()
+        assert len(fired) == 1
+        assert fired[0].get("location") == "room2"
+
+    def test_condition_not_fired_without_change(self):
+        loop, bus, store, monitor = self.make()
+        condition = monitor.add_condition(location_changed_condition())
+        monitor.on_condition("user-location-changed",
+                             lambda e, c: pytest.fail("should not fire"))
+        bus.publish(ev(location="room1", previous="room1"))
+        loop.run()
+        assert condition.fired == 0
+
+    def test_topic_mismatch_ignored(self):
+        loop, bus, store, monitor = self.make()
+        condition = monitor.add_condition(location_changed_condition())
+        bus.publish(ev(topic=TOPIC_PREFERENCE, location="x", previous="y"))
+        loop.run()
+        assert condition.fired == 0
+
+    def test_multiple_triggers_all_fire(self):
+        loop, bus, store, monitor = self.make()
+        monitor.add_condition(location_changed_condition())
+        calls = []
+        monitor.on_condition("user-location-changed",
+                             lambda e, c: calls.append("a"))
+        monitor.on_condition("user-location-changed",
+                             lambda e, c: calls.append("b"))
+        bus.publish(ev(location="room2", previous="room1"))
+        loop.run()
+        assert sorted(calls) == ["a", "b"]
+
+    def test_custom_condition_with_store_access(self):
+        loop, bus, store, monitor = self.make()
+        monitor.add_condition(Condition(
+            name="left-handed-user-moved",
+            topic=TOPIC_LOCATION,
+            predicate=lambda e, s: s.current_value(
+                TOPIC_PREFERENCE, e.subject, "handed") == "left",
+        ))
+        fired = []
+        monitor.on_condition("left-handed-user-moved",
+                             lambda e, c: fired.append(e.subject))
+        store.store(ev(topic=TOPIC_PREFERENCE, handed="left"),
+                    TemporalClass.STATIC)
+        bus.publish(ev(location="room2"))
+        loop.run()
+        assert fired == ["alice"]
+
+    def test_duplicate_condition_rejected(self):
+        loop, bus, store, monitor = self.make()
+        monitor.add_condition(location_changed_condition())
+        with pytest.raises(ValueError):
+            monitor.add_condition(location_changed_condition())
+
+    def test_trigger_on_unknown_condition_rejected(self):
+        loop, bus, store, monitor = self.make()
+        with pytest.raises(KeyError):
+            monitor.on_condition("ghost", lambda e, c: None)
+
+    def test_remove_condition(self):
+        loop, bus, store, monitor = self.make()
+        monitor.add_condition(location_changed_condition())
+        monitor.remove_condition("user-location-changed")
+        assert monitor.conditions == []

@@ -1,0 +1,260 @@
+"""Tests for the application model and the coordinator observer pattern."""
+
+import pytest
+
+from repro.core.application import Application, AppStatus, register_application_type
+from repro.core.components import (
+    ComponentKind,
+    DataComponent,
+    LogicComponent,
+    PresentationComponent,
+    ResourceBinding,
+)
+from repro.core.coordinator import Coordinator, SyncRole
+from repro.core.errors import ApplicationError
+
+
+def sample_app():
+    app = Application("demo", "alice")
+    app.add_component(LogicComponent("logic", 100_000))
+    app.add_component(PresentationComponent("ui", 200_000))
+    app.add_component(DataComponent("data", 1_000_000))
+    app.add_component(ResourceBinding("printer", "imcl:hp1", "imcl:Printer"))
+    return app
+
+
+class FakeMiddleware:
+    host_name = "h1"
+
+
+class TestApplicationModel:
+    def test_validation(self):
+        with pytest.raises(ApplicationError):
+            Application("", "alice")
+        with pytest.raises(ApplicationError):
+            Application("app", "")
+
+    def test_duplicate_component_rejected(self):
+        app = sample_app()
+        with pytest.raises(ApplicationError):
+            app.add_component(LogicComponent("logic"))
+
+    def test_component_queries(self):
+        app = sample_app()
+        assert app.has_component("ui")
+        assert not app.has_component("ghost")
+        assert len(app.components_of_kind(ComponentKind.DATA)) == 1
+        assert [p.name for p in app.presentations] == ["ui"]
+        assert [d.name for d in app.data_components] == ["data"]
+        assert [r.name for r in app.resource_bindings] == ["printer"]
+        assert app.component_kinds() == ["data", "logic", "presentation",
+                                         "resource"]
+        assert app.total_size_bytes == 1_300_256
+
+    def test_unknown_component_raises(self):
+        with pytest.raises(ApplicationError):
+            sample_app().component("ghost")
+
+    def test_presentation_auto_registers_as_observer(self):
+        app = sample_app()
+        assert app.component("ui") in app.coordinator.observers
+
+    def test_remove_component_unregisters_observer(self):
+        app = sample_app()
+        ui = app.remove_component("ui")
+        assert ui not in app.coordinator.observers
+
+    def test_lifecycle(self):
+        app = sample_app()
+        assert app.status is AppStatus.INSTALLED
+        app.start(FakeMiddleware())
+        assert app.status is AppStatus.RUNNING
+        assert app.host == "h1"
+        app.suspend()
+        assert app.status is AppStatus.SUSPENDED
+        app.resume()
+        assert app.status is AppStatus.RUNNING
+        app.stop()
+        assert app.status is AppStatus.INSTALLED
+
+    def test_bad_transitions(self):
+        app = sample_app()
+        with pytest.raises(ApplicationError):
+            app.suspend()  # not running
+        app.start(FakeMiddleware())
+        with pytest.raises(ApplicationError):
+            app.start(FakeMiddleware())
+        with pytest.raises(ApplicationError):
+            app.resume()  # not suspended
+
+    def test_lifecycle_hooks_called(self):
+        calls = []
+
+        @register_application_type
+        class HookApp(Application):
+            def on_start(self):
+                calls.append("start")
+
+            def on_suspend(self):
+                calls.append("suspend")
+
+            def on_resume(self):
+                calls.append("resume")
+
+        app = HookApp("hooks", "alice")
+        app.start(FakeMiddleware())
+        app.suspend()
+        app.resume()
+        app.stop()
+        assert calls == ["start", "suspend", "resume", "suspend"]
+
+
+class TestManifest:
+    def test_full_roundtrip(self):
+        app = sample_app()
+        restored = Application.from_manifest(app.to_manifest())
+        assert restored.name == "demo"
+        assert restored.owner == "alice"
+        assert {c.name for c in restored.components} == \
+            {"logic", "ui", "data", "printer"}
+
+    def test_partial_manifest(self):
+        app = sample_app()
+        manifest = app.to_manifest(["logic", "ui"])
+        restored = Application.from_manifest(manifest)
+        assert {c.name for c in restored.components} == {"logic", "ui"}
+
+    def test_merge_components_adds_missing(self):
+        app = sample_app()
+        partial = Application("demo", "alice")
+        partial.add_component(PresentationComponent("ui", 200_000))
+        merged = partial.merge_components(app.to_manifest(["logic", "data"]))
+        assert sorted(merged) == ["data", "logic"]
+        assert partial.has_component("logic")
+
+    def test_merge_prefers_newer_version(self):
+        app = sample_app()
+        app.component("ui").touch()  # v2
+        stale = Application("demo", "alice")
+        ui_old = PresentationComponent("ui", 200_000,
+                                       attributes={"width": 1})
+        stale.add_component(ui_old)
+        stale.merge_components(app.to_manifest(["ui"]))
+        assert stale.component("ui").version == 2
+
+    def test_merge_skips_older_version(self):
+        newer = Application("demo", "alice")
+        ui_new = PresentationComponent("ui", 1)
+        ui_new.version = 5
+        newer.add_component(ui_new)
+        old_manifest = sample_app().to_manifest(["ui"])  # version 1
+        merged = newer.merge_components(old_manifest)
+        assert merged == []
+        assert newer.component("ui").version == 5
+
+
+class TestCoordinator:
+    def test_observer_notification(self):
+        app = sample_app()
+        app.start(FakeMiddleware())
+        app.coordinator.update("volume", 42)
+        assert app.component("ui").last_update == ("volume", 42)
+        assert app.coordinator.state["volume"] == 42
+
+    def test_duplicate_observer_rejected(self):
+        coordinator = Coordinator("x")
+        ui = PresentationComponent("ui")
+        coordinator.register_observer(ui)
+        with pytest.raises(ApplicationError):
+            coordinator.register_observer(ui)
+
+    def test_update_while_suspended_rejected(self):
+        coordinator = Coordinator("x")
+        coordinator.suspend()
+        with pytest.raises(ApplicationError):
+            coordinator.update("k", 1)
+
+    def test_snapshot_restore_renotifies(self):
+        coordinator = Coordinator("x")
+        ui = PresentationComponent("ui")
+        coordinator.register_observer(ui)
+        coordinator.update("slide", 3)
+        saved = coordinator.snapshot_state()
+        other = Coordinator("x")
+        ui2 = PresentationComponent("ui2")
+        other.register_observer(ui2)
+        other.restore_state(saved)
+        assert other.state == {"slide": 3}
+        assert ui2.last_update == ("slide", 3)
+
+    def test_master_broadcasts_to_replicas(self):
+        sent = []
+        master = Coordinator("show", host="main")
+        master.attach_sync_transport(
+            lambda peer, app, key, value, origin: sent.append((peer, key, value)))
+        master.become_master()
+        master.add_replica("room2")
+        master.add_replica("room3")
+        master.update("slide", 5)
+        assert sorted(sent) == [("room2", "slide", 5), ("room3", "slide", 5)]
+        assert master.state["slide"] == 5
+
+    def test_replica_forwards_control_to_master(self):
+        sent = []
+        replica = Coordinator("show", host="room2")
+        replica.attach_sync_transport(
+            lambda peer, app, key, value, origin: sent.append((peer, key, value)))
+        replica.become_replica("main")
+        replica.update("slide", 7)
+        assert sent == [("main", "slide", 7)]
+        # Not applied locally until the master rebroadcasts.
+        assert "slide" not in replica.state
+
+    def test_master_rebroadcast_includes_origin(self):
+        """The origin replica did not apply locally; it needs the echo."""
+        sent = []
+        master = Coordinator("show", host="main")
+        master.attach_sync_transport(
+            lambda peer, app, key, value, origin: sent.append(peer))
+        master.become_master()
+        master.add_replica("room2")
+        master.add_replica("room3")
+        master.apply_remote_update("slide", 9, origin_host="room2")
+        assert sorted(sent) == ["room2", "room3"]
+        assert master.state["slide"] == 9
+
+    def test_replica_applies_remote_update(self):
+        replica = Coordinator("show", host="room2")
+        replica.become_replica("main")
+        replica.apply_remote_update("slide", 4, origin_host="main")
+        assert replica.state["slide"] == 4
+
+    def test_suspended_copy_drops_sync(self):
+        replica = Coordinator("show")
+        replica.become_replica("main")
+        replica.suspend()
+        replica.apply_remote_update("slide", 4, origin_host="main")
+        assert replica.state == {}
+
+    def test_add_replica_requires_master(self):
+        coordinator = Coordinator("x")
+        with pytest.raises(ApplicationError):
+            coordinator.add_replica("room2")
+
+    def test_send_without_transport_raises(self):
+        master = Coordinator("x")
+        master.become_master()
+        master.add_replica("r")
+        with pytest.raises(ApplicationError):
+            master.update("k", 1)
+
+    def test_remove_replica(self):
+        sent = []
+        master = Coordinator("x")
+        master.attach_sync_transport(
+            lambda peer, app, key, value, origin: sent.append(peer))
+        master.become_master()
+        master.add_replica("r1")
+        master.remove_replica("r1")
+        master.update("k", 1)
+        assert sent == []

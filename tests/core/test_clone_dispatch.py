@@ -1,0 +1,131 @@
+"""Clone-dispatch mobility + synchronized presentations (the lecture demo)."""
+
+import pytest
+
+from repro.apps.slideshow import SlideShowApp
+from repro.core import BindingPolicy, Deployment, MigrationKind
+from repro.core.application import AppStatus
+from repro.core.components import LogicComponent, PresentationComponent
+from repro.core.coordinator import SyncRole
+
+
+def lecture_deployment(extra_rooms=1):
+    """Main room + N overflow rooms across gateways (different cyber
+    domains, as in the paper's scenario)."""
+    d = Deployment(seed=2)
+    d.add_space("main-room")
+    main = d.add_host("main-pc", "main-room")
+    d.add_gateway("gw-main", "main-room")
+    rooms = []
+    for i in range(extra_rooms):
+        space = f"room-{i+2}"
+        d.add_space(space)
+        pc = d.add_host(f"pc-{i+2}", space)
+        d.add_gateway(f"gw-{i+2}", space)
+        d.connect_spaces("main-room", space)
+        # Each meeting room already has a presentation app + projector;
+        # "what lacks is the slides".
+        partial = SlideShowApp("lecture", "speaker")
+        partial.add_component(LogicComponent("impress-logic", 400_000))
+        partial.add_component(PresentationComponent("slide-ui", 300_000))
+        d.middleware(f"pc-{i+2}").install_application(partial)
+        rooms.append(d.middleware(f"pc-{i+2}"))
+    return d, main, rooms
+
+
+def launch_lecture(d, main, slide_count=40):
+    show = SlideShowApp.build("lecture", "speaker", slide_count=slide_count)
+    main.launch_application(show)
+    d.run_all()
+    return show
+
+
+class TestCloneDispatch:
+    def test_clone_completes_and_source_keeps_running(self):
+        d, main, (room2,) = lecture_deployment()
+        show = launch_lecture(d, main)
+        outcome = main.migrate("lecture", "pc-2",
+                               kind=MigrationKind.CLONE_DISPATCH)
+        d.run_all()
+        assert outcome.completed
+        assert show.status is AppStatus.RUNNING  # copy-paste keeps source
+        assert room2.application("lecture").status is AppStatus.RUNNING
+
+    def test_only_slides_carried(self):
+        """MAs just need to carry the slides to the destination."""
+        d, main, rooms = lecture_deployment()
+        launch_lecture(d, main)
+        outcome = main.migrate("lecture", "pc-2",
+                               kind=MigrationKind.CLONE_DISPATCH)
+        d.run_all()
+        assert outcome.plan.carry_components == ["slides"]
+        assert sorted(outcome.plan.reuse_components) == \
+            ["impress-logic", "slide-ui"]
+
+    def test_sync_link_established(self):
+        d, main, (room2,) = lecture_deployment()
+        show = launch_lecture(d, main)
+        main.migrate("lecture", "pc-2", kind=MigrationKind.CLONE_DISPATCH)
+        d.run_all()
+        assert show.coordinator.sync_role is SyncRole.MASTER
+        assert "pc-2" in show.coordinator.replica_hosts
+        replica = room2.application("lecture")
+        assert replica.coordinator.sync_role is SyncRole.REPLICA
+        assert replica.coordinator.master_host == "main-pc"
+
+    def test_speaker_controls_propagate(self):
+        """Slide changes in the main room appear in the overflow room."""
+        d, main, (room2,) = lecture_deployment()
+        show = launch_lecture(d, main)
+        main.migrate("lecture", "pc-2", kind=MigrationKind.CLONE_DISPATCH)
+        d.run_all()
+        show.goto_slide(7)
+        d.run_all()
+        replica = room2.application("lecture")
+        assert replica.displayed_slide == 7
+        # The replica's UI observed the update.
+        ui = replica.component("slide-ui")
+        assert ("slide", 7) in ui.updates
+
+    def test_replica_control_round_trips_via_master(self):
+        d, main, (room2,) = lecture_deployment()
+        show = launch_lecture(d, main)
+        main.migrate("lecture", "pc-2", kind=MigrationKind.CLONE_DISPATCH)
+        d.run_all()
+        replica = room2.application("lecture")
+        replica.goto_slide(3)
+        d.run_all()
+        assert show.displayed_slide == 3
+        assert replica.displayed_slide == 3
+
+    def test_fan_out_to_three_rooms(self):
+        d, main, rooms = lecture_deployment(extra_rooms=3)
+        show = launch_lecture(d, main)
+        for i in range(3):
+            main.migrate("lecture", f"pc-{i+2}",
+                         kind=MigrationKind.CLONE_DISPATCH)
+            d.run_all()
+        assert len(show.coordinator.replica_hosts) == 3
+        show.next_slide()
+        d.run_all()
+        for room in rooms:
+            assert room.application("lecture").displayed_slide == 2
+
+    def test_clone_state_snapshot_carried(self):
+        """Clones start at the slide the master was showing."""
+        d, main, (room2,) = lecture_deployment()
+        show = launch_lecture(d, main)
+        show.goto_slide(15)
+        d.run_all()
+        main.migrate("lecture", "pc-2", kind=MigrationKind.CLONE_DISPATCH)
+        d.run_all()
+        assert room2.application("lecture").displayed_slide == 15
+
+    def test_clone_does_not_suspend_master_playback(self):
+        """During the clone the master keeps accepting updates."""
+        d, main, (room2,) = lecture_deployment()
+        show = launch_lecture(d, main)
+        main.migrate("lecture", "pc-2", kind=MigrationKind.CLONE_DISPATCH)
+        show.goto_slide(2)  # mid-migration, must not raise
+        d.run_all()
+        assert show.displayed_slide == 2

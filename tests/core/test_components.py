@@ -1,0 +1,112 @@
+"""Tests for the component model."""
+
+import pytest
+
+from repro.core.components import (
+    Component,
+    ComponentKind,
+    DataComponent,
+    LogicComponent,
+    PresentationComponent,
+    ResourceBinding,
+)
+from repro.core.errors import ApplicationError
+
+
+class TestValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ApplicationError):
+            LogicComponent("")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ApplicationError):
+            DataComponent("d", -1)
+
+    def test_resource_binding_needs_ids(self):
+        with pytest.raises(ApplicationError):
+            ResourceBinding("b", "", "imcl:Printer")
+        with pytest.raises(ApplicationError):
+            ResourceBinding("b", "imcl:hp", "")
+
+
+class TestKinds:
+    def test_kinds(self):
+        assert LogicComponent("l").kind is ComponentKind.LOGIC
+        assert PresentationComponent("p").kind is ComponentKind.PRESENTATION
+        assert DataComponent("d", 10).kind is ComponentKind.DATA
+        assert ResourceBinding("r", "imcl:hp", "imcl:Printer").kind \
+            is ComponentKind.RESOURCE
+
+    def test_resource_binding_never_transferable(self):
+        assert not ResourceBinding("r", "imcl:hp", "imcl:Printer").transferable
+
+
+class TestSerialization:
+    def test_logic_roundtrip(self):
+        logic = LogicComponent("codec", 150_000, entry_point="codec.play")
+        logic.touch()
+        restored = Component.from_dict(logic.to_dict())
+        assert isinstance(restored, LogicComponent)
+        assert restored.name == "codec"
+        assert restored.size_bytes == 150_000
+        assert restored.entry_point == "codec.play"
+        assert restored.version == 2
+
+    def test_presentation_roundtrip_keeps_attributes(self):
+        ui = PresentationComponent("ui", 250_000,
+                                   attributes={"width": 800, "height": 600})
+        restored = Component.from_dict(ui.to_dict())
+        assert restored.attributes == {"width": 800, "height": 600}
+        # Update log is runtime-only, not serialized.
+        assert restored.updates == []
+
+    def test_data_roundtrip_keeps_remote_url(self):
+        data = DataComponent("track", 5_000_000, content_tag="audio:track")
+        data.bind_remote("md://pc1/player/track")
+        restored = Component.from_dict(data.to_dict())
+        assert restored.is_remote
+        assert restored.remote_url == "md://pc1/player/track"
+        assert restored.content_tag == "audio:track"
+
+    def test_resource_binding_roundtrip(self):
+        binding = ResourceBinding("spk", "imcl:speaker1", "imcl:Speaker")
+        binding.rebind("imcl:speaker2", "local")
+        restored = Component.from_dict(binding.to_dict())
+        assert restored.resource_id == "imcl:speaker2"
+        assert restored.mode == "local"
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ApplicationError):
+            Component.from_dict({"type": "AlienComponent", "name": "x",
+                                 "size_bytes": 1})
+
+    def test_virtual_bytes_in_wire_form(self):
+        """Component dicts charge their content size on the wire."""
+        from repro.agents.serialization import deep_size_bytes
+        small = deep_size_bytes(DataComponent("d", 1_000).to_dict())
+        big = deep_size_bytes(DataComponent("d", 5_000_000).to_dict())
+        assert big - small == 4_999_000
+
+
+class TestBehaviour:
+    def test_presentation_notify_logs_updates(self):
+        ui = PresentationComponent("ui")
+        ui.notify("volume", 50)
+        ui.notify("playing", True)
+        assert ui.updates == [("volume", 50), ("playing", True)]
+        assert ui.last_update == ("playing", True)
+
+    def test_rebind_modes(self):
+        binding = ResourceBinding("b", "imcl:hp1", "imcl:Printer")
+        binding.rebind("imcl:hp2", "local")
+        assert binding.mode == "local"
+        binding.rebind("imcl:hp1", "remote")
+        assert binding.mode == "remote"
+        with pytest.raises(ApplicationError):
+            binding.rebind("imcl:x", "sideways")
+
+    def test_touch_bumps_version(self):
+        c = DataComponent("d", 10)
+        assert c.version == 1
+        c.touch()
+        assert c.version == 2

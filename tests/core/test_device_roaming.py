@@ -1,0 +1,133 @@
+"""Device roaming: a transferable host (PDA) physically changes space.
+
+The paper's §4.4 taxonomy: "a PDA is transferable but not easily to be
+substituted as users' profiles and preferred software are installed" --
+instead of migrating the application, the *device* moves with the user and
+applications on it keep running.
+"""
+
+import pytest
+
+from repro.apps import build_handheld_music_player
+from repro.core import Deployment
+from repro.core.application import AppStatus
+from repro.core.profiles import handheld_profile
+from repro.net.simnet import NetworkError, UnreachableHostError
+from repro.net.topology import TopologyError
+
+
+def roaming_rig():
+    d = Deployment(seed=14)
+    d.add_space("office")
+    d.add_space("lab")
+    office_pc = d.add_host("office-pc", "office")
+    lab_pc = d.add_host("lab-pc", "lab")
+    pda = d.add_host("pda", "office", profile=handheld_profile("pda"))
+    d.add_gateway("gw-office", "office")
+    d.add_gateway("gw-lab", "lab")
+    d.connect_spaces("office", "lab")
+    return d, office_pc, lab_pc, pda
+
+
+class TestNetworkDisconnect:
+    def test_disconnect_removes_route(self):
+        d, office_pc, lab_pc, pda = roaming_rig()
+        assert d.network.route("pda", "office-pc") == ["pda", "office-pc"]
+        d.network.disconnect("pda", "office-pc")
+        # Still reachable via the office gateway mesh.
+        route = d.network.route("pda", "office-pc")
+        assert len(route) > 2
+
+    def test_disconnect_unknown_link_raises(self):
+        d, office_pc, lab_pc, pda = roaming_rig()
+        with pytest.raises(NetworkError):
+            d.network.disconnect("pda", "lab-pc")
+
+    def test_in_flight_message_still_arrives(self):
+        d, office_pc, lab_pc, pda = roaming_rig()
+        got = []
+        d.network.host("office-pc").register_handler("t",
+                                                     lambda m: got.append(m))
+        d.network.send("pda", "office-pc", "t", "bye", 1_000_000)
+        d.loop.advance(10.0)  # transmission started
+        d.network.disconnect("pda", "office-pc")
+        d.run_all()
+        assert len(got) == 1
+
+
+class TestTopologyRoaming:
+    def test_move_host_rewires(self):
+        d, office_pc, lab_pc, pda = roaming_rig()
+        d.topology.move_host("pda", "lab")
+        assert d.topology.space_of("pda") == "lab"
+        assert d.network.link_between("pda", "lab-pc") is not None
+        assert d.network.link_between("pda", "office-pc") is None
+        assert "pda" in d.topology.space("lab").host_names
+        assert "pda" not in d.topology.space("office").host_names
+
+    def test_move_to_same_space_is_noop(self):
+        d, office_pc, lab_pc, pda = roaming_rig()
+        d.topology.move_host("pda", "office")
+        assert d.network.link_between("pda", "office-pc") is not None
+
+    def test_gateway_cannot_roam(self):
+        d, office_pc, lab_pc, pda = roaming_rig()
+        with pytest.raises(TopologyError):
+            d.topology.move_host("gw-office", "lab")
+
+    def test_roamed_host_links_to_new_gateway(self):
+        d, office_pc, lab_pc, pda = roaming_rig()
+        d.topology.move_host("pda", "lab")
+        assert d.network.link_between("pda", "gw-lab") is not None
+        # Inter-space traffic now flows through lab's gateway.
+        route = d.network.route("pda", "office-pc")
+        assert route[1] == "gw-lab"
+
+
+class TestApplicationContinuity:
+    def test_app_keeps_running_while_device_roams(self):
+        """Device mobility needs no application migration at all."""
+        d, office_pc, lab_pc, pda = roaming_rig()
+        app = build_handheld_music_player("tunes", "maya",
+                                          track_bytes=500_000)
+        d.middleware("pda").launch_application(app)
+        d.run_all()
+        d.loop.advance(5_000.0)
+        d.topology.move_host("pda", "lab")
+        d.loop.advance(5_000.0)
+        assert app.status is AppStatus.RUNNING
+        assert app.host == "pda"
+        assert app.current_position_ms() == pytest.approx(10_000.0,
+                                                          abs=500.0)
+
+    def test_remote_stream_survives_roaming(self):
+        """A remotely streamed track follows the PDA through the gateways."""
+        d, office_pc, lab_pc, pda = roaming_rig()
+        from repro.apps import MusicPlayerApp
+        app = MusicPlayerApp.build("player", "maya", track_bytes=3_000_000)
+        office_pc.launch_application(app)
+        d.run_all()
+        outcome = office_pc.migrate("player", "pda")
+        d.run_all()
+        assert outcome.completed
+        moved = d.middleware("pda").application("player")
+        assert moved.streaming_remotely
+        d.topology.move_host("pda", "lab")
+        fetched = []
+        d.middleware("pda").fetch_remote_data(
+            "office-pc", "player", 100_000, lambda: fetched.append(True))
+        d.run_all()
+        assert fetched == [True]
+
+    def test_migration_to_roamed_device(self):
+        d, office_pc, lab_pc, pda = roaming_rig()
+        d.topology.move_host("pda", "lab")
+        from repro.apps import EditorApp
+        app = EditorApp.build("notes", "maya", initial_text="hi")
+        app.device_requirements = {}
+        office_pc.launch_application(app)
+        d.run_all()
+        outcome = office_pc.migrate("notes", "pda")
+        d.run_all()
+        assert outcome.completed
+        assert d.middleware("pda").application("notes").buffer == "hi"

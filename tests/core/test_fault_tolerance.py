@@ -1,0 +1,167 @@
+"""Fault tolerance: transfer loss, retries, and source rollback."""
+
+import pytest
+
+from repro.agents.agent import Agent
+from repro.agents.mobility import CostModel
+from repro.agents.platform import AgentPlatform
+from repro.agents.serialization import register_agent_type
+from repro.apps.music_player import MusicPlayerApp
+from repro.core import Deployment
+from repro.core.application import AppStatus
+from repro.net.kernel import EventLoop
+from repro.net.simnet import Network
+
+
+@register_agent_type
+class Probe(Agent):
+    def get_state(self):
+        return {}
+
+
+class TestAgentTransferRetry:
+    def make_lossy_rig(self, loss_rate, seed, cost_model=None):
+        loop = EventLoop()
+        net = Network(loop, seed=seed)
+        net.create_host("h1")
+        net.create_host("h2")
+        net.connect("h1", "h2", loss_rate=loss_rate)
+        platform = AgentPlatform(net)
+        if cost_model is not None:
+            platform.mobility.cost_model = cost_model
+        c1 = platform.create_container("h1")
+        c2 = platform.create_container("h2")
+        return loop, net, platform, c1, c2
+
+    def test_retry_recovers_from_loss(self):
+        """With 40% loss, some seed drops the first attempt; retries get
+        the agent through eventually."""
+        recovered = 0
+        for seed in range(10):
+            loop, net, platform, c1, c2 = self.make_lossy_rig(0.4, seed)
+            agent = c1.create_agent(Probe, "p")
+            result = agent.do_move("h2")
+            loop.run()
+            if result.completed:
+                recovered += 1
+                assert c2.has_agent("p")
+        assert recovered >= 8  # 4 attempts at 40% loss: ~97% success
+
+    def test_retries_counted(self):
+        dropped_somewhere = False
+        for seed in range(10):
+            loop, net, platform, c1, c2 = self.make_lossy_rig(0.4, seed)
+            agent = c1.create_agent(Probe, "p")
+            agent.do_move("h2")
+            loop.run()
+            if platform.mobility.transfers_dropped > 0:
+                dropped_somewhere = True
+        assert dropped_somewhere
+
+    def test_exhausted_retries_fail(self):
+        cost = CostModel(max_transfer_retries=0)
+        loop, net, platform, c1, c2 = self.make_lossy_rig(0.99, seed=1,
+                                                          cost_model=cost)
+        agent = c1.create_agent(Probe, "p")
+        result = agent.do_move("h2")
+        loop.run()
+        assert result.failed
+        assert "lost after 1 attempts" in result.failure_reason
+        assert not c2.has_agent("p")
+
+    def test_offline_destination_fails_cleanly(self):
+        loop, net, platform, c1, c2 = self.make_lossy_rig(0.0, seed=1)
+        agent = c1.create_agent(Probe, "p")
+        result = agent.do_move("h2")
+        net.host("h2").online = False  # crashes during checkout
+        loop.run()
+        assert result.failed
+        assert not result.completed
+
+
+class TestMigrationRollback:
+    def build(self):
+        d = Deployment(seed=4)
+        d.add_space("room")
+        src = d.add_host("pc1", "room")
+        dst = d.add_host("pc2", "room")
+        app = MusicPlayerApp.build("player", "alice", track_bytes=2_000_000)
+        src.launch_application(app)
+        d.run_all()
+        return d, src, dst, app
+
+    def test_destination_crash_rolls_back_source(self):
+        """The mobile agent is lost because the destination dies mid-flight;
+        the paper's resilience story: the user keeps a working app."""
+        d, src, dst, app = self.build()
+        d.loop.advance(10_000.0)
+        outcome = src.migrate("player", "pc2")
+        # Crash the destination while the MA is being serialized/in flight.
+        d.loop.advance(50.0)
+        d.network.host("pc2").online = False
+        d.run_all()
+        assert outcome.failed
+        assert not outcome.completed
+        # Source instance restored and running again, state intact.
+        assert app.status is AppStatus.RUNNING
+        assert app.position_ms == pytest.approx(10_000.0, abs=500.0)
+        assert any("rolled back" in e for e in outcome.events)
+
+    def test_rollback_event_published(self):
+        d, src, dst, app = self.build()
+        events = []
+        d.bus.subscribe("context.app", lambda e: events.append(e.get("event")))
+        src.migrate("player", "pc2")
+        d.loop.advance(50.0)
+        d.network.host("pc2").online = False
+        d.run_all()
+        assert "rolled-back" in events
+
+    def test_app_can_migrate_again_after_rollback(self):
+        d, src, dst, app = self.build()
+        outcome1 = src.migrate("player", "pc2")
+        d.loop.advance(50.0)
+        d.network.host("pc2").online = False
+        d.run_all()
+        assert outcome1.failed
+        # Destination comes back; the retry from scratch succeeds.
+        d.network.host("pc2").online = True
+        outcome2 = src.migrate("player", "pc2")
+        d.run_all()
+        assert outcome2.completed
+        assert dst.application("player").status is AppStatus.RUNNING
+
+    def test_registry_failure_does_not_strand_app(self):
+        """If planning fails (registry unreachable), the app keeps running
+        at the source untouched."""
+        d, src, dst, app = self.build()
+        # The registry lives on pc1 (first host); knock out the *client's*
+        # path by making the destination unknown to planning instead:
+        from repro.core.errors import MigrationError
+        with pytest.raises(MigrationError):
+            src.migrate("player", "nonexistent-host")
+        assert app.status is AppStatus.RUNNING
+
+
+class TestUnwrapFailures:
+    def test_unregistered_app_type_fails_outcome_not_loop(self):
+        """An application class missing @register_application_type at the
+        destination surfaces as a failed outcome, not a crash."""
+        from repro.core.application import Application
+
+        class UnregisteredApp(Application):
+            pass
+
+        d = Deployment(seed=4)
+        d.add_space("room")
+        src = d.add_host("pc1", "room")
+        d.add_host("pc2", "room")
+        app = UnregisteredApp("rogue", "alice")
+        src.launch_application(app)
+        d.run_all()
+        outcome = src.migrate("rogue", "pc2")
+        d.run_all()  # must not raise
+        assert outcome.failed
+        assert "unwrap failed" in outcome.failure_reason
+        # No half-installed ghost at the destination.
+        assert "rogue" not in d.middleware("pc2").applications

@@ -1,0 +1,90 @@
+"""Master handoff: a sync master that migrates re-points its replicas."""
+
+import pytest
+
+from repro.apps.slideshow import SlideShowApp
+from repro.core import Deployment, MigrationKind
+from repro.core.application import AppStatus
+from repro.core.components import LogicComponent, PresentationComponent
+from repro.core.coordinator import SyncRole
+
+
+def lecture_rig():
+    """Main room with two PCs + one overflow room, all gatewayed."""
+    d = Deployment(seed=12)
+    d.add_space("main-room")
+    podium = d.add_host("podium-pc", "main-room")
+    spare = d.add_host("spare-pc", "main-room")
+    d.add_gateway("gw-main", "main-room")
+    d.add_space("room-2")
+    overflow = d.add_host("pc-2", "room-2")
+    d.add_gateway("gw-2", "room-2")
+    d.connect_spaces("main-room", "room-2")
+    partial = SlideShowApp("talk", "speaker")
+    partial.add_component(LogicComponent("impress-logic", 400_000))
+    partial.add_component(PresentationComponent("slide-ui", 300_000))
+    overflow.install_application(partial)
+    show = SlideShowApp.build("talk", "speaker", slide_count=20)
+    podium.launch_application(show)
+    d.run_all()
+    clone = podium.migrate("talk", "pc-2", kind=MigrationKind.CLONE_DISPATCH)
+    d.run_all()
+    assert clone.completed
+    return d, podium, spare, overflow, show
+
+
+def test_master_migration_repoints_replicas():
+    d, podium, spare, overflow, show = lecture_rig()
+    outcome = podium.migrate("talk", "spare-pc")
+    d.run_all()
+    assert outcome.completed
+    new_master = spare.application("talk")
+    assert new_master.coordinator.sync_role is SyncRole.MASTER
+    assert new_master.coordinator.replica_hosts == ["pc-2"]
+    replica = overflow.application("talk")
+    assert replica.coordinator.master_host == "spare-pc"
+    assert any("sync master moved" in e for e in outcome.events)
+
+
+def test_sync_works_after_handoff():
+    d, podium, spare, overflow, show = lecture_rig()
+    podium.migrate("talk", "spare-pc")
+    d.run_all()
+    new_master = spare.application("talk")
+    new_master.goto_slide(9)
+    d.run_all()
+    assert overflow.application("talk").displayed_slide == 9
+
+
+def test_replica_control_reaches_new_master():
+    d, podium, spare, overflow, show = lecture_rig()
+    podium.migrate("talk", "spare-pc")
+    d.run_all()
+    overflow.application("talk").goto_slide(4)
+    d.run_all()
+    assert spare.application("talk").displayed_slide == 4
+    assert overflow.application("talk").displayed_slide == 4
+
+
+def test_slide_state_carried_through_handoff():
+    d, podium, spare, overflow, show = lecture_rig()
+    show.goto_slide(13)
+    d.run_all()
+    podium.migrate("talk", "spare-pc")
+    d.run_all()
+    assert spare.application("talk").displayed_slide == 13
+
+
+def test_master_without_replicas_migrates_plainly():
+    d = Deployment(seed=12)
+    d.add_space("room")
+    a = d.add_host("a", "room")
+    b = d.add_host("b", "room")
+    show = SlideShowApp.build("talk", "speaker", slide_count=5)
+    a.launch_application(show)
+    d.run_all()
+    outcome = a.migrate("talk", "b")
+    d.run_all()
+    assert outcome.completed
+    moved = b.application("talk")
+    assert moved.coordinator.sync_role is SyncRole.NONE

@@ -1,0 +1,250 @@
+"""End-to-end middleware tests: follow-me migration, adaptive vs static."""
+
+import pytest
+
+from repro.apps.music_player import MusicPlayerApp
+from repro.core import (
+    BindingPolicy,
+    Deployment,
+    MigrationError,
+    MigrationKind,
+)
+from repro.core.application import AppStatus
+from repro.net.clock import round_trip_cost
+
+
+def two_host_deployment(**host_kwargs):
+    d = Deployment(seed=1)
+    d.add_space("room821")
+    src = d.add_host("pc1", "room821")
+    dst = d.add_host("pc2", "room821", **host_kwargs)
+    return d, src, dst
+
+
+def launch_player(d, src, track_bytes=5_000_000):
+    app = MusicPlayerApp.build("player", "alice", track_bytes=track_bytes)
+    src.launch_application(app)
+    d.run_all()
+    return app
+
+
+class TestFollowMeAdaptive:
+    def test_migration_completes(self):
+        d, src, dst = two_host_deployment()
+        launch_player(d, src)
+        outcome = src.migrate("player", "pc2")
+        d.run_all()
+        assert outcome.completed and not outcome.failed
+
+    def test_app_relocates(self):
+        d, src, dst = two_host_deployment()
+        app = launch_player(d, src)
+        src.migrate("player", "pc2")
+        d.run_all()
+        assert app.status is AppStatus.INSTALLED  # source copy stopped
+        moved = dst.application("player")
+        assert moved.status is AppStatus.RUNNING
+        assert moved.playing
+
+    def test_playback_position_continues(self):
+        """The paper's core continuity property: music resumes where it
+        stopped."""
+        d, src, dst = two_host_deployment()
+        app = launch_player(d, src)
+        d.loop.advance(30_000.0)  # 30 s of playback
+        outcome = src.migrate("player", "pc2")
+        d.run_all()
+        moved = dst.application("player")
+        # Position at suspension was ~30 s (minus launch overhead).
+        assert moved.position_ms == pytest.approx(30_000.0, abs=1000.0)
+
+    def test_large_track_streams_remotely(self):
+        d, src, dst = two_host_deployment()
+        launch_player(d, src, track_bytes=5_000_000)
+        outcome = src.migrate("player", "pc2")
+        d.run_all()
+        moved = dst.application("player")
+        assert moved.streaming_remotely
+        assert "track-01" in outcome.plan.remote_data
+
+    def test_small_track_carried(self):
+        d, src, dst = two_host_deployment()
+        launch_player(d, src, track_bytes=100_000)
+        outcome = src.migrate("player", "pc2")
+        d.run_all()
+        moved = dst.application("player")
+        assert not moved.streaming_remotely
+        assert "track-01" in outcome.plan.carry_components
+
+    def test_phases_ordered_and_positive(self):
+        d, src, dst = two_host_deployment()
+        launch_player(d, src)
+        outcome = src.migrate("player", "pc2")
+        d.run_all()
+        assert outcome.suspend_ms > 0
+        assert outcome.migrate_ms > 0
+        assert outcome.resume_ms > 0
+        assert outcome.total_ms == pytest.approx(
+            outcome.suspend_ms + outcome.migrate_ms + outcome.resume_ms)
+
+    def test_destination_reuses_preinstalled_ui(self):
+        d, src, dst = two_host_deployment()
+        # Pre-install a partial app (UI only) at the destination.
+        partial = MusicPlayerApp("player", "alice")
+        from repro.core.components import PresentationComponent
+        partial.add_component(PresentationComponent("player-ui", 250_000))
+        dst.install_application(partial)
+        d.run_all()
+        launch_player(d, src)
+        outcome = src.migrate("player", "pc2")
+        d.run_all()
+        assert "player-ui" in outcome.plan.reuse_components
+        assert "codec" in outcome.plan.carry_components
+        assert dst.application("player").status is AppStatus.RUNNING
+
+    def test_registry_updated_at_destination(self):
+        d, src, dst = two_host_deployment()
+        launch_player(d, src)
+        src.migrate("player", "pc2")
+        d.run_all()
+        records = d.registry_server.center.lookup_application("player", "pc2")
+        assert records and "logic" in records[0].components
+
+    def test_adaptation_applied_at_destination(self):
+        d = Deployment(seed=1)
+        d.add_space("room821")
+        src = d.add_host("pc1", "room821")
+        from repro.core.profiles import DeviceProfile
+        dst = d.add_host("pc2", "room821",
+                         profile=DeviceProfile("pc2", screen_width=640,
+                                               screen_height=480))
+        launch_player(d, src)
+        src.migrate("player", "pc2")
+        d.run_all()
+        ui = d.middleware("pc2").application("player").component("player-ui")
+        assert ui.attributes["width"] <= 640
+
+
+class TestStaticBaseline:
+    def test_static_carries_data(self):
+        d, src, dst = two_host_deployment()
+        launch_player(d, src)
+        outcome = src.migrate("player", "pc2", policy=BindingPolicy.STATIC)
+        d.run_all()
+        assert outcome.completed
+        assert "track-01" in outcome.plan.carry_components
+        assert not dst.application("player").streaming_remotely
+
+    def test_static_slower_than_adaptive(self):
+        def run(policy):
+            d, src, dst = two_host_deployment()
+            launch_player(d, src)
+            outcome = src.migrate("player", "pc2", policy=policy)
+            d.run_all()
+            return outcome
+
+        adaptive = run(BindingPolicy.ADAPTIVE)
+        static = run(BindingPolicy.STATIC)
+        assert static.total_ms > 2 * adaptive.total_ms
+        assert static.bytes_transferred > adaptive.bytes_transferred
+
+    def test_static_transfer_dominated_by_bandwidth(self):
+        d, src, dst = two_host_deployment()
+        launch_player(d, src, track_bytes=5_000_000)
+        outcome = src.migrate("player", "pc2", policy=BindingPolicy.STATIC)
+        d.run_all()
+        # >= 5.4 MB over 10 Mbps is >= 4.3 s of wire time.
+        assert outcome.migrate_ms > 4300
+
+
+class TestFailuresAndValidation:
+    def test_migrate_unknown_app(self):
+        d, src, dst = two_host_deployment()
+        with pytest.raises(Exception):
+            src.migrate("ghost", "pc2")
+
+    def test_migrate_to_self_rejected(self):
+        d, src, dst = two_host_deployment()
+        launch_player(d, src)
+        with pytest.raises(MigrationError):
+            src.migrate("player", "pc1")
+
+    def test_migrate_unknown_host_rejected(self):
+        d, src, dst = two_host_deployment()
+        launch_player(d, src)
+        with pytest.raises(MigrationError):
+            src.migrate("player", "pc99")
+
+    def test_migrate_not_running_rejected(self):
+        d, src, dst = two_host_deployment()
+        app = launch_player(d, src)
+        app.suspend()
+        with pytest.raises(MigrationError):
+            src.migrate("player", "pc2")
+
+    def test_duplicate_install_rejected(self):
+        d, src, dst = two_host_deployment()
+        app = launch_player(d, src)
+        from repro.core.errors import MiddlewareError
+        with pytest.raises(MiddlewareError):
+            src.install_application(MusicPlayerApp("player", "bob"))
+
+
+class TestClockCorrection:
+    def test_fig7_round_trip_cancels_skew(self):
+        """Migrate out and back on skewed clocks; the Fig. 7 sum matches the
+        true two-way agent travel time."""
+        d = Deployment(seed=1)
+        d.add_space("room821")
+        src = d.add_host("pc1", "room821")
+        dst = d.add_host("pc2", "room821", skew_ms=8_000.0)
+        launch_player(d, src)
+        out = src.migrate("player", "pc2")
+        d.run_all()
+        back = dst.migrate("player", "pc1")
+        d.run_all()
+        assert out.completed and back.completed
+        measured = round_trip_cost(out.depart_local, out.arrive_local,
+                                   back.depart_local, back.arrive_local)
+        # One-way local-clock deltas are polluted by the 8 s skew...
+        assert abs((out.arrive_local - out.depart_local)) > 7_000
+        # ... but the round-trip sum is skew-free and positive.
+        assert 0 < measured < 3_000
+
+
+class TestInterSpace:
+    def test_migration_across_gateways(self):
+        d = Deployment(seed=1)
+        d.add_space("room821")
+        d.add_space("room822")
+        src = d.add_host("pc1", "room821")
+        dst = d.add_host("pc2", "room822")
+        d.add_gateway("gw821", "room821")
+        d.add_gateway("gw822", "room822")
+        d.connect_spaces("room821", "room822")
+        launch_player(d, src)
+        outcome = src.migrate("player", "pc2")
+        d.run_all()
+        assert outcome.completed
+        assert d.topology.mobility_domain("pc1", "pc2") == "inter-space"
+
+    def test_inter_space_slower_than_intra(self):
+        def run(inter):
+            d = Deployment(seed=1)
+            d.add_space("a")
+            src = d.add_host("pc1", "a")
+            if inter:
+                d.add_space("b")
+                dst = d.add_host("pc2", "b")
+                d.add_gateway("gwa", "a", processing_delay_ms=20.0)
+                d.add_gateway("gwb", "b", processing_delay_ms=20.0)
+                d.connect_spaces("a", "b")
+            else:
+                dst = d.add_host("pc2", "a")
+            launch_player(d, src)
+            outcome = src.migrate("player", "pc2")
+            d.run_all()
+            assert outcome.completed
+            return outcome.total_ms
+
+        assert run(inter=True) > run(inter=False)

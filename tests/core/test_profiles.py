@@ -1,0 +1,71 @@
+"""Tests for user/device/resource profiles."""
+
+import pytest
+
+from repro.core.profiles import (
+    DeviceProfile,
+    ResourceProfile,
+    UserProfile,
+    handheld_profile,
+)
+
+
+class TestUserProfile:
+    def test_defaults(self):
+        profile = UserProfile("alice")
+        assert profile.handedness == "right"
+        assert profile.preference("volume") is None
+        assert profile.preference("volume", 50) == 50
+
+    def test_handedness_validation(self):
+        with pytest.raises(ValueError):
+            UserProfile("bob", handedness="ambidextrous")
+
+    def test_roundtrip(self):
+        profile = UserProfile("alice", "left", {"volume": 80})
+        restored = UserProfile.from_dict(profile.to_dict())
+        assert restored.handedness == "left"
+        assert restored.preference("volume") == 80
+
+
+class TestDeviceProfile:
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            DeviceProfile("h", screen_width=0)
+
+    def test_satisfies_audio(self):
+        silent = DeviceProfile("h", audio_output=False)
+        assert not silent.satisfies({"audio_output": True})
+        assert silent.satisfies({})
+
+    def test_satisfies_screen(self):
+        small = DeviceProfile("h", screen_width=320, screen_height=240)
+        assert not small.satisfies({"min_screen_width": 640})
+        assert small.satisfies({"min_screen_width": 320})
+        assert not small.satisfies({"min_screen_height": 480})
+
+    def test_satisfies_input_method(self):
+        touch = DeviceProfile("h", input_methods=["touch"])
+        assert touch.satisfies({"input_method": "touch"})
+        assert not touch.satisfies({"input_method": "keyboard"})
+
+    def test_handheld_exclusion(self):
+        pda = handheld_profile("pda1")
+        assert pda.is_handheld
+        assert not pda.satisfies({"allow_handheld": False})
+        assert pda.satisfies({"audio_output": True})
+
+    def test_handheld_is_slow(self):
+        assert handheld_profile("pda1").cpu_factor > 1.0
+
+    def test_roundtrip(self):
+        profile = handheld_profile("pda1")
+        restored = DeviceProfile.from_dict(profile.to_dict())
+        assert restored == profile
+
+
+class TestResourceProfile:
+    def test_roundtrip(self):
+        profile = ResourceProfile(["imcl:Speaker"], {"spk": "imcl:speaker1"})
+        restored = ResourceProfile.from_dict(profile.to_dict())
+        assert restored == profile

@@ -1,0 +1,52 @@
+"""Tests for the deployment statistics aggregate."""
+
+import pytest
+
+from repro.apps.music_player import MusicPlayerApp
+from repro.core import Deployment
+
+
+def test_stats_reflect_activity():
+    d = Deployment(seed=2)
+    d.add_space("room")
+    src = d.add_host("pc1", "room")
+    dst = d.add_host("pc2", "room")
+    before = d.stats()
+    assert before["hosts"] == 2
+    assert before["spaces"] == 1
+    assert before["migrations_total"] == 0
+    app = MusicPlayerApp.build("player", "alice", track_bytes=200_000)
+    src.launch_application(app)
+    d.run_all()
+    src.migrate("player", "pc2")
+    d.run_all()
+    after = d.stats()
+    assert after["migrations_total"] == 1
+    assert after["migrations_completed"] == 1
+    assert after["migrations_failed"] == 0
+    assert after["bytes_migrated"] > 0
+    assert after["agent_moves_completed"] == 1
+    assert after["applications"] >= 2  # source shell + moved copy
+    assert after["context_events_published"] > 0
+    assert after["registry_lookups"] > 0
+    assert after["sim_time_ms"] > 0
+    assert after["events_processed"] > before["events_processed"]
+
+
+def test_stats_count_failures():
+    d = Deployment(seed=2)
+    d.add_space("room")
+    src = d.add_host("pc1", "room")
+    d.add_host("pc2", "room")
+    app = MusicPlayerApp.build("player", "alice", track_bytes=200_000)
+    src.launch_application(app)
+    d.run_all()
+    src.migrate("player", "pc2")
+    # Let the agent get onto the wire, then crash the destination so the
+    # in-flight transfer is dropped.
+    d.loop.advance(300.0)
+    d.network.host("pc2").online = False
+    d.run_all()
+    stats = d.stats()
+    assert stats["migrations_failed"] == 1
+    assert stats["agent_transfers_dropped"] > 0

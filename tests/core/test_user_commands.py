@@ -1,0 +1,91 @@
+"""User-indicated migrations: "user's indication to move an application to
+a remote host (cut-paste kind or copy paste kind)" (paper §4.1)."""
+
+import pytest
+
+from repro.apps.music_player import MusicPlayerApp
+from repro.apps.slideshow import SlideShowApp
+from repro.core import Deployment, MiddlewareError
+from repro.core.application import AppStatus
+from repro.core.components import LogicComponent, PresentationComponent
+from repro.core.coordinator import SyncRole
+
+
+def rig():
+    d = Deployment(seed=19)
+    d.add_space("office")
+    d.add_space("lab")
+    office = d.add_host("office-pc", "office")
+    lab = d.add_host("lab-pc", "lab")
+    d.add_gateway("gw-office", "office")
+    d.add_gateway("gw-lab", "lab")
+    d.connect_spaces("office", "lab")
+    return d, office, lab
+
+
+def test_move_command_triggers_follow_me():
+    d, office, lab = rig()
+    app = MusicPlayerApp.build("player", "alice", track_bytes=500_000)
+    office.launch_application(app)
+    d.run_all()
+    d.announce_command("alice", "move", "player", "lab-pc")
+    d.run_all()
+    assert app.status is AppStatus.INSTALLED
+    assert lab.application("player").status is AppStatus.RUNNING
+
+
+def test_clone_command_triggers_clone_dispatch():
+    d, office, lab = rig()
+    # Lab already has the presentation app (lecture scenario).
+    partial = SlideShowApp("talk", "alice")
+    partial.add_component(LogicComponent("impress-logic", 400_000))
+    partial.add_component(PresentationComponent("slide-ui", 300_000))
+    lab.install_application(partial)
+    show = SlideShowApp.build("talk", "alice", slide_count=10)
+    office.launch_application(show)
+    d.run_all()
+    d.announce_command("alice", "clone", "talk", "lab-pc")
+    d.run_all()
+    assert show.status is AppStatus.RUNNING  # copy-paste: source stays
+    replica = lab.application("talk")
+    assert replica.status is AppStatus.RUNNING
+    assert replica.coordinator.sync_role is SyncRole.REPLICA
+    show.goto_slide(4)
+    d.run_all()
+    assert replica.displayed_slide == 4
+
+
+def test_command_for_someone_elses_app_ignored():
+    d, office, lab = rig()
+    app = MusicPlayerApp.build("player", "alice", track_bytes=500_000)
+    office.launch_application(app)
+    d.run_all()
+    d.announce_command("mallory", "move", "player", "lab-pc")
+    d.run_all()
+    assert app.status is AppStatus.RUNNING
+    assert app.host == "office-pc"
+
+
+def test_command_for_unknown_app_ignored():
+    d, office, lab = rig()
+    d.announce_command("alice", "move", "ghost", "lab-pc")
+    d.run_all()  # no exception
+
+
+def test_command_still_vetoed_by_rules():
+    """Even an explicit command respects Rule 3's network threshold."""
+    d, office, lab = rig()
+    app = MusicPlayerApp.build("player", "alice", track_bytes=500_000)
+    office.launch_application(app)
+    d.run_all()
+    office._response_times["lab-pc"] = 9_000.0  # terrible network
+    d.announce_command("alice", "move", "player", "lab-pc")
+    d.run_all()
+    assert app.status is AppStatus.RUNNING
+    assert not office.aa.decisions[-1].move
+
+
+def test_invalid_action_rejected():
+    d, office, lab = rig()
+    with pytest.raises(MiddlewareError):
+        d.announce_command("alice", "teleport", "player", "lab-pc")

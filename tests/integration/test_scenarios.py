@@ -1,0 +1,193 @@
+"""Cross-module integration scenarios."""
+
+import pytest
+
+from repro.apps import EditorApp, MessengerApp, MusicPlayerApp, SlideShowApp
+from repro.core import BindingPolicy, Deployment, MigrationKind, UserProfile
+from repro.core.application import AppStatus
+
+
+def building(n_rooms=3, seed=8):
+    """n_rooms smart spaces in a row, each with one PC, all gatewayed."""
+    d = Deployment(seed=seed)
+    pcs = []
+    for i in range(n_rooms):
+        space = f"room{i}"
+        d.add_space(space)
+        pcs.append(d.add_host(f"pc{i}", space))
+        d.add_gateway(f"gw{i}", space)
+    for i in range(n_rooms - 1):
+        d.connect_spaces(f"room{i}", f"room{i + 1}")
+    return d, pcs
+
+
+class TestChainedMigrations:
+    def test_editor_survives_a_tour_of_the_building(self):
+        d, pcs = building(3)
+        app = EditorApp.build("doc", "alice", initial_text="chapter 1. ")
+        pcs[0].launch_application(app)
+        d.run_all()
+        # Hop room0 -> room1 -> room2 -> room0, typing at each stop.
+        current = app
+        route = [(pcs[0], pcs[1], "second. "), (pcs[1], pcs[2], "third. "),
+                 (pcs[2], pcs[0], "home. ")]
+        for src, dst, text in route:
+            current.type_text(text)
+            outcome = src.migrate("doc", dst.host_name)
+            d.run_all()
+            assert outcome.completed, outcome.failure_reason
+            current = dst.application("doc")
+            assert current.status is AppStatus.RUNNING
+        assert current.buffer == "chapter 1. second. third. home. "
+
+    def test_registry_tracks_current_host_through_hops(self):
+        d, pcs = building(3)
+        app = MusicPlayerApp.build("player", "alice", track_bytes=500_000)
+        pcs[0].launch_application(app)
+        d.run_all()
+        pcs[0].migrate("player", "pc1")
+        d.run_all()
+        pcs[1].migrate("player", "pc2")
+        d.run_all()
+        center = d.registry_server.center
+        # Every visited host has a record (components remain installed);
+        # the final host holds the full component set.
+        assert set(center.application_hosts("player")) >= {"pc0", "pc1",
+                                                           "pc2"}
+        assert "logic" in center.components_at("player", "pc2")
+
+    def test_second_visit_reuses_installed_components(self):
+        """Going back to a previously visited host wraps only the state."""
+        d, pcs = building(2)
+        app = MusicPlayerApp.build("player", "alice", track_bytes=500_000)
+        pcs[0].launch_application(app)
+        d.run_all()
+        out = pcs[0].migrate("player", "pc1")
+        d.run_all()
+        assert out.completed
+        back = pcs[1].migrate("player", "pc0")
+        d.run_all()
+        assert back.completed
+        assert back.plan.carry_components == []  # pc0 kept everything
+        assert back.bytes_transferred < out.bytes_transferred
+
+
+class TestMultiUserMultiApp:
+    def test_two_users_apps_move_independently(self):
+        d, pcs = building(3)
+        alice_app = MusicPlayerApp.build(
+            "alice-player", "alice", track_bytes=300_000,
+            user_profile=UserProfile("alice",
+                                     preferences={"follow_user": True}))
+        bob_app = EditorApp.build(
+            "bob-doc", "bob", initial_text="bob's notes",
+            user_profile=UserProfile("bob",
+                                     preferences={"follow_user": True}))
+        pcs[0].launch_application(alice_app)
+        pcs[0].launch_application(bob_app)
+        d.run_all()
+        # Alice goes to room1; bob stays put.
+        d.announce_location("alice", "room1", previous="room0")
+        d.run_all()
+        assert pcs[1].application("alice-player").status is AppStatus.RUNNING
+        assert pcs[0].application("bob-doc").status is AppStatus.RUNNING
+        # Bob goes to room2.
+        d.announce_location("bob", "room2", previous="room0")
+        d.run_all()
+        assert pcs[2].application("bob-doc").buffer == "bob's notes"
+        assert pcs[1].application("alice-player").status is AppStatus.RUNNING
+
+    def test_concurrent_migrations_of_different_apps(self):
+        d, pcs = building(3)
+        player = MusicPlayerApp.build("player", "alice",
+                                      track_bytes=400_000)
+        chat = MessengerApp.build("chat", "alice", contact="bob")
+        pcs[0].launch_application(player)
+        pcs[0].launch_application(chat)
+        d.run_all()
+        chat.send_message("moving now")
+        o1 = pcs[0].migrate("player", "pc1")
+        o2 = pcs[0].migrate("chat", "pc2")
+        d.run_all()
+        assert o1.completed and o2.completed
+        assert pcs[1].application("player").status is AppStatus.RUNNING
+        assert pcs[2].application("chat").last_message["text"] == \
+            "moving now"
+
+    def test_concurrent_migration_of_same_app_fails_second(self):
+        d, pcs = building(3)
+        app = MusicPlayerApp.build("player", "alice", track_bytes=400_000)
+        pcs[0].launch_application(app)
+        d.run_all()
+        first = pcs[0].migrate("player", "pc1")
+        second = pcs[0].migrate("player", "pc2")
+        d.run_all()
+        outcomes = sorted([first, second],
+                          key=lambda o: o.completed, reverse=True)
+        assert outcomes[0].completed
+        assert outcomes[1].failed
+        # Exactly one destination got the running app.
+        running = [pc for pc in pcs[1:]
+                   if "player" in pc.applications
+                   and pc.applications["player"].status is AppStatus.RUNNING]
+        assert len(running) == 1
+
+
+class TestMixedMobility:
+    def test_follow_me_after_clone_dispatch(self):
+        """The speaker's own copy can still follow them after clones were
+        dispatched."""
+        d, pcs = building(3)
+        show = SlideShowApp.build("talk", "speaker", slide_count=10)
+        pcs[0].launch_application(show)
+        d.run_all()
+        clone = pcs[0].migrate("talk", "pc1",
+                               kind=MigrationKind.CLONE_DISPATCH)
+        d.run_all()
+        assert clone.completed
+        show.goto_slide(5)
+        d.run_all()
+        assert pcs[1].application("talk").displayed_slide == 5
+
+    def test_static_policy_through_gateways(self):
+        d, pcs = building(2)
+        app = MusicPlayerApp.build("player", "alice", track_bytes=1_000_000)
+        pcs[0].launch_application(app)
+        d.run_all()
+        outcome = pcs[0].migrate("player", "pc1",
+                                 policy=BindingPolicy.STATIC)
+        d.run_all()
+        assert outcome.completed
+        moved = pcs[1].application("player")
+        assert not moved.streaming_remotely  # data travelled
+
+
+class TestDegenerateApps:
+    def test_stateless_componentless_app_migrates(self):
+        from repro.core.application import Application
+        d, pcs = building(2)
+        app = Application("shell", "alice")
+        pcs[0].launch_application(app)
+        d.run_all()
+        outcome = pcs[0].migrate("shell", "pc1")
+        d.run_all()
+        assert outcome.completed
+        assert pcs[1].application("shell").status is AppStatus.RUNNING
+
+    def test_migration_to_host_with_full_copy(self):
+        d, pcs = building(2)
+        # pc1 already has a complete (stopped) installation.
+        full = MusicPlayerApp.build("player", "alice", track_bytes=500_000)
+        pcs[1].install_application(full)
+        d.run_all()
+        app = MusicPlayerApp.build("player", "alice", track_bytes=500_000)
+        pcs[0].launch_application(app)
+        d.run_all()
+        d.loop.advance(5_000.0)
+        outcome = pcs[0].migrate("player", "pc1")
+        d.run_all()
+        assert outcome.completed
+        assert outcome.plan.carry_components == []  # everything reused
+        moved = pcs[1].application("player")
+        assert moved.status is AppStatus.RUNNING
+        assert moved.position_ms == pytest.approx(5_000.0, abs=500.0)

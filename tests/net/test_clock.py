@@ -1,0 +1,75 @@
+"""Tests for host clocks and the Fig. 7 round-trip skew correction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.clock import HostClock, one_way_estimate, round_trip_cost
+from repro.net.kernel import EventLoop
+
+
+def test_clock_without_skew_tracks_loop():
+    loop = EventLoop()
+    clock = HostClock(loop)
+    loop.call_later(25.0, lambda: None)
+    loop.run()
+    assert clock.now() == pytest.approx(25.0)
+
+
+def test_skew_is_constant_offset():
+    loop = EventLoop()
+    a = HostClock(loop, skew_ms=100.0)
+    b = HostClock(loop, skew_ms=-50.0)
+    offsets = []
+    for t in (10.0, 20.0, 30.0):
+        loop.call_at(t, lambda: offsets.append(a.offset_from(b)))
+    loop.run()
+    assert offsets == [pytest.approx(150.0)] * 3
+
+
+def test_drift_makes_offset_grow():
+    loop = EventLoop()
+    drifting = HostClock(loop, drift_ppm=1000.0)  # exaggerated for testing
+    stable = HostClock(loop)
+    loop.call_later(1_000_000.0, lambda: None)
+    loop.run()
+    assert drifting.offset_from(stable) == pytest.approx(1000.0)
+
+
+@given(
+    skew1=st.floats(-1e6, 1e6),
+    skew2=st.floats(-1e6, 1e6),
+    out_cost=st.floats(0.0, 1e5),
+    back_cost=st.floats(0.0, 1e5),
+    start=st.floats(0.0, 1e6),
+    turnaround=st.floats(0.0, 1e4),
+)
+def test_round_trip_cost_is_skew_invariant(skew1, skew2, out_cost, back_cost,
+                                           start, turnaround):
+    """Property: Fig. 7's sum equals the true cost regardless of skew."""
+    # True (reference-clock) event times.
+    t1 = start
+    t2 = t1 + out_cost
+    t3 = t2 + turnaround
+    t4 = t3 + back_cost
+    # What each host's clock reads at those instants.
+    measured = round_trip_cost(t1 + skew1, t2 + skew2, t3 + skew2, t4 + skew1)
+    assert measured == pytest.approx(out_cost + back_cost, abs=1e-6)
+
+
+def test_one_way_estimate_halves_symmetric_round_trip():
+    assert one_way_estimate(0.0, 30.0, 40.0, 70.0) == pytest.approx(30.0)
+
+
+def test_round_trip_in_simulation_with_skewed_hosts():
+    """End-to-end: measure a simulated round trip on two skewed clocks."""
+    loop = EventLoop()
+    h1 = HostClock(loop, skew_ms=5_000.0)
+    h2 = HostClock(loop, skew_ms=-3_000.0)
+    stamps = {}
+    loop.call_at(10.0, lambda: stamps.__setitem__("t1", h1.now()))
+    loop.call_at(150.0, lambda: stamps.__setitem__("t2", h2.now()))
+    loop.call_at(160.0, lambda: stamps.__setitem__("t3", h2.now()))
+    loop.call_at(290.0, lambda: stamps.__setitem__("t4", h1.now()))
+    loop.run()
+    cost = round_trip_cost(stamps["t1"], stamps["t2"], stamps["t3"], stamps["t4"])
+    assert cost == pytest.approx(140.0 + 130.0)

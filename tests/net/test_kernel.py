@@ -1,0 +1,197 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.net.kernel import EventLoop, SimulationError
+
+
+def test_initial_time_is_zero():
+    assert EventLoop().now == 0.0
+
+
+def test_custom_start_time():
+    assert EventLoop(start_time=42.0).now == 42.0
+
+
+def test_call_later_advances_clock():
+    loop = EventLoop()
+    fired = []
+    loop.call_later(10.0, fired.append, "a")
+    loop.run()
+    assert fired == ["a"]
+    assert loop.now == 10.0
+
+
+def test_events_run_in_time_order():
+    loop = EventLoop()
+    order = []
+    loop.call_later(30.0, order.append, "late")
+    loop.call_later(10.0, order.append, "early")
+    loop.call_later(20.0, order.append, "mid")
+    loop.run()
+    assert order == ["early", "mid", "late"]
+
+
+def test_same_time_events_run_in_schedule_order():
+    loop = EventLoop()
+    order = []
+    for tag in ("first", "second", "third"):
+        loop.call_later(5.0, order.append, tag)
+    loop.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_call_soon_runs_at_current_instant():
+    loop = EventLoop()
+    times = []
+    loop.call_later(7.0, lambda: loop.call_soon(lambda: times.append(loop.now)))
+    loop.run()
+    assert times == [7.0]
+
+
+def test_cannot_schedule_in_past():
+    loop = EventLoop()
+    loop.call_later(5.0, lambda: None)
+    loop.run()
+    with pytest.raises(SimulationError):
+        loop.call_at(1.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        EventLoop().call_later(-1.0, lambda: None)
+
+
+def test_cancelled_timer_does_not_fire():
+    loop = EventLoop()
+    fired = []
+    timer = loop.call_later(5.0, fired.append, "x")
+    timer.cancel()
+    loop.run()
+    assert fired == []
+    assert not timer.active
+
+
+def test_cancel_after_fire_is_noop():
+    loop = EventLoop()
+    timer = loop.call_later(1.0, lambda: None)
+    loop.run()
+    assert timer.fired
+    timer.cancel()  # no exception
+
+
+def test_run_until_stops_at_boundary_inclusive():
+    loop = EventLoop()
+    fired = []
+    loop.call_later(10.0, fired.append, "at")
+    loop.call_later(10.1, fired.append, "after")
+    loop.run(until=10.0)
+    assert fired == ["at"]
+    assert loop.now == 10.0
+
+
+def test_run_until_advances_clock_when_queue_drains_early():
+    loop = EventLoop()
+    loop.call_later(1.0, lambda: None)
+    loop.run(until=100.0)
+    assert loop.now == 100.0
+
+
+def test_advance_runs_due_events_and_moves_clock():
+    loop = EventLoop()
+    fired = []
+    loop.call_later(3.0, fired.append, "a")
+    loop.call_later(30.0, fired.append, "b")
+    loop.advance(5.0)
+    assert fired == ["a"]
+    assert loop.now == 5.0
+    loop.advance(25.0)
+    assert fired == ["a", "b"]
+    assert loop.now == 30.0
+
+
+def test_step_returns_false_on_empty_queue():
+    assert EventLoop().step() is False
+
+
+def test_events_can_schedule_events():
+    loop = EventLoop()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 3:
+            loop.call_later(1.0, chain, n + 1)
+
+    loop.call_later(1.0, chain, 1)
+    loop.run()
+    assert seen == [1, 2, 3]
+    assert loop.now == 3.0
+
+
+def test_run_until_idle_guards_runaway():
+    loop = EventLoop()
+
+    def forever():
+        loop.call_later(1.0, forever)
+
+    loop.call_later(1.0, forever)
+    with pytest.raises(SimulationError):
+        loop.run_until_idle(max_events=100)
+
+
+def test_pending_and_processed_counters():
+    loop = EventLoop()
+    t = loop.call_later(1.0, lambda: None)
+    loop.call_later(2.0, lambda: None)
+    assert loop.pending == 2
+    t.cancel()
+    assert loop.pending == 1
+    loop.run()
+    assert loop.processed == 1
+
+
+def test_reentrant_run_rejected():
+    loop = EventLoop()
+    errors = []
+
+    def reenter():
+        try:
+            loop.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    loop.call_later(1.0, reenter)
+    loop.run()
+    assert len(errors) == 1
+
+
+from hypothesis import given, settings, strategies as st
+
+
+@given(delays=st.lists(st.floats(0.0, 1000.0), min_size=1, max_size=40))
+@settings(max_examples=60)
+def test_property_events_fire_in_time_order(delays):
+    loop = EventLoop()
+    fired = []
+    for i, delay in enumerate(delays):
+        loop.call_later(delay, lambda i=i, d=delay: fired.append(d))
+    loop.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert loop.now == max(delays)
+
+
+@given(delays=st.lists(st.floats(0.0, 100.0), min_size=2, max_size=30),
+       data=st.data())
+@settings(max_examples=60)
+def test_property_cancelled_subset_never_fires(delays, data):
+    loop = EventLoop()
+    fired = []
+    timers = [loop.call_later(d, lambda i=i: fired.append(i))
+              for i, d in enumerate(delays)]
+    to_cancel = data.draw(st.sets(st.integers(0, len(delays) - 1)))
+    for i in to_cancel:
+        timers[i].cancel()
+    loop.run()
+    assert set(fired) == set(range(len(delays))) - to_cancel

@@ -1,0 +1,253 @@
+"""Tests for hosts, links and message delivery."""
+
+import pytest
+
+from repro.net.kernel import EventLoop
+from repro.net.simnet import (
+    DuplicateHostError,
+    Host,
+    Link,
+    Message,
+    Network,
+    NetworkError,
+    UnreachableHostError,
+)
+
+
+def make_pair(bandwidth=10.0, latency=1.0, **kwargs):
+    loop = EventLoop()
+    net = Network(loop)
+    net.create_host("h1")
+    net.create_host("h2")
+    net.connect("h1", "h2", bandwidth_mbps=bandwidth, latency_ms=latency, **kwargs)
+    return loop, net
+
+
+def test_message_rejects_negative_size():
+    with pytest.raises(ValueError):
+        Message("a", "b", "p", None, -1)
+
+
+def test_duplicate_host_rejected():
+    loop = EventLoop()
+    net = Network(loop)
+    net.create_host("h1")
+    with pytest.raises(DuplicateHostError):
+        net.create_host("h1")
+
+
+def test_self_link_rejected():
+    loop = EventLoop()
+    net = Network(loop)
+    net.create_host("h1")
+    with pytest.raises(NetworkError):
+        net.connect("h1", "h1")
+
+
+def test_duplicate_link_rejected():
+    loop, net = make_pair()
+    with pytest.raises(NetworkError):
+        net.connect("h1", "h2")
+
+
+def test_link_validation():
+    with pytest.raises(ValueError):
+        Link("a", "b", bandwidth_mbps=0)
+    with pytest.raises(ValueError):
+        Link("a", "b", latency_ms=-1)
+    with pytest.raises(ValueError):
+        Link("a", "b", loss_rate=1.0)
+
+
+def test_transmission_time_10mbps():
+    """1 MB over 10 Mbps = 800 ms of pure transmission (paper's link)."""
+    link = Link("a", "b", bandwidth_mbps=10.0, latency_ms=0.0)
+    assert link.transmission_ms(1_000_000) == pytest.approx(800.0)
+
+
+def test_delivery_time_includes_latency_and_bandwidth():
+    loop, net = make_pair(bandwidth=10.0, latency=2.0)
+    got = []
+    net.host("h2").register_handler("test", got.append)
+    receipt = net.send("h1", "h2", "test", "payload", 1_000_000)
+    loop.run()
+    assert receipt.delivered
+    assert got[0].payload == "payload"
+    assert receipt.transfer_ms == pytest.approx(802.0)
+
+
+def test_zero_byte_message_costs_latency_only():
+    loop, net = make_pair(latency=3.0)
+    net.host("h2").register_handler("test", lambda m: None)
+    receipt = net.send("h1", "h2", "test", None, 0)
+    loop.run()
+    assert receipt.transfer_ms == pytest.approx(3.0)
+
+
+def test_concurrent_transfers_serialize_on_link():
+    loop, net = make_pair(bandwidth=10.0, latency=0.0)
+    net.host("h2").register_handler("t", lambda m: None)
+    r1 = net.send("h1", "h2", "t", None, 1_000_000)  # 800 ms tx
+    r2 = net.send("h1", "h2", "t", None, 1_000_000)  # queued behind r1
+    loop.run()
+    assert r1.delivered_at == pytest.approx(800.0)
+    assert r2.delivered_at == pytest.approx(1600.0)
+
+
+def test_local_delivery_is_instant():
+    loop, net = make_pair()
+    got = []
+    net.host("h1").register_handler("loop", got.append)
+    receipt = net.send("h1", "h1", "loop", 7, 100)
+    loop.run()
+    assert receipt.delivered
+    assert receipt.transfer_ms == 0.0
+    assert got[0].payload == 7
+
+
+def test_missing_handler_raises():
+    loop, net = make_pair()
+    net.send("h1", "h2", "nobody-listens", None, 10)
+    with pytest.raises(NetworkError):
+        loop.run()
+
+
+def test_handler_replacement():
+    loop, net = make_pair()
+    first, second = [], []
+    h2 = net.host("h2")
+    h2.register_handler("t", first.append)
+    h2.register_handler("t", second.append)
+    net.send("h1", "h2", "t", None, 1)
+    loop.run()
+    assert first == [] and len(second) == 1
+
+
+def test_unregister_handler():
+    host = Host("h", EventLoop())
+    host.register_handler("t", lambda m: None)
+    assert host.handles("t")
+    host.unregister_handler("t")
+    assert not host.handles("t")
+
+
+def test_unreachable_host():
+    loop = EventLoop()
+    net = Network(loop)
+    net.create_host("island1")
+    net.create_host("island2")
+    with pytest.raises(UnreachableHostError):
+        net.send("island1", "island2", "t", None, 1)
+
+
+def test_multi_hop_routing_and_hops_counted():
+    loop = EventLoop()
+    net = Network(loop)
+    for name in ("a", "b", "c"):
+        net.create_host(name)
+    net.connect("a", "b", latency_ms=1.0)
+    net.connect("b", "c", latency_ms=1.0)
+    got = []
+    net.host("c").register_handler("t", got.append)
+    receipt = net.send("a", "c", "t", "x", 0)
+    loop.run()
+    assert receipt.delivered
+    assert receipt.hops == 2
+    assert receipt.transfer_ms == pytest.approx(2.0)
+
+
+def test_forward_delay_charged_at_relay():
+    loop = EventLoop()
+    net = Network(loop)
+    for name in ("a", "gw", "c"):
+        net.create_host(name)
+    net.connect("a", "gw", latency_ms=1.0)
+    net.connect("gw", "c", latency_ms=1.0)
+    net.set_forward_delay("gw", 10.0)
+    net.host("c").register_handler("t", lambda m: None)
+    receipt = net.send("a", "c", "t", None, 0)
+    loop.run()
+    assert receipt.transfer_ms == pytest.approx(12.0)
+
+
+def test_route_prefers_fewest_hops():
+    loop = EventLoop()
+    net = Network(loop)
+    for name in ("a", "b", "c", "d"):
+        net.create_host(name)
+    net.connect("a", "b")
+    net.connect("b", "c")
+    net.connect("c", "d")
+    net.connect("a", "d")  # direct shortcut
+    assert net.route("a", "d") == ["a", "d"]
+
+
+def test_offline_relay_is_avoided():
+    loop = EventLoop()
+    net = Network(loop)
+    for name in ("a", "relay1", "relay2", "d"):
+        net.create_host(name)
+    net.connect("a", "relay1")
+    net.connect("relay1", "d")
+    net.connect("a", "relay2")
+    net.connect("relay2", "d")
+    net.host("relay1").online = False
+    assert "relay1" not in net.route("a", "d")
+
+
+def test_send_to_offline_destination_rejected():
+    loop, net = make_pair()
+    net.host("h2").online = False
+    with pytest.raises(NetworkError):
+        net.send("h1", "h2", "t", None, 1)
+
+
+def test_lossy_link_drops_messages():
+    loop = EventLoop()
+    net = Network(loop, seed=7)
+    net.create_host("h1")
+    net.create_host("h2")
+    net.connect("h1", "h2", loss_rate=0.5)
+    net.host("h2").register_handler("t", lambda m: None)
+    receipts = [net.send("h1", "h2", "t", None, 10) for _ in range(100)]
+    loop.run()
+    dropped = sum(1 for r in receipts if r.dropped)
+    assert 20 < dropped < 80
+    assert net.messages_dropped == dropped
+
+
+def test_byte_accounting():
+    loop, net = make_pair()
+    net.host("h2").register_handler("t", lambda m: None)
+    net.send("h1", "h2", "t", None, 1234)
+    loop.run()
+    assert net.host("h1").bytes_sent == 1234
+    assert net.host("h2").bytes_received == 1234
+    assert net.host("h2").messages_received == 1
+    assert net.link_between("h1", "h2").bytes_carried == 1234
+
+
+def test_on_delivered_callback_runs_at_delivery_time():
+    loop, net = make_pair(latency=5.0)
+    net.host("h2").register_handler("t", lambda m: None)
+    times = []
+    net.send("h1", "h2", "t", None, 0,
+             on_delivered=lambda r: times.append(loop.now))
+    loop.run()
+    assert times == [pytest.approx(5.0)]
+
+
+def test_deterministic_under_seed():
+    def run(seed):
+        loop = EventLoop()
+        net = Network(loop, seed=seed)
+        net.create_host("h1")
+        net.create_host("h2")
+        net.connect("h1", "h2", jitter_ms=5.0)
+        net.host("h2").register_handler("t", lambda m: None)
+        receipts = [net.send("h1", "h2", "t", None, 100) for _ in range(10)]
+        loop.run()
+        return [r.delivered_at for r in receipts]
+
+    assert run(3) == run(3)
+    assert run(3) != run(4)

@@ -1,0 +1,122 @@
+"""Tests for smart spaces and gateways."""
+
+import pytest
+
+from repro.net.kernel import EventLoop
+from repro.net.simnet import Network
+from repro.net.topology import LinkSpec, Topology, TopologyError
+
+
+def two_space_topology(gateway_delay=5.0):
+    loop = EventLoop()
+    net = Network(loop)
+    topo = Topology(net)
+    topo.add_space("room821")
+    topo.add_space("room822")
+    topo.add_host("pc1", "room821")
+    topo.add_host("pc2", "room821")
+    topo.add_host("pc3", "room822")
+    topo.add_gateway("gw821", "room821", processing_delay_ms=gateway_delay)
+    topo.add_gateway("gw822", "room822", processing_delay_ms=gateway_delay)
+    topo.connect_spaces("room821", "room822")
+    return loop, net, topo
+
+
+def test_duplicate_space_rejected():
+    topo = Topology(Network(EventLoop()))
+    topo.add_space("s")
+    with pytest.raises(TopologyError):
+        topo.add_space("s")
+
+
+def test_unknown_space_rejected():
+    topo = Topology(Network(EventLoop()))
+    with pytest.raises(TopologyError):
+        topo.add_host("h", "nowhere")
+
+
+def test_hosts_in_space_are_fully_meshed():
+    loop, net, topo = two_space_topology()
+    assert net.link_between("pc1", "pc2") is not None
+    assert net.route("pc1", "pc2") == ["pc1", "pc2"]
+
+
+def test_intra_space_classification():
+    loop, net, topo = two_space_topology()
+    assert topo.same_space("pc1", "pc2")
+    assert topo.mobility_domain("pc1", "pc2") == "intra-space"
+
+
+def test_inter_space_classification():
+    loop, net, topo = two_space_topology()
+    assert not topo.same_space("pc1", "pc3")
+    assert topo.mobility_domain("pc1", "pc3") == "inter-space"
+
+
+def test_inter_space_route_goes_through_gateways():
+    loop, net, topo = two_space_topology()
+    route = net.route("pc1", "pc3")
+    assert route == ["pc1", "gw821", "gw822", "pc3"]
+
+
+def test_inter_space_transfer_charges_gateway_delay():
+    loop, net, topo = two_space_topology(gateway_delay=10.0)
+    net.host("pc3").register_handler("t", lambda m: None)
+    receipt = net.send("pc1", "pc3", "t", None, 0)
+    loop.run()
+    # 1ms LAN + 10ms gw821 + 5ms backbone + 10ms gw822 + 1ms LAN
+    assert receipt.transfer_ms == pytest.approx(27.0)
+    assert receipt.hops == 3
+
+
+def test_one_gateway_per_space():
+    loop, net, topo = two_space_topology()
+    with pytest.raises(TopologyError):
+        topo.add_gateway("gw821b", "room821")
+
+
+def test_connect_spaces_requires_gateways():
+    loop = EventLoop()
+    net = Network(loop)
+    topo = Topology(net)
+    topo.add_space("a")
+    topo.add_space("b")
+    with pytest.raises(TopologyError):
+        topo.connect_spaces("a", "b")
+
+
+def test_custom_lan_spec_applied():
+    loop = EventLoop()
+    net = Network(loop)
+    topo = Topology(net)
+    topo.add_space("fast", lan=LinkSpec(bandwidth_mbps=100.0, latency_ms=0.5))
+    topo.add_host("a", "fast")
+    topo.add_host("b", "fast")
+    link = net.link_between("a", "b")
+    assert link.bandwidth_mbps == 100.0
+    assert link.latency_ms == 0.5
+
+
+def test_space_of_and_contains():
+    loop, net, topo = two_space_topology()
+    assert topo.space_of("pc1") == "room821"
+    assert "pc1" in topo.space("room821")
+    assert "gw821" in topo.space("room821")
+    assert "pc3" not in topo.space("room821")
+
+
+def test_host_added_later_links_to_gateway():
+    loop, net, topo = two_space_topology()
+    topo.add_host("latecomer", "room821")
+    assert net.link_between("latecomer", "gw821") is not None
+    assert net.link_between("latecomer", "pc1") is not None
+
+
+def test_adopt_host_places_existing_host():
+    loop = EventLoop()
+    net = Network(loop)
+    topo = Topology(net)
+    topo.add_space("s")
+    host = net.create_host("pre-existing")
+    topo.adopt_host(host, "s")
+    assert topo.space_of("pre-existing") == "s"

@@ -1,0 +1,208 @@
+"""Differential tests: our reasoner/query engine vs reference algorithms.
+
+The schema reasoner's subclass/transitive closures are checked against
+networkx's transitive_closure on random DAGs-with-cycles, and the query
+engine against a brute-force join over the same random graphs.
+"""
+
+import itertools
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.kernel import EventLoop
+from repro.net.simnet import Network
+from repro.ontology.query import Query
+from repro.ontology.schema import SchemaReasoner, materialize
+from repro.ontology.triples import Graph, Triple
+
+nodes = st.sampled_from([f"n:{c}" for c in "abcdefgh"])
+edges = st.lists(st.tuples(nodes, nodes), max_size=20)
+
+
+@given(edge_list=edges)
+@settings(max_examples=80)
+def test_subclass_closure_matches_networkx(edge_list):
+    g = Graph()
+    nx_graph = nx.DiGraph()
+    nx_graph.add_nodes_from({n for e in edge_list for n in e})
+    for sub, sup in edge_list:
+        if sub != sup:
+            g.assert_(sub, "rdfs:subClassOf", sup)
+            nx_graph.add_edge(sub, sup)
+    reasoner = SchemaReasoner(g)
+    reference = nx.transitive_closure(nx_graph, reflexive=False)
+    for node in nx_graph.nodes:
+        ours = reasoner.superclasses(node, include_self=False) - {node}
+        theirs = set(reference.successors(node)) - {node}
+        assert ours == theirs, f"closure mismatch at {node}"
+
+
+@given(edge_list=edges)
+@settings(max_examples=60)
+def test_transitive_property_matches_networkx(edge_list):
+    g = Graph()
+    g.assert_("p:linked", "rdf:type", "owl:TransitiveProperty")
+    nx_graph = nx.DiGraph()
+    nx_graph.add_nodes_from({n for e in edge_list for n in e})
+    for a, b in edge_list:
+        if a != b:
+            g.assert_(a, "p:linked", b)
+            nx_graph.add_edge(a, b)
+    inferred = materialize(g)
+    reference = nx.transitive_closure(nx_graph, reflexive=False)
+    ours = {(t.subject, t.object)
+            for t in inferred.match(None, "p:linked", None)}
+    theirs = set(reference.edges)
+    # Cycles make nodes reach themselves; networkx excludes self-loops
+    # unless present, our fixpoint derives them -- compare modulo loops
+    # that networkx attributes to reflexivity.
+    assert {e for e in ours if e[0] != e[1]} == \
+        {e for e in theirs if e[0] != e[1]}
+
+
+triples_strategy = st.lists(
+    st.tuples(nodes, st.sampled_from(["p:x", "p:y"]), nodes),
+    min_size=1, max_size=25)
+
+
+@given(items=triples_strategy)
+@settings(max_examples=60)
+def test_two_pattern_join_matches_bruteforce(items):
+    """(?a p:x ?b), (?b p:y ?c) vs nested loops."""
+    g = Graph()
+    for s, p, o in items:
+        g.assert_(s, p, o)
+    rows = Query(["(?a p:x ?b)", "(?b p:y ?c)"]).run(g)
+    ours = {(r["?a"], r["?b"], r["?c"]) for r in rows}
+    brute = set()
+    for t1 in g.match(None, "p:x", None):
+        for t2 in g.match(None, "p:y", None):
+            if t1.object == t2.subject:
+                brute.add((t1.subject, t1.object, t2.object))
+    assert ours == brute
+
+
+@given(edge_list=st.lists(st.tuples(st.sampled_from("abcdef"),
+                                    st.sampled_from("abcdef")),
+                          min_size=1, max_size=12))
+@settings(max_examples=60, deadline=None)
+def test_routing_matches_networkx_shortest_path(edge_list):
+    """Network.route hop counts vs networkx shortest_path_length."""
+    loop = EventLoop()
+    net = Network(loop)
+    nx_graph = nx.Graph()
+    hosts = sorted({h for e in edge_list for h in e})
+    for host in hosts:
+        net.create_host(host)
+        nx_graph.add_node(host)
+    seen = set()
+    for a, b in edge_list:
+        if a != b and frozenset((a, b)) not in seen:
+            seen.add(frozenset((a, b)))
+            net.connect(a, b)
+            nx_graph.add_edge(a, b)
+    for src, dst in itertools.combinations(hosts, 2):
+        if nx.has_path(nx_graph, src, dst):
+            ours = len(net.route(src, dst)) - 1
+            theirs = nx.shortest_path_length(nx_graph, src, dst)
+            assert ours == theirs
+        else:
+            from repro.net.simnet import UnreachableHostError
+            with pytest.raises(UnreachableHostError):
+                net.route(src, dst)
+
+
+# -- naive vs semi-naive forward chaining ------------------------------------
+
+from repro.ontology.reasoner import ForwardChainingReasoner
+from repro.ontology.rules import parse_rules
+
+RULE_SETS = [
+    # transitivity
+    "[T: (?a p:link ?b), (?b p:link ?c) -> (?a p:link ?c)]",
+    # two chained rules
+    """[A: (?x p:link ?y) -> (?x p:reaches ?y)]
+       [B: (?x p:reaches ?y), (?y p:link ?z) -> (?x p:reaches ?z)]""",
+    # rule with a builtin filter and a literal
+    """[C: (?x p:weight ?w), lessThan(?w, 5) -> (?x p:light 'yes')]
+       [D: (?x p:light 'yes'), (?x p:link ?y) -> (?y p:nearLight 'yes')]""",
+]
+
+weights = st.integers(0, 9)
+link_triples = st.lists(st.tuples(nodes, nodes), max_size=15)
+weight_triples = st.lists(st.tuples(nodes, weights), max_size=8)
+
+
+@given(rules_text=st.sampled_from(RULE_SETS), links=link_triples,
+       weights_list=weight_triples)
+@settings(max_examples=80, deadline=None)
+def test_seminaive_equals_naive(rules_text, links, weights_list):
+    from repro.ontology.triples import Literal
+
+    def build():
+        g = Graph()
+        for a, b in links:
+            if a != b:
+                g.assert_(a, "p:link", b)
+        for x, w in weights_list:
+            g.assert_(x, "p:weight", Literal(w, "xsd:integer"))
+        return g
+
+    rules = parse_rules(rules_text)
+    naive = ForwardChainingReasoner(rules, schema=False,
+                                    strategy="naive").run(build())
+    semi = ForwardChainingReasoner(rules, schema=False,
+                                   strategy="seminaive").run(build())
+    assert set(naive) == set(semi)
+
+
+@given(links=link_triples)
+@settings(max_examples=40, deadline=None)
+def test_seminaive_equals_naive_with_schema(links):
+    rules = parse_rules(
+        "[R: (?x rdf:type n:Thing), (?x p:link ?y) -> (?y rdf:type n:Thing)]")
+
+    def build():
+        g = Graph()
+        g.assert_("n:Thing", "rdfs:subClassOf", "n:Entity")
+        for a, b in links:
+            if a != b:
+                g.assert_(a, "p:link", b)
+        if links:
+            g.assert_(links[0][0], "rdf:type", "n:Thing")
+        return g
+
+    naive = ForwardChainingReasoner(rules, schema=True,
+                                    strategy="naive").run(build())
+    semi = ForwardChainingReasoner(rules, schema=True,
+                                   strategy="seminaive").run(build())
+    assert set(naive) == set(semi)
+
+
+def test_seminaive_equals_naive_with_novalue():
+    """Rules with noValue fall back to naive evaluation per round."""
+    rules = parse_rules("""
+[Mark: (?x p:link ?y) -> (?x p:source 'yes')]
+[Neg: (?x p:source 'yes'), noValue(?x, p:blessed, ?b) -> (?x p:plain 'yes')]
+""")
+
+    def build():
+        g = Graph()
+        g.assert_("n:a", "p:link", "n:b")
+        g.assert_("n:c", "p:link", "n:d")
+        g.assert_("n:c", "p:blessed", "n:halo")
+        return g
+
+    naive = ForwardChainingReasoner(rules, schema=False,
+                                    strategy="naive").run(build())
+    semi = ForwardChainingReasoner(rules, schema=False,
+                                   strategy="seminaive").run(build())
+    assert set(naive) == set(semi)
+
+
+def test_invalid_strategy_rejected():
+    with pytest.raises(ValueError):
+        ForwardChainingReasoner(parse_rules(RULE_SETS[0]),
+                                strategy="quantum")

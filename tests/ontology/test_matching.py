@@ -1,0 +1,141 @@
+"""Tests for semantic resource matching and the paper's taxonomy."""
+
+import pytest
+
+from repro.ontology.matching import (
+    ResourceMatcher,
+    base_resource_ontology,
+)
+from repro.ontology.owl import Ontology
+from repro.ontology.vocabulary import IMCL
+
+
+@pytest.fixture
+def matcher():
+    onto = base_resource_ontology()
+    onto.declare_class("imcl:hpLaserJet", parents=["imcl:Printer"])
+    onto.declare_class("imcl:canonInkjet", parents=["imcl:Printer"])
+    onto.individual("imcl:hpInRoom1", "imcl:hpLaserJet")
+    onto.individual("imcl:canonInRoom2", "imcl:canonInkjet")
+    onto.individual("imcl:hpInRoom2", "imcl:hpLaserJet")
+    onto.individual("imcl:payrollDb", "imcl:Database")
+    onto.individual("imcl:alicePda", "imcl:PDA")
+    onto.individual("imcl:song", "imcl:MusicFile")
+    onto.individual("imcl:projector2", "imcl:Projector")
+    return ResourceMatcher(onto)
+
+
+class TestPaperTaxonomy:
+    """§4.4: printer substitutable/untransferable; database neither;
+    PDA transferable/unsubstitutable."""
+
+    def test_printer(self, matcher):
+        assert matcher.is_substitutable("imcl:hpInRoom1")
+        assert not matcher.is_transferable("imcl:hpInRoom1")
+
+    def test_database(self, matcher):
+        assert not matcher.is_substitutable("imcl:payrollDb")
+        assert not matcher.is_transferable("imcl:payrollDb")
+
+    def test_pda(self, matcher):
+        assert matcher.is_transferable("imcl:alicePda")
+        assert not matcher.is_substitutable("imcl:alicePda")
+
+    def test_music_file(self, matcher):
+        assert matcher.is_transferable("imcl:song")
+        assert matcher.is_substitutable("imcl:song")
+
+    def test_unknown_individual_defaults_conservative(self, matcher):
+        assert not matcher.is_transferable("imcl:mystery")
+        assert not matcher.is_substitutable("imcl:mystery")
+
+
+class TestCompatibility:
+    def test_same_model_compatible(self, matcher):
+        assert matcher.compatible("imcl:hpInRoom1", "imcl:hpInRoom2")
+
+    def test_different_models_compatible_via_printer(self, matcher):
+        """Different names, both printers -> compatible (Rule 2 semantics)."""
+        assert matcher.compatible("imcl:hpInRoom1", "imcl:canonInRoom2")
+        common = matcher.common_classes("imcl:hpInRoom1", "imcl:canonInRoom2")
+        assert "imcl:Printer" in common
+
+    def test_printer_not_compatible_with_database(self, matcher):
+        assert not matcher.compatible("imcl:hpInRoom1", "imcl:payrollDb")
+
+    def test_projector_compatible_with_display_class(self, matcher):
+        onto = matcher.ontology
+        onto.individual("imcl:wallDisplay", "imcl:Display")
+        matcher.refresh()
+        assert matcher.compatible("imcl:projector2", "imcl:wallDisplay")
+
+
+class TestMatch:
+    def test_prefers_most_specific_candidate(self, matcher):
+        result = matcher.match("imcl:hpInRoom1",
+                               ["imcl:canonInRoom2", "imcl:hpInRoom2"])
+        # hpInRoom2 shares hpLaserJet + Printer (2 classes) vs canon's 1
+        assert result.matched
+        assert result.candidate == "imcl:hpInRoom2"
+
+    def test_falls_back_to_same_class(self, matcher):
+        result = matcher.match("imcl:hpInRoom1", ["imcl:canonInRoom2"])
+        assert result.matched
+        assert result.candidate == "imcl:canonInRoom2"
+
+    def test_no_candidates(self, matcher):
+        result = matcher.match("imcl:hpInRoom1", [])
+        assert not result
+        assert "no semantically compatible" in result.reason
+
+    def test_incompatible_candidates(self, matcher):
+        result = matcher.match("imcl:hpInRoom1", ["imcl:payrollDb"])
+        assert not result.matched
+
+    def test_deterministic_tiebreak(self, matcher):
+        matcher.ontology.individual("imcl:aPrinter", "imcl:hpLaserJet")
+        matcher.refresh()
+        result = matcher.match("imcl:hpInRoom1",
+                               ["imcl:hpInRoom2", "imcl:aPrinter"])
+        assert result.candidate == "imcl:aPrinter"  # sorted first, equal score
+
+
+class TestRebindPlan:
+    def test_substitutable_rebinds(self, matcher):
+        plan = matcher.rebind_plan(["imcl:hpInRoom1"], ["imcl:canonInRoom2"])
+        assert plan["imcl:hpInRoom1"].matched
+
+    def test_non_substitutable_requires_identity(self, matcher):
+        plan = matcher.rebind_plan(["imcl:payrollDb"], ["imcl:hpInRoom2"])
+        assert not plan["imcl:payrollDb"].matched
+        plan2 = matcher.rebind_plan(["imcl:payrollDb"], ["imcl:payrollDb"])
+        assert plan2["imcl:payrollDb"].matched
+
+    def test_mixed_plan(self, matcher):
+        plan = matcher.rebind_plan(
+            ["imcl:hpInRoom1", "imcl:payrollDb", "imcl:song"],
+            ["imcl:canonInRoom2", "imcl:projector2"])
+        assert plan["imcl:hpInRoom1"].matched
+        assert not plan["imcl:payrollDb"].matched
+        assert not plan["imcl:song"].matched  # no file at destination
+
+
+def test_base_ontology_classes_exist():
+    onto = base_resource_ontology()
+    classes = onto.classes()
+    for expected in (IMCL.Printer, IMCL.Database, IMCL.PDA, IMCL.MusicFile,
+                     IMCL.SlideDeck, IMCL.UserInterface, IMCL.ApplicationLogic):
+        assert expected in classes
+
+
+def test_ontology_roundtrip_through_dict():
+    onto = base_resource_ontology()
+    onto.individual("imcl:hp", "imcl:Printer", {"imcl:ppm": 30})
+    restored = Ontology.from_dict(onto.to_dict())
+    assert len(restored.graph) == len(onto.graph)
+    assert restored.get_value("imcl:hp", "imcl:ppm") == 30
+
+
+def test_ontology_size_bytes_positive():
+    onto = base_resource_ontology()
+    assert onto.size_bytes() > 0

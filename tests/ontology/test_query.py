@@ -1,0 +1,116 @@
+"""Tests for the OWL-QL-like query layer."""
+
+import pytest
+
+from repro.ontology.matching import base_resource_ontology
+from repro.ontology.query import Query, QueryError, select
+from repro.ontology.schema import materialize
+from repro.ontology.triples import Graph, Literal
+
+
+@pytest.fixture
+def office():
+    g = Graph()
+    g.assert_("imcl:hp1", "rdf:type", "imcl:Printer")
+    g.assert_("imcl:hp2", "rdf:type", "imcl:Printer")
+    g.assert_("imcl:epson", "rdf:type", "imcl:Scanner")
+    g.assert_("imcl:hp1", "imcl:locatedIn", "imcl:Office821")
+    g.assert_("imcl:hp2", "imcl:locatedIn", "imcl:Office822")
+    g.assert_("imcl:hp1", "imcl:ppm", Literal(30, "xsd:integer"))
+    return g
+
+
+def test_single_pattern(office):
+    rows = select(office, "(?r rdf:type imcl:Printer)")
+    assert [r["?r"] for r in rows] == ["imcl:hp1", "imcl:hp2"]
+
+
+def test_conjunction_join(office):
+    rows = select(office,
+                  "(?r rdf:type imcl:Printer)",
+                  "(?r imcl:locatedIn imcl:Office821)")
+    assert [r["?r"] for r in rows] == ["imcl:hp1"]
+
+
+def test_two_variable_join(office):
+    rows = select(office,
+                  "(?r rdf:type imcl:Printer)",
+                  "(?r imcl:locatedIn ?where)")
+    assert {(r["?r"], r["?where"]) for r in rows} == {
+        ("imcl:hp1", "imcl:Office821"),
+        ("imcl:hp2", "imcl:Office822"),
+    }
+
+
+def test_select_projection(office):
+    q = Query(["(?r rdf:type imcl:Printer)", "(?r imcl:locatedIn ?where)"],
+              select=["?where"])
+    rows = q.run(office)
+    assert [r["?where"] for r in rows] == ["imcl:Office821", "imcl:Office822"]
+
+
+def test_select_unknown_variable_rejected(office):
+    with pytest.raises(QueryError):
+        Query(["(?r rdf:type imcl:Printer)"], select=["?nope"])
+
+
+def test_ask(office):
+    assert Query(["(?r rdf:type imcl:Printer)"]).ask(office)
+    assert not Query(["(?r rdf:type imcl:Teleporter)"]).ask(office)
+
+
+def test_count(office):
+    assert Query(["(?r rdf:type imcl:Printer)"]).count(office) == 2
+
+
+def test_literal_in_pattern(office):
+    rows = select(office, "(?r imcl:ppm '30'^^xsd:integer)")
+    assert [r["?r"] for r in rows] == ["imcl:hp1"]
+
+
+def test_empty_query_rejected():
+    with pytest.raises(QueryError):
+        Query([])
+
+
+def test_malformed_pattern_rejected():
+    with pytest.raises(QueryError):
+        Query(["(?a ?b)"])
+
+
+def test_pattern_as_tuple(office):
+    rows = select(office, ("?r", "rdf:type", "imcl:Printer"))
+    assert len(rows) == 2
+
+
+def test_no_solutions_returns_empty(office):
+    assert select(office, "(?r rdf:type imcl:Robot)") == []
+
+
+def test_shared_variable_must_unify(office):
+    # ?r in both patterns must be the same resource
+    rows = select(office,
+                  "(?r rdf:type imcl:Scanner)",
+                  "(?r imcl:locatedIn ?w)")
+    assert rows == []  # scanner has no location
+
+
+def test_query_over_inferred_graph():
+    """Registry-style query: find substitutable printers via subsumption."""
+    onto = base_resource_ontology()
+    onto.declare_class("imcl:hpLaserJet", parents=["imcl:Printer"])
+    onto.individual("imcl:hp4350", "imcl:hpLaserJet",
+                    {"imcl:locatedIn": "imcl:Office821"})
+    inferred = materialize(onto.graph)
+    rows = select(inferred,
+                  "(?r rdf:type imcl:Printer)",
+                  "(?r rdf:type imcl:Substitutable)",
+                  "(?r imcl:locatedIn imcl:Office821)")
+    assert [r["?r"] for r in rows] == ["imcl:hp4350"]
+
+
+def test_duplicate_rows_deduplicated(office):
+    office.assert_("imcl:hp1", "rdf:type", "imcl:Device")
+    rows = select(office, "(?r rdf:type ?t)", variables=["?r"])
+    names = [r["?r"] for r in rows]
+    assert len(names) == len(set(names))

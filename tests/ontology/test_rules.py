@@ -1,0 +1,207 @@
+"""Tests for the rule language and parser (paper Fig. 6 syntax)."""
+
+import pytest
+
+from repro.ontology.rules import (
+    BuiltinCall,
+    Literal,
+    Rule,
+    RuleParseError,
+    RuleSet,
+    TriplePattern,
+    parse_rule,
+    parse_rules,
+    parse_term,
+)
+
+PAPER_RULE_1 = (
+    "[Rule1: (?p imcl:locatedIn ?q), (?q imcl:locatedIn ?t) "
+    "-> (?p imcl:locatedIn ?t)]"
+)
+PAPER_RULE_2 = (
+    "[Rule2: (?ptr imcl:printerObj 'printer'), (?srcRsc rdf:type ?ptr), "
+    "(?destRsc imcl:printerObj ?ptr) -> (?srcRsc imcl:compatible ?destRsc)]"
+)
+PAPER_RULE_3 = (
+    "[Rule3: (?addr1 imcl:address ?value1), (?addr2 imcl:address ?value2), "
+    "(?srcRsc imcl:compatible ?destRsc), (?n imcl:responseTime ?t), "
+    "lessThan(?t, '1000'^^xsd:double) -> (?action imcl:actName 'move'), "
+    "(?action imcl:srcAddress ?value1), (?action imcl:destAddress ?value2)]"
+)
+
+
+class TestParseTerm:
+    def test_variable(self):
+        assert parse_term("?p") == "?p"
+
+    def test_bare_question_mark_rejected(self):
+        with pytest.raises(RuleParseError):
+            parse_term("?")
+
+    def test_qname(self):
+        assert parse_term("imcl:locatedIn") == "imcl:locatedIn"
+
+    def test_plain_literal(self):
+        assert parse_term("'printer'") == Literal("printer")
+
+    def test_double_quoted_literal(self):
+        assert parse_term('"move"') == Literal("move")
+
+    def test_typed_double(self):
+        lit = parse_term("'1000'^^xsd:double")
+        assert lit == Literal(1000.0, "xsd:double")
+        assert isinstance(lit.value, float)
+
+    def test_typed_int(self):
+        assert parse_term("'42'^^xsd:int") == Literal(42, "xsd:int")
+
+    def test_typed_boolean(self):
+        assert parse_term("'true'^^xsd:boolean") == Literal(True, "xsd:boolean")
+
+    def test_bare_number(self):
+        assert parse_term("7") == Literal(7, "xsd:integer")
+        assert parse_term("7.5") == Literal(7.5, "xsd:double")
+
+    def test_unterminated_literal(self):
+        with pytest.raises(RuleParseError):
+            parse_term("'oops")
+
+    def test_bad_typed_number(self):
+        with pytest.raises(RuleParseError):
+            parse_term("'abc'^^xsd:int")
+
+
+class TestParseRule:
+    def test_paper_rule_1(self):
+        rule = parse_rule(PAPER_RULE_1)
+        assert rule.name == "Rule1"
+        assert len(rule.patterns) == 2
+        assert rule.head == (TriplePattern("?p", "imcl:locatedIn", "?t"),)
+
+    def test_paper_rule_2(self):
+        rule = parse_rule(PAPER_RULE_2)
+        assert rule.patterns[0].object == Literal("printer")
+        assert rule.head[0].predicate == "imcl:compatible"
+
+    def test_paper_rule_3_with_builtin(self):
+        rule = parse_rule(PAPER_RULE_3)
+        assert len(rule.builtins) == 1
+        call = rule.builtins[0]
+        assert call.name == "lessThan"
+        assert call.args == ("?t", Literal(1000.0, "xsd:double"))
+        assert len(rule.head) == 3
+
+    def test_missing_brackets(self):
+        with pytest.raises(RuleParseError):
+            parse_rule("(?a p ?b) -> (?a q ?b)")
+
+    def test_missing_name(self):
+        with pytest.raises(RuleParseError):
+            parse_rule("[(?a a:p ?b) -> (?a a:q ?b)]")
+
+    def test_missing_arrow(self):
+        with pytest.raises(RuleParseError):
+            parse_rule("[R: (?a a:p ?b), (?a a:q ?b)]")
+
+    def test_unbound_head_variable_is_skolem(self):
+        rule = parse_rule("[R: (?a a:p ?b) -> (?a a:q ?zzz)]")
+        assert rule.skolem_variables() == ["?zzz"]
+
+    def test_bound_head_variables_not_skolem(self):
+        rule = parse_rule(PAPER_RULE_1)
+        assert rule.skolem_variables() == []
+
+    def test_builtin_in_head_rejected(self):
+        with pytest.raises(RuleParseError):
+            parse_rule("[R: (?a a:p ?b) -> lessThan(?b, 5)]")
+
+    def test_empty_head_rejected(self):
+        with pytest.raises(RuleParseError):
+            parse_rule("[R: (?a a:p ?b) -> ]")
+
+    def test_wrong_arity_pattern(self):
+        with pytest.raises(RuleParseError):
+            parse_rule("[R: (?a a:p) -> (?a a:q ?a)]")
+
+    def test_quoted_string_with_spaces(self):
+        rule = parse_rule("[R: (?a a:name 'two words') -> (?a a:ok 'yes')]")
+        assert rule.patterns[0].object == Literal("two words")
+
+    def test_roundtrip_str(self):
+        rule = parse_rule(PAPER_RULE_1)
+        assert parse_rule(str(rule)) == rule
+
+
+class TestParseRules:
+    def test_parse_all_paper_rules(self):
+        text = "\n".join([PAPER_RULE_1, PAPER_RULE_2, PAPER_RULE_3])
+        rules = parse_rules(text)
+        assert len(rules) == 3
+        assert "Rule2" in rules
+        assert rules.get("Rule3").name == "Rule3"
+
+    def test_comments_ignored(self):
+        text = f"# transitivity\n{PAPER_RULE_1}\n// done"
+        assert len(parse_rules(text)) == 1
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(RuleParseError):
+            parse_rules(PAPER_RULE_1 + "\n" + PAPER_RULE_1)
+
+    def test_unbalanced_brackets(self):
+        with pytest.raises(RuleParseError):
+            parse_rules("[R: (?a a:p ?b) -> (?a a:q ?b)")
+
+
+class TestBuiltins:
+    def test_less_than_true(self):
+        call = BuiltinCall("lessThan", ("?t", Literal(1000.0, "xsd:double")))
+        assert call.evaluate({"?t": Literal(800.0, "xsd:double")})
+
+    def test_less_than_false(self):
+        call = BuiltinCall("lessThan", ("?t", Literal(1000.0, "xsd:double")))
+        assert not call.evaluate({"?t": Literal(1500.0, "xsd:double")})
+
+    def test_unbound_variable_fails(self):
+        call = BuiltinCall("lessThan", ("?t", Literal(1000.0)))
+        assert not call.evaluate({})
+
+    def test_unknown_builtin_raises(self):
+        call = BuiltinCall("noSuchBuiltin", ())
+        with pytest.raises(RuleParseError):
+            call.evaluate({})
+
+    def test_equal_and_not_equal(self):
+        assert BuiltinCall("equal", (Literal(3), Literal(3))).evaluate({})
+        assert BuiltinCall("notEqual", (Literal(3), Literal(4))).evaluate({})
+
+    def test_comparison_across_int_float(self):
+        call = BuiltinCall("lessThanOrEqual",
+                           (Literal(3, "xsd:integer"), Literal(3.0, "xsd:double")))
+        assert call.evaluate({})
+
+    def test_incomparable_types_fail_closed(self):
+        call = BuiltinCall("lessThan", (Literal("abc"), Literal(3)))
+        assert not call.evaluate({})
+
+
+class TestPattern:
+    def test_substitute_partial(self):
+        p = TriplePattern("?a", "x:p", "?b")
+        q = p.substitute({"?a": "x:s"})
+        assert q == TriplePattern("x:s", "x:p", "?b")
+
+    def test_to_triple_requires_ground(self):
+        p = TriplePattern("?a", "x:p", "x:o")
+        with pytest.raises(RuleParseError):
+            p.to_triple()
+        assert p.to_triple({"?a": "x:s"}).subject == "x:s"
+
+    def test_variables_listed(self):
+        p = TriplePattern("?a", "?p", Literal(1))
+        assert p.variables() == ["?a", "?p"]
+
+
+def test_ruleset_get_unknown():
+    with pytest.raises(KeyError):
+        RuleSet().get("nope")

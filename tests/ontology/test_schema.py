@@ -1,0 +1,162 @@
+"""Tests for RDFS/OWL-lite schema inference."""
+
+import pytest
+
+from repro.ontology.owl import Ontology
+from repro.ontology.schema import SchemaReasoner, materialize
+from repro.ontology.triples import Graph, Literal, Triple
+
+
+@pytest.fixture
+def printer_onto():
+    """The paper's Fig. 5 fragment."""
+    onto = Ontology("imcl")
+    onto.declare_class("Printer")
+    onto.declare_class("hpLaserJet",
+                       parents=["Printer", "Substitutable", "UnTransferable"])
+    onto.object_property("locatedIn", transitive=True)
+    onto.individual("hp4350", "hpLaserJet", {"locatedIn": "imcl:Office821"})
+    return onto
+
+
+def test_subclass_closure(printer_onto):
+    r = SchemaReasoner(printer_onto.graph)
+    assert r.is_subclass_of("imcl:hpLaserJet", "imcl:Printer")
+    assert r.is_subclass_of("imcl:hpLaserJet", "imcl:hpLaserJet")
+    assert not r.is_subclass_of("imcl:Printer", "imcl:hpLaserJet")
+
+
+def test_multilevel_subclass():
+    g = Graph()
+    g.assert_("a:C1", "rdfs:subClassOf", "a:C2")
+    g.assert_("a:C2", "rdfs:subClassOf", "a:C3")
+    g.assert_("a:C3", "rdfs:subClassOf", "a:C4")
+    r = SchemaReasoner(g)
+    assert r.is_subclass_of("a:C1", "a:C4")
+    assert r.superclasses("a:C1") == {"a:C1", "a:C2", "a:C3", "a:C4"}
+    assert r.subclasses("a:C4") == {"a:C1", "a:C2", "a:C3", "a:C4"}
+
+
+def test_types_of_closes_over_subclass(printer_onto):
+    r = SchemaReasoner(printer_onto.graph)
+    types = r.types_of("imcl:hp4350")
+    assert "imcl:hpLaserJet" in types
+    assert "imcl:Printer" in types
+    assert "imcl:Substitutable" in types
+
+
+def test_instances_of_superclass(printer_onto):
+    r = SchemaReasoner(printer_onto.graph)
+    assert "imcl:hp4350" in r.instances_of("imcl:Printer")
+    assert r.is_instance_of("imcl:hp4350", "imcl:UnTransferable")
+
+
+def test_transitive_property_materialized():
+    """locatedIn chains: printer in office, office in building."""
+    onto = Ontology("imcl")
+    onto.object_property("locatedIn", transitive=True)
+    onto.graph.assert_("imcl:hp", "imcl:locatedIn", "imcl:Office821")
+    onto.graph.assert_("imcl:Office821", "imcl:locatedIn", "imcl:Building8")
+    onto.graph.assert_("imcl:Building8", "imcl:locatedIn", "imcl:Campus")
+    inferred = materialize(onto.graph)
+    assert inferred.holds("imcl:hp", "imcl:locatedIn", "imcl:Building8")
+    assert inferred.holds("imcl:hp", "imcl:locatedIn", "imcl:Campus")
+
+
+def test_symmetric_property():
+    onto = Ontology("imcl")
+    onto.object_property("adjacentTo", symmetric=True)
+    onto.graph.assert_("imcl:room1", "imcl:adjacentTo", "imcl:room2")
+    inferred = materialize(onto.graph)
+    assert inferred.holds("imcl:room2", "imcl:adjacentTo", "imcl:room1")
+
+
+def test_inverse_property():
+    onto = Ontology("imcl")
+    onto.object_property("contains", inverse_of="locatedIn")
+    onto.graph.assert_("imcl:hp", "imcl:locatedIn", "imcl:Office821")
+    inferred = materialize(onto.graph)
+    assert inferred.holds("imcl:Office821", "imcl:contains", "imcl:hp")
+    # and the other direction
+    onto2 = Ontology("imcl")
+    onto2.object_property("contains", inverse_of="locatedIn")
+    onto2.graph.assert_("imcl:Office821", "imcl:contains", "imcl:hp")
+    assert materialize(onto2.graph).holds("imcl:hp", "imcl:locatedIn", "imcl:Office821")
+
+
+def test_domain_range_inference():
+    g = Graph()
+    g.assert_("a:worksIn", "rdfs:domain", "a:Person")
+    g.assert_("a:worksIn", "rdfs:range", "a:Room")
+    g.assert_("a:alice", "a:worksIn", "a:office")
+    inferred = materialize(g)
+    assert inferred.holds("a:alice", "rdf:type", "a:Person")
+    assert inferred.holds("a:office", "rdf:type", "a:Room")
+
+
+def test_range_does_not_type_literals():
+    g = Graph()
+    g.assert_("a:age", "rdfs:range", "a:Number")
+    g.assert_("a:bob", "a:age", Literal(30, "xsd:integer"))
+    inferred = materialize(g)
+    assert len(list(inferred.match(None, "rdf:type", "a:Number"))) == 0
+
+
+def test_subproperty_propagation():
+    g = Graph()
+    g.assert_("a:hasMother", "rdfs:subPropertyOf", "a:hasParent")
+    g.assert_("a:hasParent", "rdfs:subPropertyOf", "a:hasAncestor")
+    g.assert_("a:x", "a:hasMother", "a:y")
+    inferred = materialize(g)
+    assert inferred.holds("a:x", "a:hasParent", "a:y")
+    assert inferred.holds("a:x", "a:hasAncestor", "a:y")
+    r = SchemaReasoner(g)
+    assert r.is_subproperty_of("a:hasMother", "a:hasAncestor")
+
+
+def test_equivalent_class_is_mutual_subclass():
+    g = Graph()
+    g.assert_("a:Laptop", "owl:equivalentClass", "a:NotebookComputer")
+    g.assert_("a:mine", "rdf:type", "a:Laptop")
+    inferred = materialize(g)
+    assert inferred.holds("a:mine", "rdf:type", "a:NotebookComputer")
+    r = SchemaReasoner(g)
+    assert r.is_subclass_of("a:Laptop", "a:NotebookComputer")
+    assert r.is_subclass_of("a:NotebookComputer", "a:Laptop")
+
+
+def test_materialize_combines_subclass_and_transitivity():
+    """Derived types feed transitive chains and vice versa."""
+    onto = Ontology("imcl")
+    onto.object_property("locatedIn", transitive=True)
+    onto.declare_class("ColorPrinter", parents=["Printer"])
+    onto.individual("hp", "ColorPrinter", {"locatedIn": "imcl:office"})
+    onto.graph.assert_("imcl:office", "imcl:locatedIn", "imcl:building")
+    inferred = materialize(onto.graph)
+    assert inferred.holds("imcl:hp", "rdf:type", "imcl:Printer")
+    assert inferred.holds("imcl:hp", "imcl:locatedIn", "imcl:building")
+
+
+def test_materialize_leaves_original_untouched(printer_onto):
+    before = len(printer_onto.graph)
+    materialize(printer_onto.graph)
+    assert len(printer_onto.graph) == before
+
+
+def test_cycle_in_subclass_terminates():
+    g = Graph()
+    g.assert_("a:A", "rdfs:subClassOf", "a:B")
+    g.assert_("a:B", "rdfs:subClassOf", "a:A")
+    r = SchemaReasoner(g)
+    assert r.is_subclass_of("a:A", "a:B")
+    assert r.is_subclass_of("a:B", "a:A")
+    materialize(g)  # must terminate
+
+
+def test_transitive_cycle_terminates():
+    g = Graph()
+    g.assert_("a:locatedIn", "rdf:type", "owl:TransitiveProperty")
+    g.assert_("a:x", "a:locatedIn", "a:y")
+    g.assert_("a:y", "a:locatedIn", "a:x")
+    inferred = materialize(g)
+    assert inferred.holds("a:x", "a:locatedIn", "a:x")

@@ -1,0 +1,166 @@
+"""Tests for the triple store."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ontology.triples import Graph, Literal, Triple, is_variable
+
+
+def t(s, p, o):
+    return Triple(s, p, o)
+
+
+def test_add_and_contains():
+    g = Graph()
+    assert g.add(t("imcl:hp", "rdf:type", "imcl:Printer"))
+    assert t("imcl:hp", "rdf:type", "imcl:Printer") in g
+    assert len(g) == 1
+
+
+def test_add_duplicate_returns_false():
+    g = Graph()
+    g.assert_("a:s", "a:p", "a:o")
+    assert not g.assert_("a:s", "a:p", "a:o")
+    assert len(g) == 1
+
+
+def test_remove():
+    g = Graph()
+    triple = t("a:s", "a:p", "a:o")
+    g.add(triple)
+    assert g.remove(triple)
+    assert triple not in g
+    assert not g.remove(triple)
+    assert list(g.match("a:s", None, None)) == []
+
+
+def test_literal_objects():
+    g = Graph()
+    g.assert_("imcl:net", "imcl:responseTime", Literal(800.0, "xsd:double"))
+    assert g.value("imcl:net", "imcl:responseTime") == Literal(800.0, "xsd:double")
+
+
+def test_literal_equality_includes_datatype():
+    assert Literal(1, "xsd:integer") != Literal(1, "xsd:double")
+    assert Literal("a") == Literal("a")
+
+
+def test_literal_rejected_in_subject():
+    with pytest.raises(ValueError):
+        Triple(Literal("x"), "a:p", "a:o")  # type: ignore[arg-type]
+
+
+def test_variable_rejected_in_ground_triple():
+    with pytest.raises(ValueError):
+        Triple("?s", "a:p", "a:o")
+
+
+def test_empty_term_rejected():
+    with pytest.raises(ValueError):
+        Triple("", "a:p", "a:o")
+
+
+def test_is_variable():
+    assert is_variable("?x")
+    assert not is_variable("x")
+    assert not is_variable(Literal("?x"))
+
+
+@pytest.fixture
+def sample():
+    g = Graph()
+    g.assert_("imcl:hp1", "rdf:type", "imcl:Printer")
+    g.assert_("imcl:hp2", "rdf:type", "imcl:Printer")
+    g.assert_("imcl:db", "rdf:type", "imcl:Database")
+    g.assert_("imcl:hp1", "imcl:locatedIn", "imcl:Office821")
+    return g
+
+
+def test_match_all_wildcards(sample):
+    assert len(list(sample.match())) == 4
+
+
+def test_match_by_predicate_object(sample):
+    subs = {tr.subject for tr in sample.match(None, "rdf:type", "imcl:Printer")}
+    assert subs == {"imcl:hp1", "imcl:hp2"}
+
+
+def test_match_by_subject(sample):
+    preds = {tr.predicate for tr in sample.match("imcl:hp1")}
+    assert preds == {"rdf:type", "imcl:locatedIn"}
+
+
+def test_match_by_subject_object(sample):
+    found = list(sample.match("imcl:hp1", None, "imcl:Office821"))
+    assert [tr.predicate for tr in found] == ["imcl:locatedIn"]
+
+
+def test_match_by_object(sample):
+    found = {tr.subject for tr in sample.match(None, None, "imcl:Printer")}
+    assert found == {"imcl:hp1", "imcl:hp2"}
+
+
+def test_match_fully_ground(sample):
+    assert len(list(sample.match("imcl:db", "rdf:type", "imcl:Database"))) == 1
+    assert list(sample.match("imcl:db", "rdf:type", "imcl:Printer")) == []
+
+
+def test_objects_subjects_value(sample):
+    assert sample.objects("imcl:hp1", "rdf:type") == {"imcl:Printer"}
+    assert sample.subjects("rdf:type", "imcl:Database") == {"imcl:db"}
+    assert sample.value("imcl:nobody", "rdf:type") is None
+
+
+def test_copy_is_independent(sample):
+    clone = sample.copy()
+    clone.assert_("new:s", "new:p", "new:o")
+    assert len(clone) == len(sample) + 1
+
+
+def test_union_operator(sample):
+    other = Graph()
+    other.assert_("x:a", "x:b", "x:c")
+    merged = sample | other
+    assert len(merged) == 5
+    assert len(sample) == 4
+
+
+def test_update_counts_new(sample):
+    fresh = Graph()
+    assert fresh.update(sample) == 4
+    assert fresh.update(sample) == 0
+
+
+qnames = st.sampled_from(["a:x", "a:y", "a:z", "b:p", "b:q"])
+triples = st.builds(Triple, qnames, qnames,
+                    st.one_of(qnames, st.builds(Literal, st.integers(0, 5))))
+
+
+@given(st.lists(triples, max_size=40))
+def test_graph_size_matches_distinct_triples(items):
+    g = Graph(items)
+    assert len(g) == len(set(items))
+
+
+@given(st.lists(triples, max_size=40))
+def test_match_wildcard_consistency(items):
+    """Every triple is findable through each index path."""
+    g = Graph(items)
+    for tr in g:
+        assert tr in set(g.match(tr.subject, None, None))
+        assert tr in set(g.match(None, tr.predicate, None))
+        assert tr in set(g.match(None, None, tr.object))
+        assert tr in set(g.match(tr.subject, tr.predicate, None))
+        assert tr in set(g.match(None, tr.predicate, tr.object))
+        assert tr in set(g.match(tr.subject, None, tr.object))
+
+
+@given(st.lists(triples, min_size=1, max_size=40), st.data())
+def test_remove_then_invisible_in_all_indexes(items, data):
+    g = Graph(items)
+    victim = data.draw(st.sampled_from(sorted(g, key=str)))
+    g.remove(victim)
+    assert victim not in g
+    assert victim not in set(g.match(victim.subject, None, None))
+    assert victim not in set(g.match(None, victim.predicate, None))
+    assert victim not in set(g.match(None, None, victim.object))

@@ -1,0 +1,80 @@
+"""Tests for the registry's OWL-QL-style semantic query surface."""
+
+import pytest
+
+from repro.net.kernel import EventLoop
+from repro.net.simnet import Network
+from repro.registry.records import ResourceRecord
+from repro.registry.registry import RegistryCenter, RegistryClient, install_registry
+
+
+@pytest.fixture
+def center():
+    center = RegistryCenter()
+    center.ontology.declare_class("imcl:hpLaserJet", parents=["imcl:Printer"])
+    center.register_resource(ResourceRecord(
+        "imcl:hp-821", "host2", ["imcl:hpLaserJet"],
+        {"imcl:ppm": 30}))
+    center.register_resource(ResourceRecord(
+        "imcl:projector-821", "host2", ["imcl:Projector"]))
+    center.register_resource(ResourceRecord(
+        "imcl:hp-office", "host1", ["imcl:hpLaserJet"]))
+    return center
+
+
+def test_query_by_inferred_superclass(center):
+    """hpLaserJet individuals answer a Printer query via subsumption."""
+    rows = center.semantic_query(["(?r rdf:type imcl:Printer)"])
+    assert {r["?r"] for r in rows} == {"imcl:hp-821", "imcl:hp-office"}
+
+
+def test_query_scoped_to_host(center):
+    rows = center.semantic_query([
+        "(?r rdf:type imcl:Printer)",
+        "(?r imcl:hostedOn 'host2')",
+    ])
+    assert [r["?r"] for r in rows] == ["imcl:hp-821"]
+
+
+def test_query_marker_classes(center):
+    """The paper's transferability taxonomy is queryable."""
+    rows = center.semantic_query([
+        "(?r rdf:type imcl:Substitutable)",
+        "(?r imcl:hostedOn 'host2')",
+    ])
+    names = {r["?r"] for r in rows}
+    assert "imcl:hp-821" in names and "imcl:projector-821" in names
+
+
+def test_query_projection_and_literals(center):
+    rows = center.semantic_query(
+        ["(?r rdf:type imcl:Printer)", "(?r imcl:ppm ?speed)"],
+        variables=["?speed"])
+    assert rows == [{"?speed": "30"}]
+
+
+def test_query_over_rpc():
+    loop = EventLoop()
+    net = Network(loop)
+    net.create_host("reg")
+    net.create_host("client")
+    net.connect("reg", "client")
+    server = install_registry(net, "reg")
+    server.center.register_resource(ResourceRecord(
+        "imcl:prn", "client", ["imcl:Printer"]))
+    client = RegistryClient(net, "client", "reg")
+    results = []
+    client.call("semantic_query",
+                {"patterns": ["(?r rdf:type imcl:Printer)"]},
+                lambda result, error: results.append((result, error)))
+    loop.run()
+    rows, error = results[0]
+    assert error is None
+    assert rows == [{"?r": "imcl:prn"}]
+
+
+def test_deregistration_removes_from_queries(center):
+    center.deregister_resource("imcl:hp-821")
+    rows = center.semantic_query([
+        "(?r rdf:type imcl:Printer)", "(?r imcl:hostedOn 'host2')"])
+    assert rows == []

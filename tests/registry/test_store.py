@@ -1,0 +1,93 @@
+"""Tests for registry persistence."""
+
+import json
+
+import pytest
+
+from repro.registry.records import ApplicationRecord, ResourceRecord
+from repro.registry.registry import RegistryCenter
+from repro.registry.store import load_registry, save_registry
+
+
+@pytest.fixture
+def populated():
+    center = RegistryCenter()
+    center.ontology.declare_class("imcl:hpLaserJet", parents=["imcl:Printer"])
+    center.register_application(ApplicationRecord(
+        "player", "host1", ["logic", "presentation"],
+        user_preferences={"volume": 60}))
+    center.register_application(ApplicationRecord(
+        "player", "host2", ["presentation"]))
+    center.register_application(ApplicationRecord("editor", "host1",
+                                                  ["logic"]))
+    center.register_resource(ResourceRecord("imcl:hp-1", "host1",
+                                            ["imcl:hpLaserJet"],
+                                            {"imcl:ppm": 30}))
+    center.register_resource(ResourceRecord("imcl:db-1", "host2",
+                                            ["imcl:Database"]))
+    return center
+
+
+def test_roundtrip_applications(populated, tmp_path):
+    path = tmp_path / "registry.json"
+    save_registry(populated, path)
+    restored = load_registry(path)
+    assert restored.application_hosts("player") == ["host1", "host2"]
+    record = restored.lookup_application("player", "host1")[0]
+    assert record.components == ["logic", "presentation"]
+    assert record.user_preferences == {"volume": 60}
+
+
+def test_roundtrip_resources_and_matching(populated, tmp_path):
+    path = tmp_path / "registry.json"
+    save_registry(populated, path)
+    restored = load_registry(path)
+    assert restored.resource("imcl:hp-1").properties == {"imcl:ppm": 30}
+    # Semantic matching still works (custom class survived).
+    assert restored.matcher.is_substitutable("imcl:hp-1")
+    result = restored.find_compatible("imcl:hp-1", "host1")
+    assert result.matched and result.candidate == "imcl:hp-1"
+    assert not restored.matcher.is_substitutable("imcl:db-1")
+
+
+def test_roundtrip_semantic_queries(populated, tmp_path):
+    path = tmp_path / "registry.json"
+    save_registry(populated, path)
+    restored = load_registry(path)
+    rows = restored.semantic_query(["(?r rdf:type imcl:Printer)"])
+    assert [r["?r"] for r in rows] == ["imcl:hp-1"]
+
+
+def test_versions_preserved(populated, tmp_path):
+    populated.register_application(ApplicationRecord("player", "host1",
+                                                     ["logic"]))
+    assert populated.lookup_application("player", "host1")[0].version == 2
+    path = tmp_path / "registry.json"
+    save_registry(populated, path)
+    restored = load_registry(path)
+    assert restored.lookup_application("player", "host1")[0].version == 2
+
+
+def test_file_is_stable_json(populated, tmp_path):
+    path = tmp_path / "registry.json"
+    save_registry(populated, path)
+    first = path.read_text()
+    save_registry(load_registry(path), path)
+    assert path.read_text() == first  # deterministic round trip
+    data = json.loads(first)
+    assert data["format_version"] == 1
+
+
+def test_unknown_version_rejected(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"format_version": 99}))
+    with pytest.raises(ValueError):
+        load_registry(path)
+
+
+def test_empty_center_roundtrip(tmp_path):
+    path = tmp_path / "empty.json"
+    save_registry(RegistryCenter(), path)
+    restored = load_registry(path)
+    assert restored.lookup_application("anything") == []
+    assert restored.resources_on("anywhere") == []
