@@ -12,8 +12,32 @@ from __future__ import annotations
 import pathlib
 from typing import Dict
 
+import pytest
+
 _REPORTS: Dict[str, str] = {}
 _RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--obs", action="store_true", default=False,
+        help="attach a repro.obs observability hub to the figure sweeps "
+             "and print each module's metrics dashboard in the summary")
+
+
+@pytest.fixture(scope="module")
+def obs(request):
+    """Per-module observability hub; ``None`` unless ``--obs`` was given."""
+    if not request.config.getoption("--obs"):
+        yield None
+        return
+    from repro.obs import Observability
+    hub = Observability()
+    yield hub
+    if len(hub.tracer) or len(hub.metrics):
+        name = request.module.__name__
+        record_report(f"obs_{name}",
+                      hub.dashboard(title=f"observability -- {name}"))
 
 
 def record_report(key: str, text: str) -> None:

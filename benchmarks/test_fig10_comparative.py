@@ -15,8 +15,8 @@ from repro.core import BindingPolicy
 
 
 @pytest.fixture(scope="module")
-def sweeps():
-    experiment = MigrationExperiment()
+def sweeps(obs):
+    experiment = MigrationExperiment(observability=obs)
     adaptive = experiment.sweep(PAPER_FILE_SIZES_MB, BindingPolicy.ADAPTIVE)
     static = experiment.sweep(PAPER_FILE_SIZES_MB, BindingPolicy.STATIC)
     return adaptive, static

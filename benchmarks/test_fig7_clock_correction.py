@@ -13,9 +13,11 @@ from conftest import record_report
 from repro.bench.harness import round_trip_experiment
 
 
-def test_fig7_round_trip_correction(benchmark):
+def test_fig7_round_trip_correction(benchmark, obs):
     result = benchmark.pedantic(round_trip_experiment,
-                                kwargs={"size_mb": 5.0, "skew_ms": 12_345.0},
+                                kwargs={"size_mb": 5.0,
+                                        "skew_ms": 12_345.0,
+                                        "observability": obs},
                                 rounds=3, iterations=1)
     # Raw one-way readings are polluted by roughly the whole skew...
     assert abs(result["one_way_out_local_ms"]

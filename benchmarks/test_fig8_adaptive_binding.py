@@ -16,9 +16,9 @@ from repro.core import BindingPolicy
 
 
 @pytest.fixture(scope="module")
-def adaptive_rows():
-    return MigrationExperiment().sweep(PAPER_FILE_SIZES_MB,
-                                       BindingPolicy.ADAPTIVE)
+def adaptive_rows(obs):
+    return MigrationExperiment(observability=obs).sweep(
+        PAPER_FILE_SIZES_MB, BindingPolicy.ADAPTIVE)
 
 
 def test_fig8_adaptive_sweep(benchmark, adaptive_rows):

@@ -17,9 +17,9 @@ from repro.core import BindingPolicy
 
 
 @pytest.fixture(scope="module")
-def static_rows():
-    return MigrationExperiment().sweep(PAPER_FILE_SIZES_MB,
-                                       BindingPolicy.STATIC)
+def static_rows(obs):
+    return MigrationExperiment(observability=obs).sweep(
+        PAPER_FILE_SIZES_MB, BindingPolicy.STATIC)
 
 
 def test_fig9_static_sweep(benchmark, static_rows):

@@ -14,12 +14,49 @@ import argparse
 import sys
 
 
+def _make_obs(args: argparse.Namespace):
+    """Build an Observability hub iff any obs flag was passed."""
+    if not (getattr(args, "trace_out", None)
+            or getattr(args, "trace_jsonl", None)
+            or getattr(args, "metrics", False)):
+        return None
+    from repro.obs import Observability
+    return Observability()
+
+
+def _export_obs(obs, args: argparse.Namespace) -> None:
+    """Write the requested exports and/or print the metrics dashboard."""
+    if obs is None:
+        return
+    if getattr(args, "trace_out", None):
+        obs.export_chrome_trace(args.trace_out)
+        print(f"chrome trace written to {args.trace_out} "
+              f"(load in Perfetto / chrome://tracing)", file=sys.stderr)
+    if getattr(args, "trace_jsonl", None):
+        obs.export_jsonl(args.trace_jsonl)
+        print(f"JSONL trace written to {args.trace_jsonl}", file=sys.stderr)
+    if getattr(args, "metrics", False):
+        print()
+        print(obs.dashboard())
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="write a Chrome trace_event JSON file "
+                             "(Perfetto-loadable)")
+    parser.add_argument("--trace-jsonl", metavar="FILE", default=None,
+                        help="write the span/event/metric stream as JSONL")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the metrics dashboard after the run")
+
+
 def cmd_quickstart(args: argparse.Namespace) -> int:
     from repro import BindingPolicy, Deployment
     from repro.apps import MusicPlayerApp
     from repro.core.trace import DeploymentTracer
 
-    d = Deployment(seed=args.seed)
+    obs = _make_obs(args)
+    d = Deployment(seed=args.seed, observability=obs)
     d.add_space("lab")
     src = d.add_host("host1", "lab")
     dst = d.add_host("host2", "lab")
@@ -37,6 +74,7 @@ def cmd_quickstart(args: argparse.Namespace) -> int:
     print()
     for phase, value in outcome.phases().items():
         print(f"{phase:>8}: {value:8.1f} ms")
+    _export_obs(obs, args)
     return 0 if outcome.completed else 1
 
 
@@ -46,7 +84,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.bench.workloads import PAPER_FILE_SIZES_MB
     from repro.core import BindingPolicy
 
-    experiment = MigrationExperiment()
+    obs = _make_obs(args)
+    experiment = MigrationExperiment(observability=obs)
     adaptive = experiment.sweep(PAPER_FILE_SIZES_MB, BindingPolicy.ADAPTIVE)
     static = experiment.sweep(PAPER_FILE_SIZES_MB, BindingPolicy.STATIC)
     print(format_phase_table(
@@ -57,15 +96,25 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print()
     print(format_comparison_table(
         "Fig. 10 -- comparative total cost", adaptive, static))
+    if args.metrics and experiment.last_outcomes:
+        from repro.bench.reporting import format_stats_table
+        from repro.core.metrics import summarize
+        print()
+        print(format_stats_table("per-phase aggregate (all runs)",
+                                 summarize(experiment.last_outcomes)))
+    _export_obs(obs, args)
     return 0
 
 
 def cmd_lecture(args: argparse.Namespace) -> int:
     from repro.bench.harness import clone_dispatch_experiment
 
-    result = clone_dispatch_experiment(room_count=args.rooms)
+    obs = _make_obs(args)
+    result = clone_dispatch_experiment(room_count=args.rooms,
+                                       observability=obs)
     for key, value in result.items():
         print(f"{key:>20}: {value}")
+    _export_obs(obs, args)
     return 0
 
 
@@ -87,12 +136,15 @@ def build_parser() -> argparse.ArgumentParser:
     quickstart.add_argument("--policy", choices=["adaptive", "static"],
                             default="adaptive")
     quickstart.add_argument("--seed", type=int, default=42)
+    _add_obs_flags(quickstart)
     quickstart.set_defaults(func=cmd_quickstart)
     sweep = sub.add_parser("sweep", help="reproduce Figs. 8-10")
+    _add_obs_flags(sweep)
     sweep.set_defaults(func=cmd_sweep)
     lecture = sub.add_parser("lecture",
                              help="clone-dispatch lecture scenario")
     lecture.add_argument("--rooms", type=int, default=3)
+    _add_obs_flags(lecture)
     lecture.set_defaults(func=cmd_lecture)
     version = sub.add_parser("version", help="print the version")
     version.set_defaults(func=cmd_version)

@@ -130,6 +130,49 @@ class MobilityService:
         container.host.register_handler(TRANSFER_PROTOCOL,
                                         lambda m: self._on_transfer(container, m))
 
+    # -- observability ----------------------------------------------------------
+
+    def _begin_obs(self, result: MigrationResult, kind: str, host) -> None:
+        """Open the agent-migration span pair (root + check-out phase).
+
+        Spans ride on the result object, which travels the whole protocol
+        in-process, so each step can close its phase and open the next with
+        the arriving host's local clock stamp (the Fig. 7 raw readings).
+        """
+        obs = self.platform.loop.observability
+        if obs is None:
+            return
+        root = obs.tracer.begin_span(
+            f"agent.{kind}", category="agent", host=host,
+            agent=result.agent_name, source=result.source,
+            destination=result.destination, bytes=result.size_bytes)
+        result._obs_root = root
+        result._obs_phase = root.child("agent.checkout", host=host)
+
+    @staticmethod
+    def _obs_next_phase(result: MigrationResult, name: str, host,
+                        **attributes) -> None:
+        """Close the current phase span and open the next one."""
+        root = getattr(result, "_obs_root", None)
+        if root is None:
+            return
+        phase = result._obs_phase
+        if not phase.finished:
+            phase.end(host=host)
+        result._obs_phase = root.child(name, host=host, **attributes)
+
+    @staticmethod
+    def _obs_finish(result: MigrationResult, host=None, **attributes) -> None:
+        """Seal the phase and root spans (success or failure)."""
+        root = getattr(result, "_obs_root", None)
+        if root is None:
+            return
+        phase = result._obs_phase
+        if not phase.finished:
+            phase.end(host=host, **attributes)
+        if not root.finished:
+            root.end(host=host, **attributes)
+
     # -- move -------------------------------------------------------------------
 
     def move(self, agent: Agent, destination_host: str) -> MigrationResult:
@@ -154,6 +197,7 @@ class MobilityService:
             started_at=loop.now,
         )
         self.moves_started += 1
+        self._begin_obs(result, "move", container.host)
         agent.state = AgentState.TRANSIT
         checkout = self.cost_model.checkout_ms(snapshot.size_bytes,
                                                container.host.cpu_factor)
@@ -184,6 +228,7 @@ class MobilityService:
             started_at=loop.now,
             clone_name=new_name,
         )
+        self._begin_obs(result, "clone", container.host)
         checkout = self.cost_model.checkout_ms(snapshot.size_bytes,
                                                container.host.cpu_factor)
         # The original keeps running; only the snapshot departs.
@@ -212,11 +257,16 @@ class MobilityService:
         if attempt == 0:
             result.checked_out_at = self.platform.loop.now
             result.depart_local = container.host.local_time()
+        self._obs_next_phase(result, "agent.transfer", container.host,
+                             attempt=attempt)
         payload = (snapshot, carried, kind, result)
 
         def on_dropped(receipt):
             self.transfers_dropped += 1
             if attempt < self.cost_model.max_transfer_retries:
+                phase = getattr(result, "_obs_phase", None)
+                if phase is not None:
+                    phase.end(lost=True)
                 delay = self.cost_model.retry_backoff_ms * (attempt + 1)
                 self.platform.loop.call_later(
                     delay, self._send_snapshot, container, snapshot,
@@ -226,6 +276,8 @@ class MobilityService:
                 result.failure_reason = (
                     f"transfer to {result.destination!r} lost after "
                     f"{attempt + 1} attempts")
+                self._obs_finish(result, failed=True,
+                                 reason=result.failure_reason)
                 result._finish()
 
         try:
@@ -235,6 +287,7 @@ class MobilityService:
         except Exception as exc:
             result.failed = True
             result.failure_reason = str(exc)
+            self._obs_finish(result, failed=True, reason=str(exc))
             result._finish()
 
     def _on_transfer(self, container: "AgentContainer", net_message) -> None:
@@ -242,6 +295,11 @@ class MobilityService:
         loop = self.platform.loop
         result.arrived_at = loop.now
         result.arrive_local = container.host.local_time()
+        obs = loop.observability
+        if obs is not None:
+            obs.metrics.histogram("agent.transfer_ms").observe(
+                result.arrived_at - result.checked_out_at)
+        self._obs_next_phase(result, "agent.checkin", container.host)
         checkin = self.cost_model.checkin_ms(snapshot.size_bytes,
                                              container.host.cpu_factor)
         loop.call_later(checkin, self._check_in, container, snapshot,
@@ -255,6 +313,8 @@ class MobilityService:
         except Exception as exc:  # registration/restore failures surface here
             result.failed = True
             result.failure_reason = str(exc)
+            self._obs_finish(result, host=container.host, failed=True,
+                             reason=str(exc))
             result._finish()
             return
         agent.state = AgentState.TRANSIT
@@ -271,4 +331,8 @@ class MobilityService:
         result.agent = agent
         result.checked_in_at = self.platform.loop.now
         result.completed = True
+        obs = self.platform.loop.observability
+        if obs is not None:
+            obs.metrics.counter("agent.completed", kind=kind).inc()
+        self._obs_finish(result, host=container.host)
         result._finish()

@@ -117,6 +117,12 @@ class AgentContainer:
     def post_to(self, local_name: str, message: ACLMessage) -> None:
         """Deliver locally, or buffer briefly if the agent is in flight."""
         agent = self._agents.get(local_name)
+        obs = self.loop.observability
+        if obs is not None:
+            obs.tracer.event(
+                "acl.receive", category="acl", host=self.host,
+                agent=local_name, performative=message.performative.value,
+                buffered=agent is None)
         if agent is not None:
             agent.post(message)
         else:
@@ -211,6 +217,7 @@ class AgentPlatform:
             raise PlatformError(f"message has no sender: {message}")
         message.sent_at = self.loop.now
         _, sender_host = split_aid(message.sender)
+        obs = self.loop.observability
         for receiver in message.receivers:
             local_name, receiver_host = split_aid(receiver)
             # The AMS may know the agent moved; prefer its current location.
@@ -219,6 +226,16 @@ class AgentPlatform:
             copy = message.copy()
             copy.receivers = [f"{local_name}@{target_host}"]
             self.messages_sent += 1
+            if obs is not None:
+                obs.metrics.counter(
+                    "acl.messages",
+                    performative=message.performative.value).inc()
+                obs.tracer.event(
+                    "acl.send", category="acl", sender=message.sender,
+                    receiver=copy.receivers[0],
+                    performative=message.performative.value,
+                    size_bytes=estimate_message_size(copy),
+                    remote=target_host != sender_host)
             if target_host == sender_host:
                 container = self.container(target_host)
                 self.loop.call_soon(container.post_to, local_name, copy)

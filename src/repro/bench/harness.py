@@ -60,7 +60,8 @@ class TestbedConfig:
 
 
 def build_paper_testbed(config: Optional[TestbedConfig] = None,
-                        app_name: str = "player"):
+                        app_name: str = "player",
+                        observability=None):
     """Two hosts, one (or two gatewayed) space(s), partial app at dest.
 
     Returns ``(deployment, source_middleware, destination_middleware)``.
@@ -69,7 +70,8 @@ def build_paper_testbed(config: Optional[TestbedConfig] = None,
     lan = LinkSpec(bandwidth_mbps=config.bandwidth_mbps,
                    latency_ms=config.latency_ms,
                    jitter_ms=config.jitter_ms)
-    d = Deployment(seed=config.seed, config=config.middleware)
+    d = Deployment(seed=config.seed, config=config.middleware,
+                   observability=observability)
     d.add_space("lab-a", lan=lan)
     source = d.add_host(
         "host1", "lab-a",
@@ -126,10 +128,18 @@ class SweepRow:
 
 
 class MigrationExperiment:
-    """Runs follow-me migrations across fresh paper testbeds."""
+    """Runs follow-me migrations across fresh paper testbeds.
 
-    def __init__(self, config: Optional[TestbedConfig] = None):
+    Pass an :class:`repro.obs.Observability` hub to trace every run; each
+    ``run_once`` becomes a tracer *run* (a Chrome-trace process) labelled
+    with the size/policy/kind of that migration.
+    """
+
+    def __init__(self, config: Optional[TestbedConfig] = None,
+                 observability=None):
         self.config = config if config is not None else TestbedConfig()
+        self.observability = observability
+        self.last_outcomes: List[MigrationOutcome] = []
 
     def run_once(self, file_size_bytes: int,
                  policy: BindingPolicy = BindingPolicy.ADAPTIVE,
@@ -139,7 +149,12 @@ class MigrationExperiment:
         """One migration on a fresh deterministic testbed."""
         config = TestbedConfig(**{**self.config.__dict__,
                                   "seed": self.config.seed + seed_offset})
-        d, source, destination = build_paper_testbed(config)
+        obs = self.observability
+        if obs is not None and obs.enabled:
+            obs.begin_run(f"{file_size_bytes / 1e6:g}MB/{policy.value}/"
+                          f"{kind.value}#{seed_offset}")
+        d, source, destination = build_paper_testbed(
+            config, observability=obs)
         app = MusicPlayerApp.build("player", "alice",
                                    track_bytes=file_size_bytes)
         source.launch_application(app)
@@ -150,6 +165,7 @@ class MigrationExperiment:
         if not outcome.completed:
             raise RuntimeError(
                 f"migration failed: {outcome.failure_reason}")
+        self.last_outcomes.append(outcome)
         return outcome
 
     def sweep(self, sizes_mb, policy: BindingPolicy,
@@ -177,14 +193,18 @@ class MigrationExperiment:
 
 
 def round_trip_experiment(size_mb: float = 5.0,
-                          skew_ms: float = 12_345.0) -> Dict[str, float]:
+                          skew_ms: float = 12_345.0,
+                          observability=None) -> Dict[str, float]:
     """Fig. 7: migrate out and back across unsynchronized clocks.
 
     Returns the skew-polluted one-way readings, the Fig. 7 corrected
     round-trip sum, and the (simulation-only) ground truth.
     """
     config = TestbedConfig(dest_skew_ms=skew_ms)
-    d, source, destination = build_paper_testbed(config)
+    if observability is not None and observability.enabled:
+        observability.begin_run(f"round-trip/{size_mb:g}MB/skew{skew_ms:g}")
+    d, source, destination = build_paper_testbed(
+        config, observability=observability)
     app = MusicPlayerApp.build("player", "alice",
                                track_bytes=int(size_mb * 1e6))
     source.launch_application(app)
@@ -217,14 +237,19 @@ def round_trip_experiment(size_mb: float = 5.0,
 def clone_dispatch_experiment(room_count: int = 3, slide_count: int = 40,
                               per_slide_bytes: int = 120_000,
                               carry_full_app: bool = False,
-                              seed: int = 11) -> Dict[str, object]:
+                              seed: int = 11,
+                              observability=None) -> Dict[str, object]:
     """The lecture scenario: clone the slide show to N overflow rooms.
 
     ``carry_full_app=False`` models the paper's setup (rooms already have
     the presentation app + projector, only slides travel); ``True`` ships
     logic + UI + slides, the naive alternative.
     """
-    d = Deployment(seed=seed)
+    if observability is not None and observability.enabled:
+        observability.begin_run(
+            f"clone-dispatch/{room_count}rooms/"
+            f"{'full' if carry_full_app else 'partial'}")
+    d = Deployment(seed=seed, observability=observability)
     d.add_space("main-room")
     main = d.add_host("main-pc", "main-room")
     d.add_gateway("gw-main", "main-room")

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.bench.harness import SweepRow
+from repro.core.metrics import PhaseStats
 
 
 def format_phase_table(title: str, rows: Sequence[SweepRow]) -> str:
@@ -35,6 +36,23 @@ def format_comparison_table(title: str, adaptive: Sequence[SweepRow],
         ratio = s.total_ms / a.total_ms if a.total_ms else float("inf")
         lines.append(f"{a.size_mb:>9.1f}M {a.total_ms:>10.0f}ms "
                      f"{s.total_ms:>10.0f}ms {ratio:>15.1f}x")
+    return "\n".join(lines)
+
+
+def format_stats_table(title: str, stats: Dict[str, PhaseStats]) -> str:
+    """Per-phase aggregate table (ms) with tail percentiles.
+
+    ``stats`` is the output of :func:`repro.core.metrics.summarize`.
+    """
+    lines = [title, "-" * len(title)]
+    lines.append(f"{'phase':>8} {'n':>5} {'mean':>9} {'stdev':>9} "
+                 f"{'min':>9} {'p50':>9} {'p95':>9} {'p99':>9} {'max':>9}")
+    for stat in stats.values():
+        lines.append(
+            f"{stat.phase:>8} {stat.samples:>5} {stat.mean_ms:>9.1f} "
+            f"{stat.stdev_ms:>9.1f} {stat.min_ms:>9.1f} "
+            f"{stat.p50_ms:>9.1f} {stat.p95_ms:>9.1f} "
+            f"{stat.p99_ms:>9.1f} {stat.max_ms:>9.1f}")
     return "\n".join(lines)
 
 

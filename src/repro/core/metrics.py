@@ -84,7 +84,11 @@ class MigrationOutcome:
 
 @dataclass
 class PhaseStats:
-    """Aggregate of one phase over repeated runs."""
+    """Aggregate of one phase over repeated runs.
+
+    Percentile fields are appended with defaults so positional construction
+    from before they existed keeps working.
+    """
 
     phase: str
     mean_ms: float
@@ -92,10 +96,15 @@ class PhaseStats:
     min_ms: float
     max_ms: float
     samples: int
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
 
 
 def summarize(outcomes: List[MigrationOutcome]) -> Dict[str, PhaseStats]:
     """Per-phase statistics over completed outcomes."""
+    from repro.obs.metrics import percentile
+
     done = [o for o in outcomes if o.completed]
     stats: Dict[str, PhaseStats] = {}
     if not done:
@@ -109,5 +118,8 @@ def summarize(outcomes: List[MigrationOutcome]) -> Dict[str, PhaseStats]:
             min_ms=min(values),
             max_ms=max(values),
             samples=len(values),
+            p50_ms=percentile(values, 50.0),
+            p95_ms=percentile(values, 95.0),
+            p99_ms=percentile(values, 99.0),
         )
     return stats

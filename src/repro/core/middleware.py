@@ -503,8 +503,13 @@ class Deployment:
 
     def __init__(self, seed: int = 0,
                  config: Optional[MiddlewareConfig] = None,
-                 backbone: Optional[LinkSpec] = None):
+                 backbone: Optional[LinkSpec] = None,
+                 observability=None):
         self.loop = EventLoop()
+        # Install tracing/metrics hooks before anything can schedule events.
+        self.observability = observability
+        if observability is not None:
+            observability.attach(self.loop)
         self.network = Network(self.loop, seed=seed)
         self.topology = Topology(self.network, backbone=backbone)
         self.platform = AgentPlatform(self.network)

@@ -101,6 +101,21 @@ def plan_from_dict(data: Dict[str, Any]) -> MigrationPlan:
     )
 
 
+def end_outcome_spans(outcome: MigrationOutcome, **attributes) -> None:
+    """Seal any observability spans still open on ``outcome``.
+
+    The phase spans (suspend/migrate/resume) and their ``app.migration``
+    root ride the outcome object across hosts; every failure path funnels
+    through :meth:`MigrationOutcome._finish`, so the mobility manager
+    registers this as an ``on_complete`` callback to guarantee no span is
+    left dangling.
+    """
+    for attr in ("_obs_phase", "_obs_root"):
+        span = getattr(outcome, attr, None)
+        if span is not None and not span.finished:
+            span.end(**attributes)
+
+
 class MobilityManager:
     """Source-side executor of migration plans (one per middleware)."""
 
@@ -130,6 +145,22 @@ class MobilityManager:
                 f"{middleware.host_name!r}")
         self.migrations_started += 1
         outcome.started_at = self.loop.now
+        obs = self.loop.observability
+        if obs is not None:
+            # The phase spans carry exactly the timestamps that feed the
+            # outcome's suspend/migrate/resume figures (Fig. 8/9 series):
+            # both are written from the same loop.now at the same call
+            # sites, so trace and tables agree to the float bit.
+            root = obs.tracer.begin_span(
+                "app.migration", category="migration", host=middleware.host,
+                app=plan.app_name, source=plan.source,
+                destination=plan.destination, kind=plan.kind.value,
+                policy=plan.policy.value)
+            outcome._obs_root = root
+            outcome._obs_phase = root.child("suspend", host=middleware.host,
+                                            app=plan.app_name)
+            outcome.on_complete(
+                lambda o: end_outcome_spans(o, failed=o.failed))
         cpu = middleware.host.cpu_factor
         config = self.config
         if plan.kind is MigrationKind.FOLLOW_ME:
@@ -151,6 +182,11 @@ class MobilityManager:
                        outcome: MigrationOutcome, snapshot) -> None:
         middleware = self.middleware
         outcome.suspend_done_at = self.loop.now
+        root = getattr(outcome, "_obs_root", None)
+        if root is not None:
+            outcome._obs_phase.end(host=middleware.host)
+            outcome._obs_phase = root.child("migrate", host=middleware.host,
+                                            app=plan.app_name)
         manifest = app.to_manifest(plan.carry_components)
         # A migrating sync master hands its replica set over: the manifest
         # carries the list so the new host can re-point every replica.
@@ -229,6 +265,14 @@ class MobilityManager:
         execution; the app keeps running at the source untouched."""
         plan.prestage = True
         outcome.started_at = self.loop.now
+        obs = self.loop.observability
+        if obs is not None:
+            outcome._obs_root = obs.tracer.begin_span(
+                "app.prestage", category="migration",
+                host=self.middleware.host, app=plan.app_name,
+                source=plan.source, destination=plan.destination)
+            outcome.on_complete(
+                lambda o: end_outcome_spans(o, failed=o.failed))
         pack_cost = (self.config.clone_snapshot_base_ms
                      * self.middleware.host.cpu_factor)
         self.loop.call_later(pack_cost, self._send_prestage, app, plan,
@@ -288,6 +332,12 @@ class MobilityManager:
             outcome.migrate_done_at = now
             outcome.log(f"mobile agent {ma.local_name} checked in at "
                         f"{now:.1f}")
+            phase = getattr(outcome, "_obs_phase", None)
+            if phase is not None and not phase.finished:
+                # The migrate phase ends here, on the destination's clock.
+                phase.end(host=middleware.host)
+                outcome._obs_phase = outcome._obs_root.child(
+                    "resume", host=middleware.host, app=plan.app_name)
         app = middleware.applications.get(plan.app_name)
         if app is None:
             app = Application.from_manifest(manifest)
@@ -383,5 +433,15 @@ class MobilityManager:
         if outcome is not None:
             outcome.resume_done_at = self.loop.now
             outcome.completed = True
+            obs = self.loop.observability
+            if obs is not None:
+                end_outcome_spans(outcome, host=middleware.host,
+                                  bytes=outcome.bytes_transferred)
+                metrics = obs.metrics
+                metrics.counter("migration.completed",
+                                kind=plan.kind.value).inc()
+                for phase_name, value in outcome.phases().items():
+                    metrics.histogram("migration.phase_ms", phase=phase_name,
+                                      app=plan.app_name).observe(value)
             outcome._finish()
         ma.do_delete()

@@ -4,14 +4,23 @@ Attaches to a deployment's context bus and migration outcomes and records
 everything of interest -- location fixes, app lifecycle events, migration
 phase boundaries -- as timestamped entries.  Useful for debugging scenarios
 and for the narrated examples.
+
+Since the ``repro.obs`` subsystem landed, :class:`DeploymentTracer` is a
+thin facade over :class:`repro.obs.Tracer`: every entry is mirrored as a
+structured :class:`~repro.obs.EventRecord` (category ``deployment``), so a
+deployment trace shows up in the JSONL / Chrome exports alongside kernel,
+network and agent spans.  If the deployment was built with an
+:class:`~repro.obs.Observability` hub, its tracer is reused; otherwise a
+private one is created, clocked off the deployment's loop.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, List, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.context.model import ContextEvent
+from repro.obs.tracer import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.middleware import Deployment
@@ -32,12 +41,22 @@ class TraceEntry:
 
 
 class DeploymentTracer:
-    """Records a deployment's observable events in order."""
+    """Records a deployment's observable events in order.
+
+    ``entries`` preserves insertion order (the order callbacks fired);
+    the query helpers (:meth:`by_category`, :meth:`by_subject`,
+    :meth:`between`) and :meth:`timeline` return time-sorted views.
+    """
 
     def __init__(self, deployment: "Deployment",
                  topics: Optional[List[str]] = None):
         self.deployment = deployment
         self.entries: List[TraceEntry] = []
+        obs = getattr(deployment, "observability", None)
+        if obs is not None and obs.enabled:
+            self.tracer = obs.tracer
+        else:
+            self.tracer = Tracer(clock=lambda: deployment.loop.now)
         for topic in topics if topics is not None else ["context.*"]:
             deployment.bus.subscribe(topic, self._on_event)
 
@@ -66,6 +85,8 @@ class DeploymentTracer:
             timestamp if timestamp is not None else self.deployment.loop.now,
             category, subject, detail)
         self.entries.append(entry)
+        self.tracer.event(category, category="deployment",
+                          at=entry.timestamp, subject=subject, detail=detail)
         return entry
 
     def watch_outcome(self, outcome) -> None:
@@ -89,19 +110,25 @@ class DeploymentTracer:
 
     # -- queries ------------------------------------------------------------
 
+    @staticmethod
+    def _chronological(entries: List[TraceEntry]) -> List[TraceEntry]:
+        return sorted(entries, key=lambda e: e.timestamp)
+
     def by_category(self, category: str) -> List[TraceEntry]:
-        return [e for e in self.entries if e.category == category]
+        return self._chronological(
+            [e for e in self.entries if e.category == category])
 
     def by_subject(self, subject: str) -> List[TraceEntry]:
-        return [e for e in self.entries if e.subject == subject]
+        return self._chronological(
+            [e for e in self.entries if e.subject == subject])
 
     def between(self, start_ms: float, end_ms: float) -> List[TraceEntry]:
-        return [e for e in self.entries if start_ms <= e.timestamp <= end_ms]
+        return self._chronological(
+            [e for e in self.entries if start_ms <= e.timestamp <= end_ms])
 
     def timeline(self) -> str:
         """The whole trace, chronologically, one line per entry."""
-        ordered = sorted(self.entries, key=lambda e: e.timestamp)
-        return "\n".join(str(e) for e in ordered)
+        return "\n".join(str(e) for e in self._chronological(self.entries))
 
     def __len__(self) -> int:
         return len(self.entries)

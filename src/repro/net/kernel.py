@@ -68,6 +68,10 @@ class EventLoop:
         self._seq = itertools.count()
         self._running = False
         self._processed = 0
+        #: Optional :class:`repro.obs.Observability` hub.  ``None`` (the
+        #: default) keeps the dispatch loop entirely uninstrumented -- one
+        #: attribute read and an ``is None`` check per event, nothing else.
+        self.observability = None
 
     @property
     def now(self) -> float:
@@ -123,8 +127,28 @@ class EventLoop:
         self._now = timer.due
         timer.fired = True
         self._processed += 1
-        timer.callback(*timer.args)
+        obs = self.observability
+        if obs is None:
+            timer.callback(*timer.args)
+        else:
+            self._dispatch_traced(obs, timer)
         return True
+
+    def _dispatch_traced(self, obs, timer: Timer) -> None:
+        """Run one event under a kernel dispatch span.
+
+        The span is synchronous, so instrumentation fired inside the
+        callback (network transfers, ACL events) nests under it.  The
+        queue-depth gauge samples ``len(_queue)`` rather than
+        :attr:`pending` to stay O(1) per event.
+        """
+        callback = timer.callback
+        name = getattr(callback, "__qualname__", "") or type(callback).__name__
+        metrics = obs.metrics
+        metrics.counter("kernel.events").inc()
+        metrics.gauge("kernel.queue_depth").set(len(self._queue))
+        with obs.tracer.span(name, category="kernel"):
+            callback(*timer.args)
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Run events until the queue drains, ``until`` is reached, or

@@ -359,8 +359,38 @@ class Network:
               on_dropped: Optional[Callable[[DeliveryReceipt], None]]) -> None:
         self.messages_dropped += 1
         receipt.dropped = True
+        obs = self.loop.observability
+        if obs is not None:
+            obs.metrics.counter(
+                "net.dropped", protocol=receipt.message.protocol).inc()
         if on_dropped is not None:
             on_dropped(receipt)
+
+    def _observe_hop(self, obs, receipt: DeliveryReceipt, link: Link,
+                     here: str, there: str, queue_ms: float,
+                     arrival: float, lost: bool) -> None:
+        """Record one link hop: a transfer span plus per-link series."""
+        message = receipt.message
+        label = f"{link.a}<->{link.b}"
+        metrics = obs.metrics
+        metrics.histogram("net.link.queue_ms", link=label).observe(queue_ms)
+        if lost:
+            metrics.counter("net.link.lost", link=label).inc()
+        else:
+            metrics.counter("net.link.bytes", link=label).inc(
+                message.size_bytes)
+            metrics.counter("net.link.messages", link=label).inc()
+        span = obs.tracer.begin_span(
+            "net.transfer", category="net",
+            link=label, hop=f"{here}->{there}", protocol=message.protocol,
+            bytes=message.size_bytes, bandwidth_mbps=link.bandwidth_mbps,
+            latency_ms=link.latency_ms, queue_ms=queue_ms,
+            message_id=message.message_id)
+        if lost:
+            span.annotate(lost=True)
+        # The arrival instant is already known (discrete-event scheduling),
+        # so the span can be sealed immediately at its future end time.
+        span.end(at=arrival)
 
     def _forward(self, receipt: DeliveryReceipt, path: List[str], hop_index: int,
                  on_delivered: Optional[Callable[[DeliveryReceipt], None]],
@@ -369,8 +399,13 @@ class Network:
         link = self.link_between(here, there)
         if link is None:  # pragma: no cover - route() only returns linked hops
             raise NetworkError(f"no link between {here!r} and {there!r}")
+        queue_ms = max(0.0, link.busy_until - self.loop.now)
         arrival, lost = link.schedule_transfer(
             self.loop.now, receipt.message.size_bytes, self.rng)
+        obs = self.loop.observability
+        if obs is not None:
+            self._observe_hop(obs, receipt, link, here, there, queue_ms,
+                              arrival, lost)
         if lost:
             self._drop(receipt, on_dropped)
             return
@@ -393,6 +428,10 @@ class Network:
             return
         receipt.delivered = True
         receipt.delivered_at = self.loop.now
+        obs = self.loop.observability
+        if obs is not None:
+            obs.metrics.counter(
+                "net.delivered", protocol=receipt.message.protocol).inc()
         dst.deliver(receipt.message)
         if on_delivered is not None:
             on_delivered(receipt)

@@ -1,0 +1,268 @@
+"""Trace and metric exporters: JSONL, Chrome ``trace_event`` JSON, text.
+
+Three consumers, three formats:
+
+- :func:`to_jsonl` / :func:`export_jsonl` -- one JSON object per line,
+  chronologically merged spans + events; greppable and trivially parsed.
+- :func:`to_chrome_trace` / :func:`export_chrome_trace` -- the Chrome
+  ``trace_event`` format (JSON object with a ``traceEvents`` array),
+  loadable in ``chrome://tracing`` or https://ui.perfetto.dev.  Each tracer
+  *run* becomes a process row (a Fig. 8 sweep shows one row per file size)
+  and each simulated host becomes a thread row inside it.  Timestamps are
+  microseconds of simulated time (``ts = ms * 1000``).
+- :func:`render_dashboard` -- a plain-text summary of every metric series
+  plus per-span-name duration percentiles, for terminals and CI logs.
+
+All exporters are pure functions over an :class:`~repro.obs.hub.Observability`
+(or a bare tracer/registry) -- they never mutate what they read.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, TextIO, Union
+
+from repro.obs.metrics import MetricsRegistry, percentile
+from repro.obs.tracer import EventRecord, Span, Tracer
+
+#: Thread id used for records not attributed to any host.
+_GLOBAL_TID = 0
+_GLOBAL_THREAD_NAME = "(sim)"
+
+
+def _tracer_of(source: Any) -> Tracer:
+    return source if isinstance(source, Tracer) else source.tracer
+
+
+def _metrics_of(source: Any) -> Optional[MetricsRegistry]:
+    if isinstance(source, MetricsRegistry):
+        return source
+    return getattr(source, "metrics", None)
+
+
+def _chronological(tracer: Tracer) -> List[Union[Span, EventRecord]]:
+    """Spans (by start) and events (by timestamp) merged per run."""
+
+    def sort_key(record):
+        if isinstance(record, Span):
+            return (record.run_id, record.start_ms, record.span_id)
+        return (record.run_id, record.timestamp_ms, record.event_id)
+
+    return sorted([*tracer.spans, *tracer.events], key=sort_key)
+
+
+# -- JSONL -----------------------------------------------------------------
+
+
+def _span_dict(span: Span) -> Dict[str, Any]:
+    record: Dict[str, Any] = {
+        "type": "span", "id": span.span_id, "parent": span.parent_id,
+        "name": span.name, "cat": span.category, "run": span.run_id,
+        "start_ms": span.start_ms, "end_ms": span.end_ms,
+        "dur_ms": span.duration_ms,
+    }
+    if span.host:
+        record["host"] = span.host
+    if span.local_start_ms is not None:
+        record["local_start_ms"] = span.local_start_ms
+    if span.local_end_ms is not None:
+        record["local_end_ms"] = span.local_end_ms
+    if span.attributes:
+        record["attrs"] = span.attributes
+    return record
+
+
+def _event_dict(event: EventRecord) -> Dict[str, Any]:
+    record: Dict[str, Any] = {
+        "type": "event", "id": event.event_id, "span": event.span_id,
+        "name": event.name, "cat": event.category, "run": event.run_id,
+        "ts_ms": event.timestamp_ms,
+    }
+    if event.host:
+        record["host"] = event.host
+    if event.local_ms is not None:
+        record["local_ms"] = event.local_ms
+    if event.attributes:
+        record["attrs"] = event.attributes
+    return record
+
+
+def jsonl_records(source: Any) -> Iterable[Dict[str, Any]]:
+    """All trace records as plain dicts: one meta header, then the
+    chronological merge of spans and events, then metric snapshots."""
+    tracer = _tracer_of(source)
+    yield {
+        "type": "meta", "format": "repro.obs.jsonl/1",
+        "runs": {str(run): label for run, label
+                 in sorted(tracer.run_labels.items())},
+        "spans": len(tracer.spans), "events": len(tracer.events),
+    }
+    for record in _chronological(tracer):
+        if isinstance(record, Span):
+            yield _span_dict(record)
+        else:
+            yield _event_dict(record)
+    metrics = _metrics_of(source)
+    if metrics is not None:
+        for snapshot in metrics.snapshot():
+            record = dict(snapshot)
+            record["kind"] = record.pop("type")
+            yield {"type": "metric", **record}
+
+
+def to_jsonl(source: Any) -> str:
+    return "\n".join(json.dumps(r, sort_keys=True)
+                     for r in jsonl_records(source)) + "\n"
+
+
+def export_jsonl(source: Any, path: Union[str, TextIO]) -> None:
+    if hasattr(path, "write"):
+        path.write(to_jsonl(source))
+    else:
+        with open(path, "w") as fh:
+            fh.write(to_jsonl(source))
+
+
+# -- Chrome trace_event ----------------------------------------------------
+
+
+def _chrome_args(record: Union[Span, EventRecord]) -> Dict[str, Any]:
+    args = dict(record.attributes)
+    if isinstance(record, Span):
+        args["span_id"] = record.span_id
+        if record.parent_id is not None:
+            args["parent_id"] = record.parent_id
+        if record.duration_ms is not None:
+            args["duration_ms"] = record.duration_ms
+        if record.local_start_ms is not None:
+            args["local_start_ms"] = record.local_start_ms
+        if record.local_end_ms is not None:
+            args["local_end_ms"] = record.local_end_ms
+    else:
+        if record.span_id is not None:
+            args["span_id"] = record.span_id
+        if record.local_ms is not None:
+            args["local_ms"] = record.local_ms
+    return args
+
+
+def to_chrome_trace(source: Any) -> Dict[str, Any]:
+    """The trace as a Chrome ``trace_event``-format JSON object."""
+    tracer = _tracer_of(source)
+    trace_events: List[Dict[str, Any]] = []
+    # pid per run, tid per (run, host); metadata events name both.
+    tids: Dict[Any, int] = {}
+
+    def tid_for(run_id: int, host: str) -> int:
+        if not host:
+            return _GLOBAL_TID
+        key = (run_id, host)
+        if key not in tids:
+            tids[key] = len([k for k in tids if k[0] == run_id]) + 1
+            trace_events.append({
+                "ph": "M", "name": "thread_name", "pid": run_id + 1,
+                "tid": tids[key], "args": {"name": host}})
+        return tids[key]
+
+    used_runs = sorted({r.run_id for r in tracer.spans}
+                       | {r.run_id for r in tracer.events}
+                       | ({0} if not tracer.spans and not tracer.events
+                          else set()))
+    for run_id in used_runs:
+        label = tracer.run_labels.get(run_id, f"run-{run_id}")
+        trace_events.append({
+            "ph": "M", "name": "process_name", "pid": run_id + 1,
+            "tid": _GLOBAL_TID, "args": {"name": label}})
+        trace_events.append({
+            "ph": "M", "name": "thread_name", "pid": run_id + 1,
+            "tid": _GLOBAL_TID, "args": {"name": _GLOBAL_THREAD_NAME}})
+    for record in _chronological(tracer):
+        if isinstance(record, Span):
+            duration = record.duration_ms
+            entry = {
+                "ph": "X", "name": record.name, "cat": record.category,
+                "pid": record.run_id + 1,
+                "tid": tid_for(record.run_id, record.host),
+                "ts": record.start_ms * 1000.0,
+                "dur": (duration if duration is not None else 0.0) * 1000.0,
+                "args": _chrome_args(record),
+            }
+            if duration is None:
+                entry["args"]["unfinished"] = True
+        else:
+            entry = {
+                "ph": "i", "s": "t", "name": record.name,
+                "cat": record.category, "pid": record.run_id + 1,
+                "tid": tid_for(record.run_id, record.host),
+                "ts": record.timestamp_ms * 1000.0,
+                "args": _chrome_args(record),
+            }
+        trace_events.append(entry)
+    return {"displayTimeUnit": "ms", "traceEvents": trace_events}
+
+
+def export_chrome_trace(source: Any, path: Union[str, TextIO]) -> None:
+    payload = json.dumps(to_chrome_trace(source), sort_keys=True)
+    if hasattr(path, "write"):
+        path.write(payload)
+    else:
+        with open(path, "w") as fh:
+            fh.write(payload)
+
+
+# -- text dashboard --------------------------------------------------------
+
+
+def _histogram_row(label: str, values: List[float]) -> str:
+    return (f"  {label:<44} {len(values):>6} {sum(values) / len(values):>9.2f}"
+            f" {percentile(values, 50):>9.2f} {percentile(values, 95):>9.2f}"
+            f" {percentile(values, 99):>9.2f} {max(values):>9.2f}")
+
+
+_HISTO_HEADER = (f"  {'series':<44} {'n':>6} {'mean':>9} {'p50':>9} "
+                 f"{'p95':>9} {'p99':>9} {'max':>9}")
+
+
+def render_dashboard(source: Any, title: str = "observability dashboard"
+                     ) -> str:
+    """Plain-text summary: counters, gauges, histograms, span durations."""
+    tracer = _tracer_of(source)
+    metrics = _metrics_of(source)
+    lines = [title, "=" * len(title)]
+    if metrics is not None and len(metrics):
+        counters = metrics.counters()
+        if counters:
+            lines.append("counters:")
+            for c in counters:
+                value = int(c.value) if float(c.value).is_integer() \
+                    else c.value
+                lines.append(f"  {c.series_id:<52} {value:>12,}")
+        gauges = metrics.gauges()
+        if gauges:
+            lines.append("gauges (last / min / max):")
+            for g in gauges:
+                lines.append(f"  {g.series_id:<44} "
+                             f"{g.value:>8g} {g.min:>8g} {g.max:>8g}")
+        histograms = [h for h in metrics.histograms() if h.count]
+        if histograms:
+            lines.append("histograms:")
+            lines.append(_HISTO_HEADER)
+            for h in histograms:
+                lines.append(_histogram_row(h.series_id, h.values))
+    else:
+        lines.append("(no metric series recorded)")
+    # Span-duration percentiles grouped by category/name.
+    durations: Dict[str, List[float]] = {}
+    for span in tracer.spans:
+        if span.duration_ms is not None:
+            durations.setdefault(f"{span.category}/{span.name}",
+                                 []).append(span.duration_ms)
+    if durations:
+        lines.append("span durations (ms):")
+        lines.append(_HISTO_HEADER)
+        for key in sorted(durations):
+            lines.append(_histogram_row(key, durations[key]))
+    lines.append(f"tracer: {len(tracer.spans)} spans, "
+                 f"{len(tracer.events)} events, "
+                 f"{len(tracer.run_labels)} run(s)")
+    return "\n".join(lines)

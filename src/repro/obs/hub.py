@@ -1,0 +1,87 @@
+"""The observability hub: one tracer + one metrics registry per study.
+
+An :class:`Observability` instance is the single object user code threads
+through a scenario::
+
+    from repro.obs import Observability
+
+    obs = Observability()
+    d = Deployment(seed=1, observability=obs)   # attaches to d.loop
+    ...run the scenario...
+    obs.export_chrome_trace("trace.json")
+    print(obs.dashboard())
+
+Attachment sets ``loop.observability`` so every instrumented layer (kernel,
+network, agent platform, middleware) can reach the hub with one attribute
+read -- and, crucially, skip *all* instrumentation with a single ``is
+None`` check when no hub is attached.  A hub constructed with
+``enabled=False`` never attaches, so the disabled path records zero events
+and perturbs nothing.
+
+One hub may observe several deployments in sequence (a parameter sweep);
+call :meth:`begin_run` between them to partition the records.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, TextIO, Union
+
+from repro.obs.exporters import (
+    export_chrome_trace,
+    export_jsonl,
+    render_dashboard,
+    to_chrome_trace,
+    to_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+class Observability:
+    """Bundles a :class:`Tracer` and a :class:`MetricsRegistry`."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.tracer = Tracer(enabled=enabled)
+        self.metrics = MetricsRegistry()
+
+    def attach(self, loop: Any, run_label: Optional[str] = None
+               ) -> "Observability":
+        """Point the tracer at ``loop``'s clock and install the hub on it.
+
+        A disabled hub leaves ``loop.observability`` untouched (``None``),
+        which is what makes disabled observability truly zero-cost.
+        """
+        if self.enabled:
+            self.tracer.use_clock(lambda: loop.now)
+            loop.observability = self
+            if run_label is not None:
+                self.begin_run(run_label)
+        return self
+
+    def begin_run(self, label: str = "") -> int:
+        """Start a new record partition (one sweep point, one scenario)."""
+        return self.tracer.begin_run(label)
+
+    # -- convenience exporter front-ends ------------------------------------
+
+    def dashboard(self, title: str = "observability dashboard") -> str:
+        return render_dashboard(self, title=title)
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        return to_chrome_trace(self)
+
+    def export_chrome_trace(self, path: Union[str, TextIO]) -> None:
+        export_chrome_trace(self, path)
+
+    def to_jsonl(self) -> str:
+        return to_jsonl(self)
+
+    def export_jsonl(self, path: Union[str, TextIO]) -> None:
+        export_jsonl(self, path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "enabled" if self.enabled else "disabled"
+        return (f"<Observability {state} spans={len(self.tracer.spans)} "
+                f"events={len(self.tracer.events)} "
+                f"series={len(self.metrics)}>")

@@ -1,0 +1,212 @@
+"""Labelled metric series: counters, gauges and percentile histograms.
+
+A :class:`MetricsRegistry` keys every instrument by ``(name, labels)`` --
+``registry.counter("net.link.bytes", link="host1<->host2")`` -- so the same
+call site cheaply produces one series per link / host / protocol / phase.
+Instruments are created on first use and returned on every later call, which
+keeps the hot path to one dict lookup.
+
+Histograms retain raw samples (simulation scale makes that affordable) and
+expose exact interpolated percentiles; :func:`percentile` is also the shared
+implementation behind ``repro.core.metrics.summarize``'s p50/p95/p99.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+LabelKey = Tuple[Tuple[str, Any], ...]
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Interpolated percentile of ``values`` (``p`` in [0, 100]).
+
+    Uses the common linear-interpolation definition (numpy's default):
+    rank ``(n - 1) * p / 100`` with fractional ranks interpolated between
+    the two neighbouring order statistics.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100]: {p}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * p / 100.0
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return float(ordered[lower])
+    weight = rank - lower
+    return float(ordered[lower] * (1.0 - weight) + ordered[upper] * weight)
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+def format_labels(labels: LabelKey) -> str:
+    """``{k=v,...}`` rendering used by the dashboard and JSONL export."""
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return "{" + inner + "}"
+
+
+class Instrument:
+    """Base: a named series with a fixed label set."""
+
+    kind = "instrument"
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+
+    @property
+    def series_id(self) -> str:
+        return f"{self.name}{format_labels(self.labels)}"
+
+    def snapshot(self) -> Dict[str, Any]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.series_id}>"
+
+
+class Counter(Instrument):
+    """Monotonically increasing count (events, bytes, messages)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelKey):
+        super().__init__(name, labels)
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0: {amount}")
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "counter", "series": self.series_id,
+                "value": self.value}
+
+
+class Gauge(Instrument):
+    """Last-value instrument that also tracks its observed range."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelKey):
+        super().__init__(name, labels)
+        self.value: Optional[float] = None
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.updates += 1
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "gauge", "series": self.series_id,
+                "value": self.value, "min": self.min, "max": self.max,
+                "updates": self.updates}
+
+
+class Histogram(Instrument):
+    """Distribution over observed samples with exact percentiles."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: LabelKey):
+        super().__init__(name, labels)
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def sum(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / len(self.values) if self.values else 0.0
+
+    def percentile(self, p: float) -> float:
+        return percentile(self.values, p)
+
+    def snapshot(self) -> Dict[str, Any]:
+        if not self.values:
+            return {"type": "histogram", "series": self.series_id,
+                    "count": 0}
+        return {
+            "type": "histogram", "series": self.series_id,
+            "count": self.count, "sum": self.sum, "mean": self.mean,
+            "min": min(self.values), "max": max(self.values),
+            "p50": self.percentile(50.0), "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric series in a deployment."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelKey], Instrument] = {}
+
+    def _get(self, cls, name: str, labels: Dict[str, Any]):
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, key[1])
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {instrument.series_id!r} is a "
+                f"{instrument.kind}, not a {cls.kind}")
+        return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    # -- introspection ------------------------------------------------------
+
+    def series(self) -> List[Instrument]:
+        """Every instrument, sorted by series id (stable for reports)."""
+        return sorted(self._instruments.values(),
+                      key=lambda i: (i.name, i.labels))
+
+    def counters(self) -> List[Counter]:
+        return [i for i in self.series() if isinstance(i, Counter)]
+
+    def gauges(self) -> List[Gauge]:
+        return [i for i in self.series() if isinstance(i, Gauge)]
+
+    def histograms(self) -> List[Histogram]:
+        return [i for i in self.series() if isinstance(i, Histogram)]
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        return [i.snapshot() for i in self.series()]
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<MetricsRegistry series={len(self._instruments)}>"

@@ -1,0 +1,337 @@
+"""Structured, sim-time-aware tracing: nested spans and typed events.
+
+The paper's whole evaluation (§5, Figs. 7-10) is a measurement exercise
+across hosts whose clocks are *not* synchronized.  This tracer therefore
+stamps every record twice:
+
+- ``start_ms`` / ``end_ms`` / ``timestamp_ms`` -- the global *simulated*
+  clock (ground truth, observable only because this is a simulation), and
+- ``local_start_ms`` / ``local_end_ms`` / ``local_ms`` -- the recording
+  host's own skewed/drifting clock, when a host is supplied, mirroring what
+  a real testbed would see (the Fig. 7 methodology).
+
+Spans may nest two ways:
+
+- **synchronously** via the :meth:`Tracer.span` context manager (an
+  implicit parent stack -- right for work inside one kernel callback), or
+- **asynchronously** via :meth:`Tracer.begin_span` + :meth:`Span.end` with
+  an explicit ``parent`` (right for operations that stretch across many
+  simulation events, e.g. a migration's suspend/migrate/resume phases).
+
+When a tracer is disabled it records nothing: ``begin_span`` returns the
+shared :data:`NULL_SPAN` (all methods no-ops, falsy) and ``event`` returns
+``None``.  Hot call sites avoid even that by guarding on
+``loop.observability is None`` -- see :mod:`repro.net.kernel`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+Clock = Callable[[], float]
+
+
+def _host_name(host: Any) -> str:
+    """Best-effort display name for a host-like object (or plain string)."""
+    if host is None:
+        return ""
+    if isinstance(host, str):
+        return host
+    return str(getattr(host, "name", host))
+
+
+def _host_local_time(host: Any) -> Optional[float]:
+    """Host-local clock reading, when the object exposes one."""
+    local_time = getattr(host, "local_time", None)
+    if callable(local_time):
+        return float(local_time())
+    return None
+
+
+class Span:
+    """One traced operation with a begin and an end on the simulated clock.
+
+    Mutable on purpose: attributes accumulate while the operation runs and
+    :meth:`end` seals the record.  A span never detaches from its tracer's
+    ``spans`` list -- exporters see unfinished spans too.
+    """
+
+    __slots__ = ("_tracer", "span_id", "parent_id", "name", "category",
+                 "run_id", "start_ms", "end_ms", "host", "local_start_ms",
+                 "local_end_ms", "attributes")
+
+    def __init__(self, tracer: "Tracer", span_id: int,
+                 parent_id: Optional[int], name: str, category: str,
+                 run_id: int, start_ms: float, host: str = "",
+                 local_start_ms: Optional[float] = None,
+                 attributes: Optional[Dict[str, Any]] = None):
+        self._tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.category = category
+        self.run_id = run_id
+        self.start_ms = start_ms
+        self.end_ms: Optional[float] = None
+        self.host = host
+        self.local_start_ms = local_start_ms
+        self.local_end_ms: Optional[float] = None
+        self.attributes: Dict[str, Any] = attributes if attributes else {}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self.end_ms is not None
+
+    @property
+    def duration_ms(self) -> Optional[float]:
+        """Simulated duration; ``None`` while the span is still open."""
+        if self.end_ms is None:
+            return None
+        return self.end_ms - self.start_ms
+
+    def annotate(self, **attributes: Any) -> "Span":
+        """Attach/overwrite attributes (usable before or after ``end``)."""
+        self.attributes.update(attributes)
+        return self
+
+    def end(self, at: Optional[float] = None, host: Any = None,
+            **attributes: Any) -> "Span":
+        """Seal the span at ``at`` (default: the tracer's current time).
+
+        ``at`` may lie in the simulated future -- the network layer ends
+        transfer spans at the already-computed arrival instant.  Passing a
+        ``host`` stamps the end on that host's local clock as well.
+        Ending twice is a no-op (the first end wins).
+        """
+        if self.end_ms is not None:
+            return self
+        self.end_ms = at if at is not None else self._tracer.now
+        if host is not None:
+            self.local_end_ms = _host_local_time(host)
+            if not self.host:
+                self.host = _host_name(host)
+        if attributes:
+            self.attributes.update(attributes)
+        return self
+
+    def child(self, name: str, category: Optional[str] = None,
+              host: Any = None, **attributes: Any) -> "Span":
+        """Begin a new span parented under this one."""
+        return self._tracer.begin_span(
+            name, category=category if category is not None else self.category,
+            parent=self, host=host, **attributes)
+
+    def event(self, name: str, **attributes: Any) -> Optional["EventRecord"]:
+        """Record a point event attached to this span."""
+        return self._tracer.event(name, category=self.category, span=self,
+                                  **attributes)
+
+    # -- context manager (synchronous nesting) ------------------------------
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.annotate(error=str(exc) or exc_type.__name__)
+        self.end()
+
+    def __bool__(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        end = f"{self.end_ms:.3f}" if self.end_ms is not None else "open"
+        return (f"<Span #{self.span_id} {self.category}/{self.name} "
+                f"{self.start_ms:.3f}->{end}>")
+
+
+class _NullSpan:
+    """Falsy do-nothing span returned by disabled tracers."""
+
+    __slots__ = ()
+
+    finished = True
+    duration_ms = None
+    span_id = 0
+    parent_id = None
+    name = ""
+    category = ""
+    host = ""
+    start_ms = 0.0
+    end_ms = 0.0
+    local_start_ms = None
+    local_end_ms = None
+    attributes: Dict[str, Any] = {}
+
+    def annotate(self, **attributes: Any) -> "_NullSpan":
+        return self
+
+    def end(self, at: Optional[float] = None, host: Any = None,
+            **attributes: Any) -> "_NullSpan":
+        return self
+
+    def child(self, name: str, category: Optional[str] = None,
+              host: Any = None, **attributes: Any) -> "_NullSpan":
+        return self
+
+    def event(self, name: str, **attributes: Any) -> None:
+        return None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<NullSpan>"
+
+
+#: Shared sentinel span handed out by disabled tracers.
+NULL_SPAN = _NullSpan()
+
+
+@dataclass
+class EventRecord:
+    """A typed point event (no duration)."""
+
+    event_id: int
+    name: str
+    category: str
+    timestamp_ms: float
+    run_id: int = 0
+    span_id: Optional[int] = None
+    host: str = ""
+    local_ms: Optional[float] = None
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return (f"[{self.timestamp_ms:10.1f} ms] {self.category:<10} "
+                f"{self.name} {self.attributes}")
+
+
+class Tracer:
+    """Collects spans and events against a pluggable simulated clock.
+
+    ``runs`` partition records when one tracer observes several
+    deployments in sequence (a Fig. 8 sweep re-builds the testbed per file
+    size); exporters map each run to its own Chrome-trace process row.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None, enabled: bool = True):
+        self.enabled = enabled
+        self._clock: Clock = clock if clock is not None else (lambda: 0.0)
+        self.spans: List[Span] = []
+        self.events: List[EventRecord] = []
+        self.run_id = 0
+        self.run_labels: Dict[int, str] = {0: "main"}
+        self._ids = itertools.count(1)
+        self._stack: List[Span] = []
+
+    # -- clock / runs -------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._clock()
+
+    def use_clock(self, clock: Clock) -> None:
+        """Re-point the tracer at a (new) simulated clock."""
+        self._clock = clock
+
+    def begin_run(self, label: str = "") -> int:
+        """Start a new record partition (e.g. one sweep point)."""
+        self.run_id += 1
+        self.run_labels[self.run_id] = label or f"run-{self.run_id}"
+        return self.run_id
+
+    # -- recording ----------------------------------------------------------
+
+    def begin_span(self, name: str, category: str = "app",
+                   parent: Optional[Span] = None, host: Any = None,
+                   at: Optional[float] = None, **attributes: Any):
+        """Open an async span; caller must :meth:`Span.end` it.
+
+        With no explicit ``parent``, the innermost :meth:`span` context
+        (if any) becomes the parent.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        if parent is None and self._stack:
+            parent = self._stack[-1]
+        parent_id = parent.span_id if parent else None
+        record = Span(
+            self, next(self._ids), parent_id, name, category, self.run_id,
+            at if at is not None else self.now,
+            host=_host_name(host), local_start_ms=_host_local_time(host),
+            attributes=dict(attributes) if attributes else None)
+        self.spans.append(record)
+        return record
+
+    @contextmanager
+    def span(self, name: str, category: str = "app", host: Any = None,
+             **attributes: Any) -> Iterator[Span]:
+        """Synchronous span: nests children opened inside the block."""
+        record = self.begin_span(name, category=category, host=host,
+                                 **attributes)
+        if not record:
+            yield record
+            return
+        self._stack.append(record)
+        try:
+            yield record
+        except BaseException as exc:
+            record.annotate(error=str(exc) or type(exc).__name__)
+            raise
+        finally:
+            self._stack.pop()
+            record.end(host=host)
+
+    def event(self, name: str, category: str = "app", host: Any = None,
+              span: Optional[Span] = None, at: Optional[float] = None,
+              **attributes: Any) -> Optional[EventRecord]:
+        """Record a point event; returns ``None`` when disabled."""
+        if not self.enabled:
+            return None
+        if span is None and self._stack:
+            span = self._stack[-1]
+        record = EventRecord(
+            event_id=next(self._ids), name=name, category=category,
+            timestamp_ms=at if at is not None else self.now,
+            run_id=self.run_id,
+            span_id=span.span_id if span else None,
+            host=_host_name(host), local_ms=_host_local_time(host),
+            attributes=dict(attributes))
+        self.events.append(record)
+        return record
+
+    # -- queries ------------------------------------------------------------
+
+    def spans_named(self, name: str, category: Optional[str] = None
+                    ) -> List[Span]:
+        return [s for s in self.spans if s.name == name
+                and (category is None or s.category == category)]
+
+    def events_named(self, name: str) -> List[EventRecord]:
+        return [e for e in self.events if e.name == name]
+
+    def clear(self) -> None:
+        """Drop every record (runs and ids keep counting)."""
+        self.spans.clear()
+        self.events.clear()
+
+    def __len__(self) -> int:
+        """Total records (spans + events)."""
+        return len(self.spans) + len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "on" if self.enabled else "off"
+        return (f"<Tracer {state} spans={len(self.spans)} "
+                f"events={len(self.events)} run={self.run_id}>")

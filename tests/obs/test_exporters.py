@@ -1,0 +1,143 @@
+"""Exporter golden-file tests plus dashboard smoke checks.
+
+The golden files under ``tests/obs/golden/`` pin the exact wire formats:
+regenerate them (see ``_build_fixture`` -- run this module as a script)
+only when a format change is intentional.
+"""
+
+import json
+import pathlib
+
+from repro.obs import Observability
+from repro.obs.exporters import render_dashboard, to_chrome_trace, to_jsonl
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+
+class _Host:
+    def __init__(self, name, clock, skew_ms):
+        self.name = name
+        self._clock = clock
+        self._skew = skew_ms
+
+    def local_time(self):
+        return self._clock["now"] + self._skew
+
+
+def _build_fixture() -> Observability:
+    """A small deterministic trace touching every record shape."""
+    clock = {"now": 0.0}
+    obs = Observability()
+    obs.tracer.use_clock(lambda: clock["now"])
+    h1 = _Host("host1", clock, 0.0)
+    h2 = _Host("host2", clock, -2000.0)
+
+    root = obs.tracer.begin_span("app.migration", category="migration",
+                                 host=h1, app="player")
+    clock["now"] = 10.0
+    suspend = root.child("suspend", host=h1)
+    clock["now"] = 25.0
+    suspend.end(host=h1)
+    transfer = root.child("net.transfer", category="net", host=h1,
+                          bytes=5_000_000)
+    transfer.end(at=150.0)  # sealed at the precomputed arrival instant
+    clock["now"] = 150.0
+    obs.tracer.event("acl.receive", category="acl", host=h2,
+                     performative="inform")
+    resume = root.child("resume", host=h2)
+    clock["now"] = 200.0
+    resume.end(host=h2)
+    root.end(host=h2)
+    dangling = obs.tracer.begin_span("unfinished", category="app")
+    assert not dangling.finished
+
+    obs.begin_run("second-run")
+    clock["now"] = 300.0
+    with obs.tracer.span("kernel.dispatch", category="kernel"):
+        obs.tracer.event("tick", category="kernel")
+
+    obs.metrics.counter("net.link.bytes", link="host1<->host2").inc(5_000_000)
+    obs.metrics.gauge("kernel.queue_depth").set(3)
+    for v in (10.0, 20.0, 30.0):
+        obs.metrics.histogram("migration.phase_ms", phase="suspend").observe(v)
+    return obs
+
+
+def _golden(name: str, payload: str) -> None:
+    path = GOLDEN / name
+    if not path.exists():  # pragma: no cover - regeneration path
+        path.write_text(payload)
+    assert payload == path.read_text(), (
+        f"{name} drifted from the golden file; if the format change is "
+        f"intentional, delete {path} and re-run to regenerate")
+
+
+def test_jsonl_matches_golden():
+    _golden("trace.jsonl", to_jsonl(_build_fixture()))
+
+
+def test_chrome_trace_matches_golden():
+    payload = json.dumps(to_chrome_trace(_build_fixture()),
+                         sort_keys=True, indent=1)
+    _golden("trace.chrome.json", payload + "\n")
+
+
+def test_jsonl_is_parseable_and_chronological():
+    lines = to_jsonl(_build_fixture()).splitlines()
+    records = [json.loads(line) for line in lines]
+    assert records[0]["type"] == "meta"
+    assert records[0]["format"] == "repro.obs.jsonl/1"
+    body = [r for r in records if r["type"] in ("span", "event")]
+    keys = [(r["run"], r.get("start_ms", r.get("ts_ms"))) for r in body]
+    assert keys == sorted(keys)
+    assert records[-1]["type"] == "metric"
+
+
+def test_chrome_trace_structure():
+    trace = to_chrome_trace(_build_fixture())
+    events = trace["traceEvents"]
+    assert trace["displayTimeUnit"] == "ms"
+    # Two runs -> two process_name metadata records, pids 1 and 2.
+    procs = [e for e in events if e["ph"] == "M"
+             and e["name"] == "process_name"]
+    assert [(p["pid"], p["args"]["name"]) for p in procs] == [
+        (1, "main"), (2, "second-run")]
+    spans = [e for e in events if e["ph"] == "X"]
+    by_name = {e["name"]: e for e in spans}
+    # ts/dur are microseconds of simulated time.
+    assert by_name["suspend"]["ts"] == 10_000.0
+    assert by_name["suspend"]["dur"] == 15_000.0
+    assert by_name["suspend"]["args"]["local_start_ms"] == 10.0
+    assert by_name["resume"]["args"]["local_start_ms"] == -1850.0
+    assert by_name["unfinished"]["dur"] == 0.0
+    assert by_name["unfinished"]["args"]["unfinished"] is True
+    instants = [e for e in events if e["ph"] == "i"]
+    assert {e["name"] for e in instants} == {"acl.receive", "tick"}
+    # Hosts map to stable per-run thread ids with metadata names.
+    threads = [e for e in events if e["ph"] == "M"
+               and e["name"] == "thread_name" and e["tid"] != 0]
+    assert {(t["pid"], t["args"]["name"]) for t in threads} == {
+        (1, "host1"), (1, "host2")}
+    json.dumps(trace)  # must be serializable as-is
+
+
+def test_dashboard_renders_all_sections():
+    text = render_dashboard(_build_fixture(), title="test dashboard")
+    assert "test dashboard" in text
+    assert "counters:" in text
+    assert "net.link.bytes{link=host1<->host2}" in text
+    assert "gauges (last / min / max):" in text
+    assert "histograms:" in text
+    assert "migration.phase_ms{phase=suspend}" in text
+    assert "span durations (ms):" in text
+    assert "migration/app.migration" in text
+    assert "2 run(s)" in text
+
+
+if __name__ == "__main__":  # regenerate goldens explicitly
+    GOLDEN.mkdir(exist_ok=True)
+    (GOLDEN / "trace.jsonl").write_text(to_jsonl(_build_fixture()))
+    (GOLDEN / "trace.chrome.json").write_text(
+        json.dumps(to_chrome_trace(_build_fixture()),
+                   sort_keys=True, indent=1) + "\n")
+    print("golden files regenerated")

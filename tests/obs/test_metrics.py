@@ -1,0 +1,100 @@
+"""Metrics registry unit tests: percentile math, instruments, labels."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, percentile
+
+
+class TestPercentile:
+    def test_endpoints_and_midpoint(self):
+        values = [0.0, 10.0]
+        assert percentile(values, 0) == 0.0
+        assert percentile(values, 50) == 5.0
+        assert percentile(values, 100) == 10.0
+
+    def test_linear_interpolation_matches_numpy_default(self):
+        # rank = (n - 1) * p / 100; numpy.percentile defaults agree.
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 25) == pytest.approx(1.75)
+        assert percentile(values, 95) == pytest.approx(3.85)
+        assert percentile(values, 99) == pytest.approx(3.97)
+
+    def test_unsorted_input_and_single_sample(self):
+        assert percentile([9.0, 1.0, 5.0], 50) == 5.0
+        assert percentile([42.0], 99) == 42.0
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 100.5)
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_rejects_negative(self):
+        c = Counter("bytes", ())
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        assert c.snapshot() == {"type": "counter", "series": "bytes",
+                                "value": 42}
+
+    def test_gauge_tracks_range(self):
+        g = Gauge("depth", ())
+        for v in (3, 7, 1):
+            g.set(v)
+        assert (g.value, g.min, g.max, g.updates) == (1, 1, 7, 3)
+
+    def test_histogram_snapshot_percentiles(self):
+        h = Histogram("lat", ())
+        for v in range(1, 101):  # 1..100
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 100
+        assert snap["mean"] == pytest.approx(50.5)
+        assert snap["p50"] == pytest.approx(50.5)
+        assert snap["p95"] == pytest.approx(95.05)
+        assert snap["p99"] == pytest.approx(99.01)
+        assert snap["min"] == 1.0 and snap["max"] == 100.0
+
+    def test_empty_histogram_snapshot(self):
+        assert Histogram("lat", ()).snapshot() == {
+            "type": "histogram", "series": "lat", "count": 0}
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_series(self):
+        m = MetricsRegistry()
+        a = m.counter("net.bytes", link="h1<->h2")
+        b = m.counter("net.bytes", link="h1<->h2")
+        other = m.counter("net.bytes", link="h1<->h3")
+        assert a is b
+        assert a is not other
+        assert len(m) == 2
+
+    def test_label_order_is_irrelevant(self):
+        m = MetricsRegistry()
+        a = m.counter("x", alpha=1, beta=2)
+        b = m.counter("x", beta=2, alpha=1)
+        assert a is b
+        assert a.series_id == "x{alpha=1,beta=2}"
+
+    def test_kind_conflict_raises(self):
+        m = MetricsRegistry()
+        m.counter("dual")
+        with pytest.raises(TypeError):
+            m.gauge("dual")
+
+    def test_series_sorted_and_snapshot(self):
+        m = MetricsRegistry()
+        m.gauge("b").set(2)
+        m.counter("a", z=1).inc()
+        m.histogram("a", y=1).observe(1.0)
+        names = [i.series_id for i in m.series()]
+        assert names == ["a{y=1}", "a{z=1}", "b"]
+        kinds = [s["type"] for s in m.snapshot()]
+        assert kinds == ["histogram", "counter", "gauge"]

@@ -1,0 +1,50 @@
+"""PhaseStats percentiles and the stats-table renderer."""
+
+import pytest
+
+from repro.bench.reporting import format_stats_table
+from repro.core.binding import MigrationPlan
+from repro.core.metrics import MigrationOutcome, PhaseStats, summarize
+
+
+def _outcome(suspend, migrate, resume):
+    o = MigrationOutcome(plan=MigrationPlan(app_name="app", source="a",
+                                            destination="b"))
+    o.started_at = 0.0
+    o.suspend_done_at = suspend
+    o.migrate_done_at = suspend + migrate
+    o.resume_done_at = suspend + migrate + resume
+    o.completed = True
+    return o
+
+
+def test_summarize_includes_tail_percentiles():
+    outcomes = [_outcome(10.0 * i, 100.0, 50.0) for i in range(1, 11)]
+    stats = summarize(outcomes)
+    suspend = stats["suspend"]
+    values = [10.0 * i for i in range(1, 11)]
+    assert suspend.mean_ms == pytest.approx(55.0)
+    assert suspend.p50_ms == pytest.approx(55.0)
+    assert suspend.p95_ms == pytest.approx(95.5)
+    assert suspend.p99_ms == pytest.approx(99.1)
+    assert suspend.min_ms == 10.0 and suspend.max_ms == 100.0
+    assert suspend.samples == 10
+    # Constant phases collapse to a single value at every percentile.
+    migrate = stats["migrate"]
+    assert (migrate.p50_ms == migrate.p95_ms == migrate.p99_ms
+            == migrate.mean_ms == 100.0)
+
+
+def test_phase_stats_positional_construction_stays_compatible():
+    stat = PhaseStats("total", 1.0, 0.0, 1.0, 1.0, 1)
+    assert (stat.p50_ms, stat.p95_ms, stat.p99_ms) == (0.0, 0.0, 0.0)
+
+
+def test_format_stats_table_renders_percentile_columns():
+    outcomes = [_outcome(10.0, 100.0, 50.0), _outcome(20.0, 110.0, 60.0)]
+    table = format_stats_table("phase aggregate", summarize(outcomes))
+    header, *rows = table.splitlines()[2:]
+    for column in ("p50", "p95", "p99", "stdev"):
+        assert column in header
+    assert len(rows) == 4  # suspend / migrate / resume / total
+    assert rows[0].split()[0] == "suspend"
