@@ -45,17 +45,22 @@ from repro.core import (
     register_application_type,
     summarize,
 )
+from repro.faults import ChaosEngine, FaultConfig, FaultPlan, FaultSpec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AppStatus",
     "Application",
     "BindingPolicy",
+    "ChaosEngine",
     "DataComponent",
     "DecisionEngine",
     "Deployment",
     "DeviceProfile",
+    "FaultConfig",
+    "FaultPlan",
+    "FaultSpec",
     "LogicComponent",
     "MDAgentMiddleware",
     "MiddlewareConfig",

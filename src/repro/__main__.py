@@ -50,13 +50,58 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
                         help="print the metrics dashboard after the run")
 
 
+def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--faults", metavar="PLAN.json", default=None,
+                        help="inject the fault plan from this JSON file "
+                             "(see docs/FAULTS.md); times are relative to "
+                             "the first migration")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for random fault generation and retry "
+                             "jitter (default 0)")
+    parser.add_argument("--random-faults", type=int, default=0, metavar="N",
+                        help="without --faults: inject N seeded-random "
+                             "faults instead of a scripted plan")
+
+
+def _make_faults(args: argparse.Namespace):
+    """Build a FaultConfig iff any fault flag was passed.
+
+    Fault runs get the reliability hardening (chunked resumable transfers
+    + a migration deadline) so scenarios converge through the chaos.
+    """
+    if not (getattr(args, "faults", None)
+            or getattr(args, "random_faults", 0)):
+        return None
+    from repro.faults import FaultConfig, FaultPlan, FaultPlanError
+    try:
+        plan = FaultPlan.load(args.faults) if args.faults else None
+    except (FaultPlanError, OSError) as exc:
+        raise SystemExit(f"error: cannot load fault plan: {exc}")
+    return FaultConfig(plan=plan, seed=args.fault_seed,
+                       random_faults=args.random_faults,
+                       transfer_chunk_bytes=256_000,
+                       migration_deadline_ms=60_000.0,
+                       max_transfer_retries=8)
+
+
+def _print_fault_log(deployment) -> None:
+    chaos = getattr(deployment, "chaos", None)
+    if chaos is None or not chaos.log:
+        return
+    print()
+    print("fault log:")
+    for record in chaos.log:
+        print(f"  {record}")
+
+
 def cmd_quickstart(args: argparse.Namespace) -> int:
     from repro import BindingPolicy, Deployment
     from repro.apps import MusicPlayerApp
     from repro.core.trace import DeploymentTracer
 
     obs = _make_obs(args)
-    d = Deployment(seed=args.seed, observability=obs)
+    faults = _make_faults(args)
+    d = Deployment(seed=args.seed, observability=obs, faults=faults)
     d.add_space("lab")
     src = d.add_host("host1", "lab")
     dst = d.add_host("host2", "lab")
@@ -74,6 +119,12 @@ def cmd_quickstart(args: argparse.Namespace) -> int:
     print()
     for phase, value in outcome.phases().items():
         print(f"{phase:>8}: {value:8.1f} ms")
+    if faults is not None:
+        _print_fault_log(d)
+        print(f"transfer retries: {outcome.transfer_retries}"
+              f"{' (resumed from checkpoint)' if outcome.transfer_resumed else ''}")
+        if outcome.failed:
+            print(f"migration FAILED: {outcome.failure_reason}")
     _export_obs(obs, args)
     return 0 if outcome.completed else 1
 
@@ -85,7 +136,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.core import BindingPolicy
 
     obs = _make_obs(args)
-    experiment = MigrationExperiment(observability=obs)
+    faults = _make_faults(args)
+    experiment = MigrationExperiment(observability=obs, faults=faults)
     adaptive = experiment.sweep(PAPER_FILE_SIZES_MB, BindingPolicy.ADAPTIVE)
     static = experiment.sweep(PAPER_FILE_SIZES_MB, BindingPolicy.STATIC)
     print(format_phase_table(
@@ -96,6 +148,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print()
     print(format_comparison_table(
         "Fig. 10 -- comparative total cost", adaptive, static))
+    if args.availability:
+        from repro.bench.harness import availability_experiment
+        from repro.bench.reporting import format_availability_table
+        rows = availability_experiment(runs=args.availability_runs,
+                                       seed=args.fault_seed,
+                                       observability=obs)
+        print()
+        print(format_availability_table(
+            "Availability -- migration under injected link loss "
+            "(5.0M, static, reliability on)", rows))
     if args.metrics and experiment.last_outcomes:
         from repro.bench.reporting import format_stats_table
         from repro.core.metrics import summarize
@@ -137,9 +199,16 @@ def build_parser() -> argparse.ArgumentParser:
                             default="adaptive")
     quickstart.add_argument("--seed", type=int, default=42)
     _add_obs_flags(quickstart)
+    _add_fault_flags(quickstart)
     quickstart.set_defaults(func=cmd_quickstart)
     sweep = sub.add_parser("sweep", help="reproduce Figs. 8-10")
     _add_obs_flags(sweep)
+    _add_fault_flags(sweep)
+    sweep.add_argument("--availability", action="store_true",
+                       help="also sweep injected link-loss rate vs "
+                            "migration success/latency")
+    sweep.add_argument("--availability-runs", type=int, default=5,
+                       metavar="N", help="runs per loss rate (default 5)")
     sweep.set_defaults(func=cmd_sweep)
     lecture = sub.add_parser("lecture",
                              help="clone-dispatch lecture scenario")

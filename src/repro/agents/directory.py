@@ -4,12 +4,18 @@ Agents advertise :class:`ServiceDescription`s (a name, a service type and
 free-form properties); other agents search by type/name/property subset.
 The MDAgent middleware registers application and resource services here so
 autonomous agents can discover counterparts on candidate destination hosts.
+
+Registrations are eternal by default.  When the facilitator is given a
+``clock`` and a positive lease (``default_lease_ms`` or per-registration
+``lease_ms``), each entry expires unless renewed -- so a crashed host's
+agents silently drop out of the yellow pages instead of being advertised
+forever (see :meth:`~repro.agents.platform.AgentPlatform.enable_df_leases`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 
 @dataclass
@@ -20,6 +26,8 @@ class ServiceDescription:
     service_type: str
     owner: str  # agent aid
     properties: Dict[str, Any] = field(default_factory=dict)
+    #: Absolute expiry instant on the facilitator's clock (None = eternal).
+    expires_at: Optional[float] = None
 
     def matches(self, service_type: Optional[str] = None,
                 name: Optional[str] = None,
@@ -35,18 +43,76 @@ class ServiceDescription:
 
 
 class DirectoryFacilitator:
-    """Register / deregister / search services."""
+    """Register / deregister / search services (optionally lease-based)."""
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 default_lease_ms: float = 0.0) -> None:
         self._services: List[ServiceDescription] = []
         self.registrations = 0
         self.searches = 0
+        self.leases_expired = 0
+        #: Time source for lease accounting (None disables expiry entirely).
+        self.clock = clock
+        #: Lease applied by :meth:`register` when no explicit one is given
+        #: (0 keeps the legacy eternal registrations).
+        self.default_lease_ms = default_lease_ms
 
-    def register(self, description: ServiceDescription) -> ServiceDescription:
+    # -- leases ---------------------------------------------------------------
+
+    def _expiry(self, lease_ms: Optional[float]) -> Optional[float]:
+        lease = self.default_lease_ms if lease_ms is None else lease_ms
+        if lease <= 0 or self.clock is None:
+            return None
+        return self.clock() + lease
+
+    def _expired(self, service: ServiceDescription) -> bool:
+        return (self.clock is not None and service.expires_at is not None
+                and service.expires_at <= self.clock())
+
+    def sweep_expired(self) -> int:
+        """Drop expired registrations; returns how many were removed."""
+        if self.clock is None:
+            return 0
+        live = [s for s in self._services if not self._expired(s)]
+        removed = len(self._services) - len(live)
+        self._services = live
+        self.leases_expired += removed
+        return removed
+
+    def renew(self, name: str, owner: str,
+              lease_ms: Optional[float] = None) -> bool:
+        """Extend one service's lease; returns False when absent/expired."""
+        service = self.find(name, owner)
+        if service is None:
+            return False
+        service.expires_at = self._expiry(lease_ms)
+        return True
+
+    def renew_owner(self, owner: str, lease_ms: Optional[float] = None) -> int:
+        """Extend every lease an agent holds; returns how many."""
+        self.sweep_expired()
+        renewed = 0
+        for service in self._services:
+            if service.owner == owner:
+                service.expires_at = self._expiry(lease_ms)
+                renewed += 1
+        return renewed
+
+    def release_all(self, lease_ms: Optional[float] = None) -> None:
+        """(Re)stamp every live registration -- used when leases turn on."""
+        for service in self._services:
+            service.expires_at = self._expiry(lease_ms)
+
+    # -- registry -------------------------------------------------------------
+
+    def register(self, description: ServiceDescription,
+                 lease_ms: Optional[float] = None) -> ServiceDescription:
         if self.find(description.name, description.owner) is not None:
             raise ValueError(
                 f"service {description.name!r} already registered by "
                 f"{description.owner!r}")
+        if description.expires_at is None:
+            description.expires_at = self._expiry(lease_ms)
         self._services.append(description)
         self.registrations += 1
         return description
@@ -67,7 +133,8 @@ class DirectoryFacilitator:
 
     def find(self, name: str, owner: str) -> Optional[ServiceDescription]:
         for service in self._services:
-            if service.name == name and service.owner == owner:
+            if (service.name == name and service.owner == owner
+                    and not self._expired(service)):
                 return service
         return None
 
@@ -76,8 +143,9 @@ class DirectoryFacilitator:
                properties: Optional[Dict[str, Any]] = None
                ) -> List[ServiceDescription]:
         self.searches += 1
+        self.sweep_expired()
         return [s for s in self._services
                 if s.matches(service_type, name, properties)]
 
     def __len__(self) -> int:
-        return len(self._services)
+        return len([s for s in self._services if not self._expired(s)])

@@ -24,17 +24,23 @@ so experiments can apply the paper's Fig. 7 round-trip correction.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.agents.acl import ACLMessage
 from repro.agents.agent import Agent, AgentError, AgentState
 from repro.agents.serialization import AgentSnapshot
+from repro.net.simnet import HostOfflineError, UnreachableHostError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.agents.platform import AgentContainer, AgentPlatform
 
 TRANSFER_PROTOCOL = "agents.transfer"
+
+#: Network errors worth retrying: a crashed host may restart, a partition
+#: may heal.  Anything else (bad payload, unknown host) fails fast.
+RETRYABLE_SEND_ERRORS = (HostOfflineError, UnreachableHostError)
 
 
 @dataclass
@@ -50,9 +56,25 @@ class CostModel:
     serialize_ms_per_mb: float = 40.0
     checkin_base_ms: float = 100.0
     deserialize_ms_per_mb: float = 60.0
-    #: Transfer retries on loss before the migration is declared failed.
+    #: Per-chunk transfer retries before the migration is declared failed.
     max_transfer_retries: int = 3
+    #: Base of the exponential retry backoff: retry ``n`` (0-based) waits
+    #: ``min(cap, base * 2**n)`` plus deterministic jitter.
     retry_backoff_ms: float = 50.0
+    retry_backoff_cap_ms: float = 2_000.0
+    #: Jitter fraction added on top of the backoff (decorrelates retries).
+    #: The jitter is *seeded*: the same (seed, key, attempt) always yields
+    #: the same delay, keeping runs reproducible.
+    retry_jitter_frac: float = 0.1
+    backoff_seed: int = 0
+    #: Overall wall-clock (simulated) budget for one migration, measured
+    #: from ``move()``; retries never push past it.  0 disables.
+    migration_deadline_ms: float = 0.0
+    #: Split transfers into chunks of this size so a mid-transfer failure
+    #: resumes from the last acknowledged chunk instead of resending
+    #: everything.  0 (default) keeps the legacy single-message transfer,
+    #: whose timing is byte-identical to pre-chunking behaviour.
+    transfer_chunk_bytes: int = 0
 
     def checkout_ms(self, size_bytes: int, cpu_factor: float) -> float:
         mb = size_bytes / 1e6
@@ -61,6 +83,26 @@ class CostModel:
     def checkin_ms(self, size_bytes: int, cpu_factor: float) -> float:
         mb = size_bytes / 1e6
         return (self.checkin_base_ms + self.deserialize_ms_per_mb * mb) * cpu_factor
+
+    def backoff_ms(self, attempt: int, key: str = "") -> float:
+        """Delay before retry ``attempt`` (0-based): exponential, capped,
+        with deterministic seeded jitter."""
+        delay = min(self.retry_backoff_cap_ms,
+                    self.retry_backoff_ms * (2 ** attempt))
+        if self.retry_jitter_frac > 0:
+            # random.Random seeds strings via SHA-512: stable across runs
+            # and interpreter instances (unlike hash()).
+            rng = random.Random(f"{self.backoff_seed}:{key}:{attempt}")
+            delay += delay * self.retry_jitter_frac * rng.random()
+        return delay
+
+    def chunk_sizes(self, size_bytes: int) -> List[int]:
+        """Wire chunks for a payload (a single chunk when chunking is off)."""
+        chunk = self.transfer_chunk_bytes
+        if chunk <= 0 or size_bytes <= chunk:
+            return [size_bytes]
+        full, rest = divmod(size_bytes, chunk)
+        return [chunk] * full + ([rest] if rest else [])
 
 
 @dataclass
@@ -83,8 +125,16 @@ class MigrationResult:
     depart_local: float = 0.0
     arrive_local: float = 0.0
     agent: Optional[Agent] = None
+    #: Reliability accounting (all zero on an undisturbed migration).
+    transfer_retries: int = 0
+    transfer_resumed: bool = False
+    dedup_hits: int = 0
+    chunks_total: int = 0
+    chunks_acked: int = 0
+    recovery_log: List[str] = field(default_factory=list, repr=False)
     _callbacks: List[Callable[["MigrationResult"], None]] = field(
         default_factory=list, repr=False)
+    _arrived: bool = field(default=False, repr=False)
 
     def on_complete(self, callback: Callable[["MigrationResult"], None]) -> None:
         if self.completed or self.failed:
@@ -113,6 +163,23 @@ class CloneResult(MigrationResult):
     clone_name: str = ""
 
 
+@dataclass
+class _Transfer:
+    """In-flight transfer state: the checkpoint cursor for resume."""
+
+    container: "AgentContainer"
+    snapshot: AgentSnapshot
+    carried: List[ACLMessage]
+    result: MigrationResult
+    kind: str
+    transfer_id: int
+    chunk_sizes: List[int]
+    next_chunk: int = 0
+    #: Retries of the *current* chunk (resets once a chunk is acknowledged).
+    attempt: int = 0
+    last_error: str = ""
+
+
 class MobilityService:
     """Implements move/clone for every container on the platform."""
 
@@ -124,6 +191,12 @@ class MobilityService:
         self.moves_completed = 0
         self.clones_completed = 0
         self.transfers_dropped = 0
+        self.transfer_retries = 0
+        self.transfers_resumed = 0
+        self.dedup_hits = 0
+        self._transfer_seq = 0
+        # (destination host, transfer_id) -> chunk seqs already accepted.
+        self._rx_chunks: dict = {}
 
     def attach(self, container: "AgentContainer") -> None:
         """Install the transfer protocol handler on a new container."""
@@ -254,44 +327,139 @@ class MobilityService:
                        snapshot: AgentSnapshot, carried: List[ACLMessage],
                        result: MigrationResult, kind: str,
                        attempt: int = 0) -> None:
-        if attempt == 0:
-            result.checked_out_at = self.platform.loop.now
-            result.depart_local = container.host.local_time()
-        self._obs_next_phase(result, "agent.transfer", container.host,
-                             attempt=attempt)
-        payload = (snapshot, carried, kind, result)
+        result.checked_out_at = self.platform.loop.now
+        result.depart_local = container.host.local_time()
+        self._transfer_seq += 1
+        sizes = self.cost_model.chunk_sizes(snapshot.size_bytes)
+        result.chunks_total = len(sizes)
+        self._transmit(_Transfer(
+            container=container, snapshot=snapshot, carried=carried,
+            result=result, kind=kind, transfer_id=self._transfer_seq,
+            chunk_sizes=sizes, attempt=attempt))
+
+    def _transmit(self, transfer: _Transfer) -> None:
+        """Send the current chunk (or, un-chunked, the whole snapshot).
+
+        Chunked transfers are stop-and-wait: delivery of chunk *k* (the
+        simulator's delivery callback doubles as a zero-cost ack) triggers
+        chunk *k + 1*; only the final chunk carries the actual payload.  A
+        drop retries the *current* chunk after backoff, so bytes already
+        acknowledged are never re-sent -- that is the checkpointed resume.
+        """
+        result = transfer.result
+        seq = transfer.next_chunk
+        single = len(transfer.chunk_sizes) == 1
+        full_payload = (transfer.snapshot, transfer.carried, transfer.kind,
+                        result)
+        if single:
+            self._obs_next_phase(result, "agent.transfer",
+                                 transfer.container.host,
+                                 attempt=transfer.attempt)
+            payload = full_payload
+            on_delivered = None
+        else:
+            self._obs_next_phase(result, "agent.transfer",
+                                 transfer.container.host,
+                                 attempt=transfer.attempt, chunk=seq,
+                                 chunks=len(transfer.chunk_sizes))
+            final = seq == len(transfer.chunk_sizes) - 1
+            payload = ("chunk", transfer.transfer_id, seq,
+                       len(transfer.chunk_sizes),
+                       full_payload if final else None)
+
+            def on_delivered(receipt, seq=seq):
+                result.chunks_acked = max(result.chunks_acked, seq + 1)
+                if seq + 1 < len(transfer.chunk_sizes):
+                    transfer.next_chunk = seq + 1
+                    transfer.attempt = 0
+                    self._transmit(transfer)
 
         def on_dropped(receipt):
             self.transfers_dropped += 1
-            if attempt < self.cost_model.max_transfer_retries:
-                phase = getattr(result, "_obs_phase", None)
-                if phase is not None:
-                    phase.end(lost=True)
-                delay = self.cost_model.retry_backoff_ms * (attempt + 1)
-                self.platform.loop.call_later(
-                    delay, self._send_snapshot, container, snapshot,
-                    carried, result, kind, attempt + 1)
-            else:
-                result.failed = True
-                result.failure_reason = (
-                    f"transfer to {result.destination!r} lost after "
-                    f"{attempt + 1} attempts")
-                self._obs_finish(result, failed=True,
-                                 reason=result.failure_reason)
-                result._finish()
+            self._retry(transfer, "lost in transit", lost_phase=True)
 
         try:
             self.platform.network.send(
-                container.host_name, result.destination, TRANSFER_PROTOCOL,
-                payload, snapshot.size_bytes, on_dropped=on_dropped)
+                transfer.container.host_name, result.destination,
+                TRANSFER_PROTOCOL, payload, transfer.chunk_sizes[seq],
+                on_delivered=on_delivered, on_dropped=on_dropped)
+        except RETRYABLE_SEND_ERRORS as exc:
+            transfer.last_error = str(exc)
+            self._retry(transfer, str(exc), lost_phase=False)
         except Exception as exc:
-            result.failed = True
-            result.failure_reason = str(exc)
-            self._obs_finish(result, failed=True, reason=str(exc))
-            result._finish()
+            self._fail(result, str(exc))
+
+    def _retry(self, transfer: _Transfer, reason: str,
+               lost_phase: bool) -> None:
+        """Schedule a retransmit of the current chunk, or give up."""
+        result = transfer.result
+        cost_model = self.cost_model
+        loop = self.platform.loop
+        if transfer.attempt >= cost_model.max_transfer_retries:
+            message = (f"transfer to {result.destination!r} lost after "
+                       f"{transfer.attempt + 1} attempts")
+            if transfer.last_error:
+                message += f" (last error: {transfer.last_error})"
+            self._fail(result, message)
+            return
+        delay = cost_model.backoff_ms(
+            transfer.attempt,
+            key=f"{result.agent_name}:{transfer.transfer_id}:"
+                f"{transfer.next_chunk}")
+        deadline = cost_model.migration_deadline_ms
+        if deadline > 0 and loop.now + delay - result.started_at > deadline:
+            self._fail(result,
+                       f"migration deadline ({deadline:g} ms) exceeded "
+                       f"after {transfer.attempt + 1} attempts")
+            return
+        if lost_phase:
+            phase = getattr(result, "_obs_phase", None)
+            if phase is not None and not phase.finished:
+                phase.end(lost=True)
+        transfer.attempt += 1
+        result.transfer_retries += 1
+        self.transfer_retries += 1
+        result.recovery_log.append(
+            f"[{loop.now:.1f} ms] retry {transfer.attempt} of chunk "
+            f"{transfer.next_chunk}: {reason}; backoff {delay:.1f} ms")
+        resumed = transfer.next_chunk > 0
+        if resumed and not result.transfer_resumed:
+            result.transfer_resumed = True
+            self.transfers_resumed += 1
+        obs = loop.observability
+        if obs is not None:
+            obs.metrics.counter("migration.retries").inc()
+            if resumed:
+                obs.metrics.counter("migration.transfer_resumed").inc()
+        loop.call_later(delay, self._transmit, transfer)
+
+    def _fail(self, result: MigrationResult, reason: str) -> None:
+        result.failed = True
+        result.failure_reason = reason
+        self._obs_finish(result, failed=True, reason=reason)
+        result._finish()
 
     def _on_transfer(self, container: "AgentContainer", net_message) -> None:
-        snapshot, carried, kind, result = net_message.payload
+        payload = net_message.payload
+        if (isinstance(payload, tuple) and len(payload) == 5
+                and payload[0] == "chunk"):
+            _tag, transfer_id, seq, _total, inner = payload
+            key = (container.host_name, transfer_id)
+            seen = self._rx_chunks.setdefault(key, set())
+            if seq in seen:  # duplicate delivery of an already-acked chunk
+                self._dedup(container, inner[3] if inner else None)
+                return
+            seen.add(seq)
+            if inner is None:  # intermediate chunk: ack only
+                return
+            self._rx_chunks.pop(key, None)
+            snapshot, carried, kind, result = inner
+        else:
+            snapshot, carried, kind, result = payload
+        if result._arrived:  # duplicate delivery of the whole transfer
+            self._dedup(container, result)
+            return
+        result._arrived = True
         loop = self.platform.loop
         result.arrived_at = loop.now
         result.arrive_local = container.host.local_time()
@@ -304,6 +472,18 @@ class MobilityService:
                                              container.host.cpu_factor)
         loop.call_later(checkin, self._check_in, container, snapshot,
                         carried, kind, result)
+
+    def _dedup(self, container: "AgentContainer",
+               result: Optional[MigrationResult]) -> None:
+        """Idempotent check-in: swallow a duplicate delivery and count it."""
+        self.dedup_hits += 1
+        if result is not None:
+            result.dedup_hits += 1
+        obs = self.platform.loop.observability
+        if obs is not None:
+            obs.metrics.counter("migration.dedup_hits").inc()
+            obs.tracer.event("migration.dedup", category="agent",
+                             host=container.host)
 
     def _check_in(self, container: "AgentContainer", snapshot: AgentSnapshot,
                   carried: List[ACLMessage], kind: str,

@@ -144,12 +144,46 @@ class AgentPlatform:
         self._containers: Dict[str, AgentContainer] = {}
         # AMS white pages: local agent name -> host name.
         self._locations: Dict[str, str] = {}
-        self.df = DirectoryFacilitator()
+        self.df = DirectoryFacilitator(clock=lambda: self.loop.now)
         self.messages_sent = 0
         self.messages_failed = 0
         self.undelivered_buffered = 0
+        self._lease_until = 0.0
         from repro.agents.mobility import MobilityService
         self.mobility = MobilityService(self)
+
+    # -- DF leases ---------------------------------------------------------------
+
+    def enable_df_leases(self, lease_ms: float,
+                         horizon_ms: float = 60_000.0) -> None:
+        """Expire yellow-pages entries of agents that stop renewing.
+
+        Containers on *online* hosts renew their agents' registrations every
+        ``lease_ms / 2``; a crashed host stops renewing, so its agents fall
+        out of the directory within one lease.  Ticks stop ``horizon_ms``
+        after enabling so ``run_until_idle`` still quiesces.
+        """
+        if lease_ms <= 0:
+            raise PlatformError(f"lease_ms must be positive: {lease_ms}")
+        self.df.default_lease_ms = lease_ms
+        self.df.release_all()
+        self._lease_until = self.loop.now + horizon_ms
+        interval = lease_ms / 2
+        self.loop.call_later(interval, self._lease_tick, interval)
+
+    def _lease_tick(self, interval: float) -> None:
+        for container in self.containers:
+            if not container.host.online:
+                continue  # a crashed host cannot renew its agents' leases
+            for agent in container.agents:
+                self.df.renew_owner(
+                    f"{agent.local_name}@{container.host_name}")
+        expired = self.df.sweep_expired()
+        obs = self.loop.observability
+        if expired and obs is not None:
+            obs.metrics.counter("df.lease_expired").inc(expired)
+        if self.loop.now + interval <= self._lease_until:
+            self.loop.call_later(interval, self._lease_tick, interval)
 
     # -- containers -----------------------------------------------------------
 

@@ -61,17 +61,20 @@ class TestbedConfig:
 
 def build_paper_testbed(config: Optional[TestbedConfig] = None,
                         app_name: str = "player",
-                        observability=None):
+                        observability=None,
+                        faults=None):
     """Two hosts, one (or two gatewayed) space(s), partial app at dest.
 
     Returns ``(deployment, source_middleware, destination_middleware)``.
+    Pass a :class:`repro.faults.FaultConfig` as ``faults`` to run the
+    testbed under injected failures.
     """
     config = config if config is not None else TestbedConfig()
     lan = LinkSpec(bandwidth_mbps=config.bandwidth_mbps,
                    latency_ms=config.latency_ms,
                    jitter_ms=config.jitter_ms)
     d = Deployment(seed=config.seed, config=config.middleware,
-                   observability=observability)
+                   observability=observability, faults=faults)
     d.add_space("lab-a", lan=lan)
     source = d.add_host(
         "host1", "lab-a",
@@ -136,9 +139,11 @@ class MigrationExperiment:
     """
 
     def __init__(self, config: Optional[TestbedConfig] = None,
-                 observability=None):
+                 observability=None, faults=None):
         self.config = config if config is not None else TestbedConfig()
         self.observability = observability
+        #: Optional :class:`repro.faults.FaultConfig` applied to every run.
+        self.faults = faults
         self.last_outcomes: List[MigrationOutcome] = []
 
     def run_once(self, file_size_bytes: int,
@@ -146,7 +151,12 @@ class MigrationExperiment:
                  kind: MigrationKind = MigrationKind.FOLLOW_ME,
                  seed_offset: int = 0,
                  warmup_ms: float = 1_000.0) -> MigrationOutcome:
-        """One migration on a fresh deterministic testbed."""
+        """One migration on a fresh deterministic testbed.
+
+        Without faults a failed migration raises; under a fault config
+        failures are expected, so the (failed) outcome is returned for the
+        caller to tally.
+        """
         config = TestbedConfig(**{**self.config.__dict__,
                                   "seed": self.config.seed + seed_offset})
         obs = self.observability
@@ -154,7 +164,7 @@ class MigrationExperiment:
             obs.begin_run(f"{file_size_bytes / 1e6:g}MB/{policy.value}/"
                           f"{kind.value}#{seed_offset}")
         d, source, destination = build_paper_testbed(
-            config, observability=obs)
+            config, observability=obs, faults=self.faults)
         app = MusicPlayerApp.build("player", "alice",
                                    track_bytes=file_size_bytes)
         source.launch_application(app)
@@ -162,7 +172,7 @@ class MigrationExperiment:
         d.loop.advance(warmup_ms)  # some playback before the user moves
         outcome = source.migrate("player", "host2", kind=kind, policy=policy)
         d.run_all()
-        if not outcome.completed:
+        if not outcome.completed and self.faults is None:
             raise RuntimeError(
                 f"migration failed: {outcome.failure_reason}")
         self.last_outcomes.append(outcome)
@@ -170,7 +180,11 @@ class MigrationExperiment:
 
     def sweep(self, sizes_mb, policy: BindingPolicy,
               repeats: int = 1) -> List[SweepRow]:
-        """The Fig. 8/9 sweep: one row per file size."""
+        """The Fig. 8/9 sweep: one row per file size.
+
+        Under a fault config, failed runs are excluded from the means (a
+        size where every run failed raises).
+        """
         rows = []
         for size_mb in sizes_mb:
             outcomes = [
@@ -178,6 +192,10 @@ class MigrationExperiment:
                               seed_offset=r)
                 for r in range(repeats)
             ]
+            outcomes = [o for o in outcomes if o.completed]
+            if not outcomes:
+                raise RuntimeError(
+                    f"every migration at {size_mb} MB failed")
             rows.append(SweepRow(
                 size_mb=size_mb,
                 policy=policy.value,
@@ -190,6 +208,83 @@ class MigrationExperiment:
                 repeats=repeats,
             ))
         return rows
+
+
+@dataclass
+class AvailabilityRow:
+    """One point of a failure-rate sweep: reliability under injected loss."""
+
+    loss_rate: float
+    runs: int
+    completed: int
+    mean_total_ms: float  # over completed runs; 0.0 when none completed
+    mean_retries: float
+    resumed: int
+
+    @property
+    def success_rate(self) -> float:
+        return self.completed / self.runs if self.runs else 0.0
+
+
+def availability_experiment(loss_rates=(0.0, 0.1, 0.2, 0.3),
+                            runs: int = 10,
+                            size_mb: float = 5.0,
+                            seed: int = 0,
+                            reliability: bool = True,
+                            config: Optional[TestbedConfig] = None,
+                            observability=None) -> List[AvailabilityRow]:
+    """Sweep injected packet-loss rate vs migration success and latency.
+
+    Each cell runs ``runs`` fresh testbeds whose host1--host2 link suffers a
+    permanent ``loss`` fault (armed at the first migration).  With
+    ``reliability`` on, migrations use chunked checkpoint-resumable
+    transfers plus a deadline; off reproduces the bare retry behaviour --
+    the availability ablation the paper's healthy testbed never shows.
+
+    Static binding is used so the whole application (data included) rides
+    the hardened agent transfer; adaptive binding would stream the data
+    remotely after check-in over plain unretried messages, measuring the
+    streaming channel rather than migration availability.
+    """
+    from repro.faults import FaultConfig, FaultPlan, FaultSpec, link_target
+
+    base = config if config is not None else TestbedConfig()
+    rows: List[AvailabilityRow] = []
+    for rate in loss_rates:
+        plan = FaultPlan(seed=seed)
+        if rate > 0:
+            plan.add(FaultSpec(at_ms=0.0, kind="loss",
+                               target=link_target("host1", "host2"),
+                               params={"loss_rate": rate}))
+        completed: List[MigrationOutcome] = []
+        retries = 0
+        resumed = 0
+        for r in range(runs):
+            faults = FaultConfig(
+                plan=FaultPlan.from_dict(plan.to_dict()),
+                seed=seed + r,
+                transfer_chunk_bytes=256_000 if reliability else 0,
+                migration_deadline_ms=60_000.0 if reliability else 0.0,
+                max_transfer_retries=8 if reliability else None)
+            experiment = MigrationExperiment(
+                TestbedConfig(**{**base.__dict__, "seed": base.seed + r}),
+                observability=observability, faults=faults)
+            outcome = experiment.run_once(int(size_mb * 1e6),
+                                          policy=BindingPolicy.STATIC)
+            retries += outcome.transfer_retries
+            resumed += 1 if outcome.transfer_resumed else 0
+            if outcome.completed:
+                completed.append(outcome)
+        rows.append(AvailabilityRow(
+            loss_rate=rate,
+            runs=runs,
+            completed=len(completed),
+            mean_total_ms=(mean(o.total_ms for o in completed)
+                           if completed else 0.0),
+            mean_retries=retries / runs if runs else 0.0,
+            resumed=resumed,
+        ))
+    return rows
 
 
 def round_trip_experiment(size_mb: float = 5.0,

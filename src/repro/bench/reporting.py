@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from repro.bench.harness import SweepRow
+from repro.bench.harness import AvailabilityRow, SweepRow
 from repro.core.metrics import PhaseStats
 
 
@@ -53,6 +53,26 @@ def format_stats_table(title: str, stats: Dict[str, PhaseStats]) -> str:
             f"{stat.stdev_ms:>9.1f} {stat.min_ms:>9.1f} "
             f"{stat.p50_ms:>9.1f} {stat.p95_ms:>9.1f} "
             f"{stat.p99_ms:>9.1f} {stat.max_ms:>9.1f}")
+    return "\n".join(lines)
+
+
+def format_availability_table(title: str,
+                              rows: Sequence[AvailabilityRow]) -> str:
+    """Failure-rate sweep table: success / latency / recovery per loss rate.
+
+    ``rows`` is the output of
+    :func:`repro.bench.harness.availability_experiment`.
+    """
+    lines = [title, "-" * len(title)]
+    lines.append(f"{'loss rate':>10} {'runs':>6} {'ok':>5} {'success':>9} "
+                 f"{'mean total':>12} {'mean retries':>13} {'resumed':>8}")
+    for row in rows:
+        total = (f"{row.mean_total_ms:>10.0f}ms" if row.completed
+                 else f"{'--':>12}")
+        lines.append(
+            f"{row.loss_rate:>10.2f} {row.runs:>6} {row.completed:>5} "
+            f"{row.success_rate * 100:>8.1f}% {total} "
+            f"{row.mean_retries:>13.1f} {row.resumed:>8}")
     return "\n".join(lines)
 
 

@@ -40,6 +40,13 @@ class MigrationOutcome:
     agent_arrived_at: float = 0.0
     #: Free-form event log (phase boundaries, rebinds, adaptations).
     events: List[str] = field(default_factory=list)
+    #: Reliability accounting (appended with defaults so positional
+    #: construction from before these existed keeps working): retries of
+    #: the agent transfer, whether a retry resumed from a mid-transfer
+    #: checkpoint, and duplicate deliveries swallowed at check-in.
+    transfer_retries: int = 0
+    transfer_resumed: bool = False
+    dedup_hits: int = 0
     _callbacks: List[Callable[["MigrationOutcome"], None]] = field(
         default_factory=list, repr=False)
 

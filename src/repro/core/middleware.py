@@ -241,6 +241,7 @@ class MDAgentMiddleware:
             raise MigrationError("destination equals current host")
         if not self.network.has_host(destination):
             raise MigrationError(f"unknown destination host {destination!r}")
+        self.deployment._arm_chaos("first-migration")
         provisional = MigrationPlan(app_name, self.host_name, destination,
                                     kind, policy)
         outcome = MigrationOutcome(provisional)
@@ -504,7 +505,8 @@ class Deployment:
     def __init__(self, seed: int = 0,
                  config: Optional[MiddlewareConfig] = None,
                  backbone: Optional[LinkSpec] = None,
-                 observability=None):
+                 observability=None,
+                 faults=None):
         self.loop = EventLoop()
         # Install tracing/metrics hooks before anything can schedule events.
         self.observability = observability
@@ -536,6 +538,16 @@ class Deployment:
         self.outcomes: Dict[str, MigrationOutcome] = {}
         self._outcome_seq = itertools.count(1)
         self.prestaging = None
+        # Fault injection (optional): the chaos engine arms per its config
+        # ("first-migration" by default) and replays its plan on the loop.
+        self.chaos = None
+        if faults is not None and faults.enabled:
+            from repro.faults.engine import ChaosEngine
+            self.chaos = ChaosEngine(self, faults)
+
+    def _arm_chaos(self, trigger: str) -> None:
+        if self.chaos is not None and self.chaos.config.arm == trigger:
+            self.chaos.arm()
 
     # -- construction ------------------------------------------------------
 
@@ -692,6 +704,14 @@ class Deployment:
             "agent_moves_completed": self.platform.mobility.moves_completed,
             "agent_clones_completed": self.platform.mobility.clones_completed,
             "agent_transfers_dropped": self.platform.mobility.transfers_dropped,
+            "agent_transfer_retries": self.platform.mobility.transfer_retries,
+            "agent_transfers_resumed": self.platform.mobility.transfers_resumed,
+            "agent_checkin_dedup_hits": self.platform.mobility.dedup_hits,
+            "df_leases_expired": self.platform.df.leases_expired,
+            "faults_fired": (self.chaos.faults_fired
+                             if self.chaos is not None else 0),
+            "faults_reverted": (self.chaos.faults_reverted
+                                if self.chaos is not None else 0),
             "migrations_total": len(outcomes),
             "migrations_completed": len(completed),
             "migrations_failed": len(failed),
@@ -706,7 +726,9 @@ class Deployment:
     # -- running ----------------------------------------------------------------------
 
     def run(self, until: Optional[float] = None) -> int:
+        self._arm_chaos("first-run")
         return self.loop.run(until=until)
 
     def run_all(self, max_events: int = 1_000_000) -> int:
+        self._arm_chaos("first-run")
         return self.loop.run_until_idle(max_events=max_events)

@@ -228,6 +228,11 @@ class MobilityManager:
             outcome.arrive_local = r.arrive_local
             outcome.agent_departed_at = r.checked_out_at
             outcome.agent_arrived_at = r.arrived_at
+            outcome.transfer_retries = r.transfer_retries
+            outcome.transfer_resumed = r.transfer_resumed
+            outcome.dedup_hits = r.dedup_hits
+            for entry in r.recovery_log:
+                outcome.log(f"transfer recovery: {entry}")
             if r.failed:
                 outcome.failed = True
                 outcome.failure_reason = r.failure_reason

@@ -1,0 +1,39 @@
+"""Deterministic fault injection & reliability layer (``repro.faults``).
+
+The paper's premise is migration in a *pervasive* environment: devices
+roam, links flap, hosts disappear mid-transfer.  This package turns the
+healthy two-PC testbed into a robustness testbed:
+
+- :class:`FaultPlan` / :class:`FaultSpec` -- a scripted (or seeded-random)
+  schedule of faults, serializable to JSON (``--faults plan.json``), and
+- :class:`ChaosEngine` -- executes a plan against a
+  :class:`~repro.core.middleware.Deployment`'s network/topology on the
+  simulated clock, emitting an observability event per fault so traces
+  show exactly what broke and when.
+
+Everything is deterministic: the same plan + seed produces a byte-identical
+fault schedule (see :meth:`ChaosEngine.schedule_digest`), and a deployment
+built without a :class:`FaultConfig` behaves exactly as before.
+"""
+
+from repro.faults.engine import ChaosEngine, FaultConfig, FaultRecord
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    link_target,
+    random_plan,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "ChaosEngine",
+    "FaultConfig",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRecord",
+    "FaultSpec",
+    "link_target",
+    "random_plan",
+]

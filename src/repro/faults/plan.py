@@ -1,0 +1,241 @@
+"""Fault taxonomy, plan files and seeded-random plan generation.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultSpec`s.  Times are
+**relative to the instant the engine is armed** (by default the first
+migration -- see :class:`~repro.faults.engine.FaultConfig.arm`), so one
+plan file stresses any scenario regardless of how long its warm-up runs.
+
+The JSON wire format (``--faults plan.json``)::
+
+    {
+      "format": "repro.faults.plan/1",
+      "seed": 7,
+      "faults": [
+        {"at_ms": 20.0, "kind": "link_down", "target": "host1|host2",
+         "duration_ms": 400.0, "params": {"drop_in_flight": true}},
+        {"at_ms": 0.0, "kind": "loss", "target": "host1|host2",
+         "duration_ms": null, "params": {"loss_rate": 0.2}}
+      ]
+    }
+
+Determinism guarantee: plans are plain data; :func:`random_plan` derives a
+plan from ``(seed, targets)`` alone, so identical inputs always yield an
+identical plan, and the engine replays any plan identically run-to-run.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+PLAN_FORMAT = "repro.faults.plan/1"
+
+#: Every fault kind the engine can apply, with the target each expects.
+FAULT_KINDS: Dict[str, str] = {
+    "link_down": "link",     # cut a link; params: drop_in_flight (bool)
+    "bandwidth": "link",     # degrade; params: factor OR bandwidth_mbps
+    "loss": "link",          # packet loss; params: loss_rate
+    "host_crash": "host",    # host goes offline (restart = revert)
+    "partition": "space",    # crash the space's gateway
+    "clock_jump": "host",    # params: jump_ms added to the host clock skew
+}
+
+
+class FaultPlanError(ValueError):
+    """Raised on malformed plans or plan files."""
+
+
+def link_target(a: str, b: str) -> str:
+    """Canonical link target string (order-independent)."""
+    return "|".join(sorted((a, b)))
+
+
+def split_link_target(target: str) -> Tuple[str, str]:
+    parts = target.replace("<->", "|").split("|")
+    if len(parts) != 2 or not parts[0] or not parts[1]:
+        raise FaultPlanError(f"link target must be 'hostA|hostB': {target!r}")
+    return parts[0], parts[1]
+
+
+@dataclass
+class FaultSpec:
+    """One scheduled fault.
+
+    ``at_ms`` is relative to engine arming; ``duration_ms`` of ``None``
+    means the fault is never reverted (a permanent degradation).
+    """
+
+    at_ms: float
+    kind: str
+    target: str
+    duration_ms: Optional[float] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> "FaultSpec":
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{sorted(FAULT_KINDS)}")
+        if self.at_ms < 0:
+            raise FaultPlanError(f"fault time must be >= 0: {self.at_ms}")
+        if self.duration_ms is not None and self.duration_ms <= 0:
+            raise FaultPlanError(
+                f"fault duration must be positive: {self.duration_ms}")
+        if not self.target:
+            raise FaultPlanError("fault target must be non-empty")
+        if FAULT_KINDS[self.kind] == "link":
+            split_link_target(self.target)
+        if self.kind == "loss":
+            rate = self.params.get("loss_rate")
+            if rate is None or not 0.0 <= float(rate) < 1.0:
+                raise FaultPlanError(
+                    f"loss fault needs params.loss_rate in [0, 1): {rate!r}")
+        if self.kind == "bandwidth":
+            if ("factor" not in self.params
+                    and "bandwidth_mbps" not in self.params):
+                raise FaultPlanError(
+                    "bandwidth fault needs params.factor or "
+                    "params.bandwidth_mbps")
+        if self.kind == "clock_jump" and "jump_ms" not in self.params:
+            raise FaultPlanError("clock_jump fault needs params.jump_ms")
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"at_ms": self.at_ms, "kind": self.kind, "target": self.target,
+                "duration_ms": self.duration_ms, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultSpec":
+        try:
+            return cls(at_ms=float(data["at_ms"]), kind=str(data["kind"]),
+                       target=str(data["target"]),
+                       duration_ms=(None if data.get("duration_ms") is None
+                                    else float(data["duration_ms"])),
+                       params=dict(data.get("params", {}))).validate()
+        except KeyError as exc:
+            raise FaultPlanError(f"fault spec missing field {exc}") from None
+
+
+@dataclass
+class FaultPlan:
+    """An ordered, validated fault schedule."""
+
+    faults: List[FaultSpec] = field(default_factory=list)
+    seed: int = 0
+
+    def validate(self) -> "FaultPlan":
+        for spec in self.faults:
+            spec.validate()
+        return self
+
+    def add(self, spec: FaultSpec) -> FaultSpec:
+        self.faults.append(spec.validate())
+        return spec
+
+    def sorted_faults(self) -> List[FaultSpec]:
+        """Faults in firing order (stable for equal times)."""
+        return sorted(self.faults, key=lambda s: s.at_ms)
+
+    @property
+    def horizon_ms(self) -> float:
+        """Time (relative to arming) after which no fault fires/reverts."""
+        horizon = 0.0
+        for spec in self.faults:
+            end = spec.at_ms + (spec.duration_ms or 0.0)
+            horizon = max(horizon, end)
+        return horizon
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    # -- wire format --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"format": PLAN_FORMAT, "seed": self.seed,
+                "faults": [s.to_dict() for s in self.faults]}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        fmt = data.get("format", PLAN_FORMAT)
+        if fmt != PLAN_FORMAT:
+            raise FaultPlanError(f"unsupported plan format {fmt!r}")
+        return cls(
+            faults=[FaultSpec.from_dict(f) for f in data.get("faults", [])],
+            seed=int(data.get("seed", 0)),
+        ).validate()
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"plan is not valid JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise FaultPlanError("plan JSON must be an object")
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+
+def random_plan(seed: int,
+                links: Sequence[Union[str, Tuple[str, str]]],
+                hosts: Sequence[str] = (),
+                spaces: Sequence[str] = (),
+                count: int = 4,
+                horizon_ms: float = 5_000.0,
+                kinds: Optional[Sequence[str]] = None) -> FaultPlan:
+    """Generate a deterministic seeded-random plan against known targets.
+
+    The same ``(seed, targets, count, horizon_ms, kinds)`` always produces
+    the same plan -- the RNG is local and seeded solely from ``seed``.
+    Only kinds with at least one viable target are drawn.
+    """
+    rng = random.Random(seed)
+    link_targets = [t if isinstance(t, str) else link_target(*t)
+                    for t in links]
+    pool: List[str] = []
+    for kind in (kinds if kinds is not None else sorted(FAULT_KINDS)):
+        needs = FAULT_KINDS.get(kind)
+        if needs is None:
+            raise FaultPlanError(f"unknown fault kind {kind!r}")
+        if ((needs == "link" and link_targets)
+                or (needs == "host" and hosts)
+                or (needs == "space" and spaces)):
+            pool.append(kind)
+    if not pool:
+        raise FaultPlanError("no viable fault kinds for the given targets")
+    plan = FaultPlan(seed=seed)
+    for _ in range(count):
+        kind = rng.choice(pool)
+        at = rng.uniform(0.0, horizon_ms)
+        duration = rng.uniform(horizon_ms * 0.02, horizon_ms * 0.2)
+        if kind in ("link_down", "bandwidth", "loss"):
+            target = rng.choice(link_targets)
+        elif kind == "partition":
+            target = rng.choice(list(spaces))
+        else:
+            target = rng.choice(list(hosts))
+        params: Dict[str, Any] = {}
+        if kind == "link_down":
+            params["drop_in_flight"] = rng.random() < 0.5
+        elif kind == "bandwidth":
+            params["factor"] = round(rng.uniform(0.05, 0.5), 3)
+        elif kind == "loss":
+            params["loss_rate"] = round(rng.uniform(0.05, 0.4), 3)
+        elif kind == "clock_jump":
+            params["jump_ms"] = round(rng.uniform(-500.0, 500.0), 3)
+        plan.add(FaultSpec(at_ms=round(at, 3), kind=kind, target=target,
+                           duration_ms=round(duration, 3), params=params))
+    return plan

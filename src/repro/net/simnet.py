@@ -32,6 +32,14 @@ class UnreachableHostError(NetworkError):
     """No route exists between the two hosts."""
 
 
+class HostOfflineError(NetworkError):
+    """The source or destination host is offline (crashed or roamed away).
+
+    Transient by nature -- a crashed host may restart -- so the mobility
+    layer treats it (like :class:`UnreachableHostError`) as retryable.
+    """
+
+
 class DuplicateHostError(NetworkError):
     """A host with the same name is already part of the network."""
 
@@ -214,6 +222,11 @@ class Network:
         self._forward_delay: Dict[str, float] = {}
         self._msg_ids = itertools.count(1)
         self.messages_dropped = 0
+        # In-flight transfers per link: (timer, receipt, on_dropped) tuples,
+        # so a hard link cut (disconnect(drop_in_flight=True)) can cancel
+        # the pending deliveries and fail their receipts.
+        self._in_flight: Dict[Link, List[Tuple[Any, DeliveryReceipt,
+                                               Optional[Callable]]]] = {}
 
     # -- construction -----------------------------------------------------
 
@@ -247,12 +260,17 @@ class Network:
         self._adjacency[b].append(link)
         return link
 
-    def disconnect(self, a: str, b: str) -> Link:
+    def disconnect(self, a: str, b: str, drop_in_flight: bool = False) -> Link:
         """Remove the link between two hosts (device roamed away).
 
-        Messages already in flight on the link still arrive (their delivery
-        events were scheduled when transmission began); new sends will no
-        longer route over it.
+        By default (``drop_in_flight=False``, the historical behaviour)
+        messages already in flight on the link still arrive: their delivery
+        events were scheduled when transmission began, modelling a graceful
+        detach that lets the last frames drain.  With
+        ``drop_in_flight=True`` the cut is hard -- every in-flight message
+        on the link is dropped (its ``on_dropped`` callback fires) -- which
+        is what the fault engine uses for link-failure faults.  New sends
+        never route over the removed link either way.
         """
         link = self.link_between(a, b)
         if link is None:
@@ -260,6 +278,12 @@ class Network:
         self._links.remove(link)
         self._adjacency[a].remove(link)
         self._adjacency[b].remove(link)
+        entries = self._in_flight.pop(link, [])
+        if drop_in_flight:
+            for timer, receipt, on_dropped in entries:
+                if timer.active:
+                    timer.cancel()
+                    self._drop(receipt, on_dropped)
         return link
 
     def set_forward_delay(self, host: str, delay_ms: float) -> None:
@@ -339,10 +363,11 @@ class Network:
         """
         src = self.host(source)
         if not src.online:
-            raise NetworkError(f"source host {source!r} is offline")
+            raise HostOfflineError(f"source host {source!r} is offline")
         dst = self.host(destination)
         if not dst.online:
-            raise NetworkError(f"destination host {destination!r} is offline")
+            raise HostOfflineError(
+                f"destination host {destination!r} is offline")
         message = Message(source, destination, protocol, payload, size_bytes,
                           message_id=next(self._msg_ids), sent_at=self.loop.now)
         receipt = DeliveryReceipt(message)
@@ -396,9 +421,17 @@ class Network:
                  on_delivered: Optional[Callable[[DeliveryReceipt], None]],
                  on_dropped: Optional[Callable[[DeliveryReceipt], None]]) -> None:
         here, there = path[hop_index], path[hop_index + 1]
+        if hop_index > 0 and not self._hosts[here].online:
+            # The relay crashed while the message was in flight towards it
+            # (store-and-forward: an offline gateway loses the message).
+            self._drop(receipt, on_dropped)
+            return
         link = self.link_between(here, there)
-        if link is None:  # pragma: no cover - route() only returns linked hops
-            raise NetworkError(f"no link between {here!r} and {there!r}")
+        if link is None:
+            # The route was computed at send time; the next hop has since
+            # been disconnected (e.g. a link-down fault mid-path).
+            self._drop(receipt, on_dropped)
+            return
         queue_ms = max(0.0, link.busy_until - self.loop.now)
         arrival, lost = link.schedule_transfer(
             self.loop.now, receipt.message.size_bytes, self.rng)
@@ -411,12 +444,16 @@ class Network:
             return
         receipt.hops += 1
         if hop_index + 2 == len(path):
-            self.loop.call_at(arrival, self._deliver, receipt, on_delivered,
-                              on_dropped)
+            timer = self.loop.call_at(arrival, self._deliver, receipt,
+                                      on_delivered, on_dropped)
         else:
             delay = self._forward_delay.get(there, 0.0)
-            self.loop.call_at(arrival + delay, self._forward, receipt, path,
-                              hop_index + 1, on_delivered, on_dropped)
+            timer = self.loop.call_at(arrival + delay, self._forward, receipt,
+                                      path, hop_index + 1, on_delivered,
+                                      on_dropped)
+        entries = self._in_flight.setdefault(link, [])
+        entries[:] = [e for e in entries if e[0].active]
+        entries.append((timer, receipt, on_dropped))
 
     def _deliver(self, receipt: DeliveryReceipt,
                  on_delivered: Optional[Callable[[DeliveryReceipt], None]],

@@ -1,0 +1,75 @@
+"""CLI surface: --faults / --fault-seed / --random-faults / --availability."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.faults import FaultPlan, FaultSpec, link_target
+
+
+@pytest.fixture
+def flap_plan_path(tmp_path):
+    plan = FaultPlan(seed=7)
+    plan.add(FaultSpec(at_ms=500.0, kind="link_down",
+                       target=link_target("host1", "host2"),
+                       duration_ms=400.0,
+                       params={"drop_in_flight": True}))
+    path = tmp_path / "flap.json"
+    plan.save(str(path))
+    return str(path)
+
+
+def test_parser_accepts_fault_flags(flap_plan_path):
+    parser = build_parser()
+    args = parser.parse_args(["quickstart", "--faults", flap_plan_path,
+                              "--fault-seed", "9"])
+    assert args.faults == flap_plan_path
+    assert args.fault_seed == 9
+    args = parser.parse_args(["sweep", "--random-faults", "3",
+                              "--availability"])
+    assert args.random_faults == 3
+    assert args.availability
+
+
+def test_quickstart_survives_canned_flap(flap_plan_path, capsys):
+    code = main(["quickstart", "--policy", "static", "--size-mb", "5",
+                 "--faults", flap_plan_path, "--fault-seed", "7"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "fault log:" in out
+    assert "link_down" in out
+    assert "transfer retries:" in out
+    assert "FAILED" not in out
+
+
+def test_quickstart_fault_runs_are_deterministic(flap_plan_path, capsys):
+    main(["quickstart", "--policy", "static", "--size-mb", "5",
+          "--faults", flap_plan_path, "--fault-seed", "7"])
+    first = capsys.readouterr().out
+    main(["quickstart", "--policy", "static", "--size-mb", "5",
+          "--faults", flap_plan_path, "--fault-seed", "7"])
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_quickstart_random_faults(capsys):
+    code = main(["quickstart", "--random-faults", "2", "--fault-seed", "11"])
+    out = capsys.readouterr().out
+    assert "fault log:" in out
+    assert code in (0, 1)  # random faults may legitimately kill the run
+
+
+def test_quickstart_rejects_bad_plan(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"format": "bogus/1", "faults": []}))
+    with pytest.raises(SystemExit):
+        main(["quickstart", "--faults", str(bad)])
+
+
+def test_sweep_availability_smoke(capsys):
+    code = main(["sweep", "--availability", "--availability-runs", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Availability -- migration under injected link loss" in out
+    assert "loss rate" in out

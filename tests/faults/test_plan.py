@@ -1,0 +1,121 @@
+"""Fault plan model: validation, JSON round-trip, random generation."""
+
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    link_target,
+    random_plan,
+)
+from repro.faults.plan import PLAN_FORMAT, split_link_target
+
+
+def spec(**overrides):
+    base = dict(at_ms=10.0, kind="link_down", target="a|b",
+                duration_ms=100.0, params={})
+    base.update(overrides)
+    return FaultSpec(**base)
+
+
+def test_link_target_is_order_independent():
+    assert link_target("pc2", "pc1") == link_target("pc1", "pc2") == "pc1|pc2"
+
+
+def test_split_link_target_accepts_both_separators():
+    assert split_link_target("a|b") == ("a", "b")
+    assert split_link_target("a<->b") == ("a", "b")
+    with pytest.raises(FaultPlanError):
+        split_link_target("just-one-host")
+
+
+def test_validate_rejects_unknown_kind():
+    with pytest.raises(FaultPlanError, match="unknown fault kind"):
+        spec(kind="meteor").validate()
+
+
+def test_validate_rejects_negative_time_and_duration():
+    with pytest.raises(FaultPlanError):
+        spec(at_ms=-1.0).validate()
+    with pytest.raises(FaultPlanError):
+        spec(duration_ms=0.0).validate()
+
+
+def test_validate_kind_specific_params():
+    with pytest.raises(FaultPlanError, match="loss_rate"):
+        spec(kind="loss").validate()
+    with pytest.raises(FaultPlanError, match="loss_rate"):
+        spec(kind="loss", params={"loss_rate": 1.0}).validate()
+    with pytest.raises(FaultPlanError, match="factor"):
+        spec(kind="bandwidth").validate()
+    with pytest.raises(FaultPlanError, match="jump_ms"):
+        spec(kind="clock_jump", target="a").validate()
+    # Valid variants pass.
+    spec(kind="loss", params={"loss_rate": 0.3}).validate()
+    spec(kind="bandwidth", params={"factor": 0.1}).validate()
+    spec(kind="clock_jump", target="a", params={"jump_ms": -100}).validate()
+
+
+def test_json_round_trip(tmp_path):
+    plan = FaultPlan(seed=9)
+    plan.add(spec())
+    plan.add(spec(at_ms=5.0, kind="loss", target="a|b",
+                  duration_ms=None, params={"loss_rate": 0.25}))
+    path = tmp_path / "plan.json"
+    plan.save(str(path))
+    loaded = FaultPlan.load(str(path))
+    assert loaded.to_dict() == plan.to_dict()
+    assert loaded.seed == 9
+    assert len(loaded) == 2
+
+
+def test_from_dict_rejects_bad_format_and_missing_fields():
+    with pytest.raises(FaultPlanError, match="unsupported plan format"):
+        FaultPlan.from_dict({"format": "bogus/9", "faults": []})
+    with pytest.raises(FaultPlanError, match="missing field"):
+        FaultSpec.from_dict({"kind": "link_down"})
+    with pytest.raises(FaultPlanError, match="not valid JSON"):
+        FaultPlan.from_json("{nope")
+    with pytest.raises(FaultPlanError, match="must be an object"):
+        FaultPlan.from_json("[1, 2]")
+    # Format field defaults to the current one when absent.
+    assert len(FaultPlan.from_dict({"faults": []})) == 0
+
+
+def test_sorted_faults_and_horizon():
+    plan = FaultPlan()
+    plan.add(spec(at_ms=50.0, duration_ms=100.0))
+    plan.add(spec(at_ms=10.0, duration_ms=None))
+    assert [s.at_ms for s in plan.sorted_faults()] == [10.0, 50.0]
+    assert plan.horizon_ms == 150.0
+
+
+def test_random_plan_is_deterministic():
+    kwargs = dict(links=[("h1", "h2"), ("h2", "gw")], hosts=["h1", "h2"],
+                  spaces=["lab"], count=8, horizon_ms=2_000.0)
+    a = random_plan(42, **kwargs)
+    b = random_plan(42, **kwargs)
+    c = random_plan(43, **kwargs)
+    assert a.to_json() == b.to_json()
+    assert a.to_json() != c.to_json()
+    assert len(a) == 8
+    for s in a.faults:
+        s.validate()
+        assert 0.0 <= s.at_ms <= 2_000.0
+
+
+def test_random_plan_only_draws_viable_kinds():
+    plan = random_plan(1, links=[("a", "b")], hosts=(), spaces=(), count=20)
+    drawn = {s.kind for s in plan.faults}
+    assert drawn <= {"link_down", "bandwidth", "loss"}
+    with pytest.raises(FaultPlanError, match="no viable"):
+        random_plan(1, links=[], hosts=(), spaces=())
+    with pytest.raises(FaultPlanError, match="unknown fault kind"):
+        random_plan(1, links=[("a", "b")], kinds=["meteor"])
+
+
+def test_every_kind_has_a_target_type():
+    assert set(FAULT_KINDS.values()) <= {"link", "host", "space"}
+    assert PLAN_FORMAT.startswith("repro.faults.plan/")
