@@ -1,0 +1,53 @@
+"""Pipelined transfer-window bench: sliding window vs stop-and-wait.
+
+Drives :func:`repro.bench.harness.transfer_window_experiment` -- a 1 MB
+agent migration over a 2-hop gateway route with 40 ms per-hop latency and
+64 KiB chunks.  Stop-and-wait (window=1) pays the full 2-hop round trip
+once per chunk; the pipelined engine keeps up to ``transfer_window`` chunks
+on the wire and pays it once per window-load.
+"""
+
+import pytest
+
+from conftest import record_report
+from repro.bench.harness import transfer_window_experiment
+from repro.bench.reporting import format_window_table
+
+WINDOWS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def window_rows():
+    return transfer_window_experiment(WINDOWS)
+
+
+def test_window_table(benchmark, window_rows):
+    record_report("transfer_window", format_window_table(
+        "Transfer window -- 1 MB over a 2-hop 40 ms gateway route "
+        "(64 KiB chunks)", window_rows))
+    benchmark.pedantic(
+        lambda: transfer_window_experiment((1, 8)), rounds=3, iterations=1)
+
+
+def test_window8_within_40pct_of_stop_and_wait(window_rows):
+    """The PR's acceptance bound: on the high-latency route a window of 8
+    completes the migration in <= 40% of stop-and-wait wall-clock."""
+    by = {r.window: r for r in window_rows}
+    assert by[8].total_ms <= 0.40 * by[1].total_ms
+    assert by[8].transfer_ms < by[4].transfer_ms or \
+        by[8].transfer_ms == pytest.approx(by[4].transfer_ms)
+
+
+def test_transfer_time_monotone_in_window(window_rows):
+    """Widening the window never slows the transfer down."""
+    times = [r.transfer_ms for r in window_rows]
+    assert times == sorted(times, reverse=True)
+    assert all(r.speedup >= 1.0 for r in window_rows)
+
+
+def test_window1_row_is_the_stop_and_wait_baseline(window_rows):
+    by = {r.window: r for r in window_rows}
+    assert by[1].max_in_flight == 1
+    assert by[1].speedup == 1.0
+    # Same payload, same chunk plan on every row.
+    assert len({r.chunks for r in window_rows}) == 1

@@ -61,6 +61,11 @@ def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--random-faults", type=int, default=0, metavar="N",
                         help="without --faults: inject N seeded-random "
                              "faults instead of a scripted plan")
+    parser.add_argument("--transfer-window", type=int, default=None,
+                        metavar="W",
+                        help="pipelined sliding-window size for chunked "
+                             "transfers (default 1 = stop-and-wait); also "
+                             "enables the reliability hardening on its own")
 
 
 def _make_faults(args: argparse.Namespace):
@@ -69,17 +74,24 @@ def _make_faults(args: argparse.Namespace):
     Fault runs get the reliability hardening (chunked resumable transfers
     + a migration deadline) so scenarios converge through the chaos.
     """
+    window = getattr(args, "transfer_window", None)
     if not (getattr(args, "faults", None)
-            or getattr(args, "random_faults", 0)):
+            or getattr(args, "random_faults", 0)
+            or window is not None):
         return None
     from repro.faults import FaultConfig, FaultPlan, FaultPlanError
     try:
         plan = FaultPlan.load(args.faults) if args.faults else None
     except (FaultPlanError, OSError) as exc:
         raise SystemExit(f"error: cannot load fault plan: {exc}")
+    if window is not None and window < 1:
+        raise SystemExit(f"error: --transfer-window must be >= 1: {window}")
+    if plan is None and not args.random_faults:
+        plan = FaultPlan()  # --transfer-window alone: hardening, no faults
     return FaultConfig(plan=plan, seed=args.fault_seed,
                        random_faults=args.random_faults,
                        transfer_chunk_bytes=256_000,
+                       transfer_window=window if window is not None else 1,
                        migration_deadline_ms=60_000.0,
                        max_transfer_retries=8)
 
@@ -158,6 +170,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(format_availability_table(
             "Availability -- migration under injected link loss "
             "(5.0M, static, reliability on)", rows))
+    if args.window_sweep:
+        from repro.bench.harness import transfer_window_experiment
+        from repro.bench.reporting import format_window_table
+        rows = transfer_window_experiment(seed=args.fault_seed or 5)
+        print()
+        print(format_window_table(
+            "Transfer window -- 1 MB over a 2-hop 40 ms gateway route "
+            "(64 KiB chunks)", rows))
     if args.metrics and experiment.last_outcomes:
         from repro.bench.reporting import format_stats_table
         from repro.core.metrics import summarize
@@ -209,6 +229,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "migration success/latency")
     sweep.add_argument("--availability-runs", type=int, default=5,
                        metavar="N", help="runs per loss rate (default 5)")
+    sweep.add_argument("--window-sweep", action="store_true",
+                       help="also sweep the pipelined transfer window on "
+                            "the high-latency 2-hop route")
     sweep.set_defaults(func=cmd_sweep)
     lecture = sub.add_parser("lecture",
                              help="clone-dispatch lecture scenario")

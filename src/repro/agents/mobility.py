@@ -75,6 +75,26 @@ class CostModel:
     #: everything.  0 (default) keeps the legacy single-message transfer,
     #: whose timing is byte-identical to pre-chunking behaviour.
     transfer_chunk_bytes: int = 0
+    #: Sliding-window size for chunked transfers: up to this many chunks
+    #: ride the wire concurrently, so per-hop latency is paid once per
+    #: window instead of once per chunk.  1 (default) is stop-and-wait,
+    #: byte-identical in timing and trace to the pre-window engine.
+    transfer_window: int = 1
+
+    def __post_init__(self) -> None:
+        if self.transfer_chunk_bytes < 0:
+            raise ValueError(
+                f"transfer_chunk_bytes must be >= 0: {self.transfer_chunk_bytes}")
+        if self.transfer_window < 1:
+            raise ValueError(
+                f"transfer_window must be >= 1: {self.transfer_window}")
+        if self.transfer_window > 1 and self.transfer_chunk_bytes <= 0:
+            raise ValueError(
+                "transfer_window > 1 requires transfer_chunk_bytes > 0 "
+                "(pipelining rides the chunked transfer path)")
+        if self.max_transfer_retries < 0:
+            raise ValueError(
+                f"max_transfer_retries must be >= 0: {self.max_transfer_retries}")
 
     def checkout_ms(self, size_bytes: int, cpu_factor: float) -> float:
         mb = size_bytes / 1e6
@@ -97,12 +117,23 @@ class CostModel:
         return delay
 
     def chunk_sizes(self, size_bytes: int) -> List[int]:
-        """Wire chunks for a payload (a single chunk when chunking is off)."""
+        """Wire chunks for a payload (a single chunk when chunking is off).
+
+        A zero-byte payload yields an explicit empty plan: there is nothing
+        to put on the wire, so no chunk machinery is scheduled (the control
+        message still crosses the network at size 0).
+        """
+        if size_bytes <= 0:
+            return []
         chunk = self.transfer_chunk_bytes
         if chunk <= 0 or size_bytes <= chunk:
             return [size_bytes]
         full, rest = divmod(size_bytes, chunk)
         return [chunk] * full + ([rest] if rest else [])
+
+
+#: Public alias: the cost model is, above all, the transfer cost model.
+TransferCostModel = CostModel
 
 
 @dataclass
@@ -131,6 +162,12 @@ class MigrationResult:
     dedup_hits: int = 0
     chunks_total: int = 0
     chunks_acked: int = 0
+    #: Sliding-window accounting (1/1/0 on unchunked or stop-and-wait runs).
+    transfer_window: int = 1
+    max_in_flight: int = 0
+    #: Rough pipelining gain: (first-chunk RTT x chunks) - actual transfer
+    #: time.  Only estimated when ``transfer_window > 1``.
+    pipelined_saved_ms: float = 0.0
     recovery_log: List[str] = field(default_factory=list, repr=False)
     _callbacks: List[Callable[["MigrationResult"], None]] = field(
         default_factory=list, repr=False)
@@ -165,7 +202,12 @@ class CloneResult(MigrationResult):
 
 @dataclass
 class _Transfer:
-    """In-flight transfer state: the checkpoint cursor for resume."""
+    """In-flight transfer state: the sliding window plus resume cursor.
+
+    ``next_chunk`` is the lowest unacknowledged chunk -- the go-back-N
+    base and the checkpoint a retry resumes from.  ``next_to_send`` runs
+    ahead of it by at most ``transfer_window`` chunks.
+    """
 
     container: "AgentContainer"
     snapshot: AgentSnapshot
@@ -175,9 +217,23 @@ class _Transfer:
     transfer_id: int
     chunk_sizes: List[int]
     next_chunk: int = 0
-    #: Retries of the *current* chunk (resets once a chunk is acknowledged).
+    #: Retries of the *current* base chunk (resets when the base advances).
     attempt: int = 0
     last_error: str = ""
+    #: Next chunk to put on the wire (window head).
+    next_to_send: int = 0
+    #: Chunks currently riding the wire.
+    in_flight: int = 0
+    #: Chunks >= base delivered out of order while an earlier one is
+    #: outstanding (drained as the base advances).
+    delivered: set = field(default_factory=set)
+    #: Bumped on every go-back-N rewind; callbacks from a superseded
+    #: window round are ignored.
+    epoch: int = 0
+    #: True while a retry backoff is pending -- the pump stays quiet.
+    recovering: bool = False
+    #: End-to-end time of the first chunk (serial-estimate baseline).
+    first_chunk_ms: float = 0.0
 
 
 class MobilityService:
@@ -196,7 +252,14 @@ class MobilityService:
         self.dedup_hits = 0
         self._transfer_seq = 0
         # (destination host, transfer_id) -> chunk seqs already accepted.
+        # Entries are purged on completion AND on failure/dedup (a failed
+        # migration must not leak receiver state), and the table is bounded
+        # as a backstop against pathological churn.
         self._rx_chunks: dict = {}
+        # Recently finished (completed or failed) transfer keys: stragglers
+        # from a superseded window round dedup here instead of resurrecting
+        # a fresh _rx_chunks entry.  Bounded FIFO.
+        self._rx_done: dict = {}
 
     def attach(self, container: "AgentContainer") -> None:
         """Install the transfer protocol handler on a new container."""
@@ -332,62 +395,165 @@ class MobilityService:
         self._transfer_seq += 1
         sizes = self.cost_model.chunk_sizes(snapshot.size_bytes)
         result.chunks_total = len(sizes)
+        if len(sizes) > 1:
+            result.transfer_window = max(1, self.cost_model.transfer_window)
         self._transmit(_Transfer(
             container=container, snapshot=snapshot, carried=carried,
             result=result, kind=kind, transfer_id=self._transfer_seq,
             chunk_sizes=sizes, attempt=attempt))
 
     def _transmit(self, transfer: _Transfer) -> None:
-        """Send the current chunk (or, un-chunked, the whole snapshot).
+        """Pump the transfer: fill the window (or, un-chunked, send all).
 
-        Chunked transfers are stop-and-wait: delivery of chunk *k* (the
-        simulator's delivery callback doubles as a zero-cost ack) triggers
-        chunk *k + 1*; only the final chunk carries the actual payload.  A
-        drop retries the *current* chunk after backoff, so bytes already
-        acknowledged are never re-sent -- that is the checkpointed resume.
+        Chunked transfers are pipelined go-back-N: up to ``transfer_window``
+        chunks ride the wire at once, the simulator's delivery callback
+        doubles as a zero-cost cumulative ack, and only the final chunk
+        carries the actual payload.  A drop rewinds to the lowest unacked
+        chunk after a seeded backoff, so bytes already acknowledged are
+        never re-sent -- that is the checkpointed resume.  With
+        ``transfer_window == 1`` this degenerates to the historical
+        stop-and-wait engine, byte-identical in timing and trace.
         """
+        transfer.recovering = False
         result = transfer.result
-        seq = transfer.next_chunk
-        single = len(transfer.chunk_sizes) == 1
-        full_payload = (transfer.snapshot, transfer.carried, transfer.kind,
-                        result)
-        if single:
+        sizes = transfer.chunk_sizes
+        if len(sizes) <= 1:
+            # Unchunked (or degenerate zero-byte) transfer: one message
+            # carries everything.
             self._obs_next_phase(result, "agent.transfer",
                                  transfer.container.host,
                                  attempt=transfer.attempt)
-            payload = full_payload
-            on_delivered = None
-        else:
-            self._obs_next_phase(result, "agent.transfer",
-                                 transfer.container.host,
-                                 attempt=transfer.attempt, chunk=seq,
-                                 chunks=len(transfer.chunk_sizes))
-            final = seq == len(transfer.chunk_sizes) - 1
-            payload = ("chunk", transfer.transfer_id, seq,
-                       len(transfer.chunk_sizes),
-                       full_payload if final else None)
 
-            def on_delivered(receipt, seq=seq):
-                result.chunks_acked = max(result.chunks_acked, seq + 1)
-                if seq + 1 < len(transfer.chunk_sizes):
-                    transfer.next_chunk = seq + 1
-                    transfer.attempt = 0
-                    self._transmit(transfer)
+            def on_dropped(receipt):
+                self.transfers_dropped += 1
+                self._retry(transfer, "lost in transit", lost_phase=True)
 
-        def on_dropped(receipt):
+            try:
+                self.platform.network.send(
+                    transfer.container.host_name, result.destination,
+                    TRANSFER_PROTOCOL,
+                    (transfer.snapshot, transfer.carried, transfer.kind,
+                     result),
+                    sizes[0] if sizes else 0,
+                    on_delivered=None, on_dropped=on_dropped)
+            except RETRYABLE_SEND_ERRORS as exc:
+                transfer.last_error = str(exc)
+                self._retry(transfer, str(exc), lost_phase=False)
+            except Exception as exc:
+                self._fail(result, str(exc), transfer)
+            return
+        window = max(1, self.cost_model.transfer_window)
+        while (not transfer.recovering and not result.failed
+               and transfer.in_flight < window
+               and transfer.next_to_send < len(sizes)):
+            if not self._send_chunk(transfer, window):
+                break
+
+    def _send_chunk(self, transfer: _Transfer, window: int) -> bool:
+        """Put the window-head chunk on the wire; False stops the pump."""
+        result = transfer.result
+        sizes = transfer.chunk_sizes
+        seq = transfer.next_to_send
+        attrs = {"attempt": transfer.attempt, "chunk": seq,
+                 "chunks": len(sizes)}
+        if window > 1:
+            attrs["window"] = window
+            attrs["in_flight"] = transfer.in_flight
+        self._obs_next_phase(result, "agent.transfer",
+                             transfer.container.host, **attrs)
+        final = seq == len(sizes) - 1
+        payload = ("chunk", transfer.transfer_id, seq, len(sizes),
+                   (transfer.snapshot, transfer.carried, transfer.kind,
+                    result) if final else None)
+        epoch = transfer.epoch
+
+        def on_delivered(receipt, seq=seq, epoch=epoch):
+            self._chunk_acked(transfer, seq, epoch, receipt)
+
+        def on_dropped(receipt, epoch=epoch):
             self.transfers_dropped += 1
-            self._retry(transfer, "lost in transit", lost_phase=True)
+            if (epoch != transfer.epoch or result.failed
+                    or result.completed):
+                return  # a newer window round already took over
+            self._chunk_lost(transfer, "lost in transit", lost_phase=True)
 
         try:
             self.platform.network.send(
                 transfer.container.host_name, result.destination,
-                TRANSFER_PROTOCOL, payload, transfer.chunk_sizes[seq],
+                TRANSFER_PROTOCOL, payload, sizes[seq],
                 on_delivered=on_delivered, on_dropped=on_dropped)
         except RETRYABLE_SEND_ERRORS as exc:
             transfer.last_error = str(exc)
-            self._retry(transfer, str(exc), lost_phase=False)
+            self._chunk_lost(transfer, str(exc), lost_phase=False)
+            return False
         except Exception as exc:
-            self._fail(result, str(exc))
+            self._fail(result, str(exc), transfer)
+            return False
+        if transfer.epoch != epoch or result.failed or result.completed:
+            # A lossy link drops synchronously inside send(): on_dropped
+            # already ran, _chunk_lost rewound the window and scheduled
+            # the retransmit round -- do not advance the cursors it reset.
+            return False
+        transfer.in_flight += 1
+        transfer.next_to_send = seq + 1
+        if transfer.in_flight > result.max_in_flight:
+            result.max_in_flight = transfer.in_flight
+        if window > 1:
+            obs = self.platform.loop.observability
+            if obs is not None:
+                obs.metrics.histogram("migration.window.occupancy").observe(
+                    transfer.in_flight)
+        return True
+
+    def _chunk_acked(self, transfer: _Transfer, seq: int, epoch: int,
+                     receipt) -> None:
+        """Delivery callback: slide the window past every contiguous ack."""
+        result = transfer.result
+        if epoch != transfer.epoch or result.failed:
+            return  # superseded by a go-back-N retransmit round
+        transfer.in_flight = max(0, transfer.in_flight - 1)
+        transfer.delivered.add(seq)
+        if seq == 0 and transfer.first_chunk_ms == 0.0:
+            transfer.first_chunk_ms = receipt.transfer_ms
+        advanced = False
+        while transfer.next_chunk in transfer.delivered:
+            transfer.delivered.discard(transfer.next_chunk)
+            transfer.next_chunk += 1
+            advanced = True
+        if advanced:
+            transfer.attempt = 0
+            result.chunks_acked = max(result.chunks_acked,
+                                      transfer.next_chunk)
+        total = len(transfer.chunk_sizes)
+        if transfer.next_chunk >= total:
+            self._window_drained(transfer)
+            return
+        if not transfer.recovering:
+            self._transmit(transfer)
+
+    def _window_drained(self, transfer: _Transfer) -> None:
+        """Every chunk acked: record the pipelined-vs-serial estimate."""
+        result = transfer.result
+        window = result.transfer_window
+        if window <= 1:
+            return
+        actual = self.platform.loop.now - result.checked_out_at
+        serial_estimate = transfer.first_chunk_ms * len(transfer.chunk_sizes)
+        result.pipelined_saved_ms = max(0.0, serial_estimate - actual)
+        obs = self.platform.loop.observability
+        if obs is not None:
+            obs.metrics.histogram("migration.window.saved_ms").observe(
+                result.pipelined_saved_ms)
+
+    def _chunk_lost(self, transfer: _Transfer, reason: str,
+                    lost_phase: bool) -> None:
+        """Go-back-N: rewind the window to the lowest unacked chunk."""
+        transfer.epoch += 1
+        transfer.recovering = True
+        transfer.in_flight = 0
+        transfer.delivered.clear()
+        transfer.next_to_send = transfer.next_chunk
+        self._retry(transfer, reason, lost_phase=lost_phase)
 
     def _retry(self, transfer: _Transfer, reason: str,
                lost_phase: bool) -> None:
@@ -400,7 +566,7 @@ class MobilityService:
                        f"{transfer.attempt + 1} attempts")
             if transfer.last_error:
                 message += f" (last error: {transfer.last_error})"
-            self._fail(result, message)
+            self._fail(result, message, transfer)
             return
         delay = cost_model.backoff_ms(
             transfer.attempt,
@@ -410,7 +576,7 @@ class MobilityService:
         if deadline > 0 and loop.now + delay - result.started_at > deadline:
             self._fail(result,
                        f"migration deadline ({deadline:g} ms) exceeded "
-                       f"after {transfer.attempt + 1} attempts")
+                       f"after {transfer.attempt + 1} attempts", transfer)
             return
         if lost_phase:
             phase = getattr(result, "_obs_phase", None)
@@ -433,26 +599,63 @@ class MobilityService:
                 obs.metrics.counter("migration.transfer_resumed").inc()
         loop.call_later(delay, self._transmit, transfer)
 
-    def _fail(self, result: MigrationResult, reason: str) -> None:
+    def _fail(self, result: MigrationResult, reason: str,
+              transfer: Optional[_Transfer] = None) -> None:
         result.failed = True
         result.failure_reason = reason
+        if transfer is not None:
+            # A failed/abandoned migration must not leak receiver-side
+            # dedup state; remember the key so stragglers dedup cleanly.
+            key = (result.destination, transfer.transfer_id)
+            self._rx_chunks.pop(key, None)
+            self._mark_rx_done(key)
         self._obs_finish(result, failed=True, reason=reason)
         result._finish()
+
+    #: Bounds for receiver-side bookkeeping: backstops against pathological
+    #: churn, far above anything a sane deployment accumulates now that
+    #: entries are purged on completion, failure and dedup.
+    _RX_CHUNKS_MAX = 1024
+    _RX_DONE_MAX = 256
+
+    def _mark_rx_done(self, key) -> None:
+        self._rx_done[key] = True
+        while len(self._rx_done) > self._RX_DONE_MAX:
+            self._rx_done.pop(next(iter(self._rx_done)))
 
     def _on_transfer(self, container: "AgentContainer", net_message) -> None:
         payload = net_message.payload
         if (isinstance(payload, tuple) and len(payload) == 5
                 and payload[0] == "chunk"):
-            _tag, transfer_id, seq, _total, inner = payload
+            _tag, transfer_id, seq, total, inner = payload
             key = (container.host_name, transfer_id)
-            seen = self._rx_chunks.setdefault(key, set())
-            if seq in seen:  # duplicate delivery of an already-acked chunk
+            if key in self._rx_done:  # straggler of a finished transfer
                 self._dedup(container, inner[3] if inner else None)
                 return
+            seen = self._rx_chunks.get(key)
+            if seen is None:
+                seen = self._rx_chunks[key] = set()
+                while len(self._rx_chunks) > self._RX_CHUNKS_MAX:
+                    oldest = next(iter(self._rx_chunks))
+                    if oldest == key:
+                        break  # never evict the transfer being served
+                    self._rx_chunks.pop(oldest)
+            duplicate = seq in seen
             seen.add(seq)
             if inner is None:  # intermediate chunk: ack only
+                if duplicate:  # re-delivery of an already-accepted chunk
+                    self._dedup(container, None)
+                return
+            if len(seen) < total:
+                # The payload-bearing final chunk outran a lost earlier
+                # chunk (pipelined window + loss); hold the check-in until
+                # the go-back-N retransmit fills the hole.
                 return
             self._rx_chunks.pop(key, None)
+            self._mark_rx_done(key)
+            # A duplicate final chunk falls through: either the transfer
+            # already checked in (the _arrived guard below dedups it) or a
+            # retransmitted final just completed a recovered window.
             snapshot, carried, kind, result = inner
         else:
             snapshot, carried, kind, result = payload

@@ -287,6 +287,87 @@ def availability_experiment(loss_rates=(0.0, 0.1, 0.2, 0.3),
     return rows
 
 
+@dataclass
+class WindowRow:
+    """One point of a transfer-window sweep on the high-latency route."""
+
+    window: int
+    chunks: int
+    transfer_ms: float
+    total_ms: float
+    max_in_flight: int
+    #: Transfer-time speedup vs the window=1 (stop-and-wait) row.
+    speedup: float = 1.0
+
+
+def transfer_window_experiment(windows=(1, 2, 4, 8),
+                               payload_bytes: int = 1_000_000,
+                               chunk_bytes: int = 65_536,
+                               latency_ms: float = 40.0,
+                               bandwidth_mbps: float = 10.0,
+                               seed: int = 5) -> List[WindowRow]:
+    """Sweep ``transfer_window`` over a 2-hop gateway route.
+
+    The scenario the pipelined engine exists for: a ~1 MB agent crossing
+    host--gateway--host links with tens of ms of per-hop latency.
+    Stop-and-wait (window=1) pays the full two-hop latency once per chunk;
+    a window of *w* keeps up to *w* chunks on the wire, so latency is paid
+    once per window-load.  One deterministic migration per window size on a
+    fresh identical rig; window=1 is the exact pre-pipelining engine.
+    """
+    from repro.agents.agent import Agent
+    from repro.agents.mobility import CostModel
+    from repro.agents.platform import AgentPlatform
+    from repro.agents.serialization import register_agent_type
+    from repro.net.kernel import EventLoop
+    from repro.net.simnet import Network
+
+    @register_agent_type
+    class _PayloadCourier(Agent):
+        blob: bytes = b""
+
+        def get_state(self):
+            return {"blob": type(self).blob}
+
+        def restore_state(self, state):
+            pass
+
+    _PayloadCourier.blob = bytes(payload_bytes)
+    rows: List[WindowRow] = []
+    for window in windows:
+        loop = EventLoop()
+        net = Network(loop, seed=seed)
+        for name in ("edge-a", "gateway", "edge-b"):
+            net.create_host(name)
+        net.connect("edge-a", "gateway", bandwidth_mbps=bandwidth_mbps,
+                    latency_ms=latency_ms)
+        net.connect("gateway", "edge-b", bandwidth_mbps=bandwidth_mbps,
+                    latency_ms=latency_ms)
+        platform = AgentPlatform(net)
+        platform.mobility.cost_model = CostModel(
+            transfer_chunk_bytes=chunk_bytes, transfer_window=window)
+        source = platform.create_container("edge-a")
+        platform.create_container("edge-b")
+        agent = source.create_agent(_PayloadCourier, "courier")
+        result = agent.do_move("edge-b")
+        loop.run()
+        if not result.completed:
+            raise RuntimeError(
+                f"window={window} migration failed: {result.failure_reason}")
+        rows.append(WindowRow(
+            window=window,
+            chunks=result.chunks_total,
+            transfer_ms=result.transfer_ms,
+            total_ms=result.total_ms,
+            max_in_flight=result.max_in_flight,
+        ))
+    baseline = next((r for r in rows if r.window == 1), rows[0])
+    for row in rows:
+        row.speedup = (baseline.transfer_ms / row.transfer_ms
+                       if row.transfer_ms else 1.0)
+    return rows
+
+
 def round_trip_experiment(size_mb: float = 5.0,
                           skew_ms: float = 12_345.0,
                           observability=None) -> Dict[str, float]:

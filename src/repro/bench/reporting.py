@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from repro.bench.harness import AvailabilityRow, SweepRow
+from repro.bench.harness import AvailabilityRow, SweepRow, WindowRow
 from repro.core.metrics import PhaseStats
 
 
@@ -73,6 +73,23 @@ def format_availability_table(title: str,
             f"{row.loss_rate:>10.2f} {row.runs:>6} {row.completed:>5} "
             f"{row.success_rate * 100:>8.1f}% {total} "
             f"{row.mean_retries:>13.1f} {row.resumed:>8}")
+    return "\n".join(lines)
+
+
+def format_window_table(title: str, rows: Sequence[WindowRow]) -> str:
+    """Transfer-window sweep table: pipelined vs stop-and-wait latency.
+
+    ``rows`` is the output of
+    :func:`repro.bench.harness.transfer_window_experiment`.
+    """
+    lines = [title, "-" * len(title)]
+    lines.append(f"{'window':>7} {'chunks':>7} {'in-flight':>10} "
+                 f"{'transfer':>10} {'total':>10} {'speedup':>9}")
+    for row in rows:
+        lines.append(
+            f"{row.window:>7} {row.chunks:>7} {row.max_in_flight:>10} "
+            f"{row.transfer_ms:>8.0f}ms {row.total_ms:>8.0f}ms "
+            f"{row.speedup:>8.2f}x")
     return "\n".join(lines)
 
 

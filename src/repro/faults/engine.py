@@ -53,6 +53,11 @@ class FaultConfig:
     #: Chunked, checkpoint-resumable agent transfers (0 keeps the legacy
     #: single-message transfer).
     transfer_chunk_bytes: int = 0
+    #: Sliding-window size for chunked transfers: up to this many chunks in
+    #: flight at once (pipelined go-back-N).  1 keeps stop-and-wait, whose
+    #: timings are byte-identical to the pre-window engine; > 1 requires
+    #: ``transfer_chunk_bytes > 0``.
+    transfer_window: int = 1
     #: Overall migration deadline (0 disables).
     migration_deadline_ms: float = 0.0
     #: Per-chunk retry budget under faults (None keeps the cost model's
@@ -71,6 +76,13 @@ class FaultConfig:
             raise FaultPlanError(
                 f"arm must be 'first-migration', 'first-run' or 'manual': "
                 f"{self.arm!r}")
+        if self.transfer_window < 1:
+            raise FaultPlanError(
+                f"transfer_window must be >= 1: {self.transfer_window}")
+        if self.transfer_window > 1 and self.transfer_chunk_bytes <= 0:
+            raise FaultPlanError(
+                "transfer_window > 1 requires transfer_chunk_bytes > 0 "
+                "(pipelining rides the chunked transfer path)")
 
 
 @dataclass
@@ -111,6 +123,8 @@ class ChaosEngine:
         cost_model = self.deployment.platform.mobility.cost_model
         if config.transfer_chunk_bytes > 0:
             cost_model.transfer_chunk_bytes = config.transfer_chunk_bytes
+        if config.transfer_window > 1:
+            cost_model.transfer_window = config.transfer_window
         if config.migration_deadline_ms > 0:
             cost_model.migration_deadline_ms = config.migration_deadline_ms
         if config.max_transfer_retries is not None:

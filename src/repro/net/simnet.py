@@ -107,11 +107,27 @@ class Host:
         #: layers to scale local processing costs such as (de)serialization.
         self.cpu_factor = float(cpu_factor)
         self.space: Optional[str] = None
-        self.online = True
+        self._online = True
+        #: Set by :meth:`Network.add_host`; called whenever connectivity
+        #: state changes so the network can invalidate its route cache.
+        self._on_connectivity_change: Optional[Callable[[], None]] = None
         self._handlers: Dict[str, MessageHandler] = {}
         self.bytes_sent = 0
         self.bytes_received = 0
         self.messages_received = 0
+
+    @property
+    def online(self) -> bool:
+        return self._online
+
+    @online.setter
+    def online(self, value: bool) -> None:
+        value = bool(value)
+        if value == self._online:
+            return
+        self._online = value
+        if self._on_connectivity_change is not None:
+            self._on_connectivity_change()
 
     def register_handler(self, protocol: str, handler: MessageHandler) -> None:
         """Route delivered messages with ``protocol`` to ``handler``.
@@ -127,14 +143,19 @@ class Host:
         return protocol in self._handlers
 
     def deliver(self, message: Message) -> None:
-        """Called by the network on message arrival; dispatches by protocol."""
-        self.bytes_received += message.size_bytes
-        self.messages_received += 1
+        """Called by the network on message arrival; dispatches by protocol.
+
+        Traffic stats count only successfully dispatched messages: a
+        message nobody handles raises without inflating
+        ``bytes_received`` / ``messages_received``.
+        """
         handler = self._handlers.get(message.protocol)
         if handler is None:
             raise NetworkError(
                 f"host {self.name!r} has no handler for protocol {message.protocol!r}"
             )
+        self.bytes_received += message.size_bytes
+        self.messages_received += 1
         handler(message)
 
     def local_time(self) -> float:
@@ -169,6 +190,9 @@ class Link:
         self.jitter_ms = float(jitter_ms)
         self.loss_rate = float(loss_rate)
         self.busy_until = 0.0
+        #: Arrival time of the last non-lost message: deliveries on one
+        #: link are FIFO, so jitter can never reorder them.
+        self.last_arrival = 0.0
         self.bytes_carried = 0
         self.messages_carried = 0
 
@@ -194,8 +218,14 @@ class Link:
         self.busy_until = start + tx
         jitter = rng.uniform(0.0, self.jitter_ms) if self.jitter_ms > 0 else 0.0
         arrival = start + tx + self.latency_ms + jitter
+        # FIFO clamp: a jitter draw smaller than the previous message's can
+        # never let this message leapfrog it -- per-link delivery order is
+        # transmission order (equal arrival instants keep scheduling order).
+        if arrival < self.last_arrival:
+            arrival = self.last_arrival
         lost = self.loss_rate > 0 and rng.random() < self.loss_rate
         if not lost:
+            self.last_arrival = arrival
             self.bytes_carried += size_bytes
             self.messages_carried += 1
         return arrival, lost
@@ -221,6 +251,12 @@ class Network:
         self._adjacency: Dict[str, List[Link]] = {}
         self._forward_delay: Dict[str, float] = {}
         self._msg_ids = itertools.count(1)
+        # (source, destination) -> hop path.  Per-chunk sends would
+        # otherwise pay the O(V+E) BFS on every message; the cache is
+        # cleared whenever topology or host connectivity changes.
+        self._route_cache: Dict[Tuple[str, str], List[str]] = {}
+        self.route_cache_hits = 0
+        self.route_cache_misses = 0
         self.messages_dropped = 0
         # In-flight transfers per link: (timer, receipt, on_dropped) tuples,
         # so a hard link cut (disconnect(drop_in_flight=True)) can cancel
@@ -235,7 +271,13 @@ class Network:
             raise DuplicateHostError(f"duplicate host {host.name!r}")
         self._hosts[host.name] = host
         self._adjacency.setdefault(host.name, [])
+        host._on_connectivity_change = self._invalidate_routes
+        self._invalidate_routes()
         return host
+
+    def _invalidate_routes(self) -> None:
+        """Drop every cached route (topology/connectivity changed)."""
+        self._route_cache.clear()
 
     def create_host(self, name: str, skew_ms: float = 0.0, drift_ppm: float = 0.0,
                     cpu_factor: float = 1.0) -> Host:
@@ -258,6 +300,7 @@ class Network:
         self._links.append(link)
         self._adjacency[a].append(link)
         self._adjacency[b].append(link)
+        self._invalidate_routes()
         return link
 
     def disconnect(self, a: str, b: str, drop_in_flight: bool = False) -> Link:
@@ -278,6 +321,7 @@ class Network:
         self._links.remove(link)
         self._adjacency[a].remove(link)
         self._adjacency[b].remove(link)
+        self._invalidate_routes()
         entries = self._in_flight.pop(link, [])
         if drop_in_flight:
             for timer, receipt, on_dropped in entries:
@@ -322,8 +366,20 @@ class Network:
         """Hop-minimal path of host names from source to destination (BFS).
 
         Offline hosts cannot relay.  Raises UnreachableHostError when no
-        path exists.
+        path exists.  Successful routes are cached until the topology or
+        any host's connectivity changes (failures are never cached: the
+        retry path wants a fresh look each time).
         """
+        cached = self._route_cache.get((source, destination))
+        if cached is not None:
+            self.route_cache_hits += 1
+            return list(cached)
+        path = self._route_bfs(source, destination)
+        self._route_cache[(source, destination)] = path
+        self.route_cache_misses += 1
+        return list(path)
+
+    def _route_bfs(self, source: str, destination: str) -> List[str]:
         if source not in self._hosts or destination not in self._hosts:
             raise NetworkError(f"unknown endpoint {source!r} or {destination!r}")
         if source == destination:

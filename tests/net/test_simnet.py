@@ -345,3 +345,113 @@ def test_offline_endpoints_raise_host_offline_error():
         net.send("h1", "h2", "t", None, 0)
     # HostOfflineError is a NetworkError, so legacy handlers still catch it.
     assert issubclass(HostOfflineError, NetworkError)
+
+
+# -- Host.deliver accounting ---------------------------------------------------
+
+def test_unhandled_message_not_counted_as_received():
+    """Regression: stats were incremented before the missing-handler check,
+    so a message nobody handled still inflated the receive counters."""
+    host = Host("h", EventLoop())
+    message = Message("a", "h", "t", None, 50)
+    with pytest.raises(NetworkError):
+        host.deliver(message)
+    assert host.bytes_received == 0
+    assert host.messages_received == 0
+    host.register_handler("t", lambda m: None)
+    host.deliver(message)
+    assert host.bytes_received == 50
+    assert host.messages_received == 1
+
+
+# -- per-link FIFO delivery under jitter ---------------------------------------
+
+def test_jitter_cannot_reorder_deliveries_on_a_link():
+    """Regression: a small jitter draw used to let a later message leapfrog
+    an earlier one on the same link; delivery is now FIFO per link."""
+    loop = EventLoop()
+    net = Network(loop, seed=123)
+    net.create_host("h1")
+    net.create_host("h2")
+    net.connect("h1", "h2", bandwidth_mbps=1_000.0, latency_ms=1.0,
+                jitter_ms=50.0)
+    got = []
+    net.host("h2").register_handler("t", lambda m: got.append(m.payload))
+    for i in range(50):
+        net.send("h1", "h2", "t", i, 10)
+    loop.run()
+    assert got == list(range(50))
+
+
+def test_fifo_clamp_keeps_arrivals_monotonic():
+    loop = EventLoop()
+    net = Network(loop, seed=7)
+    net.create_host("h1")
+    net.create_host("h2")
+    net.connect("h1", "h2", bandwidth_mbps=1_000.0, latency_ms=1.0,
+                jitter_ms=30.0)
+    net.host("h2").register_handler("t", lambda m: None)
+    receipts = [net.send("h1", "h2", "t", i, 10) for i in range(30)]
+    loop.run()
+    arrivals = [r.delivered_at for r in receipts]
+    assert arrivals == sorted(arrivals)
+
+
+# -- BFS route cache -----------------------------------------------------------
+
+def make_diamond():
+    """a--b--c and a--d--c: two equal-length routes."""
+    loop = EventLoop()
+    net = Network(loop)
+    for name in ("a", "b", "c", "d"):
+        net.create_host(name)
+    net.connect("a", "b")
+    net.connect("b", "c")
+    net.connect("a", "d")
+    net.connect("d", "c")
+    return loop, net
+
+
+def test_route_cache_hits_after_first_lookup():
+    loop, net = make_diamond()
+    first = net.route("a", "c")
+    misses = net.route_cache_misses
+    assert net.route("a", "c") == first
+    assert net.route("a", "c") == first
+    assert net.route_cache_hits >= 2
+    assert net.route_cache_misses == misses
+
+
+def test_cached_route_is_a_copy():
+    loop, net = make_diamond()
+    first = net.route("a", "c")
+    first.append("junk")  # caller mutation must not poison the cache
+    assert net.route("a", "c") == first[:-1]
+
+
+def test_route_cache_invalidated_by_new_link():
+    loop, net = make_diamond()
+    assert len(net.route("a", "c")) == 3  # two hops via b or d
+    net.connect("a", "c")
+    assert net.route("a", "c") == ["a", "c"]
+
+
+def test_route_cache_invalidated_by_disconnect():
+    loop, net = make_diamond()
+    via = net.route("a", "c")
+    relay = via[1]
+    net.disconnect(relay, "c")
+    rerouted = net.route("a", "c")
+    assert rerouted[1] != relay
+    assert rerouted[0] == "a" and rerouted[-1] == "c"
+
+
+def test_route_cache_invalidated_by_online_flip():
+    loop, net = make_diamond()
+    via = net.route("a", "c")
+    relay = via[1]
+    net.host(relay).online = False
+    rerouted = net.route("a", "c")
+    assert rerouted[1] != relay
+    net.host(relay).online = True
+    assert net.route("a", "c")[0] == "a"
