@@ -5,6 +5,7 @@ Commands:
 - ``quickstart``      run a single follow-me migration and print the phases
 - ``sweep``           run the Fig. 8/9/10 file-size sweep and print tables
 - ``lecture``         run the clone-dispatch lecture scenario
+- ``simcheck``        fuzz seeded scenarios under runtime invariant checks
 - ``version``         print the library version
 """
 
@@ -200,6 +201,86 @@ def cmd_lecture(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_simcheck(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.simcheck import (
+        SABOTAGE_VIOLATIONS,
+        SimcheckError,
+        check_determinism,
+        generate_scenario,
+        replay_artifact,
+        run_scenario,
+        shrink,
+        write_artifact,
+    )
+
+    if args.replay:
+        try:
+            report, reproduced = replay_artifact(args.replay)
+        except (SimcheckError, OSError) as exc:
+            raise SystemExit(f"error: cannot replay artifact: {exc}")
+        print(report.summary())
+        for violation in report.violations:
+            print(f"  {violation}")
+        if reproduced:
+            print("recorded violation reproduced")
+            return 0
+        print("recorded violation did NOT reproduce")
+        return 1
+
+    failed_seeds = []
+    for seed in range(args.seed_start, args.seed_start + args.seeds):
+        scenario = generate_scenario(seed)
+        if args.sabotage:
+            scenario.sabotage = args.sabotage
+        try:
+            report = run_scenario(scenario)
+        except Exception as exc:
+            print(f"seed {seed}: runner crashed: {exc!r}")
+            failed_seeds.append(seed)
+            if not args.keep_going:
+                return 1
+            continue
+        problems = [v.kind for v in report.violations]
+        if not args.no_determinism and not problems:
+            verdict = check_determinism(scenario)
+            if not verdict["deterministic"]:
+                print(f"seed {seed}: NON-DETERMINISTIC "
+                      f"(digests {verdict['digests']})")
+                failed_seeds.append(seed)
+                if not args.keep_going:
+                    return 1
+                continue
+        if not problems:
+            print(report.summary())
+            continue
+        failed_seeds.append(seed)
+        print(report.summary())
+        for violation in report.violations:
+            print(f"  {violation}")
+        if not args.no_shrink:
+            result = shrink(scenario, problems[0])
+            print(f"  shrunk to: {result.scenario.describe()} "
+                  f"({result.evaluations} evaluations)")
+            os.makedirs(args.artifact_dir, exist_ok=True)
+            path = os.path.join(args.artifact_dir,
+                                f"simcheck-seed{seed}.json")
+            write_artifact(path, result, scenario)
+            print(f"  repro artifact: {path} "
+                  f"(replay: python -m repro simcheck --replay {path})")
+        if not args.keep_going:
+            return 1
+    total = args.seeds
+    if failed_seeds:
+        print(f"{len(failed_seeds)}/{total} seeds failed: {failed_seeds}")
+        return 1
+    print(f"all {total} seeds passed "
+          f"(invariants clean"
+          f"{'' if args.no_determinism else ', determinism verified'})")
+    return 0
+
+
 def cmd_version(args: argparse.Namespace) -> int:
     import repro
     print(f"repro (MDAgent reproduction) {repro.__version__}")
@@ -238,6 +319,31 @@ def build_parser() -> argparse.ArgumentParser:
     lecture.add_argument("--rooms", type=int, default=3)
     _add_obs_flags(lecture)
     lecture.set_defaults(func=cmd_lecture)
+    simcheck = sub.add_parser(
+        "simcheck",
+        help="fuzz seeded scenarios under runtime invariant checks")
+    simcheck.add_argument("--seeds", type=int, default=25, metavar="N",
+                          help="number of seeds to fuzz (default 25)")
+    simcheck.add_argument("--seed-start", type=int, default=0, metavar="S",
+                          help="first seed (default 0)")
+    simcheck.add_argument("--replay", metavar="FILE", default=None,
+                          help="replay a JSON repro artifact instead of "
+                               "fuzzing; exits 0 iff the recorded "
+                               "violation reproduces")
+    simcheck.add_argument("--artifact-dir", metavar="DIR", default=".",
+                          help="where failure repro artifacts are written "
+                               "(default: current directory)")
+    simcheck.add_argument("--no-shrink", action="store_true",
+                          help="report violations without minimizing them")
+    simcheck.add_argument("--no-determinism", action="store_true",
+                          help="skip the same-seed double-run digest check")
+    simcheck.add_argument("--keep-going", action="store_true",
+                          help="fuzz every seed even after a failure")
+    # Test-only: plant a deliberate defect in every scenario so the
+    # checker/shrinker pipeline itself can be exercised end to end.
+    simcheck.add_argument("--sabotage", default=None,
+                          help=argparse.SUPPRESS)
+    simcheck.set_defaults(func=cmd_simcheck)
     version = sub.add_parser("version", help="print the version")
     version.set_defaults(func=cmd_version)
     return parser

@@ -449,6 +449,25 @@ class MobilityService:
             if not self._send_chunk(transfer, window):
                 break
 
+    def _emit_window(self, transfer: _Transfer, window: int) -> None:
+        """Publish the window cursors to obs hooks (invariant checkers).
+
+        Fired after every cursor mutation so a checker sees each
+        intermediate state, not just the quiescent one.
+        """
+        obs = self.platform.loop.observability
+        if obs is None or not obs.hooks:
+            return
+        obs.emit("migration.window",
+                 agent=transfer.result.agent_name,
+                 transfer_id=transfer.transfer_id,
+                 base=transfer.next_chunk,
+                 head=transfer.next_to_send,
+                 in_flight=transfer.in_flight,
+                 window=window,
+                 total=len(transfer.chunk_sizes),
+                 epoch=transfer.epoch)
+
     def _send_chunk(self, transfer: _Transfer, window: int) -> bool:
         """Put the window-head chunk on the wire; False stops the pump."""
         result = transfer.result
@@ -503,6 +522,7 @@ class MobilityService:
             if obs is not None:
                 obs.metrics.histogram("migration.window.occupancy").observe(
                     transfer.in_flight)
+        self._emit_window(transfer, window)
         return True
 
     def _chunk_acked(self, transfer: _Transfer, seq: int, epoch: int,
@@ -524,6 +544,7 @@ class MobilityService:
             transfer.attempt = 0
             result.chunks_acked = max(result.chunks_acked,
                                       transfer.next_chunk)
+        self._emit_window(transfer, max(1, self.cost_model.transfer_window))
         total = len(transfer.chunk_sizes)
         if transfer.next_chunk >= total:
             self._window_drained(transfer)
@@ -553,6 +574,7 @@ class MobilityService:
         transfer.in_flight = 0
         transfer.delivered.clear()
         transfer.next_to_send = transfer.next_chunk
+        self._emit_window(transfer, max(1, self.cost_model.transfer_window))
         self._retry(transfer, reason, lost_phase=lost_phase)
 
     def _retry(self, transfer: _Transfer, reason: str,

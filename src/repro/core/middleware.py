@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.agents.acl import ACLMessage, Performative
 from repro.agents.platform import AgentContainer, AgentPlatform
@@ -664,6 +664,21 @@ class Deployment:
 
     def device_profile_of(self, host_name: str) -> Optional[DeviceProfile]:
         return self.device_profiles.get(host_name)
+
+    def application_instances(self, app_name: Optional[str] = None
+                              ) -> List[Tuple[str, Application]]:
+        """Every installed application instance as ``(host, app)`` pairs.
+
+        A follow-me application should appear exactly once in RUNNING
+        state; conservation checkers (:mod:`repro.simcheck`) use this to
+        detect instances duplicated or lost across a migration.
+        """
+        pairs: List[Tuple[str, Application]] = []
+        for host_name, middleware in self.middlewares.items():
+            for name, app in middleware.applications.items():
+                if app_name is None or name == app_name:
+                    pairs.append((host_name, app))
+        return pairs
 
     def find_host_in_space(self, space: str, requirements: Dict[str, Any],
                            exclude: Optional[str] = None) -> Optional[str]:

@@ -178,6 +178,13 @@ class ChaosEngine:
                              detail=detail)
             obs.metrics.counter(f"faults.{action}" if action != "inject"
                                 else "faults.fired", kind=spec.kind).inc()
+            if obs.hooks:
+                # Invariant checkers (repro.simcheck) consume these to
+                # whitelist fault-induced anomalies, e.g. a clock_jump's
+                # backwards step is a sanctioned monotonicity break.
+                obs.emit(f"fault.{action}", kind=spec.kind,
+                         target=spec.target, params=dict(spec.params),
+                         detail=detail)
 
     def _fire(self, spec: FaultSpec) -> None:
         try:

@@ -13,6 +13,8 @@ correction -- and its failure mode under drift -- can be studied.
 
 from __future__ import annotations
 
+from typing import Callable, Optional
+
 from repro.net.kernel import EventLoop
 
 
@@ -29,11 +31,26 @@ class HostClock:
         self._loop = loop
         self.skew_ms = float(skew_ms)
         self.drift_ppm = float(drift_ppm)
+        #: Highest value this clock has ever returned; with a constant skew
+        #: and non-negative drift the clock is monotone, so a regression
+        #: means someone moved ``skew_ms`` backwards (a clock_jump fault or
+        #: an NTP-style step correction).
+        self.last_reading: Optional[float] = None
+        #: Called as ``on_regress(clock, previous, current)`` when a read
+        #: returns less than the previous read.  Observation seam for
+        #: monotonicity checkers; the regression is reported, not repaired.
+        self.on_regress: Optional[
+            Callable[["HostClock", float, float], None]] = None
 
     def now(self) -> float:
         """Current host-local time in milliseconds."""
         true = self._loop.now
-        return true * (1.0 + self.drift_ppm * 1e-6) + self.skew_ms
+        local = true * (1.0 + self.drift_ppm * 1e-6) + self.skew_ms
+        last = self.last_reading
+        if last is not None and local < last and self.on_regress is not None:
+            self.on_regress(self, last, local)
+        self.last_reading = local
+        return local
 
     def offset_from(self, other: "HostClock") -> float:
         """Instantaneous offset ``self.now() - other.now()``."""

@@ -149,6 +149,11 @@ class EventLoop:
         metrics.gauge("kernel.queue_depth").set(len(self._queue))
         with obs.tracer.span(name, category="kernel"):
             callback(*timer.args)
+        if obs.hooks:
+            # Post-dispatch checkpoint for runtime invariant checkers
+            # (repro.simcheck): state has settled for this instant.
+            obs.emit("kernel.event", now=self._now, callback=name,
+                     processed=self._processed)
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Run events until the queue drains, ``until`` is reached, or

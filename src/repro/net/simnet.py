@@ -258,6 +258,13 @@ class Network:
         self.route_cache_hits = 0
         self.route_cache_misses = 0
         self.messages_dropped = 0
+        # Conservation ledger (see repro.simcheck): every byte put on a
+        # wire must come off it -- delivered, relayed, or accountably
+        # dropped.  At quiescence bytes_on_wire == bytes_off_wire, and
+        # bytes_delivered_total == sum of Host.bytes_received.
+        self.bytes_on_wire = 0
+        self.bytes_off_wire = 0
+        self.bytes_delivered_total = 0
         # In-flight transfers per link: (timer, receipt, on_dropped) tuples,
         # so a hard link cut (disconnect(drop_in_flight=True)) can cancel
         # the pending deliveries and fail their receipts.
@@ -327,6 +334,10 @@ class Network:
             for timer, receipt, on_dropped in entries:
                 if timer.active:
                     timer.cancel()
+                    # The cancelled timer was this message's off-wire event
+                    # (delivery or next-hop forward), so settle the ledger
+                    # here: the bytes left the wire by being destroyed.
+                    self.bytes_off_wire += receipt.message.size_bytes
                     self._drop(receipt, on_dropped)
         return link
 
@@ -477,6 +488,10 @@ class Network:
                  on_delivered: Optional[Callable[[DeliveryReceipt], None]],
                  on_dropped: Optional[Callable[[DeliveryReceipt], None]]) -> None:
         here, there = path[hop_index], path[hop_index + 1]
+        if hop_index > 0:
+            # Arrived at a relay: the previous hop's bytes are off the wire
+            # whether or not this host can forward them onward.
+            self.bytes_off_wire += receipt.message.size_bytes
         if hop_index > 0 and not self._hosts[here].online:
             # The relay crashed while the message was in flight towards it
             # (store-and-forward: an offline gateway loses the message).
@@ -496,9 +511,12 @@ class Network:
             self._observe_hop(obs, receipt, link, here, there, queue_ms,
                               arrival, lost)
         if lost:
+            # A lossy-link loss is synchronous: the message never occupies
+            # the wire (mirrors Link.bytes_carried), so no ledger entry.
             self._drop(receipt, on_dropped)
             return
         receipt.hops += 1
+        self.bytes_on_wire += receipt.message.size_bytes
         if hop_index + 2 == len(path):
             timer = self.loop.call_at(arrival, self._deliver, receipt,
                                       on_delivered, on_dropped)
@@ -516,6 +534,9 @@ class Network:
                  on_dropped: Optional[Callable[[DeliveryReceipt], None]] = None
                  ) -> None:
         dst = self._hosts[receipt.message.destination]
+        if receipt.hops:
+            # Came in over a link (hops == 0 means local delivery).
+            self.bytes_off_wire += receipt.message.size_bytes
         if not dst.online:
             self._drop(receipt, on_dropped)
             return
@@ -526,6 +547,7 @@ class Network:
             obs.metrics.counter(
                 "net.delivered", protocol=receipt.message.protocol).inc()
         dst.deliver(receipt.message)
+        self.bytes_delivered_total += receipt.message.size_bytes
         if on_delivered is not None:
             on_delivered(receipt)
 

@@ -24,7 +24,7 @@ call :meth:`begin_run` between them to partition the records.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, TextIO, Union
+from typing import Any, Callable, Dict, List, Optional, TextIO, Union
 
 from repro.obs.exporters import (
     export_chrome_trace,
@@ -44,6 +44,29 @@ class Observability:
         self.enabled = enabled
         self.tracer = Tracer(enabled=enabled)
         self.metrics = MetricsRegistry()
+        #: Synchronous listeners for structured runtime events (see
+        #: :meth:`emit`).  Instrumented layers guard the emission with
+        #: ``if obs.hooks:`` so the empty-list case costs one truthiness
+        #: check -- hooks are opt-in plumbing for invariant checkers
+        #: (:mod:`repro.simcheck`), not a second tracing channel.
+        self.hooks: List[Callable[[str, Dict[str, Any]], None]] = []
+
+    def add_hook(self, hook: Callable[[str, Dict[str, Any]], None]
+                 ) -> Callable[[str, Dict[str, Any]], None]:
+        """Register ``hook(kind, payload)`` for every :meth:`emit` call."""
+        self.hooks.append(hook)
+        return hook
+
+    def emit(self, __event: str, **payload: Any) -> None:
+        """Fan a structured runtime event out to every registered hook.
+
+        Hooks run synchronously in registration order, inside the emitting
+        event -- they must not schedule work or mutate simulation state.
+        (The positional-only channel name keeps ``kind=...`` available as
+        a payload key.)
+        """
+        for hook in self.hooks:
+            hook(__event, payload)
 
     def attach(self, loop: Any, run_label: Optional[str] = None
                ) -> "Observability":

@@ -1,0 +1,252 @@
+"""Scenario execution: build, run, check invariants, digest the trace.
+
+:func:`run_scenario` is the single entry point the fuzzer, the shrinker
+and artifact replay all share -- one scenario in, one
+:class:`SimcheckReport` out.  :func:`reset_global_state` re-seeds the
+handful of module/class-level counters in the codebase so two runs of the
+same scenario inside one process are byte-identical
+(:func:`check_determinism` asserts exactly that on trace digests).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.simcheck.invariants import InvariantChecker, InvariantViolation
+from repro.simcheck.scenario import (
+    Scenario,
+    SimcheckError,
+    build_application,
+    build_deployment,
+)
+
+
+def reset_global_state() -> None:
+    """Re-seed every module/class-level counter and registry.
+
+    The simulation is deterministic per Deployment, but a few identifier
+    counters live at module or class scope: conversation ids, ACL
+    reply-with tokens, registry request ids and snapshot ids.  Their
+    values leak into estimated message sizes (string length counts), so
+    back-to-back runs in one process diverge unless the counters restart.
+    This also clears the ``id()``-keyed registry lookup tables, which
+    would otherwise grow per deployment and could alias a recycled
+    ``id()`` to a stale center.
+    """
+    import repro.agents.acl as acl
+    from repro.agents.protocols import (
+        ContractNetInitiator,
+        RequestInitiator,
+        SubscriptionInitiator,
+    )
+    from repro.core.snapshot import SnapshotManager
+    from repro.registry import registry as registry_module
+
+    acl._reply_ids = itertools.count(1)
+    RequestInitiator._conversation_ids = itertools.count(1)
+    SubscriptionInitiator._conversation_ids = itertools.count(1)
+    ContractNetInitiator._conversation_ids = itertools.count(1)
+    SnapshotManager._ids = itertools.count(1)
+    registry_module.RegistryClient._request_ids = itertools.count(1)
+    registry_module.RegistryClient._instances.clear()
+    registry_module._LOCAL_CENTERS.clear()
+
+
+def trace_digest(observability) -> str:
+    """SHA-256 over the canonical JSONL trace (spans, events, metrics).
+
+    The JSONL stream is sim-time ordered with sorted keys and contains no
+    wall-clock data, so equal digests mean behaviourally identical runs.
+    """
+    return hashlib.sha256(
+        observability.to_jsonl().encode("utf-8")).hexdigest()
+
+
+# -- sabotage hooks (test-only) --------------------------------------------
+
+def _sabotage_rx_ghost(deployment) -> None:
+    """Plant a never-completed transfer in the receiver dedup table."""
+    deployment.platform.mobility._rx_chunks[("ghost", 999_999_999)] = {0}
+
+
+def _sabotage_clock_skip(deployment) -> None:
+    """Step the first host's clock backwards without a clock_jump fault."""
+    host = deployment.network.hosts[0]
+
+    def warp() -> None:
+        host.clock.now()
+        host.clock.skew_ms -= 123.0
+        host.clock.now()
+
+    deployment.loop.call_later(1.0, warp)
+
+
+def _sabotage_wire_skim(deployment) -> None:
+    """Skim one byte off the conservation ledger."""
+
+    def skim() -> None:
+        deployment.network.bytes_on_wire += 1
+
+    deployment.loop.call_later(1.0, skim)
+
+
+#: Deliberate, deterministic defects the runner can plant after building a
+#: deployment (``Scenario.sabotage``).  Test-only: they exist so the
+#: invariant checkers and the shrinker can be validated against known
+#: violations; fuzzing never generates them.
+SABOTAGE_HOOKS = {
+    "rx-ghost": _sabotage_rx_ghost,
+    "clock-skip": _sabotage_clock_skip,
+    "wire-skim": _sabotage_wire_skim,
+}
+
+#: The violation kind each sabotage tag must produce.
+SABOTAGE_VIOLATIONS = {
+    "rx-ghost": "rx-table-leak",
+    "clock-skip": "clock-monotonicity",
+    "wire-skim": "byte-accounting",
+}
+
+
+@dataclass
+class LegResult:
+    """Outcome of one scheduled migration leg."""
+
+    app_name: str
+    source: str
+    destination: str
+    status: str  # "completed" | "failed" | "skipped"
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"app_name": self.app_name, "source": self.source,
+                "destination": self.destination, "status": self.status,
+                "detail": self.detail}
+
+
+@dataclass
+class SimcheckReport:
+    """Everything one scenario run produced."""
+
+    scenario: Scenario
+    violations: List[InvariantViolation] = field(default_factory=list)
+    legs: List[LegResult] = field(default_factory=list)
+    stats: Dict[str, Any] = field(default_factory=dict)
+    digest: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        legs = ", ".join(f"{l.app_name}->{l.destination}:{l.status}"
+                         for l in self.legs) or "no legs"
+        return (f"seed {self.scenario.seed}: "
+                f"{'ok' if self.ok else f'{len(self.violations)} violations'}"
+                f" ({self.scenario.describe()}; {legs}; "
+                f"digest {self.digest[:12]})")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario.to_dict(),
+            "violations": [v.to_dict() for v in self.violations],
+            "legs": [l.to_dict() for l in self.legs],
+            "stats": dict(self.stats),
+            "digest": self.digest,
+        }
+
+
+def _running_host(deployment, app_name: str) -> Optional[str]:
+    from repro.core.application import AppStatus
+    for host, app in deployment.application_instances(app_name):
+        if app.status is AppStatus.RUNNING:
+            return host
+    return None
+
+
+def run_scenario(scenario: Scenario, fresh_state: bool = True
+                 ) -> SimcheckReport:
+    """Build, run and invariant-check one scenario.
+
+    With ``fresh_state`` (the default) the global counters are re-seeded
+    first, so the run is reproducible regardless of what the process did
+    before -- required for determinism checks and shrinking.
+    """
+    from repro.core import BindingPolicy
+    from repro.core.errors import MiddlewareError, MigrationError
+    from repro.obs import Observability
+
+    if fresh_state:
+        reset_global_state()
+    observability = Observability()
+    deployment = build_deployment(scenario, observability=observability)
+    checker = InvariantChecker(deployment).install()
+    sabotage = SABOTAGE_HOOKS.get(scenario.sabotage)
+    if scenario.sabotage and sabotage is None:
+        raise SimcheckError(f"unknown sabotage tag {scenario.sabotage!r}")
+    if sabotage is not None:
+        sabotage(deployment)
+
+    for spec in scenario.apps:
+        app = build_application(spec)
+        checker.expect_application(app)
+        deployment.middleware(spec.launch_host).launch_application(app)
+    deployment.run_all()
+    deployment.loop.advance(scenario.warmup_ms)
+
+    legs: List[LegResult] = []
+    for leg in scenario.legs:
+        deployment.loop.advance(leg.pause_before_ms)
+        source = _running_host(deployment, leg.app_name)
+        if source is None:
+            legs.append(LegResult(leg.app_name, "?", leg.destination,
+                                  "skipped", "no RUNNING instance"))
+            continue
+        if source == leg.destination:
+            legs.append(LegResult(leg.app_name, source, leg.destination,
+                                  "skipped", "already there"))
+            continue
+        policy = next(a.policy for a in scenario.apps
+                      if a.name == leg.app_name)
+        try:
+            outcome = deployment.middleware(source).migrate(
+                leg.app_name, leg.destination,
+                policy=BindingPolicy(policy))
+        except (MigrationError, MiddlewareError) as exc:
+            legs.append(LegResult(leg.app_name, source, leg.destination,
+                                  "skipped", str(exc)))
+            continue
+        deployment.run_all()
+        legs.append(LegResult(
+            leg.app_name, source, leg.destination,
+            "completed" if outcome.completed else "failed",
+            outcome.failure_reason if outcome.failed else ""))
+    # Drain past the fault horizon so every scheduled revert has fired.
+    deployment.run_all()
+    if scenario.plan.horizon_ms:
+        deployment.loop.advance(scenario.plan.horizon_ms + 1_000.0)
+        deployment.run_all()
+
+    checker.check_quiescent()
+    return SimcheckReport(
+        scenario=scenario,
+        violations=checker.violations,
+        legs=legs,
+        stats=deployment.stats(),
+        digest=trace_digest(observability))
+
+
+def check_determinism(scenario: Scenario) -> Dict[str, Any]:
+    """Run a scenario twice from fresh state; compare trace digests.
+
+    Returns ``{"deterministic": bool, "digests": [d1, d2]}``.  Identical
+    digests mean the two runs produced byte-identical span/event/metric
+    streams -- the strongest whole-run equality the harness can observe.
+    """
+    first = run_scenario(scenario, fresh_state=True)
+    second = run_scenario(scenario, fresh_state=True)
+    return {"deterministic": first.digest == second.digest,
+            "digests": [first.digest, second.digest]}

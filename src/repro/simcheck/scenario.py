@@ -1,0 +1,370 @@
+"""Seeded scenario generation: one integer seed -> one full deployment.
+
+A :class:`Scenario` is plain data -- spaces, hosts, applications, a
+migration schedule, a :class:`~repro.faults.plan.FaultPlan` and the
+transfer configuration -- with a JSON wire format, so a failing scenario
+can be shrunk, saved as a repro artifact and replayed byte-for-byte
+(``python -m repro simcheck --replay repro.json``).
+
+:func:`generate_scenario` derives everything from a single seed through a
+local ``random.Random``: the same seed always yields the same scenario,
+and two builds of the same scenario always yield the same deployment.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.faults.plan import FaultPlan, link_target, random_plan
+
+SCENARIO_FORMAT = "repro.simcheck.scenario/1"
+
+#: Application kinds the generator draws from, mapped to repro.apps
+#: builders by :func:`build_application`.
+APP_KINDS = ("music", "editor", "messenger", "slideshow")
+
+
+class SimcheckError(RuntimeError):
+    """Raised on malformed scenarios or replay artifacts."""
+
+
+@dataclass
+class HostSpec:
+    """One middleware host: placement plus clock/CPU character."""
+
+    name: str
+    space: str
+    skew_ms: float = 0.0
+    drift_ppm: float = 0.0
+    cpu_factor: float = 1.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "space": self.space,
+                "skew_ms": self.skew_ms, "drift_ppm": self.drift_ppm,
+                "cpu_factor": self.cpu_factor}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "HostSpec":
+        return cls(name=str(data["name"]), space=str(data["space"]),
+                   skew_ms=float(data.get("skew_ms", 0.0)),
+                   drift_ppm=float(data.get("drift_ppm", 0.0)),
+                   cpu_factor=float(data.get("cpu_factor", 1.0)))
+
+
+@dataclass
+class AppSpec:
+    """One application instance: kind + payload + launch placement."""
+
+    name: str
+    kind: str
+    owner: str
+    payload_bytes: int
+    launch_host: str
+    policy: str = "adaptive"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "kind": self.kind, "owner": self.owner,
+                "payload_bytes": self.payload_bytes,
+                "launch_host": self.launch_host, "policy": self.policy}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AppSpec":
+        return cls(name=str(data["name"]), kind=str(data["kind"]),
+                   owner=str(data["owner"]),
+                   payload_bytes=int(data["payload_bytes"]),
+                   launch_host=str(data["launch_host"]),
+                   policy=str(data.get("policy", "adaptive")))
+
+
+@dataclass
+class MigrationLeg:
+    """One scheduled follow-me migration in the run script."""
+
+    app_name: str
+    destination: str
+    pause_before_ms: float = 100.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"app_name": self.app_name, "destination": self.destination,
+                "pause_before_ms": self.pause_before_ms}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MigrationLeg":
+        return cls(app_name=str(data["app_name"]),
+                   destination=str(data["destination"]),
+                   pause_before_ms=float(data.get("pause_before_ms", 100.0)))
+
+
+@dataclass
+class Scenario:
+    """A complete, self-contained fuzz case (plain data, JSON-serializable).
+
+    ``sabotage`` is a test-only hook: a tag naming a deliberate defect the
+    runner plants after building the deployment (see
+    ``repro.simcheck.runner.SABOTAGE_HOOKS``) so the invariant checkers
+    and the shrinker can be exercised against known violations.
+    """
+
+    seed: int
+    spaces: List[str] = field(default_factory=list)
+    gateways: Dict[str, str] = field(default_factory=dict)
+    space_links: List[Tuple[str, str]] = field(default_factory=list)
+    hosts: List[HostSpec] = field(default_factory=list)
+    apps: List[AppSpec] = field(default_factory=list)
+    legs: List[MigrationLeg] = field(default_factory=list)
+    plan: FaultPlan = field(default_factory=FaultPlan)
+    transfer_chunk_bytes: int = 0
+    transfer_window: int = 1
+    warmup_ms: float = 500.0
+    sabotage: str = ""
+
+    # -- derived views ----------------------------------------------------
+
+    def host_names(self) -> List[str]:
+        """Middleware host names (gateways excluded)."""
+        return [h.name for h in self.hosts]
+
+    def hosts_in(self, space: str) -> List[HostSpec]:
+        return [h for h in self.hosts if h.space == space]
+
+    def link_targets(self) -> List[str]:
+        """Every link the built deployment will contain, as canonical
+        fault targets -- mirrors the Topology wiring rules (full LAN mesh
+        per space incl. the gateway, plus gateway<->gateway backbones)."""
+        targets: List[str] = []
+        for space in self.spaces:
+            names = [h.name for h in self.hosts_in(space)]
+            if space in self.gateways:
+                names.append(self.gateways[space])
+            for i in range(len(names)):
+                for j in range(i + 1, len(names)):
+                    targets.append(link_target(names[i], names[j]))
+        for a, b in self.space_links:
+            targets.append(link_target(self.gateways[a], self.gateways[b]))
+        return targets
+
+    def describe(self) -> str:
+        return (f"spaces={len(self.spaces)} hosts={len(self.hosts)} "
+                f"apps={len(self.apps)} legs={len(self.legs)} "
+                f"faults={len(self.plan)} window={self.transfer_window}")
+
+    def validate(self) -> "Scenario":
+        if not self.hosts:
+            raise SimcheckError("scenario needs at least one host")
+        names = {h.name for h in self.hosts} | set(self.gateways.values())
+        if len(names) != len(self.hosts) + len(self.gateways):
+            raise SimcheckError("duplicate host/gateway names")
+        for h in self.hosts:
+            if h.space not in self.spaces:
+                raise SimcheckError(f"host {h.name!r} in unknown space "
+                                    f"{h.space!r}")
+        for a, b in self.space_links:
+            if a not in self.gateways or b not in self.gateways:
+                raise SimcheckError(f"space link {a!r}<->{b!r} needs "
+                                    f"gateways on both spaces")
+        app_names = {a.name for a in self.apps}
+        host_names = {h.name for h in self.hosts}
+        for app in self.apps:
+            if app.kind not in APP_KINDS:
+                raise SimcheckError(f"unknown app kind {app.kind!r}")
+            if app.launch_host not in host_names:
+                raise SimcheckError(f"app {app.name!r} launches on unknown "
+                                    f"host {app.launch_host!r}")
+        for leg in self.legs:
+            if leg.app_name not in app_names:
+                raise SimcheckError(f"leg migrates unknown app "
+                                    f"{leg.app_name!r}")
+            if leg.destination not in host_names:
+                raise SimcheckError(f"leg targets unknown host "
+                                    f"{leg.destination!r}")
+        if self.transfer_window < 1:
+            raise SimcheckError(f"transfer_window must be >= 1: "
+                                f"{self.transfer_window}")
+        self.plan.validate()
+        return self
+
+    # -- wire format ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": SCENARIO_FORMAT,
+            "seed": self.seed,
+            "spaces": list(self.spaces),
+            "gateways": dict(self.gateways),
+            "space_links": [list(pair) for pair in self.space_links],
+            "hosts": [h.to_dict() for h in self.hosts],
+            "apps": [a.to_dict() for a in self.apps],
+            "legs": [l.to_dict() for l in self.legs],
+            "plan": self.plan.to_dict(),
+            "transfer_chunk_bytes": self.transfer_chunk_bytes,
+            "transfer_window": self.transfer_window,
+            "warmup_ms": self.warmup_ms,
+            "sabotage": self.sabotage,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Scenario":
+        fmt = data.get("format", SCENARIO_FORMAT)
+        if fmt != SCENARIO_FORMAT:
+            raise SimcheckError(f"unsupported scenario format {fmt!r}")
+        try:
+            return cls(
+                seed=int(data["seed"]),
+                spaces=[str(s) for s in data.get("spaces", [])],
+                gateways={str(k): str(v)
+                          for k, v in data.get("gateways", {}).items()},
+                space_links=[(str(a), str(b))
+                             for a, b in data.get("space_links", [])],
+                hosts=[HostSpec.from_dict(h) for h in data.get("hosts", [])],
+                apps=[AppSpec.from_dict(a) for a in data.get("apps", [])],
+                legs=[MigrationLeg.from_dict(l)
+                      for l in data.get("legs", [])],
+                plan=FaultPlan.from_dict(data["plan"])
+                if data.get("plan") else FaultPlan(),
+                transfer_chunk_bytes=int(data.get("transfer_chunk_bytes", 0)),
+                transfer_window=int(data.get("transfer_window", 1)),
+                warmup_ms=float(data.get("warmup_ms", 500.0)),
+                sabotage=str(data.get("sabotage", "")),
+            ).validate()
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SimcheckError(f"malformed scenario: {exc}") from None
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SimcheckError(f"scenario is not valid JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise SimcheckError("scenario JSON must be an object")
+        return cls.from_dict(data)
+
+
+# -- generation ------------------------------------------------------------
+
+
+def generate_scenario(seed: int, max_spaces: int = 3,
+                      max_hosts_per_space: int = 3,
+                      fault_probability: float = 0.75) -> Scenario:
+    """Derive a random-but-deterministic scenario from one integer seed.
+
+    The RNG is local (``random.Random``), so the global random state is
+    neither read nor perturbed, and the same seed always produces the
+    same scenario regardless of what ran before.
+    """
+    rng = random.Random(f"repro.simcheck:{seed}")
+    n_spaces = rng.randint(1, max_spaces)
+    spaces = [f"space{i}" for i in range(n_spaces)]
+    hosts: List[HostSpec] = []
+    for si, space in enumerate(spaces):
+        for hi in range(rng.randint(1, max_hosts_per_space)):
+            hosts.append(HostSpec(
+                name=f"h{si}{hi}", space=space,
+                skew_ms=round(rng.uniform(-200.0, 200.0), 1),
+                drift_ppm=rng.choice([0.0, 0.0, 0.0, 20.0, 50.0]),
+                cpu_factor=rng.choice([1.0, 1.0, 1.0, 1.5, 2.0])))
+    gateways: Dict[str, str] = {}
+    space_links: List[Tuple[str, str]] = []
+    if n_spaces > 1:
+        gateways = {space: f"gw{si}" for si, space in enumerate(spaces)}
+        space_links = [(spaces[i], spaces[i + 1])
+                       for i in range(n_spaces - 1)]
+    payload_menu = {
+        "music": (100_000, 400_000, 1_000_000, 2_000_000),
+        "editor": (20_000, 80_000, 200_000),
+        "messenger": (10_000,),
+        "slideshow": (200_000, 800_000),
+    }
+    apps: List[AppSpec] = []
+    for ai in range(rng.randint(1, 3)):
+        kind = rng.choice(APP_KINDS)
+        apps.append(AppSpec(
+            name=f"app{ai}", kind=kind, owner=f"user{ai}",
+            payload_bytes=rng.choice(payload_menu[kind]),
+            launch_host=rng.choice(hosts).name,
+            policy=rng.choice(["adaptive", "static"])))
+    legs: List[MigrationLeg] = []
+    for _ in range(rng.randint(1, 4)):
+        legs.append(MigrationLeg(
+            app_name=rng.choice(apps).name,
+            destination=rng.choice(hosts).name,
+            pause_before_ms=round(rng.uniform(20.0, 1500.0), 1)))
+    scenario = Scenario(
+        seed=seed, spaces=spaces, gateways=gateways,
+        space_links=space_links, hosts=hosts, apps=apps, legs=legs,
+        transfer_chunk_bytes=rng.choice([0, 64_000, 128_000, 256_000]),
+        warmup_ms=round(rng.uniform(100.0, 800.0), 1))
+    if scenario.transfer_chunk_bytes > 0:
+        scenario.transfer_window = rng.choice([1, 2, 4, 8])
+    if rng.random() < fault_probability:
+        scenario.plan = random_plan(
+            seed,
+            links=scenario.link_targets(),
+            hosts=scenario.host_names(),
+            spaces=[s for s in spaces if s in gateways],
+            count=rng.randint(1, 4),
+            horizon_ms=6_000.0)
+    return scenario.validate()
+
+
+# -- materialization -------------------------------------------------------
+
+
+def build_application(spec: AppSpec):
+    """Instantiate the repro.apps application an AppSpec describes."""
+    if spec.kind == "music":
+        from repro.apps import MusicPlayerApp
+        return MusicPlayerApp.build(spec.name, spec.owner,
+                                    track_bytes=spec.payload_bytes)
+    if spec.kind == "editor":
+        from repro.apps import EditorApp
+        text = "x" * max(1, min(spec.payload_bytes // 10, 50_000))
+        return EditorApp.build(spec.name, spec.owner, initial_text=text)
+    if spec.kind == "messenger":
+        from repro.apps import MessengerApp
+        return MessengerApp.build(spec.name, spec.owner,
+                                  contact=f"{spec.owner}-peer")
+    if spec.kind == "slideshow":
+        from repro.apps import SlideShowApp
+        return SlideShowApp.build(spec.name, spec.owner, slide_count=4,
+                                  per_slide_bytes=max(
+                                      1, spec.payload_bytes // 4))
+    raise SimcheckError(f"unknown app kind {spec.kind!r}")
+
+
+def build_deployment(scenario: Scenario, observability=None):
+    """Materialize the scenario into a ready-to-run Deployment.
+
+    Applications are *not* launched here -- the runner launches them so it
+    can register their component sets with the invariant checker first.
+    """
+    from repro.core.middleware import Deployment
+    from repro.core.profiles import DeviceProfile
+    from repro.faults.engine import FaultConfig
+
+    faults = FaultConfig(
+        plan=scenario.plan, seed=scenario.seed,
+        transfer_chunk_bytes=scenario.transfer_chunk_bytes,
+        transfer_window=scenario.transfer_window,
+        migration_deadline_ms=30_000.0,
+        max_transfer_retries=8)
+    deployment = Deployment(seed=scenario.seed, observability=observability,
+                            faults=faults)
+    for space in scenario.spaces:
+        deployment.add_space(space)
+    for spec in scenario.hosts:
+        profile = DeviceProfile(host=spec.name, cpu_factor=spec.cpu_factor)
+        deployment.add_host(spec.name, spec.space, profile=profile,
+                            skew_ms=spec.skew_ms, drift_ppm=spec.drift_ppm)
+    for space in scenario.spaces:
+        if space in scenario.gateways:
+            deployment.add_gateway(scenario.gateways[space], space)
+    for a, b in scenario.space_links:
+        deployment.connect_spaces(a, b)
+    return deployment

@@ -1,0 +1,193 @@
+"""Snapshot round-trip fidelity for every application in ``repro.apps``.
+
+For each builder the drill is the same: build an app, mutate it through
+its public API, capture a :class:`Snapshot`, push the snapshot through
+``to_dict -> json -> from_dict`` (the wire format a migrating agent
+carries), restore it into a *freshly built* twin, and require the twin's
+app state and coordinator state to match the original byte for byte.
+Any field a builder forgets to serialize -- or a restore forgets to
+apply -- fails here instead of surfacing as post-migration state loss.
+"""
+
+import json
+
+import pytest
+
+from repro.apps import (
+    EditorApp,
+    MessengerApp,
+    MusicPlayerApp,
+    SlideShowApp,
+    build_handheld_editor,
+    build_handheld_music_player,
+)
+from repro.core.errors import SnapshotError
+from repro.core.snapshot import Snapshot, SnapshotManager
+
+
+def build_music():
+    return MusicPlayerApp.build("player", "alice", track_bytes=1_000_000)
+
+
+def mutate_music(app):
+    app.seek(4_321.0)
+    app.set_volume(37)
+    app.next_track()
+    app.seek(1_500.0)
+
+
+def build_editor():
+    return EditorApp.build("editor", "bob", initial_text="hello world")
+
+
+def mutate_editor(app):
+    app.move_cursor(5)
+    app.type_text(", brave")
+    app.delete_backwards(2)
+    app.type_text("ve new")
+    app.save()
+    app.type_text("!")  # leave the buffer dirty
+
+
+def build_messenger():
+    return MessengerApp.build("im", "carol", contact="dave")
+
+
+def mutate_messenger(app):
+    app.send_message("lunch?")
+    app.receive_message("dave", "sure")
+    app.receive_message("dave", "where?")
+    app.mark_read()
+    app.receive_message("dave", "hello?")  # one unread at capture time
+
+
+def build_slideshow():
+    return SlideShowApp.build("deck", "erin", slide_count=12,
+                              per_slide_bytes=10_000)
+
+
+def mutate_slideshow(app):
+    app.goto_slide(7)
+    app.next_slide()
+    app.previous_slide()
+    app.next_slide()  # ends on slide 8
+
+
+def build_handheld_editor_app():
+    return build_handheld_editor("pda-editor", "frank",
+                                 initial_text="field notes")
+
+
+def mutate_handheld_editor(app):
+    app.type_text(": day one")
+    app.save()
+
+
+def build_handheld_player():
+    return build_handheld_music_player("pda-player", "grace",
+                                       track_bytes=500_000)
+
+
+def mutate_handheld_player(app):
+    app.set_volume(11)
+    app.seek(900.0)
+
+
+APP_CASES = [
+    pytest.param(build_music, mutate_music, id="music-player"),
+    pytest.param(build_editor, mutate_editor, id="editor"),
+    pytest.param(build_messenger, mutate_messenger, id="messenger"),
+    pytest.param(build_slideshow, mutate_slideshow, id="slideshow"),
+    pytest.param(build_handheld_editor_app, mutate_handheld_editor,
+                 id="handheld-editor"),
+    pytest.param(build_handheld_player, mutate_handheld_player,
+                 id="handheld-music-player"),
+]
+
+
+def roundtrip(snapshot: Snapshot) -> Snapshot:
+    """The serialize/deserialize path a snapshot travels inside an agent."""
+    wire = json.dumps(snapshot.to_dict(), sort_keys=True)
+    return Snapshot.from_dict(json.loads(wire))
+
+
+class TestSnapshotRoundTrip:
+    @pytest.mark.parametrize("build, mutate", APP_CASES)
+    def test_state_survives_json_roundtrip_into_fresh_twin(self, build,
+                                                           mutate):
+        manager = SnapshotManager()
+        original = build()
+        mutate(original)
+        snapshot = manager.capture(original, now=1_234.5)
+
+        twin = build()
+        assert twin.get_app_state() != original.get_app_state()
+        manager.restore(twin, roundtrip(snapshot))
+
+        assert twin.get_app_state() == original.get_app_state()
+        assert (twin.coordinator.snapshot_state()
+                == original.coordinator.snapshot_state())
+
+    @pytest.mark.parametrize("build, mutate", APP_CASES)
+    def test_wire_format_is_lossless_and_json_safe(self, build, mutate):
+        app = build()
+        mutate(app)
+        snapshot = SnapshotManager().capture(app, now=42.0)
+        restored = roundtrip(snapshot)
+        assert restored.to_dict() == snapshot.to_dict()
+        assert restored.app_name == app.name
+        assert restored.taken_at == 42.0
+        assert restored.size_bytes == snapshot.size_bytes
+        assert (restored.component_versions
+                == {c.name: c.version for c in app.components})
+
+    def test_restore_refuses_a_foreign_snapshot(self):
+        manager = SnapshotManager()
+        snapshot = manager.capture(build_editor(), now=0.0)
+        with pytest.raises(SnapshotError):
+            manager.restore(build_messenger(), snapshot)
+
+
+class TestAppSpecificFidelity:
+    """Spot checks that the restored fields mean what they should."""
+
+    def test_editor_buffer_cursor_and_dirty_flag(self):
+        manager = SnapshotManager()
+        original = build_editor()
+        mutate_editor(original)
+        twin = build_editor()
+        manager.restore(twin, roundtrip(manager.capture(original)))
+        assert twin.buffer == original.buffer
+        assert twin.cursor == original.cursor
+        assert twin.dirty is True
+
+    def test_messenger_history_and_unread_count(self):
+        manager = SnapshotManager()
+        original = build_messenger()
+        mutate_messenger(original)
+        twin = build_messenger()
+        manager.restore(twin, roundtrip(manager.capture(original)))
+        assert twin.conversation == original.conversation
+        assert twin.unread == 1
+        assert twin.contact == "dave"
+
+    def test_music_player_restores_paused_at_position(self):
+        manager = SnapshotManager()
+        original = build_music()
+        mutate_music(original)
+        twin = build_music()
+        manager.restore(twin, roundtrip(manager.capture(original)))
+        assert twin.position_ms == pytest.approx(1_500.0)
+        assert twin.volume == 37
+        assert twin.track_name == original.track_name
+        # Playback restarts via lifecycle hooks, never from the snapshot.
+        assert twin.playing is False
+
+    def test_slideshow_resumes_on_the_captured_slide(self):
+        manager = SnapshotManager()
+        original = build_slideshow()
+        mutate_slideshow(original)
+        twin = build_slideshow()
+        manager.restore(twin, roundtrip(manager.capture(original)))
+        assert twin.current_slide == 8
+        assert twin.slide_count == 12

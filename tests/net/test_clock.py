@@ -60,6 +60,146 @@ def test_one_way_estimate_halves_symmetric_round_trip():
     assert one_way_estimate(0.0, 30.0, 40.0, 70.0) == pytest.approx(30.0)
 
 
+class TestRegressionSeam:
+    """The ``last_reading``/``on_regress`` monotonicity observation seam."""
+
+    def test_reads_track_last_reading_without_a_callback(self):
+        loop = EventLoop()
+        clock = HostClock(loop, skew_ms=7.0)
+        assert clock.last_reading is None
+        loop.call_at(10.0, lambda: clock.now())
+        loop.run()
+        assert clock.last_reading == pytest.approx(17.0)
+
+    def test_backward_skew_step_fires_once_with_both_readings(self):
+        loop = EventLoop()
+        clock = HostClock(loop)
+        seen = []
+        clock.on_regress = lambda c, prev, cur: seen.append((c, prev, cur))
+
+        def step_back():
+            clock.now()            # establish a baseline reading
+            clock.skew_ms -= 40.0  # NTP-style step correction
+            clock.now()            # regression detected here
+            clock.now()            # lower baseline: no second report
+
+        loop.call_at(100.0, step_back)
+        loop.run()
+        assert len(seen) == 1
+        observed, previous, current = seen[0]
+        assert observed is clock
+        assert previous == pytest.approx(100.0)
+        assert current == pytest.approx(60.0)
+
+    def test_forward_jump_does_not_fire(self):
+        loop = EventLoop()
+        clock = HostClock(loop)
+        seen = []
+        clock.on_regress = lambda c, prev, cur: seen.append((prev, cur))
+
+        def jump_forward():
+            clock.now()
+            clock.skew_ms += 500.0
+            clock.now()
+
+        loop.call_at(50.0, jump_forward)
+        loop.run()
+        assert seen == []
+
+    def test_equal_reading_is_not_a_regression(self):
+        loop = EventLoop()
+        clock = HostClock(loop)
+        seen = []
+        clock.on_regress = lambda c, prev, cur: seen.append((prev, cur))
+        loop.call_at(25.0, lambda: (clock.now(), clock.now()))
+        loop.run()
+        assert seen == []
+        assert clock.last_reading == pytest.approx(25.0)
+
+    def test_unset_callback_survives_a_regression(self):
+        loop = EventLoop()
+        clock = HostClock(loop)
+
+        def step_back():
+            clock.now()
+            clock.skew_ms -= 10.0
+            clock.now()
+
+        loop.call_at(30.0, step_back)
+        loop.run()  # must not raise
+        assert clock.last_reading == pytest.approx(20.0)
+
+    def test_each_backward_step_is_reported_separately(self):
+        loop = EventLoop()
+        clock = HostClock(loop)
+        seen = []
+        clock.on_regress = lambda c, prev, cur: seen.append((prev, cur))
+
+        def double_step():
+            clock.now()
+            clock.skew_ms -= 5.0
+            clock.now()
+            clock.skew_ms -= 5.0
+            clock.now()
+
+        loop.call_at(60.0, double_step)
+        loop.run()
+        assert [(p - c) for p, c in seen] == [pytest.approx(5.0),
+                                              pytest.approx(5.0)]
+
+
+class TestCorrectionEdgeCases:
+    """Fig. 7 correction behaviour when its assumptions bend or break."""
+
+    def test_drift_makes_the_correction_inexact(self):
+        """Fig. 7 assumes a *constant* offset; drift violates that.
+
+        With H2 drifting, the offset at t2 differs from the offset at t3,
+        so the skew terms no longer cancel and the measured cost carries a
+        drift-proportional error.
+        """
+        drift_ppm = 1000.0  # exaggerated, as in test_drift_makes_offset_grow
+        scale = 1.0 + drift_ppm * 1e-6
+        t1, t2, t3, t4 = 0.0, 30_000.0, 40_000.0, 70_000.0
+        true_cost = (t2 - t1) + (t4 - t3)
+        measured = round_trip_cost(t1, t2 * scale, t3 * scale, t4)
+        error = measured - true_cost
+        # The error is exactly the offset change between t2 and t3.
+        assert error == pytest.approx((t2 - t3) * drift_ppm * 1e-6)
+        assert measured != pytest.approx(true_cost, abs=1e-6)
+
+    @given(
+        skew1=st.floats(-1e6, 1e6),
+        skew2=st.floats(-1e6, 1e6),
+        out_cost=st.floats(0.0, 1e5),
+        back_cost=st.floats(0.0, 1e5),
+    )
+    def test_one_way_estimate_is_the_leg_average(self, skew1, skew2,
+                                                 out_cost, back_cost):
+        """On an asymmetric path the estimate is the mean of the two legs."""
+        t1 = 100.0
+        t2 = t1 + out_cost
+        t3 = t2 + 50.0
+        t4 = t3 + back_cost
+        estimate = one_way_estimate(t1 + skew1, t2 + skew2,
+                                    t3 + skew2, t4 + skew1)
+        assert estimate == pytest.approx((out_cost + back_cost) / 2.0,
+                                         abs=1e-6)
+
+    def test_zero_duration_round_trip_costs_nothing(self):
+        assert round_trip_cost(5.0, 905.0, 905.0, 5.0) == pytest.approx(0.0)
+
+    def test_negative_measured_cost_reveals_offset_change(self):
+        """A mid-flight backward step shows up as an impossible cost."""
+        # H2 steps its clock back 100ms between arrival and departure.
+        t1, t2 = 0.0, 20.0
+        t3_after_step = 20.0 - 100.0 + 10.0  # 10ms turnaround, stepped clock
+        t4 = 50.0
+        cost = round_trip_cost(t1, t2, t3_after_step, t4)
+        true_cost = 20.0 + 20.0
+        assert cost == pytest.approx(true_cost + 100.0)
+
+
 def test_round_trip_in_simulation_with_skewed_hosts():
     """End-to-end: measure a simulated round trip on two skewed clocks."""
     loop = EventLoop()

@@ -1,0 +1,18 @@
+"""Shared fixtures for the simcheck test suite."""
+
+import pytest
+
+from repro.simcheck import AppSpec, HostSpec, MigrationLeg, Scenario
+
+
+@pytest.fixture
+def tiny_scenario():
+    """A minimal two-host scenario: fast to run, trivially quiescent."""
+    return Scenario(
+        seed=1,
+        spaces=["lab"],
+        hosts=[HostSpec("h1", "lab"), HostSpec("h2", "lab")],
+        apps=[AppSpec("pad", "editor", "ann", 50_000, "h1")],
+        legs=[MigrationLeg("pad", "h2", pause_before_ms=50.0)],
+        warmup_ms=100.0,
+    ).validate()

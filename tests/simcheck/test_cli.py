@@ -1,0 +1,68 @@
+"""End-to-end CLI smoke tests: ``python -m repro simcheck ...``."""
+
+import json
+import os
+
+from repro.__main__ import main
+
+
+class TestFuzzCommand:
+    def test_clean_seeds_exit_zero(self, capsys):
+        code = main(["simcheck", "--seeds", "2", "--no-determinism"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all 2 seeds passed" in out
+
+    def test_determinism_check_is_reported(self, capsys):
+        code = main(["simcheck", "--seeds", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "determinism verified" in out
+
+    def test_sabotaged_run_fails_and_writes_an_artifact(self, capsys,
+                                                        tmp_path):
+        code = main(["simcheck", "--seeds", "1", "--sabotage", "rx-ghost",
+                     "--artifact-dir", str(tmp_path), "--no-determinism"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "rx-table-leak" in out
+        assert "shrunk to:" in out
+        artifact = tmp_path / "simcheck-seed0.json"
+        assert artifact.exists()
+        data = json.loads(artifact.read_text())
+        assert data["format"] == "repro.simcheck.repro/1"
+
+    def test_no_shrink_skips_artifacts(self, capsys, tmp_path):
+        code = main(["simcheck", "--seeds", "1", "--sabotage", "wire-skim",
+                     "--artifact-dir", str(tmp_path), "--no-shrink",
+                     "--no-determinism"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "byte-accounting" in out
+        assert list(tmp_path.iterdir()) == []
+
+    def test_keep_going_fuzzes_every_seed(self, capsys, tmp_path):
+        code = main(["simcheck", "--seeds", "2", "--sabotage", "wire-skim",
+                     "--artifact-dir", str(tmp_path), "--no-shrink",
+                     "--no-determinism", "--keep-going"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "2/2 seeds failed: [0, 1]" in out
+
+
+class TestReplayCommand:
+    def test_replaying_a_written_artifact_exits_zero(self, capsys, tmp_path):
+        main(["simcheck", "--seeds", "1", "--sabotage", "clock-skip",
+              "--artifact-dir", str(tmp_path), "--no-determinism"])
+        capsys.readouterr()
+        artifact = os.path.join(str(tmp_path), "simcheck-seed0.json")
+        code = main(["simcheck", "--replay", artifact])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recorded violation reproduced" in out
+
+    def test_replaying_a_missing_artifact_is_a_clean_error(self, tmp_path):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["simcheck", "--replay", str(tmp_path / "nope.json")])

@@ -1,0 +1,92 @@
+"""Runtime invariant checkers: clean runs stay clean, planted defects trip.
+
+Each sabotage tag plants exactly one deliberate defect after the
+deployment is built (a ghost rx-table entry, an unsanctioned backwards
+clock step, a skimmed wire byte), so every checker can be shown to fire
+on the violation class it owns -- and *only* then.
+"""
+
+import pytest
+
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.simcheck import (
+    SABOTAGE_HOOKS,
+    SABOTAGE_VIOLATIONS,
+    VIOLATION_KINDS,
+    InvariantChecker,
+    InvariantViolation,
+    build_deployment,
+    run_scenario,
+)
+
+
+class TestCleanRuns:
+    def test_tiny_scenario_runs_clean(self, tiny_scenario):
+        report = run_scenario(tiny_scenario)
+        assert report.ok
+        assert report.violations == []
+        assert len(report.digest) == 64
+        assert report.summary().startswith("seed 1: ok")
+
+    def test_migration_leg_is_reported(self, tiny_scenario):
+        report = run_scenario(tiny_scenario)
+        assert len(report.legs) == 1
+        leg = report.legs[0]
+        assert (leg.app_name, leg.source, leg.destination) \
+            == ("pad", "h1", "h2")
+        assert leg.status == "completed"
+
+    def test_sanctioned_clock_jump_is_not_a_violation(self, tiny_scenario):
+        """A planned clock_jump fault must not trip the monotonicity
+        checker -- the fault engine announces it and the checker grants a
+        one-regression allowance for that host."""
+        tiny_scenario.plan = FaultPlan([FaultSpec(
+            at_ms=10.0, kind="clock_jump", target="h1",
+            params={"jump_ms": -150.0})])
+        tiny_scenario.validate()
+        report = run_scenario(tiny_scenario)
+        kinds = [v.kind for v in report.violations]
+        assert "clock-monotonicity" not in kinds
+        assert report.ok
+
+
+class TestSabotagedRuns:
+    @pytest.mark.parametrize("tag", sorted(SABOTAGE_HOOKS))
+    def test_each_sabotage_trips_its_checker(self, tiny_scenario, tag):
+        tiny_scenario.sabotage = tag
+        report = run_scenario(tiny_scenario)
+        assert not report.ok
+        assert SABOTAGE_VIOLATIONS[tag] in {v.kind for v in report.violations}
+
+    def test_sabotage_map_only_names_known_violation_kinds(self):
+        assert set(SABOTAGE_VIOLATIONS) == set(SABOTAGE_HOOKS)
+        assert set(SABOTAGE_VIOLATIONS.values()) <= set(VIOLATION_KINDS)
+
+    def test_violation_carries_context_and_sim_time(self, tiny_scenario):
+        tiny_scenario.sabotage = "rx-ghost"
+        report = run_scenario(tiny_scenario)
+        violation = next(v for v in report.violations
+                         if v.kind == SABOTAGE_VIOLATIONS["rx-ghost"])
+        assert violation.at_ms >= 0.0
+        assert violation.detail
+
+
+class TestViolationWireFormat:
+    def test_roundtrip(self):
+        violation = InvariantViolation(
+            kind="byte-accounting", detail="1 byte skimmed", at_ms=12.5,
+            context={"host": "h1"})
+        clone = InvariantViolation.from_dict(violation.to_dict())
+        assert clone.to_dict() == violation.to_dict()
+
+    def test_str_names_the_kind(self):
+        violation = InvariantViolation("window-cursor", "head past window",
+                                       at_ms=3.0, context={})
+        assert "window-cursor" in str(violation)
+
+
+class TestCheckerInstallation:
+    def test_install_requires_an_observability_hub(self, tiny_scenario):
+        deployment = build_deployment(tiny_scenario)  # no hub attached
+        with pytest.raises(RuntimeError):
+            InvariantChecker(deployment).install()

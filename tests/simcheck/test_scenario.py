@@ -1,0 +1,169 @@
+"""Scenario generation, validation and the JSON wire format."""
+
+import pytest
+
+from repro.faults.plan import link_target
+from repro.simcheck import (
+    APP_KINDS,
+    AppSpec,
+    HostSpec,
+    MigrationLeg,
+    Scenario,
+    SimcheckError,
+    build_application,
+    build_deployment,
+    generate_scenario,
+)
+
+
+class TestGeneration:
+    def test_same_seed_yields_identical_scenarios(self):
+        assert generate_scenario(7).to_json() == generate_scenario(7).to_json()
+
+    def test_different_seeds_yield_different_scenarios(self):
+        assert generate_scenario(7).to_json() != generate_scenario(8).to_json()
+
+    def test_generated_scenarios_validate(self):
+        for seed in range(10):
+            generate_scenario(seed).validate()
+
+    def test_generated_hosts_apps_and_legs_are_consistent(self):
+        scenario = generate_scenario(4)
+        host_names = set(scenario.host_names())
+        for app in scenario.apps:
+            assert app.kind in APP_KINDS
+            assert app.launch_host in host_names
+        app_names = {a.name for a in scenario.apps}
+        for leg in scenario.legs:
+            assert leg.app_name in app_names
+            assert leg.destination in host_names
+
+    def test_multi_space_scenarios_have_gateways_on_linked_spaces(self):
+        for seed in range(30):
+            scenario = generate_scenario(seed)
+            for a, b in scenario.space_links:
+                assert a in scenario.gateways
+                assert b in scenario.gateways
+
+
+class TestWireFormat:
+    def test_json_roundtrip_is_lossless(self, tiny_scenario):
+        assert (Scenario.from_json(tiny_scenario.to_json()).to_json()
+                == tiny_scenario.to_json())
+
+    def test_generated_scenario_roundtrips(self):
+        scenario = generate_scenario(13)
+        assert Scenario.from_json(scenario.to_json()).to_json() \
+            == scenario.to_json()
+
+    def test_unsupported_format_tag_is_rejected(self, tiny_scenario):
+        data = tiny_scenario.to_dict()
+        data["format"] = "repro.simcheck.scenario/999"
+        with pytest.raises(SimcheckError):
+            Scenario.from_dict(data)
+
+    def test_garbage_json_is_rejected(self):
+        with pytest.raises(SimcheckError):
+            Scenario.from_json("not json {")
+        with pytest.raises(SimcheckError):
+            Scenario.from_json("[1, 2, 3]")
+
+
+class TestValidation:
+    def test_tiny_scenario_is_valid(self, tiny_scenario):
+        assert tiny_scenario.validate() is tiny_scenario
+
+    def test_hostless_scenario_rejected(self):
+        with pytest.raises(SimcheckError):
+            Scenario(seed=1, spaces=["lab"]).validate()
+
+    def test_host_in_unknown_space_rejected(self, tiny_scenario):
+        tiny_scenario.hosts.append(HostSpec("h3", "atlantis"))
+        with pytest.raises(SimcheckError):
+            tiny_scenario.validate()
+
+    def test_duplicate_host_names_rejected(self, tiny_scenario):
+        tiny_scenario.hosts.append(HostSpec("h1", "lab"))
+        with pytest.raises(SimcheckError):
+            tiny_scenario.validate()
+
+    def test_unknown_app_kind_rejected(self, tiny_scenario):
+        tiny_scenario.apps.append(
+            AppSpec("weird", "spreadsheet", "bob", 1_000, "h1"))
+        with pytest.raises(SimcheckError):
+            tiny_scenario.validate()
+
+    def test_leg_for_unknown_app_rejected(self, tiny_scenario):
+        tiny_scenario.legs.append(MigrationLeg("ghost-app", "h2"))
+        with pytest.raises(SimcheckError):
+            tiny_scenario.validate()
+
+    def test_leg_to_unknown_host_rejected(self, tiny_scenario):
+        tiny_scenario.legs.append(MigrationLeg("pad", "nowhere"))
+        with pytest.raises(SimcheckError):
+            tiny_scenario.validate()
+
+    def test_space_link_without_gateways_rejected(self, tiny_scenario):
+        tiny_scenario.spaces.append("annex")
+        tiny_scenario.space_links.append(("lab", "annex"))
+        with pytest.raises(SimcheckError):
+            tiny_scenario.validate()
+
+    def test_non_positive_window_rejected(self, tiny_scenario):
+        tiny_scenario.transfer_window = 0
+        with pytest.raises(SimcheckError):
+            tiny_scenario.validate()
+
+
+class TestDerivedViews:
+    def test_link_targets_mirror_the_lan_mesh(self, tiny_scenario):
+        assert tiny_scenario.link_targets() == [link_target("h1", "h2")]
+
+    def test_link_targets_include_gateway_and_backbone_links(self):
+        scenario = Scenario(
+            seed=1,
+            spaces=["lab", "annex"],
+            gateways={"lab": "gw1", "annex": "gw2"},
+            space_links=[("lab", "annex")],
+            hosts=[HostSpec("h1", "lab"), HostSpec("h2", "annex")],
+        ).validate()
+        targets = set(scenario.link_targets())
+        assert targets == {link_target("h1", "gw1"),
+                           link_target("h2", "gw2"),
+                           link_target("gw1", "gw2")}
+
+    def test_describe_summarizes_the_shape(self, tiny_scenario):
+        assert tiny_scenario.describe() \
+            == "spaces=1 hosts=2 apps=1 legs=1 faults=0 window=1"
+
+
+class TestBuilders:
+    def test_build_application_covers_every_kind(self):
+        for kind in APP_KINDS:
+            app = build_application(
+                AppSpec(f"a-{kind}", kind, "ann", 40_000, "h1"))
+            assert app.name == f"a-{kind}"
+
+    def test_build_application_rejects_unknown_kind(self):
+        with pytest.raises(SimcheckError):
+            build_application(AppSpec("a", "spreadsheet", "ann", 1, "h1"))
+
+    def test_build_deployment_materializes_the_topology(self, tiny_scenario):
+        deployment = build_deployment(tiny_scenario)
+        assert set(deployment.middlewares) == {"h1", "h2"}
+        # Apps are launched by the runner, never by the builder.
+        assert deployment.application_instances() == []
+
+    def test_build_deployment_wires_gateways_and_backbones(self):
+        scenario = Scenario(
+            seed=2,
+            spaces=["lab", "annex"],
+            gateways={"lab": "gw1", "annex": "gw2"},
+            space_links=[("lab", "annex")],
+            hosts=[HostSpec("h1", "lab"), HostSpec("h2", "annex")],
+        ).validate()
+        deployment = build_deployment(scenario)
+        network = deployment.network
+        for name in ("h1", "h2", "gw1", "gw2"):
+            assert network.has_host(name)
+        assert network.route("h1", "h2") == ["h1", "gw1", "gw2", "h2"]

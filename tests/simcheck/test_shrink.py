@@ -1,0 +1,96 @@
+"""Greedy failure shrinking and the replayable repro-artifact format."""
+
+import json
+
+import pytest
+
+from repro.simcheck import (
+    ARTIFACT_FORMAT,
+    SABOTAGE_VIOLATIONS,
+    SimcheckError,
+    generate_scenario,
+    load_artifact,
+    replay_artifact,
+    run_scenario,
+    shrink,
+    write_artifact,
+)
+
+
+@pytest.fixture(scope="module")
+def shrunk():
+    """Shrink one sabotaged full-size scenario (shared: shrinking reruns
+    the simulation once per candidate)."""
+    scenario = generate_scenario(5)
+    scenario.sabotage = "rx-ghost"
+    return shrink(scenario, SABOTAGE_VIOLATIONS["rx-ghost"]), scenario
+
+
+class TestShrinking:
+    def test_result_still_reproduces_the_violation(self, shrunk):
+        result, _ = shrunk
+        assert result.violation.kind == SABOTAGE_VIOLATIONS["rx-ghost"]
+        report = run_scenario(result.scenario)
+        assert result.violation.kind in {v.kind for v in report.violations}
+
+    def test_shrinks_to_the_acceptance_bar(self, shrunk):
+        result, original = shrunk
+        assert len(result.scenario.hosts) <= 3
+        assert len(result.scenario.plan) <= 1
+        assert len(result.scenario.hosts) <= len(original.hosts)
+
+    def test_evaluation_budget_is_respected(self, shrunk):
+        result, _ = shrunk
+        assert 0 < result.evaluations <= 200
+
+    def test_shrinking_a_passing_scenario_is_an_error(self, tiny_scenario):
+        with pytest.raises(SimcheckError):
+            shrink(tiny_scenario, "byte-accounting")
+
+
+class TestArtifacts:
+    def test_artifact_roundtrips_through_disk(self, shrunk, tmp_path):
+        result, original = shrunk
+        path = str(tmp_path / "repro.json")
+        write_artifact(path, result, original)
+        scenario, violation = load_artifact(path)
+        assert scenario.to_json() == result.scenario.to_json()
+        assert violation.kind == result.violation.kind
+
+    def test_artifact_is_plain_versioned_json(self, shrunk, tmp_path):
+        result, original = shrunk
+        path = str(tmp_path / "repro.json")
+        write_artifact(path, result, original)
+        with open(path) as fh:
+            data = json.load(fh)
+        assert data["format"] == ARTIFACT_FORMAT
+        assert data["scenario"]["seed"] == result.scenario.seed
+
+    def test_replay_reproduces_the_violation(self, shrunk, tmp_path):
+        result, original = shrunk
+        path = str(tmp_path / "repro.json")
+        write_artifact(path, result, original)
+        report, reproduced = replay_artifact(path)
+        assert reproduced
+        assert result.violation.kind in {v.kind for v in report.violations}
+
+    def test_replay_of_a_fixed_scenario_reports_not_reproduced(
+            self, shrunk, tmp_path):
+        result, original = shrunk
+        path = str(tmp_path / "repro.json")
+        write_artifact(path, result, original)
+        with open(path) as fh:
+            data = json.load(fh)
+        data["scenario"]["sabotage"] = ""  # the defect got fixed
+        with open(path, "w") as fh:
+            json.dump(data, fh)
+        report, reproduced = replay_artifact(path)
+        assert not reproduced
+        assert report.ok
+
+    def test_malformed_artifact_is_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as fh:
+            json.dump({"format": "something/else"}, fh)
+        with pytest.raises(SimcheckError):
+            load_artifact(path)
