@@ -19,10 +19,14 @@ from repro.agents.agent import Agent
 from repro.agents.directory import DirectoryFacilitator
 from repro.agents.serialization import SerializationError, deep_size_bytes
 from repro.net.kernel import EventLoop
-from repro.net.simnet import Host, Message, Network
+from repro.net.simnet import Host, Message, Network, register_bulk_protocol
 
 ACL_PROTOCOL = "agents.acl"
 TRANSFER_PROTOCOL = "agents.transfer"
+# Agent state transfers are bulk traffic: chunks of one migration queue
+# FIFO within their flow, concurrent migrations share link bandwidth
+# fairly, and ACL control messages never wait behind them.
+register_bulk_protocol(TRANSFER_PROTOCOL)
 
 #: Fallback wire size when message content cannot be sized.
 _DEFAULT_CONTENT_SIZE = 256

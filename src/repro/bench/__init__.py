@@ -2,6 +2,8 @@
 
 - :mod:`repro.bench.harness` -- the two-PC testbed builder and migration
   experiment runner.
+- :mod:`repro.bench.scale` -- concurrent-migration and multi-space scale
+  benchmarks for the fair-share link model.
 - :mod:`repro.bench.workloads` -- the paper's file-size sweep and scenario
   parameters.
 - :mod:`repro.bench.reporting` -- figure-style series tables.
@@ -16,17 +18,27 @@ from repro.bench.harness import (
     round_trip_experiment,
 )
 from repro.bench.reporting import format_comparison_table, format_phase_table
+from repro.bench.scale import (
+    ConcurrentMigrationResult,
+    ScaleResult,
+    concurrent_migration_experiment,
+    scale_benchmark,
+)
 from repro.bench.workloads import PAPER_FILE_SIZES_MB, mb
 
 __all__ = [
+    "ConcurrentMigrationResult",
     "MigrationExperiment",
     "PAPER_FILE_SIZES_MB",
+    "ScaleResult",
     "SweepRow",
     "TestbedConfig",
     "build_paper_testbed",
     "clone_dispatch_experiment",
+    "concurrent_migration_experiment",
     "format_comparison_table",
     "format_phase_table",
     "mb",
     "round_trip_experiment",
+    "scale_benchmark",
 ]

@@ -38,6 +38,7 @@ TOPIC_NETWORK = "context.network"
 TOPIC_PREFERENCE = "context.preference"
 TOPIC_DEVICE = "context.device"
 TOPIC_USER_COMMAND = "context.command"
+TOPIC_APP = "context.app"
 
 _event_ids = itertools.count(1)
 

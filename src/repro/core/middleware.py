@@ -21,6 +21,7 @@ from repro.context.classifier import ContextClassifier
 from repro.context.fusion import IdentityRegistry, LocationFusion
 from repro.context.model import (
     ContextEvent,
+    TOPIC_APP,
     TOPIC_LOCATION,
     TOPIC_NETWORK,
     TOPIC_RAW_NETWORK,
@@ -46,7 +47,7 @@ from repro.core.mobility import MobilityConfig, MobilityManager
 from repro.core.profiles import DeviceProfile
 from repro.core.snapshot import SnapshotManager
 from repro.net.kernel import EventLoop
-from repro.net.simnet import Host, Message, Network
+from repro.net.simnet import Host, Message, Network, register_bulk_protocol
 from repro.net.topology import LinkSpec, Topology
 from repro.registry.records import ApplicationRecord, InterfaceDescription, Operation
 from repro.registry.registry import (
@@ -58,6 +59,10 @@ from repro.registry.registry import (
 
 SYNC_PROTOCOL = "md.sync"
 DATA_PROTOCOL = "md.data"
+# Remote-data streaming moves multi-MB payloads: classify it as bulk so it
+# fair-shares links with agent transfers instead of head-of-line blocking
+# sync/ACL control traffic (md.sync stays control).
+register_bulk_protocol(DATA_PROTOCOL)
 
 
 @dataclass
@@ -185,6 +190,9 @@ class MDAgentMiddleware:
             return
         if app.status is AppStatus.RUNNING:
             app.stop()
+        # Lifecycle listeners (e.g. the pre-staging service's staged-pair
+        # invalidation) need to hear about explicit stops too.
+        self.publish_app_event(app, "stopped")
         self.registry_client.call(
             "deregister_application",
             {"app_name": app_name, "host": self.host_name},
@@ -474,7 +482,7 @@ class MDAgentMiddleware:
 
     def publish_app_event(self, app: Application, what: str) -> None:
         self.deployment.bus.publish(ContextEvent(
-            topic="context.app", subject=app.name,
+            topic=TOPIC_APP, subject=app.name,
             attributes={"event": what, "host": self.host_name,
                         "owner": app.owner},
             timestamp=self.loop.now, source="middleware"))
@@ -482,6 +490,130 @@ class MDAgentMiddleware:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<MDAgentMiddleware {self.host_name} "
                 f"apps={sorted(self.applications)}>")
+
+
+@dataclass
+class ScheduledMigration:
+    """Handle for one migration submitted to the :class:`MigrationScheduler`.
+
+    ``outcome`` stays ``None`` while the request waits in the admission
+    queue; once admitted it is the live :class:`MigrationOutcome`.
+    """
+
+    app_name: str
+    source: str
+    destination: str
+    kind: MigrationKind
+    policy: BindingPolicy
+    deadline_ms: Optional[float]
+    seq: int
+    queued_at: float = 0.0
+    admitted_at: float = 0.0
+    state: str = "queued"  # queued | active | done | rejected
+    error: str = ""
+    outcome: Optional[MigrationOutcome] = None
+
+    @property
+    def queue_wait_ms(self) -> float:
+        return self.admitted_at - self.queued_at
+
+    def sort_key(self) -> Tuple[float, int]:
+        # Deadline-aware ordering: earliest deadline first, FIFO tiebreak
+        # (and FIFO among requests with no deadline at all).
+        deadline = self.deadline_ms if self.deadline_ms is not None \
+            else float("inf")
+        return (deadline, self.seq)
+
+
+class MigrationScheduler:
+    """Admission control for concurrent migrations in one deployment.
+
+    The fair-share link model lets migrations overlap, but unbounded
+    concurrency thrashes: every flow's share shrinks and *every* deadline
+    slips.  The scheduler admits at most ``limit`` migrations at a time,
+    serializes per destination (one inbound migration per host -- a
+    resuming host is busy restoring state), and orders the waiting queue
+    by earliest deadline with FIFO tiebreak.  Slots release through each
+    outcome's completion callback, so draining the event loop drives the
+    whole queue.
+    """
+
+    def __init__(self, deployment: "Deployment", limit: int = 4):
+        if limit < 1:
+            raise MiddlewareError(f"admission limit must be >= 1: {limit}")
+        self.deployment = deployment
+        self.limit = int(limit)
+        self._seq = itertools.count(1)
+        self._pending: List[ScheduledMigration] = []
+        self._busy_destinations: set = set()
+        self.active = 0
+        self.admitted = 0
+        self.completed = 0
+        self.rejected = 0
+        self.max_queue_depth = 0
+
+    def submit(self, source: str, app_name: str, destination: str,
+               kind: MigrationKind = MigrationKind.FOLLOW_ME,
+               policy: BindingPolicy = BindingPolicy.ADAPTIVE,
+               deadline_ms: Optional[float] = None) -> ScheduledMigration:
+        """Queue a migration; it starts as soon as a slot and its
+        destination are free.  Returns a handle immediately."""
+        request = ScheduledMigration(
+            app_name=app_name, source=source, destination=destination,
+            kind=kind, policy=policy, deadline_ms=deadline_ms,
+            seq=next(self._seq), queued_at=self.deployment.loop.now)
+        self._pending.append(request)
+        self.max_queue_depth = max(self.max_queue_depth, len(self._pending))
+        self._pump()
+        return request
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._pending)
+
+    def _pump(self) -> None:
+        while self.active < self.limit:
+            admissible = [r for r in self._pending
+                          if r.destination not in self._busy_destinations]
+            if not admissible:
+                return
+            request = min(admissible, key=ScheduledMigration.sort_key)
+            self._pending.remove(request)
+            self._admit(request)
+
+    def _admit(self, request: ScheduledMigration) -> None:
+        deployment = self.deployment
+        request.admitted_at = deployment.loop.now
+        try:
+            outcome = deployment.middleware(request.source).migrate(
+                request.app_name, request.destination,
+                kind=request.kind, policy=request.policy)
+        except (MigrationError, MiddlewareError) as exc:
+            # e.g. an earlier admitted migration already moved the app
+            # away from the recorded source; surface it on the handle.
+            request.state = "rejected"
+            request.error = str(exc)
+            self.rejected += 1
+            return
+        request.state = "active"
+        request.outcome = outcome
+        self.active += 1
+        self.admitted += 1
+        self._busy_destinations.add(request.destination)
+        outcome.log(f"scheduler: admitted after {request.queue_wait_ms:.1f} "
+                    f"ms in queue ({self.active}/{self.limit} slots)")
+        outcome.on_complete(lambda _o, r=request: self._release(r))
+
+    def _release(self, request: ScheduledMigration) -> None:
+        request.state = "done"
+        self.active -= 1
+        self.completed += 1
+        self._busy_destinations.discard(request.destination)
+        self._pump()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<MigrationScheduler {self.active}/{self.limit} active, "
+                f"{len(self._pending)} queued>")
 
 
 class Deployment:
@@ -538,6 +670,7 @@ class Deployment:
         self.outcomes: Dict[str, MigrationOutcome] = {}
         self._outcome_seq = itertools.count(1)
         self.prestaging = None
+        self.scheduler: Optional[MigrationScheduler] = None
         # Fault injection (optional): the chaos engine arms per its config
         # ("first-migration" by default) and replays its plan on the loop.
         self.chaos = None
@@ -602,6 +735,14 @@ class Deployment:
             from repro.core.prestage import PrestagingService
             self.prestaging = PrestagingService(self, probability_threshold)
         return self.prestaging
+
+    def enable_migration_scheduler(self, limit: int = 4
+                                   ) -> MigrationScheduler:
+        """Install the concurrent-migration admission scheduler (see
+        :class:`MigrationScheduler`); idempotent, keeps the first limit."""
+        if self.scheduler is None:
+            self.scheduler = MigrationScheduler(self, limit)
+        return self.scheduler
 
     # -- sensing -----------------------------------------------------------------
 

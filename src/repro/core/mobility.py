@@ -238,6 +238,7 @@ class MobilityManager:
                 outcome.failure_reason = r.failure_reason
                 if plan.kind is MigrationKind.FOLLOW_ME:
                     self._rollback(app, snapshot, outcome)
+                self._count_failure(plan)
                 outcome._finish()
 
         result.on_complete(on_moved)
@@ -246,6 +247,15 @@ class MobilityManager:
             # remote streaming, but the user-facing instance is gone).
             app.stop()
             outcome.log(f"source instance of {app.name} stopped")
+
+    def _count_failure(self, plan: MigrationPlan) -> None:
+        """Counterpart of the ``migration.completed`` counter: without it
+        a scheduler-driven fleet cannot tell a quiet deployment from one
+        whose migrations all die in transit."""
+        obs = self.loop.observability
+        if obs is not None:
+            obs.metrics.counter("migration.failed",
+                                kind=plan.kind.value).inc()
 
     def _rollback(self, app: Application, snapshot,
                   outcome: MigrationOutcome) -> None:
@@ -303,6 +313,7 @@ class MobilityManager:
             if r.failed:
                 outcome.failed = True
                 outcome.failure_reason = r.failure_reason
+                self._count_failure(plan)
                 outcome._finish()
 
         result.on_complete(on_moved)

@@ -13,8 +13,15 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from repro.context.model import ContextEvent, TOPIC_LOCATION
+from repro.context.model import ContextEvent, TOPIC_APP, TOPIC_LOCATION
 from repro.core.application import AppStatus
+
+#: Application lifecycle transitions that invalidate staged pairs: after
+#: any of these the app's component footprint (or its very existence at
+#: the staged destination) may have changed, so earlier pushes no longer
+#: guarantee anything and the destination must be re-evaluated.
+_INVALIDATING_EVENTS = frozenset(
+    {"started", "resumed", "stopped", "rolled-back"})
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.middleware import Deployment
@@ -39,6 +46,24 @@ class PrestagingService:
         #: (app, destination) pairs already pushed, to avoid re-pushing.
         self._already_staged: set = set()
         deployment.bus.subscribe(TOPIC_LOCATION, self._on_location)
+        deployment.bus.subscribe(TOPIC_APP, self._on_app_event)
+
+    def _on_app_event(self, event: ContextEvent) -> None:
+        """Invalidate staged pairs when an app's lifecycle changes.
+
+        Without this the ``(app, destination)`` memo was never cleared: a
+        user commuting office -> lab -> office would get a pre-stage for the
+        first trip only, and every later trip paid the full migration cost
+        even though the predictor fired.  Any lifecycle transition (started,
+        resumed after a migration, stopped, rolled-back) drops all pairs for
+        that app so the next confident prediction stages it again.
+        """
+        if event.get("event") not in _INVALIDATING_EVENTS:
+            return
+        app_name = event.subject
+        stale = [key for key in self._already_staged if key[0] == app_name]
+        for key in stale:
+            self._already_staged.discard(key)
 
     def _on_location(self, event: ContextEvent) -> None:
         user = event.subject
@@ -72,7 +97,12 @@ class PrestagingService:
                     continue
                 self._already_staged.add(key)
                 self.prestages_started += 1
-                middleware.prestage(app.name, destination)
+                outcome = middleware.prestage(app.name, destination)
+                # A failed push staged nothing: drop the memo so the next
+                # confident prediction tries again.
+                outcome.on_complete(
+                    lambda o, k=key: self._already_staged.discard(k)
+                    if o.failed else None)
 
     def _choose_destination(self, middleware, app,
                             predicted_space: str) -> Optional[str]:
@@ -82,6 +112,13 @@ class PrestagingService:
         Under the contract-net strategy this ranks candidates by the same
         (load, cpu, name) key the hosting bids carry -- computed directly,
         since pre-staging is a deployment-level optimization service.
+
+        Ordering verified against the contract-net award path: the AA's
+        ``_solicit_bids`` sorts proposals by ``(running_apps, cpu_factor,
+        host)`` ascending and awards the first, and the ``min(candidates)``
+        below applies the identical ascending key, so for tied load the
+        staged destination equals the host the later migration picks
+        (asserted by ``tests/core/test_prestaging.py``).
         """
         deployment = self.deployment
         if middleware.config.destination_strategy != "contract-net":

@@ -264,16 +264,21 @@ class ChaosEngine:
         link = self._link(spec)
         saved = {"bandwidth_mbps": link.bandwidth_mbps}
         if "bandwidth_mbps" in spec.params:
-            link.bandwidth_mbps = float(spec.params["bandwidth_mbps"])
+            new_mbps = float(spec.params["bandwidth_mbps"])
         else:
-            link.bandwidth_mbps *= float(spec.params["factor"])
-        if link.bandwidth_mbps <= 0:
-            link.bandwidth_mbps = saved["bandwidth_mbps"]
+            new_mbps = link.bandwidth_mbps * float(spec.params["factor"])
+        if new_mbps <= 0:
             raise _FaultSkipped("degraded bandwidth must stay positive")
+        # set_bandwidth settles in-progress fair-share service at the old
+        # rate before the change, so concurrent bulk transfers slow down
+        # (or speed up on revert) mid-flight instead of keeping stale
+        # finish times.
+        link.set_bandwidth(new_mbps, now=self.deployment.loop.now)
         return saved
 
     def _undo_bandwidth(self, spec: FaultSpec, saved: Dict[str, Any]) -> None:
-        self._link(spec).bandwidth_mbps = saved["bandwidth_mbps"]
+        self._link(spec).set_bandwidth(saved["bandwidth_mbps"],
+                                       now=self.deployment.loop.now)
 
     def _apply_loss(self, spec: FaultSpec) -> Dict[str, Any]:
         link = self._link(spec)

@@ -109,6 +109,19 @@ class EventLoop:
         currently running event and anything already queued for *now*)."""
         return self.call_at(self._now, callback, *args)
 
+    def reschedule(self, timer: Timer, when: float) -> Timer:
+        """Move a pending timer to a new due time.
+
+        Cancels ``timer`` (a no-op if it already fired or was cancelled)
+        and schedules the same callback/args at ``when``, returning the new
+        handle.  Used by the fair-share link engine, which must shift its
+        predicted completion event whenever a flow joins or leaves a link.
+        The old heap entry stays behind as a cancelled tombstone -- cheap,
+        and it never dispatches.
+        """
+        timer.cancel()
+        return self.call_at(when, timer.callback, *timer.args)
+
     def _pop_due(self) -> Optional[Timer]:
         while self._queue:
             _, _, timer = heapq.heappop(self._queue)

@@ -4,9 +4,23 @@ The paper's testbed is two PCs joined by 10 Mbps Ethernet; migration cost is
 dominated by (serialized payload size) / (link bandwidth).  This module
 models that directly:
 
-- a :class:`Link` charges ``latency + bytes * 8 / bandwidth`` per message and
-  serializes concurrent transfers (a busy link queues the next message), and
+- a :class:`Link` charges ``latency + bytes * 8 / bandwidth`` per message,
+  with two traffic classes: **control** messages (ACL/protocol chatter)
+  serialize FIFO among themselves at full bandwidth, while **bulk**
+  transfers (migration/prestage payloads) share the wire fairly -- ``k``
+  concurrent bulk flows each progress at ``bandwidth / k`` (processor
+  sharing), so a multi-MB chunk never head-of-line blocks the tiny
+  check-out/check-in messages the migration protocol needs to make
+  progress, and concurrent migrations overlap instead of serializing.
 - a :class:`Host` dispatches delivered messages to per-protocol handlers.
+
+A protocol is *bulk* only if registered via :func:`register_bulk_protocol`
+(the agent transfer and middleware data-streaming protocols register
+themselves); everything else is control.  When a single bulk flow has the
+wire to itself the engine reproduces the historical exclusive-reservation
+arithmetic exactly -- timings, RNG draw order and event pattern are
+byte-identical to the pre-contention model (the frozen goldens in
+``tests/faults/golden/`` pin this).
 
 Multi-hop routes (e.g. across an inter-space gateway) are store-and-forward:
 each hop is charged in sequence, plus any per-gateway processing delay that
@@ -17,11 +31,39 @@ from __future__ import annotations
 
 import itertools
 import random
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.net.clock import HostClock
 from repro.net.kernel import EventLoop
+
+#: The two link traffic classes (see :func:`traffic_class`).
+CONTROL = "control"
+BULK = "bulk"
+
+#: Protocols whose messages are bulk payload transfers.  Module-level and
+#: append-only by design: entries are registered at import time by the
+#: layers that own the protocols, so classification is deterministic and
+#: identical across deployments in one process.
+_BULK_PROTOCOLS: set = set()
+
+
+def register_bulk_protocol(protocol: str) -> None:
+    """Classify ``protocol`` as bulk: its messages queue per-flow and share
+    link bandwidth fairly with other bulk flows instead of holding an
+    exclusive reservation.  Idempotent."""
+    _BULK_PROTOCOLS.add(protocol)
+
+
+def traffic_class(protocol: str) -> str:
+    """``BULK`` for registered bulk protocols, ``CONTROL`` for the rest.
+
+    Control is the default on purpose: unknown protocols get the historical
+    exclusive-FIFO semantics, so only traffic that explicitly opts in is
+    subject to fair sharing.
+    """
+    return BULK if protocol in _BULK_PROTOCOLS else CONTROL
 
 
 class NetworkError(RuntimeError):
@@ -166,13 +208,68 @@ class Host:
         return f"<Host {self.name} space={self.space}>"
 
 
-class Link:
-    """A bidirectional point-to-point link.
+class _BulkJob:
+    """One bulk message's passage over a link (see :class:`Link`)."""
 
-    Transfers are serialized per direction-agnostic link: a message begins
-    transmission when the link frees up, takes ``size*8/bandwidth`` to put on
-    the wire, then ``latency`` (plus jitter) to propagate.
+    __slots__ = ("size_bytes", "remaining", "jitter", "lost", "finish_tx",
+                 "flow", "dispatch", "on_arrival", "timer", "receipt",
+                 "on_dropped")
+
+    def __init__(self, size_bytes: int, jitter: float, lost: bool, flow,
+                 dispatch, on_arrival, receipt, on_dropped):
+        self.size_bytes = size_bytes
+        #: Bytes still to serialize (fluid-model state; only authoritative
+        #: while the job sits in its flow queue under contention).
+        self.remaining = float(size_bytes)
+        self.jitter = jitter
+        self.lost = lost
+        #: Absolute time the last byte leaves the wire (set when known).
+        self.finish_tx = 0.0
+        self.flow = flow
+        #: Network-supplied scheduler: ``dispatch(arrival) -> Timer`` books
+        #: the delivery/forward event.  ``None`` for lost phantoms.
+        self.dispatch = dispatch
+        self.on_arrival = on_arrival
+        self.timer = None
+        self.receipt = receipt
+        self.on_dropped = on_dropped
+
+
+class _BulkFlow:
+    """Per-(source, destination) FIFO of bulk jobs on one link.
+
+    Chunks of one transfer serialize within their flow (preserving the
+    go-back-N window semantics); distinct flows share the wire fairly.
     """
+
+    __slots__ = ("key", "jobs", "cursor", "last_arrival")
+
+    def __init__(self, key):
+        self.key = key
+        self.jobs: Deque[_BulkJob] = deque()
+        #: When the flow's last enqueued byte finishes serializing --
+        #: the flow-local analogue of the control lane's ``busy_until``
+        #: (authoritative only while the link is uncontended).
+        self.cursor = 0.0
+        #: FIFO clamp: within a flow, jitter can never reorder deliveries.
+        self.last_arrival = 0.0
+
+
+class Link:
+    """A bidirectional point-to-point link with two traffic classes.
+
+    *Control* messages serialize FIFO among themselves (a busy control lane
+    queues the next control message) at full bandwidth -- the historical
+    exclusive-reservation model.  *Bulk* messages queue per flow
+    (source, destination) and concurrent flows share the wire by processor
+    sharing: ``k`` active flows each serialize at ``bandwidth / k``, with
+    finish times recomputed whenever a flow joins or leaves.  A single bulk
+    flow with the wire to itself reproduces the exclusive-reservation
+    arithmetic exactly (byte-identical single-flow guarantee).
+    """
+
+    #: Slack for float comparisons in the fluid bulk engine (bytes / ms).
+    _EPS = 1e-9
 
     def __init__(self, a: str, b: str, bandwidth_mbps: float = 10.0,
                  latency_ms: float = 1.0, jitter_ms: float = 0.0,
@@ -189,12 +286,33 @@ class Link:
         self.latency_ms = float(latency_ms)
         self.jitter_ms = float(jitter_ms)
         self.loss_rate = float(loss_rate)
+        #: Control-lane reservation: when the last control message's final
+        #: byte leaves the wire.  (Bulk flows keep their own cursors.)
         self.busy_until = 0.0
-        #: Arrival time of the last non-lost message: deliveries on one
-        #: link are FIFO, so jitter can never reorder them.
+        #: Arrival time of the last non-lost control message: control
+        #: deliveries on one link are FIFO, so jitter can never reorder
+        #: them.  (Bulk flows carry their own per-flow clamp.)
         self.last_arrival = 0.0
         self.bytes_carried = 0
         self.messages_carried = 0
+        #: Loss accounting (previously invisible: lost messages occupied
+        #: the wire but appeared in no counter).
+        self.bytes_dropped = 0
+        self.messages_dropped = 0
+        #: Cumulative wire occupancy per traffic class, in ms of
+        #: transmission time (lost phantoms included -- they burn wire).
+        self.class_busy_ms: Dict[str, float] = {CONTROL: 0.0, BULK: 0.0}
+        # -- bulk fair-share engine state ---------------------------------
+        self._flows: Dict[Tuple[str, str], _BulkFlow] = {}
+        #: True while >= 2 bulk flows contend (fluid mode); False on the
+        #: uncontended fast path that mirrors the legacy arithmetic.
+        self._contended = False
+        self._fluid_at = 0.0
+        self._tick_timer = None
+        self._loop: Optional[EventLoop] = None
+        #: Jobs fully serialized but still propagating (latency in flight);
+        #: kept so a hard link cut can cancel their deliveries.
+        self._latency_flight: List[_BulkJob] = []
 
     def endpoints(self) -> Tuple[str, str]:
         return (self.a, self.b)
@@ -206,16 +324,21 @@ class Link:
         """Time to serialize ``size_bytes`` onto the wire (no latency)."""
         return size_bytes * 8.0 / (self.bandwidth_mbps * 1e6) * 1e3
 
+    # -- control lane ------------------------------------------------------
+
     def schedule_transfer(self, now: float, size_bytes: int,
                           rng: random.Random) -> Tuple[float, bool]:
-        """Reserve the link and return ``(arrival_time, lost)``.
+        """Reserve the control lane and return ``(arrival_time, lost)``.
 
-        The link is busy until the payload has been fully serialized;
-        propagation latency overlaps with the next transmission.
+        The lane is busy until the payload has been fully serialized;
+        propagation latency overlaps with the next transmission.  Control
+        messages never wait behind bulk transfers: a small ACL message sent
+        mid-bulk-chunk arrives in O(latency).
         """
         start = max(now, self.busy_until)
         tx = self.transmission_ms(size_bytes)
         self.busy_until = start + tx
+        self.class_busy_ms[CONTROL] += tx
         jitter = rng.uniform(0.0, self.jitter_ms) if self.jitter_ms > 0 else 0.0
         arrival = start + tx + self.latency_ms + jitter
         # FIFO clamp: a jitter draw smaller than the previous message's can
@@ -228,7 +351,234 @@ class Link:
             self.last_arrival = arrival
             self.bytes_carried += size_bytes
             self.messages_carried += 1
+        else:
+            self.bytes_dropped += size_bytes
+            self.messages_dropped += 1
         return arrival, lost
+
+    # -- bulk lane (per-flow FIFO + processor sharing) ---------------------
+
+    def enqueue_bulk(self, loop: EventLoop, now: float,
+                     flow_key: Tuple[str, str], size_bytes: int,
+                     rng: random.Random,
+                     dispatch: Optional[Callable[[float], Any]],
+                     receipt=None, on_dropped=None,
+                     on_arrival: Optional[Callable[[float], None]] = None
+                     ) -> Tuple[Optional[float], bool]:
+        """Enqueue one bulk message; returns ``(arrival, lost)``.
+
+        ``dispatch(arrival)`` must book the delivery/forward event and
+        return its timer; the engine invokes it synchronously when the
+        finish time is already known (uncontended fast path, ``arrival`` is
+        returned non-``None``) or later, from its completion tick, when
+        flows contend (``arrival`` is ``None``; ``on_arrival`` fires once
+        the time is known).  A lost message is reported synchronously
+        (legacy drop timing) but still burns its wire time as a phantom in
+        the flow queue.
+        """
+        self._loop = loop
+        flow = self._flows.get(flow_key)
+        if flow is None:
+            flow = self._flows[flow_key] = _BulkFlow(flow_key)
+        tx = self.transmission_ms(size_bytes)
+        self.class_busy_ms[BULK] += tx
+        # Same RNG draw order as the control lane: jitter, then loss.
+        jitter = rng.uniform(0.0, self.jitter_ms) if self.jitter_ms > 0 else 0.0
+        lost = self.loss_rate > 0 and rng.random() < self.loss_rate
+        if not lost:
+            self.bytes_carried += size_bytes
+            self.messages_carried += 1
+        else:
+            self.bytes_dropped += size_bytes
+            self.messages_dropped += 1
+        job = _BulkJob(size_bytes, jitter, lost, flow,
+                       None if lost else dispatch,
+                       None if lost else on_arrival, receipt, on_dropped)
+        if not self._contended:
+            if not any(f.cursor > now + self._EPS and f is not flow
+                       for f in self._flows.values()):
+                # Uncontended: exactly the legacy exclusive-reservation
+                # arithmetic, against this flow's own cursor.
+                start = max(now, flow.cursor)
+                finish = start + tx
+                flow.cursor = finish
+                if lost:
+                    return None, True
+                arrival = finish + self.latency_ms + jitter
+                if arrival < flow.last_arrival:
+                    arrival = flow.last_arrival
+                flow.last_arrival = arrival
+                job.finish_tx = finish
+                job.timer = dispatch(arrival)
+                self._prune_latency_flight()
+                self._latency_flight.append(job)
+                return arrival, False
+            self._begin_contention(now)
+        else:
+            self._advance(now)
+        flow.jobs.append(job)
+        self._retune(now)
+        return None, lost
+
+    def _prune_latency_flight(self) -> None:
+        self._latency_flight[:] = [j for j in self._latency_flight
+                                   if j.timer is not None and j.timer.active]
+
+    def _begin_contention(self, now: float) -> None:
+        """A second flow joined while the wire was occupied: switch from
+        arithmetic reservations to the fluid processor-sharing model.
+
+        Jobs whose transmission already finished keep their booked
+        deliveries (only latency remains for them); jobs still (or not yet)
+        serializing are pulled back into their flow queues with their
+        untransmitted remainder, and their booked deliveries cancelled.
+        """
+        full_rate = self.bandwidth_mbps * 125.0  # bytes per ms
+        still_flying: List[_BulkJob] = []
+        for job in self._latency_flight:
+            if job.timer is None or not job.timer.active:
+                continue
+            if job.finish_tx > now + self._EPS:
+                job.timer.cancel()
+                job.timer = None
+                job.remaining = (job.finish_tx - now) * full_rate
+                job.flow.jobs.append(job)
+            else:
+                still_flying.append(job)
+        self._latency_flight = still_flying
+        self._fluid_at = now
+        self._contended = True
+
+    def _advance(self, to: float) -> None:
+        """Drain fluid service up to ``to``.
+
+        The completion tick is always scheduled at the earliest head
+        finish, so no head can complete strictly inside the interval --
+        at most exactly at ``to``.
+        """
+        dt = to - self._fluid_at
+        self._fluid_at = to
+        active = [f for f in self._flows.values() if f.jobs]
+        if not active:
+            return
+        rate = self.bandwidth_mbps * 125.0 / len(active)
+        for flow in active:
+            budget = rate * max(0.0, dt)
+            while flow.jobs:
+                head = flow.jobs[0]
+                if head.remaining <= 1e-6:
+                    # Zero-size messages (and float dust) finish instantly.
+                    self._complete_head(flow, to)
+                    continue
+                if budget <= self._EPS:
+                    break
+                take = budget if budget < head.remaining else head.remaining
+                head.remaining -= take
+                budget -= take
+
+    def _complete_head(self, flow: _BulkFlow, t: float) -> None:
+        job = flow.jobs.popleft()
+        flow.cursor = t
+        if job.lost:
+            return  # phantom: wire time burned, drop already reported
+        job.finish_tx = t
+        arrival = t + self.latency_ms + job.jitter
+        if arrival < flow.last_arrival:
+            arrival = flow.last_arrival
+        flow.last_arrival = arrival
+        job.timer = job.dispatch(arrival)
+        if job.on_arrival is not None:
+            job.on_arrival(arrival)
+        self._latency_flight.append(job)
+
+    def _bulk_tick(self) -> None:
+        now = self._loop.now
+        self._tick_timer = None
+        self._advance(now)
+        self._retune(now)
+
+    def _retune(self, now: float) -> None:
+        """(Re)schedule the completion tick at the earliest head finish."""
+        active = [f for f in self._flows.values() if f.jobs]
+        if not active:
+            if self._tick_timer is not None and self._tick_timer.active:
+                self._tick_timer.cancel()
+            self._tick_timer = None
+            # Drained: the next lone flow takes the uncontended fast path.
+            self._contended = False
+            return
+        rate = self.bandwidth_mbps * 125.0 / len(active)
+        due = now + min(f.jobs[0].remaining for f in active) / rate
+        if self._tick_timer is not None and self._tick_timer.active:
+            self._tick_timer = self._loop.reschedule(self._tick_timer, due)
+        else:
+            self._tick_timer = self._loop.call_at(due, self._bulk_tick)
+
+    def set_bandwidth(self, bandwidth_mbps: float,
+                      now: Optional[float] = None) -> None:
+        """Change link bandwidth, re-rating in-flight fair-share transfers.
+
+        Fluid service already rendered is settled at the old rate first;
+        uncontended reservations booked before the change keep their
+        arithmetic finish times (the historical fault-engine semantics).
+        """
+        if bandwidth_mbps <= 0:
+            raise ValueError(f"bandwidth must be positive: {bandwidth_mbps}")
+        if self._contended and self._loop is not None:
+            at = self._loop.now if now is None else now
+            self._advance(at)
+            self.bandwidth_mbps = float(bandwidth_mbps)
+            self._retune(at)
+        else:
+            self.bandwidth_mbps = float(bandwidth_mbps)
+
+    def abort_bulk(self) -> List[_BulkJob]:
+        """Hard cut: cancel every pending bulk job on this link.
+
+        Returns the cancelled jobs (queued and latency-flight alike) so
+        the network can settle the byte ledger and fail their receipts;
+        lost phantoms were already reported and are simply discarded.
+        """
+        aborted: List[_BulkJob] = []
+        if self._tick_timer is not None and self._tick_timer.active:
+            self._tick_timer.cancel()
+        self._tick_timer = None
+        for flow in self._flows.values():
+            for job in flow.jobs:
+                if not job.lost:
+                    aborted.append(job)
+            flow.jobs.clear()
+            flow.cursor = 0.0
+        for job in self._latency_flight:
+            if job.timer is not None and job.timer.active:
+                job.timer.cancel()
+                aborted.append(job)
+        self._latency_flight = []
+        self._contended = False
+        return aborted
+
+    def bulk_queue_ms(self, flow_key: Tuple[str, str], now: float) -> float:
+        """Predicted wait before a new message of ``flow_key`` starts
+        serializing (the bulk analogue of ``busy_until - now``)."""
+        flow = self._flows.get(flow_key)
+        if not self._contended:
+            return max(0.0, flow.cursor - now) if flow is not None else 0.0
+        active = sum(1 for f in self._flows.values() if f.jobs)
+        backlog = sum(j.remaining for j in flow.jobs) if flow is not None \
+            else 0.0
+        if flow is None or not flow.jobs:
+            active += 1  # this flow would join the sharing set
+        rate = self.bandwidth_mbps * 125.0 / max(1, active)
+        return backlog / rate
+
+    def bulk_queue_depth(self) -> int:
+        """Bulk messages queued or serializing (not yet fully on the wire)."""
+        return sum(len(f.jobs) for f in self._flows.values())
+
+    @property
+    def bulk_contended(self) -> bool:
+        """True while concurrent bulk flows are sharing the wire."""
+        return self._contended
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<Link {self.a}<->{self.b} {self.bandwidth_mbps}Mbps "
@@ -261,10 +611,17 @@ class Network:
         # Conservation ledger (see repro.simcheck): every byte put on a
         # wire must come off it -- delivered, relayed, or accountably
         # dropped.  At quiescence bytes_on_wire == bytes_off_wire, and
-        # bytes_delivered_total == sum of Host.bytes_received.
+        # bytes_delivered_total == sum of Host.bytes_received.  Lossy-link
+        # drops enter and leave the ledger in one step (they occupy wire
+        # time, so they must be visible), and per-hop they land in the
+        # link's bytes_carried or bytes_dropped counter -- so at any time
+        # bytes_on_wire == sum(link carried + dropped) + retired_link_bytes.
         self.bytes_on_wire = 0
         self.bytes_off_wire = 0
         self.bytes_delivered_total = 0
+        #: Carried+dropped totals of links since removed by disconnect(),
+        #: so the link-level reconciliation survives topology changes.
+        self.retired_link_bytes = 0
         # In-flight transfers per link: (timer, receipt, on_dropped) tuples,
         # so a hard link cut (disconnect(drop_in_flight=True)) can cancel
         # the pending deliveries and fail their receipts.
@@ -329,6 +686,11 @@ class Network:
         self._adjacency[a].remove(link)
         self._adjacency[b].remove(link)
         self._invalidate_routes()
+        # Retire the link's per-hop counters so the link-level byte
+        # reconciliation (simcheck) survives the topology change.  A later
+        # connect() of the same pair builds a fresh Link: zeroed counters,
+        # idle lanes (busy_until == last_arrival == 0).
+        self.retired_link_bytes += link.bytes_carried + link.bytes_dropped
         entries = self._in_flight.pop(link, [])
         if drop_in_flight:
             for timer, receipt, on_dropped in entries:
@@ -339,6 +701,14 @@ class Network:
                     # here: the bytes left the wire by being destroyed.
                     self.bytes_off_wire += receipt.message.size_bytes
                     self._drop(receipt, on_dropped)
+            for job in link.abort_bulk():
+                # Bulk jobs (queued, serializing or propagating) went
+                # on-wire at enqueue; destroy them and settle likewise.
+                self.bytes_off_wire += job.size_bytes
+                if job.on_arrival is not None:
+                    # Seal the hop span at the cut instant.
+                    job.on_arrival(self.loop.now)
+                self._drop(job.receipt, job.on_dropped)
         return link
 
     def set_forward_delay(self, host: str, delay_ms: float) -> None:
@@ -460,8 +830,14 @@ class Network:
 
     def _observe_hop(self, obs, receipt: DeliveryReceipt, link: Link,
                      here: str, there: str, queue_ms: float,
-                     arrival: float, lost: bool) -> None:
-        """Record one link hop: a transfer span plus per-link series."""
+                     arrival: Optional[float], lost: bool):
+        """Record one link hop: a transfer span plus per-link series.
+
+        With ``arrival=None`` (a contended bulk hop whose finish time is
+        not yet known) the span is returned open; the caller seals it when
+        the fair-share engine computes the arrival -- except for lost
+        messages, whose drop is synchronous, so their span closes now.
+        """
         message = receipt.message
         label = f"{link.a}<->{link.b}"
         metrics = obs.metrics
@@ -480,9 +856,29 @@ class Network:
             message_id=message.message_id)
         if lost:
             span.annotate(lost=True)
-        # The arrival instant is already known (discrete-event scheduling),
-        # so the span can be sealed immediately at its future end time.
-        span.end(at=arrival)
+        if arrival is not None:
+            # The arrival instant is already known (discrete-event
+            # scheduling), so the span is sealed at its future end time.
+            span.end(at=arrival)
+        elif lost:
+            span.end()
+        return span
+
+    def _observe_contention(self, obs, link: Link) -> None:
+        """Sample the contention gauges for one link.
+
+        Only emitted while bulk flows actually contend, so uncontended
+        runs (including the frozen goldens) record no new series.
+        """
+        label = f"{link.a}<->{link.b}"
+        metrics = obs.metrics
+        metrics.gauge("net.link.queue_depth", link=label).set(
+            link.bulk_queue_depth())
+        now = self.loop.now
+        if now > 0:
+            for cls, busy in link.class_busy_ms.items():
+                metrics.gauge("net.link.utilization", link=label,
+                              **{"class": cls}).set(min(1.0, busy / now))
 
     def _forward(self, receipt: DeliveryReceipt, path: List[str], hop_index: int,
                  on_delivered: Optional[Callable[[DeliveryReceipt], None]],
@@ -503,6 +899,10 @@ class Network:
             # been disconnected (e.g. a link-down fault mid-path).
             self._drop(receipt, on_dropped)
             return
+        if traffic_class(receipt.message.protocol) == BULK:
+            self._forward_bulk(receipt, link, path, hop_index, here, there,
+                               on_delivered, on_dropped)
+            return
         queue_ms = max(0.0, link.busy_until - self.loop.now)
         arrival, lost = link.schedule_transfer(
             self.loop.now, receipt.message.size_bytes, self.rng)
@@ -511,8 +911,11 @@ class Network:
             self._observe_hop(obs, receipt, link, here, there, queue_ms,
                               arrival, lost)
         if lost:
-            # A lossy-link loss is synchronous: the message never occupies
-            # the wire (mirrors Link.bytes_carried), so no ledger entry.
+            # A lossy-link loss is synchronous, but the phantom occupied
+            # the wire (busy_until advanced), so it enters and leaves the
+            # ledger in one step -- bytes_on_wire balances under loss.
+            self.bytes_on_wire += receipt.message.size_bytes
+            self.bytes_off_wire += receipt.message.size_bytes
             self._drop(receipt, on_dropped)
             return
         receipt.hops += 1
@@ -528,6 +931,67 @@ class Network:
         entries = self._in_flight.setdefault(link, [])
         entries[:] = [e for e in entries if e[0].active]
         entries.append((timer, receipt, on_dropped))
+
+    def _forward_bulk(self, receipt: DeliveryReceipt, link: Link,
+                      path: List[str], hop_index: int, here: str, there: str,
+                      on_delivered: Optional[Callable[[DeliveryReceipt], None]],
+                      on_dropped: Optional[Callable[[DeliveryReceipt], None]]
+                      ) -> None:
+        """One hop of a bulk-class message through the fair-share lane.
+
+        The delivery/forward event is booked by a dispatch closure so the
+        engine can invoke it either synchronously (uncontended: arithmetic
+        identical to the exclusive-reservation model, same kernel event
+        pattern) or from its completion tick once contention resolves the
+        finish time.
+        """
+        message = receipt.message
+        size = message.size_bytes
+        flow_key = (message.source, message.destination)
+        queue_ms = link.bulk_queue_ms(flow_key, self.loop.now)
+        if hop_index + 2 == len(path):
+            def dispatch(arrival: float):
+                return self.loop.call_at(arrival, self._deliver, receipt,
+                                         on_delivered, on_dropped)
+        else:
+            forward_delay = self._forward_delay.get(there, 0.0)
+
+            def dispatch(arrival: float):
+                return self.loop.call_at(arrival + forward_delay,
+                                         self._forward, receipt, path,
+                                         hop_index + 1, on_delivered,
+                                         on_dropped)
+        obs = self.loop.observability
+        seal: Dict[str, Any] = {}
+
+        def on_arrival(arrival: float) -> None:
+            span = seal.get("span")
+            if span is not None and not seal.get("done"):
+                seal["done"] = True
+                span.end(at=arrival)
+
+        arrival, lost = link.enqueue_bulk(
+            self.loop, self.loop.now, flow_key, size, self.rng, dispatch,
+            receipt=receipt, on_dropped=on_dropped,
+            on_arrival=on_arrival if obs is not None else None)
+        if obs is not None:
+            span = self._observe_hop(obs, receipt, link, here, there,
+                                     queue_ms, arrival, lost)
+            if arrival is not None or lost:
+                seal["done"] = True
+            else:
+                seal["span"] = span
+            if link.bulk_contended:
+                self._observe_contention(obs, link)
+        if lost:
+            # Synchronous drop (legacy timing); the phantom still burns its
+            # wire time in the flow queue, so ledger in-and-out as above.
+            self.bytes_on_wire += size
+            self.bytes_off_wire += size
+            self._drop(receipt, on_dropped)
+            return
+        receipt.hops += 1
+        self.bytes_on_wire += size
 
     def _deliver(self, receipt: DeliveryReceipt,
                  on_delivered: Optional[Callable[[DeliveryReceipt], None]],

@@ -61,6 +61,7 @@ VIOLATION_KINDS = (
     "sim-time-monotonicity",
     "clock-monotonicity",
     "byte-accounting",
+    "link-accounting",
     "window-cursor",
     "rx-table-bound",
     "rx-table-leak",
@@ -199,6 +200,18 @@ class InvariantChecker:
             self.record("byte-accounting",
                         f"host receive counters ({received}) != network "
                         f"delivered total ({net.bytes_delivered_total})")
+        # Per-link ledger reconciliation: every byte the network put on a
+        # wire must show up in exactly one link's carried or dropped
+        # counter (retired_link_bytes preserves the totals of links torn
+        # down mid-run).  Under fair sharing and loss this catches a link
+        # engine that double-books or forgets a flow's bytes.
+        link_total = net.retired_link_bytes + sum(
+            link.bytes_carried + link.bytes_dropped for link in net.links)
+        if link_total != net.bytes_on_wire:
+            self.record("link-accounting",
+                        f"per-link counters ({link_total}) != bytes put on "
+                        f"the wire ({net.bytes_on_wire}); carried+dropped "
+                        f"must balance per link")
 
     def _check_rx_tables(self) -> None:
         mobility = self.deployment.platform.mobility

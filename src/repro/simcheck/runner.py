@@ -93,6 +93,17 @@ def _sabotage_wire_skim(deployment) -> None:
     deployment.loop.call_later(1.0, skim)
 
 
+def _sabotage_link_skim(deployment) -> None:
+    """Inflate one link's carried counter (per-link ledger breach)."""
+
+    def skim() -> None:
+        links = deployment.network.links
+        if links:
+            links[0].bytes_carried += 7
+
+    deployment.loop.call_later(1.0, skim)
+
+
 #: Deliberate, deterministic defects the runner can plant after building a
 #: deployment (``Scenario.sabotage``).  Test-only: they exist so the
 #: invariant checkers and the shrinker can be validated against known
@@ -101,6 +112,7 @@ SABOTAGE_HOOKS = {
     "rx-ghost": _sabotage_rx_ghost,
     "clock-skip": _sabotage_clock_skip,
     "wire-skim": _sabotage_wire_skim,
+    "link-skim": _sabotage_link_skim,
 }
 
 #: The violation kind each sabotage tag must produce.
@@ -108,6 +120,7 @@ SABOTAGE_VIOLATIONS = {
     "rx-ghost": "rx-table-leak",
     "clock-skip": "clock-monotonicity",
     "wire-skim": "byte-accounting",
+    "link-skim": "link-accounting",
 }
 
 

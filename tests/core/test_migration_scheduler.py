@@ -1,0 +1,125 @@
+"""MigrationScheduler: admission limits, per-destination queueing,
+deadline-aware ordering and slot recycling."""
+
+import pytest
+
+from repro.apps.music_player import MusicPlayerApp
+from repro.core import Deployment
+from repro.core.middleware import MiddlewareError, MigrationScheduler
+from repro.net.topology import LinkSpec
+
+
+def backbone_deployment(migrations=3, payload=60_000, seed=17):
+    """src-i in west, dst-i in east, one backbone link between them."""
+    lan = LinkSpec(bandwidth_mbps=10.0, latency_ms=1.0)
+    d = Deployment(seed=seed)
+    d.add_space("west", lan=lan)
+    d.add_space("east", lan=lan)
+    for i in range(migrations):
+        d.add_host(f"src-{i}", "west")
+        d.add_host(f"dst-{i}", "east")
+    d.add_gateway("gw-west", "west")
+    d.add_gateway("gw-east", "east")
+    d.connect_spaces("west", "east", lan)
+    for i in range(migrations):
+        app = MusicPlayerApp.build(f"app-{i}", f"user-{i}",
+                                   track_bytes=payload)
+        d.middleware(f"src-{i}").launch_application(app)
+    d.run_all()
+    return d
+
+
+def test_limit_must_be_positive():
+    d = backbone_deployment(migrations=1)
+    with pytest.raises(MiddlewareError):
+        MigrationScheduler(d, limit=0)
+
+
+def test_enable_is_idempotent_and_keeps_first_limit():
+    d = backbone_deployment(migrations=1)
+    first = d.enable_migration_scheduler(limit=2)
+    again = d.enable_migration_scheduler(limit=9)
+    assert again is first
+    assert first.limit == 2
+
+
+def test_limit_one_serializes_migrations():
+    d = backbone_deployment(migrations=3)
+    scheduler = d.enable_migration_scheduler(limit=1)
+    handles = [scheduler.submit(f"src-{i}", f"app-{i}", f"dst-{i}")
+               for i in range(3)]
+    assert scheduler.active == 1
+    assert scheduler.queue_depth == 2
+    d.run_all()
+    assert all(h.state == "done" for h in handles)
+    assert all(h.outcome.completed for h in handles)
+    assert scheduler.completed == 3
+    assert scheduler.active == 0
+    assert scheduler.max_queue_depth == 2
+    # Strictly one at a time: each later leg waited for the previous.
+    assert handles[0].queue_wait_ms == 0.0
+    assert handles[1].queue_wait_ms > 0.0
+    assert handles[2].queue_wait_ms > handles[1].queue_wait_ms
+
+
+def test_concurrent_admission_within_limit():
+    d = backbone_deployment(migrations=3)
+    scheduler = d.enable_migration_scheduler(limit=3)
+    handles = [scheduler.submit(f"src-{i}", f"app-{i}", f"dst-{i}")
+               for i in range(3)]
+    assert scheduler.active == 3
+    d.run_all()
+    assert all(h.queue_wait_ms == 0.0 for h in handles)
+    assert scheduler.completed == 3
+
+
+def test_per_destination_queueing():
+    """Two apps bound for the same host never migrate concurrently even
+    when admission slots are free: a resuming host is busy."""
+    d = backbone_deployment(migrations=2)
+    # Both apps launched on src-0/src-1 target dst-0.
+    scheduler = d.enable_migration_scheduler(limit=4)
+    first = scheduler.submit("src-0", "app-0", "dst-0")
+    second = scheduler.submit("src-1", "app-1", "dst-0")
+    assert scheduler.active == 1
+    assert second.state == "queued"
+    d.run_all()
+    assert first.state == "done" and second.state == "done"
+    assert second.queue_wait_ms >= first.outcome.total_ms
+
+
+def test_deadline_orders_the_waiting_queue():
+    d = backbone_deployment(migrations=3)
+    scheduler = d.enable_migration_scheduler(limit=1)
+    relaxed = scheduler.submit("src-0", "app-0", "dst-0")  # admitted now
+    loose = scheduler.submit("src-1", "app-1", "dst-1", deadline_ms=50_000)
+    tight = scheduler.submit("src-2", "app-2", "dst-2", deadline_ms=5_000)
+    d.run_all()
+    assert all(h.state == "done" for h in (relaxed, loose, tight))
+    # The tight deadline jumped the FIFO order once a slot freed.
+    assert tight.admitted_at < loose.admitted_at
+    assert relaxed.admitted_at < tight.admitted_at
+
+
+def test_synchronously_invalid_submission_is_rejected():
+    d = backbone_deployment(migrations=2)
+    scheduler = d.enable_migration_scheduler(limit=1)
+    bogus = scheduler.submit("src-0", "no-such-app", "dst-0")
+    ok = scheduler.submit("src-1", "app-1", "dst-1")
+    d.run_all()
+    assert bogus.state == "rejected"
+    assert bogus.error
+    assert bogus.outcome is None
+    assert scheduler.rejected == 1
+    # The rejection neither leaks a slot nor blocks the queue.
+    assert ok.state == "done" and ok.outcome.completed
+    assert scheduler.active == 0
+
+
+def test_outcome_log_records_admission():
+    d = backbone_deployment(migrations=1)
+    scheduler = d.enable_migration_scheduler(limit=1)
+    handle = scheduler.submit("src-0", "app-0", "dst-0")
+    d.run_all()
+    assert any("scheduler: admitted" in line
+               for line in handle.outcome.events)

@@ -164,6 +164,69 @@ class TestPrestagingService:
             PrestagingService(d, probability_threshold=0.0)
 
 
+class TestPrestageInvalidation:
+    def test_lifecycle_event_invalidates_staged_pairs(self):
+        """Any lifecycle transition drops all staged pairs for that app
+        (and only that app)."""
+        from repro.context.model import ContextEvent, TOPIC_APP
+        d, office_pc, lab_pc = commuting_deployment()
+        service = d.enable_prestaging()
+        service._already_staged = {("player", "lab-pc"),
+                                   ("player", "office-pc"),
+                                   ("other", "lab-pc")}
+        d.bus.publish(ContextEvent(
+            topic=TOPIC_APP, subject="player",
+            attributes={"event": "resumed", "host": "lab-pc",
+                        "owner": "alice"}))
+        d.run_all()
+        assert service._already_staged == {("other", "lab-pc")}
+
+    def test_non_lifecycle_event_is_ignored(self):
+        from repro.context.model import ContextEvent, TOPIC_APP
+        d, _, _ = commuting_deployment()
+        service = d.enable_prestaging()
+        service._already_staged = {("player", "lab-pc")}
+        d.bus.publish(ContextEvent(
+            topic=TOPIC_APP, subject="player",
+            attributes={"event": "adapted"}))
+        d.run_all()
+        assert service._already_staged == {("player", "lab-pc")}
+
+    def test_commute_back_and_forth_restages(self):
+        """Regression: the staged-pair memo was never invalidated, so a
+        user commuting office -> lab -> office got a pre-stage on the
+        first trip only."""
+        d, office_pc, lab_pc = commuting_deployment()
+        teach_routine(d)
+        launch(d, office_pc)
+        service = d.enable_prestaging(probability_threshold=0.6)
+        # First morning at the office: lab predicted, components pushed.
+        d.announce_location("alice", "office", previous="lab")
+        d.run_all()
+        assert service.prestages_started == 1
+        # She walks to the lab (the app follows) and back (follows again).
+        d.announce_location("alice", "lab", previous="office")
+        d.run_all()
+        assert lab_pc.application("player").status is AppStatus.RUNNING
+        d.announce_location("alice", "office", previous="lab")
+        d.run_all()
+        assert office_pc.application("player").status is AppStatus.RUNNING
+        # Next trip: the earlier (player, lab-pc) memo must not suppress
+        # a fresh pre-stage.
+        d.announce_location("alice", "office")
+        d.run_all()
+        assert service.prestages_started == 2
+
+    def test_uninstall_publishes_stop_and_invalidates(self):
+        d, office_pc, lab_pc = commuting_deployment()
+        app = launch(d, office_pc)
+        service = d.enable_prestaging()
+        service._already_staged = {("player", "lab-pc")}
+        office_pc.uninstall_application("player")
+        d.run_all()
+        assert service._already_staged == set()
+
+
 class TestPrestageWithContractNet:
     def test_prestage_targets_the_host_the_cfp_would_pick(self):
         """Staged components must land where the later contract-net
@@ -211,4 +274,49 @@ class TestPrestageWithContractNet:
         outcome = [o for o in d.outcomes.values()
                    if o.plan.app_name == "player"
                    and not o.plan.prestage][-1]
+        assert outcome.plan.carry_components == []
+
+    def test_tied_load_prestage_matches_contract_net_award(self):
+        """With identical candidate hosts both orderings break the tie the
+        same way: the staged destination equals the host the later
+        contract-net migration awards (the verified agreement between
+        PrestagingService._choose_destination and the AA's bid sort)."""
+        from repro.core import MiddlewareConfig
+        config = MiddlewareConfig(destination_strategy="contract-net")
+        d = Deployment(seed=21, config=config)
+        d.add_space("office")
+        d.add_space("lab")
+        office = d.add_host("office-pc", "office")
+        # Added in reverse name order: the tie must break on host name,
+        # not on insertion order.
+        second = d.add_host("lab-b2", "lab")
+        first = d.add_host("lab-b1", "lab")
+        d.add_gateway("gw-office", "office")
+        d.add_gateway("gw-lab", "lab")
+        d.connect_spaces("office", "lab")
+        for _ in range(2):
+            d.announce_location("alice", "office")
+            d.run_all()
+            d.announce_location("alice", "lab", previous="office")
+            d.run_all()
+        app = MusicPlayerApp.build(
+            "player", "alice", track_bytes=500_000,
+            user_profile=UserProfile("alice",
+                                     preferences={"follow_user": True}))
+        office.launch_application(app)
+        d.run_all()
+        d.enable_prestaging(probability_threshold=0.6)
+        d.announce_location("alice", "office", previous="lab")
+        d.run_all()
+        assert "player" in first.applications   # staged on the tie winner
+        assert "player" not in second.applications
+        d.announce_location("alice", "lab", previous="office")
+        d.run_all()
+        # The migration went to the same host the pre-stage picked, so
+        # everything staged is reused.
+        assert first.application("player").status is AppStatus.RUNNING
+        outcome = [o for o in d.outcomes.values()
+                   if o.plan.app_name == "player"
+                   and not o.plan.prestage][-1]
+        assert outcome.plan.destination == "lab-b1"
         assert outcome.plan.carry_components == []

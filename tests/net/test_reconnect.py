@@ -1,0 +1,112 @@
+"""Disconnect -> reconnect regressions: fresh link state, fresh routes.
+
+A device that roams away and comes back gets a *new* :class:`Link`: no
+residual control-lane reservation (``busy_until``), no stale FIFO clamp
+(``last_arrival``), no leftover bulk flow cursors -- and the BFS route
+cache must serve the new link, not remember the old object or its
+parameters.
+"""
+
+import pytest
+
+from repro.net.kernel import EventLoop
+from repro.net.simnet import Network, register_bulk_protocol
+
+register_bulk_protocol("test.bulk")
+
+
+def make_net(*hosts):
+    loop = EventLoop()
+    net = Network(loop)
+    for name in hosts:
+        net.create_host(name)
+        net.host(name).register_handler("test", lambda m: None)
+        net.host(name).register_handler("test.bulk", lambda m: None)
+    return loop, net
+
+
+def test_reconnect_yields_fresh_link_state():
+    loop, net = make_net("h1", "h2")
+    net.connect("h1", "h2", bandwidth_mbps=10.0, latency_ms=1.0)
+    old = net.link_between("h1", "h2")
+    # Occupy both lanes: a control send books the lane, a bulk send
+    # advances its flow cursor.
+    net.send("h1", "h2", "test", b"", 125_000)
+    net.send("h1", "h2", "test.bulk", b"", 125_000)
+    assert old.busy_until > 0
+    assert old.bytes_carried > 0
+    loop.run()
+    net.disconnect("h1", "h2")
+    net.connect("h1", "h2", bandwidth_mbps=10.0, latency_ms=1.0)
+    fresh = net.link_between("h1", "h2")
+    assert fresh is not old
+    assert fresh.busy_until == 0.0
+    assert fresh.last_arrival == 0.0
+    assert fresh.bytes_carried == 0
+    assert fresh.messages_carried == 0
+    assert fresh.bytes_dropped == 0
+    assert not fresh.bulk_contended
+    assert fresh.bulk_queue_depth() == 0
+
+
+def test_reconnected_link_carries_no_residual_reservation():
+    """A message sent right after reconnecting pays only its own
+    transmission + latency, never the old link's queue."""
+    loop, net = make_net("h1", "h2")
+    net.connect("h1", "h2", bandwidth_mbps=10.0, latency_ms=1.0)
+    net.send("h1", "h2", "test", b"", 1_250_000)  # 1000 ms reservation
+    net.disconnect("h1", "h2")
+    net.connect("h1", "h2", bandwidth_mbps=10.0, latency_ms=1.0)
+    sent_at = loop.now
+    receipt = net.send("h1", "h2", "test", b"", 12_500)  # 10 ms tx
+    loop.run()
+    assert receipt.delivered
+    assert receipt.delivered_at - sent_at == pytest.approx(11.0)
+
+
+def test_route_cache_serves_the_reconnected_link():
+    """Routes computed before a disconnect must not pin the old link: after
+    reconnecting with different parameters, deliveries use the new ones."""
+    loop, net = make_net("a", "g", "b")
+    net.connect("a", "g", bandwidth_mbps=10.0, latency_ms=1.0)
+    net.connect("g", "b", bandwidth_mbps=10.0, latency_ms=1.0)
+    first = net.send("a", "b", "test", b"", 12_500)  # warm the route cache
+    loop.run()
+    assert first.delivered_at == pytest.approx(22.0)  # 2 hops x (10 + 1)
+    net.disconnect("g", "b")
+    net.connect("g", "b", bandwidth_mbps=10.0, latency_ms=50.0)
+    sent_at = loop.now
+    second = net.send("a", "b", "test", b"", 12_500)
+    loop.run()
+    assert second.delivered
+    # 10 + 1 on a--g, then 10 + 50 on the rebuilt g--b.
+    assert second.delivered_at - sent_at == pytest.approx(71.0)
+
+
+def test_route_recomputed_when_topology_changes_shape():
+    """Disconnecting the direct link reroutes via the relay; reconnecting
+    restores the one-hop path."""
+    loop, net = make_net("a", "g", "b")
+    net.connect("a", "b", bandwidth_mbps=10.0, latency_ms=1.0)
+    net.connect("a", "g", bandwidth_mbps=10.0, latency_ms=1.0)
+    net.connect("g", "b", bandwidth_mbps=10.0, latency_ms=1.0)
+    assert net.route("a", "b") == ["a", "b"]
+    net.disconnect("a", "b")
+    assert net.route("a", "b") == ["a", "g", "b"]
+    net.connect("a", "b", bandwidth_mbps=10.0, latency_ms=1.0)
+    assert net.route("a", "b") == ["a", "b"]
+
+
+def test_bulk_transfers_work_across_reconnect():
+    loop, net = make_net("h1", "h2")
+    net.connect("h1", "h2", bandwidth_mbps=10.0, latency_ms=1.0)
+    r1 = net.send("h1", "h2", "test.bulk", b"", 125_000)
+    loop.run()
+    assert r1.delivered_at == pytest.approx(101.0)
+    net.disconnect("h1", "h2")
+    net.connect("h1", "h2", bandwidth_mbps=10.0, latency_ms=1.0)
+    sent_at = loop.now
+    r2 = net.send("h1", "h2", "test.bulk", b"", 125_000)
+    loop.run()
+    # The fresh link has no flow cursor: full-speed single-flow timing.
+    assert r2.delivered_at - sent_at == pytest.approx(101.0)
