@@ -305,7 +305,8 @@ def transfer_window_experiment(windows=(1, 2, 4, 8),
                                chunk_bytes: int = 65_536,
                                latency_ms: float = 40.0,
                                bandwidth_mbps: float = 10.0,
-                               seed: int = 5) -> List[WindowRow]:
+                               seed: int = 5,
+                               observability=None) -> List[WindowRow]:
     """Sweep ``transfer_window`` over a 2-hop gateway route.
 
     The scenario the pipelined engine exists for: a ~1 MB agent crossing
@@ -336,6 +337,7 @@ def transfer_window_experiment(windows=(1, 2, 4, 8),
     rows: List[WindowRow] = []
     for window in windows:
         loop = EventLoop()
+        loop.observability = observability
         net = Network(loop, seed=seed)
         for name in ("edge-a", "gateway", "edge-b"):
             net.create_host(name)

@@ -21,12 +21,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.apps.music_player import MusicPlayerApp
 from repro.core import BindingPolicy, Deployment
 from repro.net.simnet import BULK, CONTROL
 from repro.net.topology import LinkSpec
+from repro.obs.slo import SLOAggregator, SLOReport
 
 
 def _build_backbone_rig(migrations: int, payload_bytes: int, seed: int,
@@ -153,6 +154,9 @@ class ScaleResult:
     class_busy_ms: Dict[str, float] = field(default_factory=dict)
     #: Utilization (busy / makespan) of the single busiest link, per class.
     peak_link_utilization: Dict[str, float] = field(default_factory=dict)
+    #: Fleet SLO view over the migration wave (latency percentiles,
+    #: deadline misses, prestage hits, per-class utilization).
+    slo: Optional[SLOReport] = None
 
     def summary(self) -> str:
         util = ", ".join(f"{cls}={value:.2f}"
@@ -173,6 +177,8 @@ def scale_benchmark(spaces: int = 10,
                     bandwidth_mbps: float = 10.0,
                     latency_ms: float = 2.0,
                     seed: int = 21,
+                    deadline_ms: Optional[float] = None,
+                    prestage_fraction: float = 0.0,
                     observability=None) -> ScaleResult:
     """A multi-space campus under a concurrent migration wave.
 
@@ -181,6 +187,12 @@ def scale_benchmark(spaces: int = 10,
     next space over, all submitted at once.  The scheduler fans them out
     ``admission_limit`` at a time; per-class ``class_busy_ms`` ledgers
     show how much wire time bulk transfers versus control chatter consumed.
+
+    ``deadline_ms`` (if set) is attached to every submitted leg, so the
+    resulting :class:`~repro.obs.slo.SLOReport` has a real deadline-miss
+    rate.  ``prestage_fraction`` warms that fraction of the legs'
+    destinations with an explicit prestage push *before* the wave, which
+    shows up in the report as prestage hits (warm-start migrations).
     """
     lan = LinkSpec(bandwidth_mbps=bandwidth_mbps, latency_ms=latency_ms)
     d = Deployment(seed=seed, observability=observability)
@@ -206,15 +218,27 @@ def scale_benchmark(spaces: int = 10,
                 app_count += 1
     d.run_all()
     scheduler = d.enable_migration_scheduler(limit=admission_limit)
+
+    def _leg(i: int):
+        s = i % spaces
+        h = (i // spaces) % hosts_per_space
+        a = (i // (spaces * hosts_per_space)) % apps_per_host
+        return names[s][h], f"app-{s}-{h}-{a}", names[(s + 1) % spaces][h]
+
+    # Warm phase (untimed): push the first fraction of legs' components to
+    # their destinations so those migrations land as prestage hits.
+    warm = int(legs * prestage_fraction)
+    for i in range(warm):
+        source, app_name, target = _leg(i)
+        d.middleware(source).prestage(app_name, target)
+    d.run_all()
+
     clock_start = time.perf_counter()
     sim_start = d.loop.now
     submitted = 0
     for i in range(legs):
-        s = i % spaces
-        h = (i // spaces) % hosts_per_space
-        a = (i // (spaces * hosts_per_space)) % apps_per_host
-        target = names[(s + 1) % spaces][h]
-        scheduler.submit(names[s][h], f"app-{s}-{h}-{a}", target)
+        source, app_name, target = _leg(i)
+        scheduler.submit(source, app_name, target, deadline_ms=deadline_ms)
         submitted += 1
     d.run_all()
     makespan = d.loop.now - sim_start
@@ -239,4 +263,5 @@ def scale_benchmark(spaces: int = 10,
         max_queue_depth=scheduler.max_queue_depth,
         class_busy_ms=class_totals,
         peak_link_utilization=peak,
+        slo=SLOAggregator(d, window_ms=makespan or None).report(),
     )

@@ -84,8 +84,10 @@ class WorkloadReport:
 class SmartBuildingWorkload:
     """Builds and replays one synthetic workload."""
 
-    def __init__(self, config: Optional[WorkloadConfig] = None):
+    def __init__(self, config: Optional[WorkloadConfig] = None,
+                 observability=None):
         self.config = config if config is not None else WorkloadConfig()
+        self.observability = observability
         self.rng = random.Random(self.config.seed)
         self.deployment: Optional[Deployment] = None
         self.user_locations: Dict[str, str] = {}
@@ -94,7 +96,7 @@ class SmartBuildingWorkload:
 
     def build(self) -> Deployment:
         config = self.config
-        d = Deployment(seed=config.seed)
+        d = Deployment(seed=config.seed, observability=self.observability)
         for s in range(config.spaces):
             space = f"space{s}"
             d.add_space(space, lan=config.lan)

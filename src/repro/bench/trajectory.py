@@ -1,0 +1,288 @@
+"""Standing benchmark scenarios and the ``BENCH_*.json`` perf trajectory.
+
+The repo commits one ``BENCH_<scenario>.json`` per standing scenario at the
+repository root.  Each file is a schema-versioned snapshot of how fast the
+simulator runs that scenario *on the machine that wrote it* -- events/sec,
+sim-seconds per wall-second, peak RSS -- plus the sim-side facts that must
+NOT drift between commits: the scenario parameters, the fleet
+:class:`~repro.obs.slo.SLOReport` and the deterministic trace digest.
+
+``python -m repro bench`` regenerates the snapshots;
+``python -m repro bench --check`` re-runs the scenarios and compares
+events/sec against the committed baselines, flagging (not failing) any
+regression beyond :data:`DEFAULT_THRESHOLD`.  Wall-clock numbers are
+machine-relative, which is why the comparison is a soft signal: CI prints a
+warning annotation and a human decides whether the trend is real.
+
+Schema (``BENCH_FORMAT``)::
+
+    {
+      "format": "repro.bench.trajectory/1",
+      "scenario": "scale",
+      "mode": "full" | "quick",
+      "params": {...},                  # exact scenario inputs
+      "metrics": {
+        "events": 123456,               # kernel events dispatched
+        "events_per_sec": 250000.0,     # wall-clock throughput
+        "sim_time_ms": 52000.0,         # sim-time the window advanced
+        "sim_s_per_wall_s": 104.0,      # simulation speed
+        "wall_s": 0.5,
+        "peak_rss_bytes": 48000000      # null off-POSIX
+      },
+      "slo": {...} | null,              # SLOReport.to_dict()
+      "profile": {...},                 # ProfileReport.to_dict()
+      "extra": {...},                   # scenario-specific result facts
+      "sim_digest": "sha256...",        # deterministic per (scenario, seed)
+      "created": "2026-08-08T12:00:00Z"
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+BENCH_FORMAT = "repro.bench.trajectory/1"
+
+#: Soft-fail threshold for the events/sec comparison: a current run below
+#: ``baseline * (1 - DEFAULT_THRESHOLD)`` is flagged as a regression.
+DEFAULT_THRESHOLD = 0.20
+
+
+# -- scenario runners ------------------------------------------------------
+#
+# Each runner takes (observability, quick) and returns
+# ``(params, extra, slo_dict_or_None)``.  The driver owns global-state
+# reset, the profiler, digesting and record assembly, so runners only run
+# their scenario against the provided hub.
+
+
+def _run_scale(observability, quick: bool) -> Tuple[Dict, Dict, Optional[Dict]]:
+    from repro.bench.scale import scale_benchmark
+
+    params: Dict[str, Any] = dict(
+        spaces=4, hosts_per_space=3, apps_per_host=2, legs=12,
+        admission_limit=4) if quick else dict(
+        spaces=10, hosts_per_space=5, apps_per_host=4, legs=40,
+        admission_limit=8)
+    params.update(payload_bytes=60_000, seed=21,
+                  deadline_ms=120_000.0, prestage_fraction=0.25)
+    result = scale_benchmark(observability=observability, **params)
+    extra = {
+        "hosts": result.hosts,
+        "applications": result.applications,
+        "completed": result.completed,
+        "rejected": result.rejected,
+        "max_queue_depth": result.max_queue_depth,
+        "sim_makespan_ms": result.sim_makespan_ms,
+        "peak_link_utilization": dict(result.peak_link_utilization),
+    }
+    slo = result.slo.to_dict() if result.slo is not None else None
+    return params, extra, slo
+
+
+def _run_transfer_window(observability, quick: bool
+                         ) -> Tuple[Dict, Dict, Optional[Dict]]:
+    from repro.bench.harness import transfer_window_experiment
+
+    params: Dict[str, Any] = dict(
+        windows=[1, 4], payload_bytes=250_000) if quick else dict(
+        windows=[1, 2, 4, 8], payload_bytes=1_000_000)
+    params.update(chunk_bytes=65_536, latency_ms=40.0,
+                  bandwidth_mbps=10.0, seed=5)
+    rows = transfer_window_experiment(
+        observability=observability,
+        **{**params, "windows": tuple(params["windows"])})
+    extra = {
+        "rows": [
+            {"window": r.window, "chunks": r.chunks,
+             "transfer_ms": r.transfer_ms, "total_ms": r.total_ms,
+             "max_in_flight": r.max_in_flight, "speedup": r.speedup}
+            for r in rows
+        ],
+        "best_speedup": max(r.speedup for r in rows),
+    }
+    return params, extra, None
+
+
+def _run_workload_day(observability, quick: bool
+                      ) -> Tuple[Dict, Dict, Optional[Dict]]:
+    from repro.bench.scenarios import SmartBuildingWorkload, WorkloadConfig
+    from repro.obs.slo import SLOAggregator
+
+    params: Dict[str, Any] = dict(
+        spaces=3, hosts_per_space=2, users=4, duration_ms=600_000.0,
+        mean_dwell_ms=120_000.0, track_bytes=500_000) if quick else dict(
+        spaces=4, hosts_per_space=2, users=8, duration_ms=3_600_000.0,
+        mean_dwell_ms=300_000.0, track_bytes=2_000_000)
+    params.update(mobility_pattern="routine", prestaging=True, seed=1)
+    workload = SmartBuildingWorkload(WorkloadConfig(**params),
+                                     observability=observability)
+    report = workload.run()
+    extra = {
+        "moves": report.moves_injected,
+        "migrations_completed": report.migrations_completed,
+        "migrations_failed": report.migrations_failed,
+        "follow_rate": report.follow_rate,
+        "bytes_migrated": report.bytes_migrated,
+        "apps_running_at_end": report.apps_running_at_end,
+    }
+    slo = SLOAggregator(workload.deployment).report().to_dict()
+    return params, extra, slo
+
+
+#: Standing scenarios, in trajectory order.  ``scale`` is the primary one
+#: CI and the roadmap track; the others cover the transfer engine and the
+#: churn/pre-staging macro path.
+SCENARIOS: Dict[str, Callable] = {
+    "scale": _run_scale,
+    "transfer_window": _run_transfer_window,
+    "workload_day": _run_workload_day,
+}
+
+
+# -- record assembly -------------------------------------------------------
+
+
+def run_bench(scenario: str, quick: bool = False) -> Dict[str, Any]:
+    """Run one standing scenario under the profiler; return a BENCH record.
+
+    Resets global counters first (same seam ``repro.simcheck`` uses), so
+    the record's ``sim_digest`` is reproducible regardless of what the
+    process ran before.  Everything the profiler records is wall-clock
+    side, so attaching it cannot perturb the digest.
+    """
+    from repro.obs import KernelProfiler, Observability
+    from repro.simcheck.runner import reset_global_state, trace_digest
+
+    runner = SCENARIOS.get(scenario)
+    if runner is None:
+        raise ValueError(
+            f"unknown bench scenario {scenario!r} "
+            f"(have: {', '.join(sorted(SCENARIOS))})")
+    reset_global_state()
+    observability = Observability(trace=False)
+    profiler = KernelProfiler().attach(observability)
+    params, extra, slo = runner(observability, quick)
+    profiler.detach()
+    profile = profiler.report()
+    return {
+        "format": BENCH_FORMAT,
+        "scenario": scenario,
+        "mode": "quick" if quick else "full",
+        "params": dict(params),
+        "metrics": {
+            "events": profile.events,
+            "events_per_sec": profile.events_per_sec,
+            "sim_time_ms": profile.sim_ms,
+            "sim_s_per_wall_s": profile.sim_s_per_wall_s,
+            "wall_s": profile.wall_s,
+            "peak_rss_bytes": profile.peak_rss,
+        },
+        "slo": slo,
+        "profile": profile.to_dict(),
+        "extra": extra,
+        "sim_digest": trace_digest(observability),
+        "created": datetime.now(timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"),
+    }
+
+
+def bench_path(scenario: str, root: str = ".") -> str:
+    return os.path.join(root, f"BENCH_{scenario}.json")
+
+
+def write_bench(record: Dict[str, Any], root: str = ".") -> str:
+    path = bench_path(record["scenario"], root)
+    os.makedirs(root, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or data.get("format") != BENCH_FORMAT:
+        raise ValueError(
+            f"{path}: not a bench trajectory record "
+            f"(want format {BENCH_FORMAT})")
+    return data
+
+
+# -- trajectory comparison -------------------------------------------------
+
+
+@dataclass
+class BenchComparison:
+    """Soft verdict of one current run against its committed baseline."""
+
+    scenario: str
+    baseline_eps: float
+    current_eps: float
+    threshold: float = DEFAULT_THRESHOLD
+    #: False when baseline and current ran different modes: quick runs are
+    #: dominated by fixed setup cost, so their events/sec says nothing
+    #: about a full-mode baseline (and vice versa).
+    comparable: bool = True
+    #: Non-blocking observations (mode mismatch, digest drift, ...).
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline events-per-sec (1.0 = unchanged)."""
+        return (self.current_eps / self.baseline_eps
+                if self.baseline_eps > 0 else 1.0)
+
+    @property
+    def regressed(self) -> bool:
+        return self.comparable and self.ratio < 1.0 - self.threshold
+
+    def summary(self) -> str:
+        verdict = ("REGRESSED" if self.regressed
+                   else "ok" if self.comparable else "not comparable")
+        line = (f"{self.scenario}: {self.current_eps:,.0f} events/s vs "
+                f"baseline {self.baseline_eps:,.0f} "
+                f"({self.ratio:.0%}) -- {verdict}")
+        for note in self.notes:
+            line += f"\n  note: {note}"
+        return line
+
+
+def compare_bench(baseline: Dict[str, Any], current: Dict[str, Any],
+                  threshold: float = DEFAULT_THRESHOLD) -> BenchComparison:
+    """Compare a fresh record against a committed baseline.
+
+    Only events/sec drives the regression verdict (it is what the roadmap
+    optimizes); everything else that differs lands in ``notes``.  A
+    ``sim_digest`` mismatch at *equal* params is the loud note: the
+    scenario's behaviour changed, so wall-clock deltas are not
+    apples-to-apples.
+    """
+    if baseline["scenario"] != current["scenario"]:
+        raise ValueError(
+            f"scenario mismatch: baseline {baseline['scenario']!r} vs "
+            f"current {current['scenario']!r}")
+    comparison = BenchComparison(
+        scenario=current["scenario"],
+        baseline_eps=float(baseline["metrics"]["events_per_sec"]),
+        current_eps=float(current["metrics"]["events_per_sec"]),
+        threshold=threshold,
+    )
+    if baseline.get("mode") != current.get("mode"):
+        comparison.comparable = False
+        comparison.notes.append(
+            f"mode mismatch: baseline {baseline.get('mode')!r} vs "
+            f"current {current.get('mode')!r} -- throughput is not "
+            f"comparable across modes")
+    elif baseline.get("params") != current.get("params"):
+        comparison.notes.append("scenario params changed since baseline")
+    elif baseline.get("sim_digest") != current.get("sim_digest"):
+        comparison.notes.append(
+            "sim digest drifted at identical params: scenario behaviour "
+            "changed, re-baseline before trusting the trend")
+    return comparison

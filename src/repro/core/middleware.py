@@ -551,6 +551,10 @@ class MigrationScheduler:
         self.completed = 0
         self.rejected = 0
         self.max_queue_depth = 0
+        #: Every handle ever submitted, in submission order -- the fleet
+        #: SLO aggregator (:mod:`repro.obs.slo`) reads queue waits and
+        #: deadline outcomes from here after the run drains.
+        self.requests: List[ScheduledMigration] = []
 
     def submit(self, source: str, app_name: str, destination: str,
                kind: MigrationKind = MigrationKind.FOLLOW_ME,
@@ -563,9 +567,20 @@ class MigrationScheduler:
             kind=kind, policy=policy, deadline_ms=deadline_ms,
             seq=next(self._seq), queued_at=self.deployment.loop.now)
         self._pending.append(request)
+        self.requests.append(request)
         self.max_queue_depth = max(self.max_queue_depth, len(self._pending))
+        self._emit("scheduler.submit", request)
         self._pump()
         return request
+
+    def _emit(self, event: str, request: ScheduledMigration) -> None:
+        """Publish a scheduler transition to obs hooks (flight recorder,
+        invariant checkers); free when no hooks are registered."""
+        obs = self.deployment.observability
+        if obs is not None and obs.hooks:
+            obs.emit(event, app=request.app_name, source=request.source,
+                     destination=request.destination, state=request.state,
+                     queued=len(self._pending), active=self.active)
 
     @property
     def queue_depth(self) -> int:
@@ -594,12 +609,14 @@ class MigrationScheduler:
             request.state = "rejected"
             request.error = str(exc)
             self.rejected += 1
+            self._emit("scheduler.reject", request)
             return
         request.state = "active"
         request.outcome = outcome
         self.active += 1
         self.admitted += 1
         self._busy_destinations.add(request.destination)
+        self._emit("scheduler.admit", request)
         outcome.log(f"scheduler: admitted after {request.queue_wait_ms:.1f} "
                     f"ms in queue ({self.active}/{self.limit} slots)")
         outcome.on_complete(lambda _o, r=request: self._release(r))
@@ -609,6 +626,7 @@ class MigrationScheduler:
         self.active -= 1
         self.completed += 1
         self._busy_destinations.discard(request.destination)
+        self._emit("scheduler.release", request)
         self._pump()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -43,6 +43,11 @@ class PrestagingService:
         self.probability_threshold = probability_threshold
         self.prestages_started = 0
         self.predictions_skipped = 0
+        #: Pushes a later migration actually used: the app resumed on a
+        #: host its components had been staged to.  ``hits /
+        #: prestages_started`` is the fleet prestage hit rate
+        #: (:mod:`repro.obs.slo`).
+        self.hits = 0
         #: (app, destination) pairs already pushed, to avoid re-pushing.
         self._already_staged: set = set()
         deployment.bus.subscribe(TOPIC_LOCATION, self._on_location)
@@ -61,12 +66,28 @@ class PrestagingService:
         if event.get("event") not in _INVALIDATING_EVENTS:
             return
         app_name = event.subject
+        # A resume on a staged destination is a prestage *hit*: the
+        # migration that just finished found the components installed.
+        # Count it before the invalidation below drops the pair.
+        if event.get("event") == "resumed" and \
+                (app_name, event.get("host")) in self._already_staged:
+            self.hits += 1
         stale = [key for key in self._already_staged if key[0] == app_name]
         for key in stale:
             self._already_staged.discard(key)
+        # A resume also means the follow-me migration just landed.  The
+        # location fix that triggered it arrived while the app was still
+        # in the predicted space, so the fix staged nothing; re-evaluate
+        # now that the app sits where the user is, staging the commute's
+        # *next* hop ahead of time.  (Pre-staging never resumes anything,
+        # so this cannot recurse.)
+        if event.get("event") == "resumed" and event.get("owner"):
+            self._predict_and_stage(event.get("owner"))
 
     def _on_location(self, event: ContextEvent) -> None:
-        user = event.subject
+        self._predict_and_stage(event.subject)
+
+    def _predict_and_stage(self, user: str) -> None:
         predicted = self.deployment.predictor.predict(user)
         if predicted is None:
             self.predictions_skipped += 1

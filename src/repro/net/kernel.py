@@ -164,9 +164,12 @@ class EventLoop:
             callback(*timer.args)
         if obs.hooks:
             # Post-dispatch checkpoint for runtime invariant checkers
-            # (repro.simcheck): state has settled for this instant.
+            # (repro.simcheck) and the wall-clock profiler
+            # (repro.obs.perf): state has settled for this instant.
+            # ``depth`` counts raw heap entries (cancelled tombstones
+            # included) so the read stays O(1).
             obs.emit("kernel.event", now=self._now, callback=name,
-                     processed=self._processed)
+                     processed=self._processed, depth=len(self._queue))
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Run events until the queue drains, ``until`` is reached, or

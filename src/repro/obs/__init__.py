@@ -24,6 +24,7 @@ from repro.obs.exporters import (
     to_chrome_trace,
     to_jsonl,
 )
+from repro.obs.flight import FLIGHT_FORMAT, FlightRecorder
 from repro.obs.hub import Observability
 from repro.obs.metrics import (
     Counter,
@@ -32,21 +33,31 @@ from repro.obs.metrics import (
     MetricsRegistry,
     percentile,
 )
+from repro.obs.perf import KernelProfiler, ProfileReport, peak_rss_bytes
+from repro.obs.slo import SLO_FORMAT, SLOAggregator, SLOReport
 from repro.obs.tracer import NULL_SPAN, EventRecord, Span, Tracer
 
 __all__ = [
     "Counter",
     "EventRecord",
+    "FLIGHT_FORMAT",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "KernelProfiler",
     "MetricsRegistry",
     "NULL_SPAN",
     "Observability",
+    "ProfileReport",
+    "SLO_FORMAT",
+    "SLOAggregator",
+    "SLOReport",
     "Span",
     "Tracer",
     "export_chrome_trace",
     "export_jsonl",
     "jsonl_records",
+    "peak_rss_bytes",
     "percentile",
     "render_dashboard",
     "to_chrome_trace",

@@ -1,0 +1,119 @@
+"""Flight recorder: a bounded ring of the most recent runtime events.
+
+When an invariant trips deep inside a fuzzed scenario, the replay artifact
+says *what* broke but not *what led up to it*.  A :class:`FlightRecorder`
+rides the same :class:`~repro.obs.hub.Observability` hook seam the
+invariant checkers use and keeps the last ``capacity`` structured events
+(kernel dispatches, migration window moves, scheduler transitions, fault
+injections) in a ring buffer.  :mod:`repro.simcheck` snapshots the ring
+the moment the first violation is recorded and dumps it alongside the
+shrunken repro artifact -- a black box for the crash investigator.
+
+The recorder never mutates simulation state and records no wall-clock
+data, so attaching it cannot perturb trace digests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+FLIGHT_FORMAT = "repro.obs.flight/1"
+
+#: Default ring capacity.  Kernel events dominate the stream; 256 recent
+#: entries is enough context to see the chain of dispatches, transfers and
+#: faults feeding a violation without bloating artifacts.
+DEFAULT_CAPACITY = 256
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce a hook-payload value to something ``json.dump`` accepts."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (set, frozenset)):
+        # Sets have no stable iteration order; sort so two identical runs
+        # dump byte-identical artifacts (repr-key fallback for mixed or
+        # unorderable members).
+        try:
+            members = sorted(value)
+        except TypeError:
+            members = sorted(value, key=repr)
+        return [_jsonable(v) for v in members]
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return repr(value)
+
+
+class FlightRecorder:
+    """Bounded recorder of ``Observability.emit`` events.
+
+    ::
+
+        recorder = FlightRecorder(capacity=256).attach(obs)
+        ...run...
+        recorder.snapshot()    # newest-last list of event dicts
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        self.capacity = int(capacity)
+        self._ring: Deque[Dict[str, Any]] = deque(maxlen=self.capacity)
+        #: Total events seen (recorded + overwritten).
+        self.recorded = 0
+        self._hub = None
+
+    def attach(self, observability) -> "FlightRecorder":
+        """Register on ``observability.hooks``; returns self."""
+        if self._hub is not None:
+            raise RuntimeError("flight recorder is already attached")
+        observability.add_hook(self._on_event)
+        self._hub = observability
+        return self
+
+    def detach(self) -> None:
+        if self._hub is None:
+            return
+        try:
+            self._hub.hooks.remove(self._on_event)
+        except ValueError:  # pragma: no cover - double-detach guard
+            pass
+        self._hub = None
+
+    def _on_event(self, kind: str, payload: Dict[str, Any]) -> None:
+        self.recorded += 1
+        record: Dict[str, Any] = {"seq": self.recorded, "kind": kind}
+        for key, value in payload.items():
+            record[key] = _jsonable(value)
+        self._ring.append(record)
+
+    @property
+    def overwritten(self) -> int:
+        """Events that fell off the front of the ring."""
+        return self.recorded - len(self._ring)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """The ring's current contents, oldest first (copies)."""
+        return [dict(record) for record in self._ring]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": FLIGHT_FORMAT,
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "overwritten": self.overwritten,
+            "events": self.snapshot(),
+        }
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "attached" if self._hub is not None else "detached"
+        return (f"<FlightRecorder {state} {len(self._ring)}/{self.capacity} "
+                f"recorded={self.recorded}>")

@@ -40,9 +40,13 @@ from repro.obs.tracer import Tracer
 class Observability:
     """Bundles a :class:`Tracer` and a :class:`MetricsRegistry`."""
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True, trace: bool = True):
         self.enabled = enabled
-        self.tracer = Tracer(enabled=enabled)
+        #: ``trace=False`` keeps the hub (metrics + hooks) live but records
+        #: no spans/events -- the lightweight mode profiling and SLO
+        #: aggregation use on runs with hundreds of thousands of kernel
+        #: events, where span objects would dominate memory and wall time.
+        self.tracer = Tracer(enabled=enabled and trace)
         self.metrics = MetricsRegistry()
         #: Synchronous listeners for structured runtime events (see
         #: :meth:`emit`).  Instrumented layers guard the emission with
@@ -64,7 +68,15 @@ class Observability:
         event -- they must not schedule work or mutate simulation state.
         (The positional-only channel name keeps ``kind=...`` available as
         a payload key.)
+
+        With no hooks registered (or the hub disabled) this returns
+        immediately; the keyword-payload dict is still built by Python at
+        the call site, which is why hot-path emitters must guard with
+        ``if obs.hooks:`` *before* assembling the payload -- the
+        short-circuit here only protects emitters that did not.
         """
+        if not self.hooks or not self.enabled:
+            return
         for hook in self.hooks:
             hook(__event, payload)
 

@@ -29,8 +29,14 @@ def percentile(values: Sequence[float], p: float) -> float:
     if not values:
         raise ValueError("percentile of an empty sequence")
     if not 0.0 <= p <= 100.0:
+        # NaN fails both comparisons, so a NaN rank lands here too.
         raise ValueError(f"percentile must be in [0, 100]: {p}")
     ordered = sorted(values)
+    # NaN samples sort unpredictably and poison interpolation silently;
+    # reject them loudly instead.  (They sort to a stable position within
+    # one call, but two calls over permuted inputs can disagree.)
+    if any(math.isnan(v) for v in ordered):
+        raise ValueError("percentile over NaN samples")
     if len(ordered) == 1:
         return float(ordered[0])
     rank = (len(ordered) - 1) * p / 100.0
@@ -129,7 +135,13 @@ class Histogram(Instrument):
         self.values: List[float] = []
 
     def observe(self, value: float) -> None:
-        self.values.append(float(value))
+        value = float(value)
+        if math.isnan(value):
+            # Reject at ingestion: one NaN would make every later
+            # percentile/snapshot call raise instead of this one.
+            raise ValueError(f"histogram sample must not be NaN "
+                             f"({self.series_id})")
+        self.values.append(value)
 
     @property
     def count(self) -> int:

@@ -1,0 +1,264 @@
+"""Low-overhead wall-clock profiler for the kernel hot path.
+
+A :class:`KernelProfiler` rides the :class:`~repro.obs.hub.Observability`
+hook seam: every ``kernel.event`` emission (one per dispatched event, fired
+by :meth:`repro.net.kernel.EventLoop._dispatch_traced`) stamps the wall
+clock, and the delta to the previous stamp is attributed to the event's
+callback name.  That makes it a *dispatch-time* profiler: each sample is
+the wall time from the end of the previous event to the end of this one,
+so it includes the callback body plus the kernel's own queue work -- the
+quantity a calendar-queue rework would actually shrink.
+
+Everything the profiler records is wall-clock side: it never touches the
+metrics registry, the tracer or any simulation state, so attaching it
+cannot perturb sim-side trace digests (``tests/bench/test_trajectory.py``
+asserts same-seed digest stability with the profiler attached).
+
+Typical use::
+
+    obs = Observability(trace=False)        # metrics + hooks, no spans
+    profiler = KernelProfiler().attach(obs)
+    d = Deployment(seed=1, observability=obs)
+    ...run the scenario...
+    report = profiler.report()
+    print(report.render())
+    report.to_dict()                        # feeds BENCH_*.json
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import percentile
+
+try:  # pragma: no cover - platform gate (resource is POSIX-only)
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None  # type: ignore[assignment]
+
+#: Per-event-type sample cap: beyond this the type keeps counting and
+#: summing but stops retaining raw samples (percentiles then describe the
+#: retained prefix).  Kernel-only runs dispatch millions of events; an
+#: unbounded list per type would make the profiler the hot path.
+MAX_SAMPLES_PER_TYPE = 65_536
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Peak resident set size of this process, or ``None`` off-POSIX.
+
+    ``ru_maxrss`` is kibibytes on Linux and bytes on macOS.
+    """
+    if resource is None:
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(peak)
+    return int(peak) * 1024
+
+
+class _TypeStats:
+    """Accumulator for one event type (callback qualname)."""
+
+    __slots__ = ("name", "count", "total_ms", "max_ms", "samples")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total_ms = 0.0
+        self.max_ms = 0.0
+        self.samples: List[float] = []
+
+    def add(self, dt_ms: float) -> None:
+        self.count += 1
+        self.total_ms += dt_ms
+        if dt_ms > self.max_ms:
+            self.max_ms = dt_ms
+        if len(self.samples) < MAX_SAMPLES_PER_TYPE:
+            self.samples.append(dt_ms)
+
+    def to_dict(self) -> Dict[str, Any]:
+        row: Dict[str, Any] = {
+            "name": self.name, "count": self.count,
+            "total_ms": self.total_ms,
+            "mean_ms": self.total_ms / self.count if self.count else 0.0,
+            "max_ms": self.max_ms,
+        }
+        if self.samples:
+            row["p50_ms"] = percentile(self.samples, 50.0)
+            row["p95_ms"] = percentile(self.samples, 95.0)
+            row["p99_ms"] = percentile(self.samples, 99.0)
+            row["sampled"] = len(self.samples)
+        return row
+
+
+@dataclass
+class ProfileReport:
+    """One profiling window, frozen by :meth:`KernelProfiler.report`."""
+
+    events: int
+    wall_s: float
+    #: Simulated time the profiled window advanced (first to last event).
+    sim_ms: float
+    #: Event-heap depth observed at each dispatch.
+    heap_depth_min: int
+    heap_depth_max: int
+    heap_depth_mean: float
+    peak_rss: Optional[int]
+    #: Per-event-type dispatch-time rows, heaviest total first.
+    event_types: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def sim_s_per_wall_s(self) -> float:
+        """Simulation speed: sim-seconds advanced per wall-second."""
+        return (self.sim_ms / 1000.0) / self.wall_s if self.wall_s > 0 \
+            else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": "repro.obs.perf/1",
+            "events": self.events,
+            "wall_s": self.wall_s,
+            "events_per_sec": self.events_per_sec,
+            "sim_ms": self.sim_ms,
+            "sim_s_per_wall_s": self.sim_s_per_wall_s,
+            "heap_depth": {"min": self.heap_depth_min,
+                           "max": self.heap_depth_max,
+                           "mean": self.heap_depth_mean},
+            "peak_rss_bytes": self.peak_rss,
+            "event_types": list(self.event_types),
+        }
+
+    def render(self, top: int = 12) -> str:
+        lines = [
+            "kernel profile",
+            "==============",
+            f"events            : {self.events:,}",
+            f"wall clock        : {self.wall_s:.3f} s",
+            f"events/sec        : {self.events_per_sec:,.0f}",
+            f"sim speed         : {self.sim_s_per_wall_s:,.1f} sim-s / wall-s",
+            f"heap depth        : min {self.heap_depth_min} / "
+            f"mean {self.heap_depth_mean:.1f} / max {self.heap_depth_max}",
+            f"peak RSS          : "
+            + (f"{self.peak_rss / 1e6:.1f} MB" if self.peak_rss is not None
+               else "n/a"),
+        ]
+        if self.event_types:
+            lines.append(f"hottest event types (top {top} by total wall "
+                         f"time):")
+            lines.append(f"  {'callback':<44} {'n':>8} {'total ms':>10} "
+                         f"{'mean ms':>9} {'p95 ms':>9} {'max ms':>9}")
+            for row in self.event_types[:top]:
+                lines.append(
+                    f"  {row['name'][:44]:<44} {row['count']:>8} "
+                    f"{row['total_ms']:>10.2f} {row['mean_ms']:>9.4f} "
+                    f"{row.get('p95_ms', 0.0):>9.4f} {row['max_ms']:>9.4f}")
+        return "\n".join(lines)
+
+
+class KernelProfiler:
+    """Samples the kernel event loop through the obs hook seam.
+
+    The profiler is passive until :meth:`attach` registers it on a hub;
+    detach with :meth:`detach` to stop sampling (the frozen counters stay
+    readable).  One profiler may only observe one hub at a time.
+    """
+
+    def __init__(self) -> None:
+        self._types: Dict[str, _TypeStats] = {}
+        self.events = 0
+        self._wall_started: Optional[float] = None
+        self._last_wall: Optional[float] = None
+        self._wall_total_s = 0.0
+        self._first_sim: Optional[float] = None
+        self._last_sim = 0.0
+        self._depth_min: Optional[int] = None
+        self._depth_max = 0
+        self._depth_sum = 0
+        self._hub = None
+
+    def attach(self, observability) -> "KernelProfiler":
+        """Register on ``observability.hooks`` and start the wall clock."""
+        if self._hub is not None:
+            raise RuntimeError("profiler is already attached")
+        observability.add_hook(self._on_event)
+        self._hub = observability
+        self._wall_started = self._last_wall = time.perf_counter()
+        return self
+
+    def detach(self) -> None:
+        """Stop sampling; bank the wall time observed so far."""
+        if self._hub is None:
+            return
+        try:
+            self._hub.hooks.remove(self._on_event)
+        except ValueError:  # pragma: no cover - double-detach guard
+            pass
+        self._hub = None
+        if self._wall_started is not None:
+            self._wall_total_s += time.perf_counter() - self._wall_started
+            self._wall_started = None
+
+    def _on_event(self, kind: str, payload: Dict[str, Any]) -> None:
+        if kind != "kernel.event":
+            return
+        wall = time.perf_counter()
+        dt_ms = (wall - self._last_wall) * 1000.0 \
+            if self._last_wall is not None else 0.0
+        self._last_wall = wall
+        self.events += 1
+        name = payload.get("callback") or "?"
+        stats = self._types.get(name)
+        if stats is None:
+            stats = self._types[name] = _TypeStats(name)
+        stats.add(dt_ms)
+        now = payload.get("now")
+        if now is not None:
+            if self._first_sim is None:
+                self._first_sim = float(now)
+            self._last_sim = float(now)
+        depth = payload.get("depth")
+        if depth is not None:
+            depth = int(depth)
+            if self._depth_min is None or depth < self._depth_min:
+                self._depth_min = depth
+            if depth > self._depth_max:
+                self._depth_max = depth
+            self._depth_sum += depth
+
+    @property
+    def wall_s(self) -> float:
+        total = self._wall_total_s
+        if self._wall_started is not None:
+            total += time.perf_counter() - self._wall_started
+        return total
+
+    def report(self) -> ProfileReport:
+        """Freeze the counters into a :class:`ProfileReport`."""
+        sim_ms = (self._last_sim - self._first_sim
+                  if self._first_sim is not None else 0.0)
+        rows = sorted((s.to_dict() for s in self._types.values()),
+                      key=lambda r: (-r["total_ms"], r["name"]))
+        return ProfileReport(
+            events=self.events,
+            wall_s=self.wall_s,
+            sim_ms=sim_ms,
+            heap_depth_min=self._depth_min if self._depth_min is not None
+            else 0,
+            heap_depth_max=self._depth_max,
+            heap_depth_mean=(self._depth_sum / self.events
+                             if self.events else 0.0),
+            peak_rss=peak_rss_bytes(),
+            event_types=rows,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "attached" if self._hub is not None else "detached"
+        return (f"<KernelProfiler {state} events={self.events} "
+                f"types={len(self._types)}>")

@@ -1,0 +1,298 @@
+"""Fleet-level SLO aggregation: one report per deployment run.
+
+The micro-instruments (per-link counters, per-phase histograms, scheduler
+handles) answer "what did this component do"; operators ask "did the fleet
+meet its objectives".  :class:`SLOAggregator` folds what the run's existing
+seams already recorded -- :class:`~repro.core.middleware.MigrationScheduler`
+handles, the :class:`~repro.core.prestage.PrestagingService` counters, each
+contended link's per-class ``class_busy_ms`` ledger and the agent-platform
+reliability counters -- into one :class:`SLOReport`:
+
+- migration latency p50/p95/p99 over completed migrations,
+- deadline-miss rate over scheduled migrations that carried a deadline,
+- prestage hit rate (pushes a later migration actually used),
+- per-class (control vs bulk) link utilization over the report window,
+- retry / drop / abort counts from the reliability layer.
+
+Everything here is read-only over simulation state: aggregating after a
+run (or mid-run) perturbs nothing and is safe to call repeatedly.
+
+::
+
+    report = SLOAggregator(deployment).report()
+    print(report.render())
+    json.dumps(report.to_dict())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import percentile
+
+SLO_FORMAT = "repro.obs.slo/1"
+
+
+def _rate(numerator: int, denominator: int) -> Optional[float]:
+    """A ratio, or ``None`` when the denominator is empty (rendered as
+    ``n/a`` and serialized as JSON ``null`` -- "no data" is not "0%")."""
+    return numerator / denominator if denominator else None
+
+
+def _fmt_rate(value: Optional[float]) -> str:
+    return f"{value:.1%}" if value is not None else "n/a"
+
+
+@dataclass
+class SLOReport:
+    """Fleet service-level indicators for one deployment run."""
+
+    #: Sim-time width of the observation window (defaults to the whole run).
+    window_ms: float
+    sim_time_ms: float
+    migrations_total: int
+    migrations_completed: int
+    migrations_failed: int
+    #: Latency distribution (ms) over completed migrations; empty dict when
+    #: none completed.
+    latency_ms: Dict[str, float] = field(default_factory=dict)
+    #: Scheduled migrations that carried a deadline, and how many missed.
+    deadline_total: int = 0
+    deadline_misses: int = 0
+    #: Prestage pushes and the subset a later migration actually used.
+    prestage_pushes: int = 0
+    prestage_hits: int = 0
+    #: Per-traffic-class link utilization over the window: for each class,
+    #: the busiest single link ("peak"), the mean across links that carried
+    #: the class, and the summed wire time.
+    link_utilization: Dict[str, Dict[str, float]] = field(
+        default_factory=dict)
+    #: Reliability counters: transfer retries/drops/resumes, check-in
+    #: dedup hits, scheduler rejections.
+    retries: Dict[str, int] = field(default_factory=dict)
+    #: Scheduler queue behaviour (zeros when no scheduler was enabled).
+    queue: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def deadline_miss_rate(self) -> Optional[float]:
+        return _rate(self.deadline_misses, self.deadline_total)
+
+    @property
+    def prestage_hit_rate(self) -> Optional[float]:
+        return _rate(self.prestage_hits, self.prestage_pushes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": SLO_FORMAT,
+            "window_ms": self.window_ms,
+            "sim_time_ms": self.sim_time_ms,
+            "migrations": {
+                "total": self.migrations_total,
+                "completed": self.migrations_completed,
+                "failed": self.migrations_failed,
+            },
+            "latency_ms": dict(self.latency_ms),
+            "deadlines": {
+                "total": self.deadline_total,
+                "misses": self.deadline_misses,
+                "miss_rate": self.deadline_miss_rate,
+            },
+            "prestage": {
+                "pushes": self.prestage_pushes,
+                "hits": self.prestage_hits,
+                "hit_rate": self.prestage_hit_rate,
+            },
+            "link_utilization": {cls: dict(row) for cls, row
+                                 in sorted(self.link_utilization.items())},
+            "retries": dict(self.retries),
+            "queue": dict(self.queue),
+        }
+
+    def render(self, title: str = "fleet SLO report") -> str:
+        lines = [title, "=" * len(title)]
+        lines.append(
+            f"migrations        : {self.migrations_completed}/"
+            f"{self.migrations_total} completed, "
+            f"{self.migrations_failed} failed")
+        if self.latency_ms:
+            lines.append(
+                f"latency (ms)      : p50 {self.latency_ms['p50']:.1f}  "
+                f"p95 {self.latency_ms['p95']:.1f}  "
+                f"p99 {self.latency_ms['p99']:.1f}  "
+                f"max {self.latency_ms['max']:.1f}  "
+                f"(n={int(self.latency_ms['count'])})")
+        else:
+            lines.append("latency (ms)      : no completed migrations")
+        lines.append(
+            f"deadline misses   : {self.deadline_misses}/"
+            f"{self.deadline_total} "
+            f"({_fmt_rate(self.deadline_miss_rate)})")
+        lines.append(
+            f"prestage hits     : {self.prestage_hits}/"
+            f"{self.prestage_pushes} "
+            f"({_fmt_rate(self.prestage_hit_rate)})")
+        for cls, row in sorted(self.link_utilization.items()):
+            lines.append(
+                f"link util [{cls:<7}]: peak {row['peak']:.2f}  "
+                f"mean {row['mean']:.2f}  busy {row['busy_ms']:.0f} ms")
+        if self.retries:
+            pairs = ", ".join(f"{k}={v}" for k, v
+                              in sorted(self.retries.items()))
+            lines.append(f"reliability       : {pairs}")
+        if self.queue:
+            lines.append(
+                f"scheduler queue   : max depth "
+                f"{int(self.queue.get('max_depth', 0))}, max wait "
+                f"{self.queue.get('max_wait_ms', 0.0):.1f} ms, rejected "
+                f"{int(self.queue.get('rejected', 0))}")
+        return "\n".join(lines)
+
+
+class SLOAggregator:
+    """Folds one deployment's recorded seams into an :class:`SLOReport`.
+
+    ``window_ms`` bounds the utilization denominator (defaults to the
+    whole run, ``loop.now``); pass the migration wave's makespan to get
+    utilization *during the wave* rather than diluted across warmup.
+    """
+
+    def __init__(self, deployment, window_ms: Optional[float] = None):
+        self.deployment = deployment
+        self.window_ms = window_ms
+
+    # -- pieces -----------------------------------------------------------
+
+    def _outcomes(self):
+        """(migrations, prestage pushes) -- prestage plans are pushes, not
+        user-visible migrations, and never count toward latency."""
+        migrations, pushes = [], []
+        for outcome in self.deployment.outcomes.values():
+            if outcome.plan is not None and \
+                    getattr(outcome.plan, "prestage", False):
+                pushes.append(outcome)
+            else:
+                migrations.append(outcome)
+        return migrations, pushes
+
+    def _latency(self, completed) -> Dict[str, float]:
+        if not completed:
+            return {}
+        totals = [o.total_ms for o in completed]
+        return {
+            "count": float(len(totals)),
+            "mean": sum(totals) / len(totals),
+            "p50": percentile(totals, 50.0),
+            "p95": percentile(totals, 95.0),
+            "p99": percentile(totals, 99.0),
+            "max": max(totals),
+        }
+
+    def _deadlines(self, scheduler):
+        """Misses among scheduled migrations that carried a deadline.
+
+        A request misses when it was rejected, its migration failed, it
+        never finished, or it finished later than ``queued_at +
+        deadline_ms`` (the user's clock starts at submission, not
+        admission -- queue wait counts against the objective).
+        """
+        total = misses = 0
+        if scheduler is None:
+            return total, misses
+        for request in scheduler.requests:
+            if request.deadline_ms is None:
+                continue
+            total += 1
+            outcome = request.outcome
+            if outcome is None or not outcome.completed:
+                misses += 1
+            elif outcome.resume_done_at - request.queued_at > \
+                    request.deadline_ms:
+                misses += 1
+        return total, misses
+
+    def _prestage(self, pushes, migrations):
+        """Hit accounting: prefer the PrestagingService's own counters
+        (exact staged-pair matches); fall back to plan inspection for
+        manually driven :meth:`~repro.core.middleware.MDAgentMiddleware.
+        prestage` calls -- a completed migration whose plan carried zero
+        components found its destination pre-provisioned."""
+        service = self.deployment.prestaging
+        if service is not None:
+            return service.prestages_started, service.hits
+        push_count = sum(1 for o in pushes if o.completed)
+        if push_count == 0:
+            return 0, 0
+        staged = {(o.plan.app_name, o.plan.destination)
+                  for o in pushes if o.completed}
+        hits = sum(
+            1 for o in migrations
+            if o.completed and not o.plan.carry_components
+            and (o.plan.app_name, o.plan.destination) in staged)
+        return push_count, hits
+
+    def _link_utilization(self, window_ms: float
+                          ) -> Dict[str, Dict[str, float]]:
+        per_class: Dict[str, List[float]] = {}
+        busy_totals: Dict[str, float] = {}
+        for link in self.deployment.network.links:
+            for cls, busy in link.class_busy_ms.items():
+                per_class.setdefault(cls, []).append(
+                    min(1.0, busy / window_ms) if window_ms > 0 else 0.0)
+                busy_totals[cls] = busy_totals.get(cls, 0.0) + busy
+        return {
+            cls: {
+                "peak": max(utils),
+                "mean": sum(utils) / len(utils),
+                "busy_ms": busy_totals[cls],
+            }
+            for cls, utils in per_class.items()
+        }
+
+    # -- entry point ------------------------------------------------------
+
+    def report(self) -> SLOReport:
+        deployment = self.deployment
+        migrations, pushes = self._outcomes()
+        completed = [o for o in migrations if o.completed]
+        failed = [o for o in migrations if o.failed]
+        scheduler = deployment.scheduler
+        deadline_total, deadline_misses = self._deadlines(scheduler)
+        prestage_pushes, prestage_hits = self._prestage(pushes, migrations)
+        window_ms = self.window_ms if self.window_ms is not None \
+            else deployment.loop.now
+        mobility = deployment.platform.mobility
+        retries = {
+            "transfer_retries": mobility.transfer_retries,
+            "transfers_dropped": mobility.transfers_dropped,
+            "transfers_resumed": mobility.transfers_resumed,
+            "checkin_dedup_hits": mobility.dedup_hits,
+            "migrations_failed": len(failed),
+            "scheduler_rejected": scheduler.rejected if scheduler else 0,
+        }
+        queue: Dict[str, float] = {}
+        if scheduler is not None:
+            waits = [r.queue_wait_ms for r in scheduler.requests
+                     if r.state in ("active", "done")]
+            queue = {
+                "submitted": float(len(scheduler.requests)),
+                "max_depth": float(scheduler.max_queue_depth),
+                "rejected": float(scheduler.rejected),
+                "max_wait_ms": max(waits) if waits else 0.0,
+                "mean_wait_ms": (sum(waits) / len(waits)) if waits else 0.0,
+            }
+        return SLOReport(
+            window_ms=window_ms,
+            sim_time_ms=deployment.loop.now,
+            migrations_total=len(migrations),
+            migrations_completed=len(completed),
+            migrations_failed=len(failed),
+            latency_ms=self._latency(completed),
+            deadline_total=deadline_total,
+            deadline_misses=deadline_misses,
+            prestage_pushes=prestage_pushes,
+            prestage_hits=prestage_hits,
+            link_utilization=self._link_utilization(window_ms),
+            retries=retries,
+            queue=queue,
+        )

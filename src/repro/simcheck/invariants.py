@@ -79,6 +79,11 @@ class InvariantChecker:
         self._jump_allowance: Dict[str, int] = {}
         self._last_kernel_now: float = float("-inf")
         self._installed = False
+        #: Optional ``callback(violation)`` fired the instant a violation
+        #: is recorded -- the runner uses it to freeze the flight
+        #: recorder's ring at the first breach, before later events
+        #: overwrite the lead-up.
+        self.on_violation = None
 
     # -- wiring -----------------------------------------------------------
 
@@ -105,9 +110,12 @@ class InvariantChecker:
         self._expected[app.name] = {c.name for c in app.components}
 
     def record(self, kind: str, detail: str, **context: Any) -> None:
-        self.violations.append(InvariantViolation(
+        violation = InvariantViolation(
             kind=kind, detail=detail, at_ms=self.deployment.loop.now,
-            context=context))
+            context=context)
+        self.violations.append(violation)
+        if self.on_violation is not None:
+            self.on_violation(violation)
 
     # -- streaming checks -------------------------------------------------
 

@@ -149,6 +149,10 @@ class SimcheckReport:
     legs: List[LegResult] = field(default_factory=list)
     stats: Dict[str, Any] = field(default_factory=dict)
     digest: str = ""
+    #: Flight-recorder dump: the runtime events leading up to the *first*
+    #: violation (empty on clean runs).  Ships inside repro artifacts so a
+    #: failure's lead-up survives alongside its minimal scenario.
+    flight: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -169,6 +173,7 @@ class SimcheckReport:
             "legs": [l.to_dict() for l in self.legs],
             "stats": dict(self.stats),
             "digest": self.digest,
+            "flight": [dict(e) for e in self.flight],
         }
 
 
@@ -190,13 +195,24 @@ def run_scenario(scenario: Scenario, fresh_state: bool = True
     """
     from repro.core import BindingPolicy
     from repro.core.errors import MiddlewareError, MigrationError
-    from repro.obs import Observability
+    from repro.obs import FlightRecorder, Observability
 
     if fresh_state:
         reset_global_state()
     observability = Observability()
     deployment = build_deployment(scenario, observability=observability)
     checker = InvariantChecker(deployment).install()
+    # Black box: ring-buffer the hook stream and freeze it the instant the
+    # first violation records, so the dump shows the breach's lead-up
+    # rather than whatever happened to run last.
+    recorder = FlightRecorder().attach(observability)
+    flight_dump: List[Dict[str, Any]] = []
+
+    def _freeze_flight(violation) -> None:
+        if not flight_dump:
+            flight_dump.extend(recorder.snapshot())
+
+    checker.on_violation = _freeze_flight
     sabotage = SABOTAGE_HOOKS.get(scenario.sabotage)
     if scenario.sabotage and sabotage is None:
         raise SimcheckError(f"unknown sabotage tag {scenario.sabotage!r}")
@@ -249,7 +265,8 @@ def run_scenario(scenario: Scenario, fresh_state: bool = True
         violations=checker.violations,
         legs=legs,
         stats=deployment.stats(),
-        digest=trace_digest(observability))
+        digest=trace_digest(observability),
+        flight=flight_dump)
 
 
 def check_determinism(scenario: Scenario) -> Dict[str, Any]:

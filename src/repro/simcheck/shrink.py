@@ -181,6 +181,10 @@ def artifact_dict(result: ShrinkResult,
         "shrunk_from": original.describe(),
         "shrink_evaluations": result.evaluations,
         "replay": "python -m repro simcheck --replay <this file>",
+        # Black-box dump from the *minimal* scenario's run: the runtime
+        # events (kernel dispatches, window moves, faults) leading up to
+        # the first recorded violation.
+        "flight": [dict(e) for e in result.report.flight],
     }
 
 

@@ -88,10 +88,14 @@ class TestMobilityPatterns:
         assert report.migrations_failed == 0
         assert workload.deployment.prestaging is not None
 
-    def test_steady_state_latency_equal_with_and_without_prestaging(self):
-        """A documented negative result: because installed components
-        persist at visited hosts, repeat visits are warm either way --
-        pre-staging only accelerates *first* visits (see ablation A7)."""
+    def test_prestaging_cuts_routine_commute_latency(self):
+        """Pre-staging now re-evaluates the predictor when an app resumes
+        after a follow-me move, staging the commute's *next* hop.  On a
+        routine (perfectly predictable) pattern that makes first visits
+        warm too, so the mean migration latency drops measurably.  (This
+        replaces an older negative result: before the resume-time
+        re-prediction, location fixes always arrived while the app was
+        still in the predicted space and staged nothing.)"""
         def run(prestaging):
             workload = SmartBuildingWorkload(small_config(
                 mobility_pattern="routine", prestaging=prestaging,
@@ -100,5 +104,5 @@ class TestMobilityPatterns:
 
         cold = run(False)
         warm = run(True)
-        assert cold.mean_migration_ms == pytest.approx(
-            warm.mean_migration_ms, rel=0.05)
+        assert warm.migrations_failed == 0
+        assert warm.mean_migration_ms < cold.mean_migration_ms * 0.9

@@ -1,0 +1,202 @@
+"""BENCH_*.json trajectory tests: schema, determinism, comparison."""
+
+import json
+
+import pytest
+
+from repro.bench.trajectory import (
+    BENCH_FORMAT,
+    DEFAULT_THRESHOLD,
+    SCENARIOS,
+    bench_path,
+    compare_bench,
+    load_bench,
+    run_bench,
+    write_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def scale_record():
+    """One quick scale run shared by the read-only schema tests."""
+    return run_bench("scale", quick=True)
+
+
+class TestRecordSchema:
+    def test_format_and_required_sections(self, scale_record):
+        record = scale_record
+        assert record["format"] == BENCH_FORMAT
+        assert record["scenario"] == "scale"
+        assert record["mode"] == "quick"
+        assert set(record) >= {"params", "metrics", "slo", "profile",
+                               "extra", "sim_digest", "created"}
+        json.dumps(record)
+
+    def test_metrics_block(self, scale_record):
+        metrics = scale_record["metrics"]
+        assert metrics["events"] > 0
+        assert metrics["events_per_sec"] > 0
+        assert metrics["sim_time_ms"] > 0
+        assert metrics["sim_s_per_wall_s"] > 0
+        assert metrics["wall_s"] > 0
+        # peak RSS present on POSIX, null elsewhere -- never missing.
+        assert "peak_rss_bytes" in metrics
+
+    def test_scale_slo_covers_the_acceptance_indicators(self, scale_record):
+        """The scale scenario's SLO block must report migration p99,
+        deadline-miss rate, prestage hit rate and per-class utilization."""
+        slo = scale_record["slo"]
+        assert slo["latency_ms"]["p99"] > 0
+        assert slo["deadlines"]["total"] > 0
+        assert slo["deadlines"]["miss_rate"] is not None
+        assert slo["prestage"]["pushes"] > 0
+        assert slo["prestage"]["hit_rate"] == pytest.approx(1.0)
+        assert {"bulk", "control"} <= set(slo["link_utilization"])
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ValueError, match="unknown bench scenario"):
+            run_bench("nope")
+
+    def test_standing_scenarios_registered(self):
+        assert list(SCENARIOS) == ["scale", "transfer_window",
+                                   "workload_day"]
+
+
+class TestDeterminism:
+    def test_same_seed_same_sim_digest_with_profiler_attached(self):
+        """Two quick runs of the same scenario (profiler attached both
+        times -- run_bench always attaches it) must agree on the sim-side
+        digest: profiling is wall-clock only."""
+        first = run_bench("scale", quick=True)
+        second = run_bench("scale", quick=True)
+        assert first["sim_digest"] == second["sim_digest"]
+        # Wall-clock metrics are NOT expected to match; sim-side ones are.
+        assert first["metrics"]["events"] == second["metrics"]["events"]
+        assert first["metrics"]["sim_time_ms"] == \
+            second["metrics"]["sim_time_ms"]
+        assert first["slo"] == second["slo"]
+
+
+class TestFileRoundTrip:
+    def test_write_then_load(self, scale_record, tmp_path):
+        path = write_bench(scale_record, str(tmp_path))
+        assert path == bench_path("scale", str(tmp_path))
+        assert path.endswith("BENCH_scale.json")
+        loaded = load_bench(path)
+        assert loaded == json.loads(json.dumps(scale_record))
+
+    def test_write_creates_missing_directories(self, scale_record,
+                                               tmp_path):
+        # CI writes artifacts to a directory that does not exist yet.
+        path = write_bench(scale_record, str(tmp_path / "deep" / "out"))
+        assert load_bench(path)["scenario"] == "scale"
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "BENCH_other.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError, match="not a bench trajectory"):
+            load_bench(str(path))
+
+
+def _record(eps, scenario="scale", mode="quick", params=None,
+            digest="d1"):
+    return {
+        "format": BENCH_FORMAT, "scenario": scenario, "mode": mode,
+        "params": params if params is not None else {"legs": 12},
+        "metrics": {"events_per_sec": eps},
+        "sim_digest": digest,
+    }
+
+
+class TestComparison:
+    def test_within_threshold_is_ok(self):
+        comparison = compare_bench(_record(100_000.0), _record(85_000.0))
+        assert not comparison.regressed
+        assert comparison.ratio == pytest.approx(0.85)
+        assert "ok" in comparison.summary()
+
+    def test_regression_beyond_20_percent_flags(self):
+        comparison = compare_bench(_record(100_000.0), _record(79_000.0))
+        assert comparison.regressed
+        assert "REGRESSED" in comparison.summary()
+
+    def test_threshold_is_configurable(self):
+        assert DEFAULT_THRESHOLD == pytest.approx(0.20)
+        comparison = compare_bench(_record(100_000.0), _record(79_000.0),
+                                   threshold=0.5)
+        assert not comparison.regressed
+
+    def test_improvement_never_flags(self):
+        comparison = compare_bench(_record(100_000.0), _record(500_000.0))
+        assert not comparison.regressed
+
+    def test_scenario_mismatch_raises(self):
+        with pytest.raises(ValueError, match="scenario mismatch"):
+            compare_bench(_record(1.0), _record(1.0, scenario="other"))
+
+    def test_mode_mismatch_suppresses_the_verdict(self):
+        # Quick runs are dominated by fixed setup cost; even a huge
+        # events/sec gap against a full baseline is not a regression.
+        comparison = compare_bench(_record(100_000.0, mode="full"),
+                                   _record(10_000.0, mode="quick"))
+        assert any("mode mismatch" in n for n in comparison.notes)
+        assert not comparison.comparable
+        assert not comparison.regressed
+        assert "not comparable" in comparison.summary()
+
+    def test_digest_drift_at_equal_params_noted(self):
+        comparison = compare_bench(_record(100_000.0, digest="a"),
+                                   _record(90_000.0, digest="b"))
+        assert any("digest drifted" in n for n in comparison.notes)
+
+    def test_param_change_noted_instead_of_digest(self):
+        comparison = compare_bench(
+            _record(100_000.0, params={"legs": 12}, digest="a"),
+            _record(90_000.0, params={"legs": 40}, digest="b"))
+        assert any("params changed" in n for n in comparison.notes)
+        assert not any("digest" in n for n in comparison.notes)
+
+    def test_zero_baseline_does_not_divide(self):
+        comparison = compare_bench(_record(0.0), _record(100.0))
+        assert comparison.ratio == 1.0
+        assert not comparison.regressed
+
+
+class TestCLI:
+    def test_bench_quick_writes_schema_versioned_files(self, tmp_path,
+                                                       capsys):
+        from repro.__main__ import main
+        rc = main(["bench", "--quick", "--scenario", "scale",
+                   "--out-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "events/sec" in out
+        record = load_bench(str(tmp_path / "BENCH_scale.json"))
+        assert record["format"] == BENCH_FORMAT
+
+    def test_bench_check_regression_warns_but_exits_zero(self, tmp_path,
+                                                         capsys):
+        from repro.__main__ import main
+        # Plant a baseline that no real machine can beat: the comparison
+        # must warn (soft-fail) yet the command still exits 0.
+        current = run_bench("scale", quick=True)
+        impossible = dict(current)
+        impossible["metrics"] = dict(current["metrics"],
+                                     events_per_sec=1e15)
+        write_bench(impossible, str(tmp_path))
+        rc = main(["bench", "--quick", "--scenario", "scale",
+                   "--no-write", "--check",
+                   "--baseline-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "::warning" in out
+        assert "REGRESSED" in out
+
+    def test_bench_check_without_baseline_skips_comparison(self, tmp_path,
+                                                           capsys):
+        from repro.__main__ import main
+        rc = main(["bench", "--quick", "--scenario", "transfer_window",
+                   "--no-write", "--check",
+                   "--baseline-dir", str(tmp_path)])
+        assert rc == 0
+        assert "no usable baseline" in capsys.readouterr().out

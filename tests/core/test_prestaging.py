@@ -204,18 +204,23 @@ class TestPrestageInvalidation:
         d.announce_location("alice", "office", previous="lab")
         d.run_all()
         assert service.prestages_started == 1
-        # She walks to the lab (the app follows) and back (follows again).
+        # She walks to the lab (the app follows into the staged host --
+        # a hit) and the resume immediately re-stages the trip home.
         d.announce_location("alice", "lab", previous="office")
         d.run_all()
         assert lab_pc.application("player").status is AppStatus.RUNNING
+        assert service.hits == 1
+        assert service.prestages_started == 2
+        # Walking back is therefore warm too, and re-stages the lab again.
         d.announce_location("alice", "office", previous="lab")
         d.run_all()
         assert office_pc.application("player").status is AppStatus.RUNNING
-        # Next trip: the earlier (player, lab-pc) memo must not suppress
-        # a fresh pre-stage.
+        assert service.hits == 2
+        assert service.prestages_started == 3
+        # A repeated same-space fix must not re-push the staged pair.
         d.announce_location("alice", "office")
         d.run_all()
-        assert service.prestages_started == 2
+        assert service.prestages_started == 3
 
     def test_uninstall_publishes_stop_and_invalidates(self):
         d, office_pc, lab_pc = commuting_deployment()

@@ -134,6 +134,57 @@ def test_dashboard_renders_all_sections():
     assert "2 run(s)" in text
 
 
+class TestSparseRegistries:
+    """Exporters must cope with empty and partially-populated hubs --
+    the shapes a run that recorded nothing (or only metrics) produces."""
+
+    def test_empty_hub_jsonl_is_meta_only(self):
+        lines = to_jsonl(Observability()).splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["type"] for r in records] == ["meta"]
+
+    def test_empty_hub_chrome_trace_has_no_spans(self):
+        trace = to_chrome_trace(Observability())
+        assert [e for e in trace["traceEvents"] if e["ph"] in ("X", "i")] \
+            == []
+        json.dumps(trace)
+
+    def test_empty_hub_dashboard_renders(self):
+        text = render_dashboard(Observability(), title="empty")
+        assert "empty" in text  # renders without raising
+
+    def test_metrics_only_hub(self):
+        """An ``Observability(trace=False)`` hub records metrics but no
+        spans; every exporter must still produce its shape."""
+        obs = Observability(trace=False)
+        obs.metrics.counter("kernel.events").inc(3)
+        obs.metrics.gauge("kernel.queue_depth").set(7)
+        records = [json.loads(line)
+                   for line in to_jsonl(obs).splitlines()]
+        assert [r["type"] for r in records] == ["meta", "metric", "metric"]
+        trace = to_chrome_trace(obs)
+        assert [e for e in trace["traceEvents"] if e["ph"] == "X"] == []
+        text = render_dashboard(obs)
+        assert "kernel.events" in text
+        assert "kernel.queue_depth" in text
+
+    def test_gauge_only_dashboard(self):
+        obs = Observability(trace=False)
+        obs.metrics.gauge("depth").set(1.0)
+        text = render_dashboard(obs)
+        assert "gauges (last / min / max):" in text
+        assert "counters:" not in text
+
+    def test_empty_histogram_series_export(self):
+        obs = Observability(trace=False)
+        obs.metrics.histogram("latency_ms", phase="suspend")  # no samples
+        records = [json.loads(line)
+                   for line in to_jsonl(obs).splitlines()]
+        histogram = [r for r in records if r["type"] == "metric"][0]
+        assert histogram["count"] == 0
+        render_dashboard(obs)  # must not raise on the empty series
+
+
 if __name__ == "__main__":  # regenerate goldens explicitly
     GOLDEN.mkdir(exist_ok=True)
     (GOLDEN / "trace.jsonl").write_text(to_jsonl(_build_fixture()))

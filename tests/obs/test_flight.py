@@ -1,0 +1,76 @@
+"""Flight-recorder ring buffer tests."""
+
+import json
+
+from repro.obs import FLIGHT_FORMAT, FlightRecorder, Observability
+from repro.obs.flight import _jsonable
+
+
+class TestRing:
+    def test_records_in_order_with_sequence_numbers(self):
+        obs = Observability(trace=False)
+        recorder = FlightRecorder(capacity=8).attach(obs)
+        for i in range(3):
+            obs.emit("kernel.event", now=float(i), callback="cb")
+        snap = recorder.snapshot()
+        assert [e["seq"] for e in snap] == [1, 2, 3]
+        assert [e["now"] for e in snap] == [0.0, 1.0, 2.0]
+        assert all(e["kind"] == "kernel.event" for e in snap)
+
+    def test_bounded_overwrite_keeps_most_recent(self):
+        obs = Observability(trace=False)
+        recorder = FlightRecorder(capacity=4).attach(obs)
+        for i in range(10):
+            obs.emit("tick", n=i)
+        assert len(recorder) == 4
+        assert recorder.recorded == 10
+        assert recorder.overwritten == 6
+        assert [e["n"] for e in recorder.snapshot()] == [6, 7, 8, 9]
+
+    def test_detach_stops_recording(self):
+        obs = Observability(trace=False)
+        recorder = FlightRecorder().attach(obs)
+        obs.emit("tick", n=1)
+        recorder.detach()
+        obs.emit("tick", n=2)
+        assert [e["n"] for e in recorder.snapshot()] == [1]
+
+    def test_clear(self):
+        obs = Observability(trace=False)
+        recorder = FlightRecorder().attach(obs)
+        obs.emit("tick", n=1)
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.recorded == 1  # lifetime counter survives
+
+    def test_to_dict_is_json_serializable(self):
+        obs = Observability(trace=False)
+        recorder = FlightRecorder(capacity=2).attach(obs)
+        obs.emit("fault.inject", params={"loss_rate": 0.2},
+                 targets=("a", "b"))
+        data = recorder.to_dict()
+        assert data["format"] == FLIGHT_FORMAT
+        assert data["capacity"] == 2
+        json.dumps(data)
+
+
+class TestSanitizer:
+    def test_passthrough_scalars_and_containers(self):
+        assert _jsonable(None) is None
+        assert _jsonable(1) == 1
+        assert _jsonable(1.5) == 1.5
+        assert _jsonable(True) is True
+        assert _jsonable("x") == "x"
+        assert _jsonable([1, {"a": (2, 3)}]) == [1, {"a": [2, 3]}]
+
+    def test_sets_become_sorted_lists(self):
+        assert _jsonable({3, 1, 2}) == [1, 2, 3]
+
+    def test_arbitrary_objects_fall_back_to_repr(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        out = _jsonable({"obj": Opaque()})
+        assert out == {"obj": "<opaque>"}
+        json.dumps(out)

@@ -31,6 +31,27 @@ class TestPercentile:
         with pytest.raises(ValueError):
             percentile([1.0], 100.5)
 
+    def test_single_sample_every_percentile(self):
+        for p in (0, 50, 100):
+            assert percentile([7.5], p) == 7.5
+
+    def test_nan_samples_rejected(self):
+        nan = float("nan")
+        with pytest.raises(ValueError, match="NaN"):
+            percentile([1.0, nan, 3.0], 50)
+        with pytest.raises(ValueError, match="NaN"):
+            percentile([nan], 50)
+
+    def test_nan_rank_rejected(self):
+        # NaN fails both range comparisons, so it lands in the range check.
+        with pytest.raises(ValueError):
+            percentile([1.0, 2.0], float("nan"))
+
+    def test_infinities_are_legal_samples(self):
+        inf = float("inf")
+        assert percentile([1.0, inf], 100) == inf
+        assert percentile([-inf, 1.0], 0) == -inf
+
 
 class TestInstruments:
     def test_counter_accumulates_and_rejects_negative(self):
@@ -60,6 +81,15 @@ class TestInstruments:
         assert snap["p95"] == pytest.approx(95.05)
         assert snap["p99"] == pytest.approx(99.01)
         assert snap["min"] == 1.0 and snap["max"] == 100.0
+
+    def test_histogram_rejects_nan_at_ingestion(self):
+        h = Histogram("latency", ())
+        h.observe(1.0)
+        with pytest.raises(ValueError, match="NaN"):
+            h.observe(float("nan"))
+        # The poisoned sample was not retained; percentiles still work.
+        assert h.count == 1
+        assert h.percentile(50) == 1.0
 
     def test_empty_histogram_snapshot(self):
         assert Histogram("lat", ()).snapshot() == {

@@ -1,0 +1,127 @@
+"""Kernel wall-clock profiler tests: attribution, reporting, zero-impact."""
+
+import pytest
+
+from repro.net.kernel import EventLoop
+from repro.obs import KernelProfiler, Observability, peak_rss_bytes
+
+
+def _loop_with_obs(trace=False):
+    obs = Observability(trace=trace)
+    loop = EventLoop()
+    loop.observability = obs
+    return loop, obs
+
+
+def busy_run(loop, events=50):
+    for i in range(events):
+        loop.call_later(float(i), lambda: None)
+    loop.run()
+
+
+class TestKernelProfiler:
+    def test_counts_and_attributes_every_kernel_event(self):
+        loop, obs = _loop_with_obs()
+        profiler = KernelProfiler().attach(obs)
+        busy_run(loop, events=25)
+        assert profiler.events == 25
+        report = profiler.report()
+        assert report.events == 25
+        assert report.wall_s > 0.0
+        # All callbacks were the same lambda; one row carries them all.
+        assert sum(row["count"] for row in report.event_types) == 25
+        top = report.event_types[0]
+        assert top["count"] == 25
+        assert top["total_ms"] >= 0.0
+        assert "p95_ms" in top
+
+    def test_sim_window_and_heap_depth(self):
+        loop, obs = _loop_with_obs()
+        profiler = KernelProfiler().attach(obs)
+        busy_run(loop, events=10)
+        report = profiler.report()
+        # Events were scheduled at t=0..9 ms: the window spans them.
+        assert report.sim_ms == pytest.approx(9.0)
+        assert report.heap_depth_max >= report.heap_depth_min >= 0
+        assert report.heap_depth_max <= 10
+        assert 0.0 <= report.heap_depth_mean <= 10.0
+
+    def test_ignores_non_kernel_events(self):
+        obs = Observability(trace=False)
+        profiler = KernelProfiler().attach(obs)
+        obs.emit("migration.window", base=0, head=1)
+        obs.emit("scheduler.submit", app="a")
+        assert profiler.events == 0
+
+    def test_attach_twice_raises(self):
+        obs = Observability()
+        profiler = KernelProfiler().attach(obs)
+        with pytest.raises(RuntimeError):
+            profiler.attach(obs)
+
+    def test_detach_stops_sampling_and_freezes_wall_clock(self):
+        loop, obs = _loop_with_obs()
+        profiler = KernelProfiler().attach(obs)
+        busy_run(loop, events=5)
+        profiler.detach()
+        frozen = profiler.wall_s
+        busy_run(loop, events=5)
+        assert profiler.events == 5  # nothing sampled after detach
+        assert profiler.wall_s == frozen
+        profiler.detach()  # double-detach is a no-op
+
+    def test_report_fields_serialize(self):
+        import json
+        loop, obs = _loop_with_obs()
+        profiler = KernelProfiler().attach(obs)
+        busy_run(loop, events=5)
+        data = profiler.report().to_dict()
+        json.dumps(data)
+        assert data["format"] == "repro.obs.perf/1"
+        assert data["events"] == 5
+        assert set(data["heap_depth"]) == {"min", "max", "mean"}
+
+    def test_render_mentions_throughput(self):
+        loop, obs = _loop_with_obs()
+        profiler = KernelProfiler().attach(obs)
+        busy_run(loop, events=5)
+        text = profiler.report().render()
+        assert "events/sec" in text
+        assert "heap depth" in text
+
+    def test_empty_report(self):
+        obs = Observability()
+        profiler = KernelProfiler().attach(obs)
+        report = profiler.report()
+        assert report.events == 0
+        assert report.sim_ms == 0.0
+        assert report.events_per_sec >= 0.0
+        assert report.event_types == []
+
+
+def test_peak_rss_is_positive_on_posix():
+    rss = peak_rss_bytes()
+    if rss is None:
+        pytest.skip("resource module unavailable on this platform")
+    # Any Python process is at least a few MB resident.
+    assert rss > 1_000_000
+
+
+def test_profiler_does_not_perturb_sim_digest():
+    """The profiler is wall-clock side only: attaching it must leave the
+    deterministic sim-side trace digest byte-identical."""
+    from repro.bench.scale import scale_benchmark
+    from repro.simcheck.runner import reset_global_state, trace_digest
+
+    def run(with_profiler):
+        reset_global_state()
+        obs = Observability(trace=False)
+        profiler = KernelProfiler().attach(obs) if with_profiler else None
+        scale_benchmark(spaces=3, hosts_per_space=2, apps_per_host=1,
+                        legs=6, admission_limit=2, seed=3,
+                        observability=obs)
+        if profiler is not None:
+            assert profiler.events > 0
+        return trace_digest(obs)
+
+    assert run(with_profiler=True) == run(with_profiler=False)

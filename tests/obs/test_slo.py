@@ -1,0 +1,153 @@
+"""Fleet SLO aggregator tests over real (small) deployments."""
+
+import json
+
+import pytest
+
+from repro.apps.music_player import MusicPlayerApp
+from repro.core import Deployment
+from repro.obs import Observability, SLO_FORMAT, SLOAggregator, SLOReport
+
+
+def small_fleet(seed=7):
+    d = Deployment(seed=seed, observability=Observability(trace=False))
+    d.add_space("west")
+    d.add_space("east")
+    for i in range(2):
+        d.add_host(f"w{i}", "west")
+        d.add_host(f"e{i}", "east")
+    d.add_gateway("gw-w", "west")
+    d.add_gateway("gw-e", "east")
+    d.connect_spaces("west", "east")
+    for i in range(2):
+        app = MusicPlayerApp.build(f"app-{i}", f"user-{i}",
+                                   track_bytes=100_000)
+        d.middleware(f"w{i}").launch_application(app)
+    d.run_all()
+    return d
+
+
+class TestAggregation:
+    def test_latency_percentiles_over_completed_migrations(self):
+        d = small_fleet()
+        scheduler = d.enable_migration_scheduler(limit=2)
+        for i in range(2):
+            scheduler.submit(f"w{i}", f"app-{i}", f"e{i}")
+        d.run_all()
+        report = SLOAggregator(d).report()
+        assert report.migrations_total == 2
+        assert report.migrations_completed == 2
+        assert report.migrations_failed == 0
+        lat = report.latency_ms
+        assert lat["count"] == 2
+        assert 0 < lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]
+
+    def test_deadline_miss_counts_queue_wait(self):
+        """The deadline clock starts at submission: a migration that was
+        fast once admitted still misses if it queued too long."""
+        d = small_fleet()
+        scheduler = d.enable_migration_scheduler(limit=1)
+        # Serialized: the second submission waits for the whole first
+        # migration, so a deadline below (wait + run) must be missed.
+        a = scheduler.submit("w0", "app-0", "e0", deadline_ms=1e9)
+        b = scheduler.submit("w1", "app-1", "e1", deadline_ms=1.0)
+        d.run_all()
+        assert a.outcome.completed and b.outcome.completed
+        report = SLOAggregator(d).report()
+        assert report.deadline_total == 2
+        assert report.deadline_misses == 1
+        assert report.deadline_miss_rate == pytest.approx(0.5)
+
+    def test_no_deadlines_renders_na_and_null(self):
+        d = small_fleet()
+        scheduler = d.enable_migration_scheduler(limit=2)
+        scheduler.submit("w0", "app-0", "e0")
+        d.run_all()
+        report = SLOAggregator(d).report()
+        assert report.deadline_total == 0
+        assert report.deadline_miss_rate is None
+        assert "n/a" in report.render()
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["deadlines"]["miss_rate"] is None
+
+    def test_manual_prestage_hit_via_plan_inspection(self):
+        """Without a PrestagingService, a completed migration whose plan
+        carried zero components to a staged destination counts as a hit."""
+        d = small_fleet()
+        d.middleware("w0").prestage("app-0", "e0")
+        d.run_all()
+        outcome = d.middleware("w0").migrate("app-0", "e0")
+        d.run_all()
+        assert outcome.completed
+        assert outcome.plan.carry_components == []
+        report = SLOAggregator(d).report()
+        assert report.prestage_pushes == 1
+        assert report.prestage_hits == 1
+        assert report.prestage_hit_rate == pytest.approx(1.0)
+        # Prestage pushes are not user-visible migrations.
+        assert report.migrations_total == 1
+
+    def test_service_counters_preferred_when_prestaging_enabled(self):
+        d = small_fleet()
+        service = d.enable_prestaging()
+        service.prestages_started = 4
+        service.hits = 3
+        report = SLOAggregator(d).report()
+        assert report.prestage_pushes == 4
+        assert report.prestage_hits == 3
+
+    def test_link_utilization_per_class(self):
+        d = small_fleet()
+        d.middleware("w0").migrate("app-0", "e0")
+        d.run_all()
+        report = SLOAggregator(d, window_ms=d.loop.now).report()
+        assert "bulk" in report.link_utilization
+        assert "control" in report.link_utilization
+        for row in report.link_utilization.values():
+            assert 0.0 <= row["mean"] <= row["peak"] <= 1.0
+            assert row["busy_ms"] >= 0.0
+
+    def test_queue_stats_and_retry_counters_present(self):
+        d = small_fleet()
+        scheduler = d.enable_migration_scheduler(limit=1)
+        for i in range(2):
+            scheduler.submit(f"w{i}", f"app-{i}", f"e{i}")
+        d.run_all()
+        report = SLOAggregator(d).report()
+        assert report.queue["submitted"] == 2
+        assert report.queue["max_depth"] >= 1
+        assert report.queue["max_wait_ms"] > 0.0
+        for key in ("transfer_retries", "transfers_dropped",
+                    "transfers_resumed", "checkin_dedup_hits",
+                    "scheduler_rejected"):
+            assert key in report.retries
+
+    def test_no_scheduler_no_migrations_is_all_empty(self):
+        d = small_fleet()
+        report = SLOAggregator(d).report()
+        assert report.migrations_total == 0
+        assert report.latency_ms == {}
+        assert report.queue == {}
+        assert "no completed migrations" in report.render()
+
+
+class TestSerialization:
+    def test_to_dict_schema(self):
+        d = small_fleet()
+        d.enable_migration_scheduler(limit=2).submit("w0", "app-0", "e0",
+                                                     deadline_ms=60_000.0)
+        d.run_all()
+        data = SLOAggregator(d).report().to_dict()
+        assert data["format"] == SLO_FORMAT
+        assert set(data) >= {"window_ms", "sim_time_ms", "migrations",
+                             "latency_ms", "deadlines", "prestage",
+                             "link_utilization", "retries", "queue"}
+        json.dumps(data)
+
+    def test_render_is_plain_text(self):
+        report = SLOReport(window_ms=1000.0, sim_time_ms=1000.0,
+                           migrations_total=0, migrations_completed=0,
+                           migrations_failed=0)
+        text = report.render("empty fleet")
+        assert text.startswith("empty fleet")
+        assert "deadline misses   : 0/0 (n/a)" in text

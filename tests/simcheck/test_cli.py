@@ -50,6 +50,44 @@ class TestFuzzCommand:
         assert "2/2 seeds failed: [0, 1]" in out
 
 
+class TestFlightRecorderDump:
+    """A planted defect must ship its black-box flight recording."""
+
+    def test_sabotaged_run_freezes_a_flight_dump(self):
+        from repro.simcheck.runner import run_scenario
+        from repro.simcheck.scenario import generate_scenario
+
+        scenario = generate_scenario(seed=0)
+        scenario.sabotage = "wire-skim"
+        report = run_scenario(scenario)
+        assert report.violations  # the plant tripped
+        assert report.flight  # ...and froze the lead-up ring
+        kinds = {e["kind"] for e in report.flight}
+        assert "kernel.event" in kinds
+        # Frozen at the FIRST violation: every recorded event carries a
+        # seq number no later than the ring's state at that instant.
+        seqs = [e["seq"] for e in report.flight]
+        assert seqs == sorted(seqs)
+        assert report.flight == report.to_dict()["flight"]
+
+    def test_clean_run_has_no_flight_dump(self):
+        from repro.simcheck.runner import run_scenario
+        from repro.simcheck.scenario import generate_scenario
+
+        report = run_scenario(generate_scenario(seed=0))
+        assert not report.violations
+        assert report.flight == []
+
+    def test_artifact_embeds_the_flight_dump(self, capsys, tmp_path):
+        main(["simcheck", "--seeds", "1", "--sabotage", "wire-skim",
+              "--artifact-dir", str(tmp_path), "--no-determinism"])
+        capsys.readouterr()
+        artifact = tmp_path / "simcheck-seed0.json"
+        data = json.loads(artifact.read_text())
+        assert data["flight"]
+        assert all({"seq", "kind"} <= set(e) for e in data["flight"])
+
+
 class TestReplayCommand:
     def test_replaying_a_written_artifact_exits_zero(self, capsys, tmp_path):
         main(["simcheck", "--seeds", "1", "--sabotage", "clock-skip",
