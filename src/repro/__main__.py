@@ -7,6 +7,7 @@ Commands:
 - ``lecture``         run the clone-dispatch lecture scenario
 - ``simcheck``        fuzz seeded scenarios under runtime invariant checks
 - ``bench``           run the standing perf scenarios, write BENCH_*.json
+- ``city``            run a city-scale commuter day (see docs/WORKLOADS.md)
 - ``version``         print the library version
 """
 
@@ -230,6 +231,9 @@ def cmd_simcheck(args: argparse.Namespace) -> int:
         print("recorded violation did NOT reproduce")
         return 1
 
+    if args.city:
+        from repro.city import generate_city_scenario as generate_scenario
+
     failed_seeds = []
     for seed in range(args.seed_start, args.seed_start + args.seeds):
         scenario = generate_scenario(seed)
@@ -352,6 +356,53 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_city(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.city import CityConfig, CityWorkload
+
+    tier = "smoke" if args.quick else args.tier
+    config = CityConfig.for_tier(tier, seed=args.seed)
+    if args.spaces is not None:
+        config.spaces = args.spaces
+    if args.users is not None:
+        config.users = args.users
+    if args.no_prestage:
+        config.prestage = False
+    obs = _make_obs(args)
+    print(f"city: running {config.spaces} spaces / {config.users} users "
+          f"(seed {config.seed})...", file=sys.stderr)
+    result = CityWorkload(config, observability=obs).run(
+        check_invariants=args.check_invariants)
+    print(result.summary())
+    print()
+    print(result.slo.render(f"fleet SLO report (city, "
+                            f"{result.tier} tier)"))
+    for violation in result.invariant_violations:
+        print(f"  INVARIANT VIOLATION: {violation}")
+    if args.slo_json:
+        payload = {
+            "format": "repro.city.slo/1",
+            "tier": result.tier,
+            "seed": config.seed,
+            "spaces": result.spaces,
+            "users": result.users,
+            "legs_submitted": result.legs_submitted,
+            "trace_digest": result.trace_digest,
+            "fleet_digest": result.fleet_digest,
+            "hourly_moves": result.hourly_moves,
+            "slo": result.slo.to_dict(),
+        }
+        with open(args.slo_json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"SLO report written to {args.slo_json}", file=sys.stderr)
+    _export_obs(obs, args)
+    if result.invariant_violations:
+        return 1
+    return 0 if result.legs_completed > 0 else 1
+
+
 def cmd_version(args: argparse.Namespace) -> int:
     import repro
     print(f"repro (MDAgent reproduction) {repro.__version__}")
@@ -410,6 +461,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="skip the same-seed double-run digest check")
     simcheck.add_argument("--keep-going", action="store_true",
                           help="fuzz every seed even after a failure")
+    simcheck.add_argument("--city", action="store_true",
+                          help="fuzz small compiled-city scenarios "
+                               "(repro.city.generate_city_scenario) "
+                               "instead of the generic generator")
     # Test-only: plant a deliberate defect in every scenario so the
     # checker/shrinker pipeline itself can be exercised end to end.
     simcheck.add_argument("--sabotage", default=None,
@@ -420,7 +475,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the standing perf scenarios and write BENCH_*.json")
     bench.add_argument("--scenario", default="all",
                        choices=["all", "scale", "transfer_window",
-                                "workload_day"],
+                                "workload_day", "city"],
                        help="which standing scenario to run (default all)")
     bench.add_argument("--quick", action="store_true",
                        help="smaller parameter sets for CI smoke runs")
@@ -442,6 +497,32 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--slo", action="store_true",
                        help="also print each scenario's fleet SLO report")
     bench.set_defaults(func=cmd_bench)
+    city = sub.add_parser(
+        "city",
+        help="run a city-scale commuter day through the middleware")
+    city.add_argument("--seed", type=int, default=11,
+                      help="workload seed (default 11); same seed -> "
+                           "byte-identical trace digest")
+    city.add_argument("--tier", default="quick",
+                      choices=["smoke", "quick", "full"],
+                      help="scale tier (default quick: 200 spaces / "
+                           "2,000 users; full: 2,000 / 50,000)")
+    city.add_argument("--spaces", type=int, default=None, metavar="N",
+                      help="override the tier's space count")
+    city.add_argument("--users", type=int, default=None, metavar="N",
+                      help="override the tier's user count")
+    city.add_argument("--quick", action="store_true",
+                      help="shorthand for --tier smoke (CI smoke runs)")
+    city.add_argument("--no-prestage", action="store_true",
+                      help="disable morning-commute component pre-staging")
+    city.add_argument("--check-invariants", action="store_true",
+                      help="run under the simcheck runtime invariant "
+                           "checkers (slower; nonzero exit on violation)")
+    city.add_argument("--slo-json", metavar="FILE", default=None,
+                      help="also write the SLO report (plus digests) as "
+                           "JSON")
+    _add_obs_flags(city)
+    city.set_defaults(func=cmd_city)
     version = sub.add_parser("version", help="print the version")
     version.set_defaults(func=cmd_version)
     return parser

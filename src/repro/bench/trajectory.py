@@ -134,13 +134,54 @@ def _run_workload_day(observability, quick: bool
     return params, extra, slo
 
 
+def _run_city(observability, quick: bool) -> Tuple[Dict, Dict, Optional[Dict]]:
+    """The city-scale heavy-traffic benchmark (see :mod:`repro.city`).
+
+    Quick mode runs the ``smoke`` tier (40 spaces / 300 users); full mode
+    runs the standing ``quick`` tier (200 spaces / 2,000 users / 7k+
+    legs), which is what ``BENCH_city.json`` tracks.  The ``full`` city
+    tier (2,000 spaces / 50,000 users) is a CLI-only scale-out target
+    (``python -m repro city --tier full``), too heavy for a standing CI
+    benchmark.
+    """
+    from repro.city import CityConfig, CityWorkload
+
+    tier = "smoke" if quick else "quick"
+    config = CityConfig.for_tier(tier, seed=11)
+    result = CityWorkload(config, observability=observability).run()
+    params: Dict[str, Any] = dict(
+        tier=tier, spaces=config.spaces, users=config.users,
+        seed=config.seed, admission_limit=config.admission_limit,
+        deadline_ms=config.deadline_ms, prestage=config.prestage,
+        meeting_probability=config.meeting_probability)
+    extra = {
+        "hosts": result.hosts,
+        "apps": result.apps,
+        "moves": result.moves,
+        "legs_submitted": result.legs_submitted,
+        "legs_completed": result.legs_completed,
+        "legs_failed": result.legs_failed,
+        "legs_rejected": result.legs_rejected,
+        "follow_ups": result.follow_ups,
+        "prestage_pushes": result.prestage_pushes,
+        "prestage_hits": result.prestage_hits,
+        "hourly_moves": list(result.hourly_moves),
+        "sim_makespan_ms": result.sim_makespan_ms,
+        "trace_digest": result.trace_digest,
+        "fleet_digest": result.fleet_digest,
+    }
+    return params, extra, result.slo.to_dict()
+
+
 #: Standing scenarios, in trajectory order.  ``scale`` is the primary one
-#: CI and the roadmap track; the others cover the transfer engine and the
-#: churn/pre-staging macro path.
+#: CI and the roadmap track; ``city`` is the heavy-traffic yardstick the
+#: roadmap's kernel speedups are measured against; the others cover the
+#: transfer engine and the churn/pre-staging macro path.
 SCENARIOS: Dict[str, Callable] = {
     "scale": _run_scale,
     "transfer_window": _run_transfer_window,
     "workload_day": _run_workload_day,
+    "city": _run_city,
 }
 
 

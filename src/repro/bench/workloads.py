@@ -1,17 +1,18 @@
-"""Workload parameters for the evaluation benchmarks."""
+"""Workload parameters -- moved to :mod:`repro.city.params`.
+
+This module is a backward-compatibility shim: the paper's sweep
+constants now live with the city generator's scale tiers.  Import from
+``repro.city`` (or ``repro.city.params``) in new code.
+"""
 
 from __future__ import annotations
 
-#: The music-file sizes the paper sweeps in Figs. 8-10 (MB).
-PAPER_FILE_SIZES_MB = (2.0, 3.0, 4.3, 5.6, 6.5, 7.5)
+from repro.city.params import (  # noqa: F401 -- re-exports
+    BANDWIDTH_SWEEP_MBPS,
+    CLONE_FANOUTS,
+    PAPER_FILE_SIZES_MB,
+    mb,
+)
 
-#: Bandwidths (Mbps) for the crossover ablation (paper testbed = 10).
-BANDWIDTH_SWEEP_MBPS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0)
-
-#: Room fan-out counts for the clone-dispatch ablation.
-CLONE_FANOUTS = (1, 2, 4, 8)
-
-
-def mb(megabytes: float) -> int:
-    """Megabytes (decimal, as the paper labels axes) to bytes."""
-    return int(megabytes * 1e6)
+__all__ = ["BANDWIDTH_SWEEP_MBPS", "CLONE_FANOUTS",
+           "PAPER_FILE_SIZES_MB", "mb"]

@@ -1,0 +1,234 @@
+"""Synthetic population: daily mobility traces with rush-hour bursts.
+
+Each user follows the commuter arc the paper motivates -- leave home,
+ride through a transit hub, work at an office, maybe a meeting, come
+home -- with departure times drawn from rush-hour Gaussians.  The trace
+is **seeded and order-independent**: every user gets a private
+``random.Random`` keyed by ``(seed, user)``, so generating user 40_000's
+day never depends on having generated the 39_999 before it.  That is
+what lets the streaming runner hold one pending event per user instead
+of a city-wide sorted schedule, while :func:`trace_digest` can still
+hash the canonical merged order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.city.topology import CityTopology
+
+HOUR_MS = 3_600_000.0
+MINUTE_MS = 60_000.0
+DAY_MS = 24 * HOUR_MS
+
+#: App kinds users carry, with draw weights and payload menus (bytes).
+#: Kinds match ``repro.simcheck.scenario.APP_KINDS`` / ``repro.apps``.
+APP_MENU: Tuple[Tuple[str, int, Tuple[int, ...]], ...] = (
+    ("messenger", 4, (8_000, 16_000)),
+    ("editor", 3, (24_000, 64_000, 128_000)),
+    ("music", 2, (128_000, 256_000, 512_000)),
+    ("slideshow", 1, (96_000, 192_000)),
+)
+
+#: Probability a user carries a second application.
+SECOND_APP_P = 0.2
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One user movement: at ``at_ms`` the user enters ``to_space``.
+
+    ``dwell`` marks stays long enough for follow-me apps to chase; hops
+    *through* a transit hub are not dwells -- nobody migrates a slideshow
+    onto a platform kiosk for a twenty-minute ride.
+    """
+
+    at_ms: float
+    user: str
+    from_space: str
+    to_space: str
+    phase: str  # commute-out | arrive-office | to-meeting | from-meeting
+    #         | commute-home | arrive-home
+    dwell: bool
+
+    def line(self) -> str:
+        """Canonical digest line (stable wire form of the event)."""
+        return (f"{self.at_ms:.1f}|{self.user}|{self.from_space}|"
+                f"{self.to_space}|{self.phase}|{int(self.dwell)}")
+
+
+@dataclass(frozen=True)
+class UserApp:
+    """One application a user carries through the day."""
+
+    name: str
+    kind: str
+    payload_bytes: int
+
+
+@dataclass(frozen=True)
+class UserSpec:
+    """One synthetic commuter: placements plus their app mix."""
+
+    name: str
+    index: int
+    home: str
+    hub: str
+    office: str
+    meeting: Optional[str]
+    apps: Tuple[UserApp, ...]
+
+
+class Population:
+    """Lazy, seeded commuter population over a synthesized city."""
+
+    def __init__(self, city: CityTopology, users: int, seed: int = 0,
+                 meeting_probability: float = 0.5):
+        if users < 1:
+            raise ValueError(f"population needs >= 1 user: {users}")
+        if not 0.0 <= meeting_probability <= 1.0:
+            raise ValueError(
+                f"meeting probability outside [0, 1]: {meeting_probability}")
+        self.city = city
+        self.size = users
+        self.seed = seed
+        self.meeting_probability = meeting_probability
+        self._homes = city.homes
+        self._offices = city.offices
+        self._meetings = city.meetings
+
+    # -- per-user derivation (order-independent) --------------------------
+
+    def _rng(self, user_name: str, stream: str) -> random.Random:
+        return random.Random(f"repro.city/{self.seed}/{user_name}/{stream}")
+
+    def user(self, index: int) -> UserSpec:
+        """Derive commuter ``index`` -- same result regardless of call
+        order or what else was generated before."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"user index out of range: {index}")
+        name = f"u{index:05d}"
+        rng = self._rng(name, "spec")
+        home = self._homes[index % len(self._homes)]
+        office = self._offices[rng.randrange(len(self._offices))]
+        meeting = None
+        if self._meetings and rng.random() < self.meeting_probability:
+            meeting = self._meetings[rng.randrange(len(self._meetings))].name
+        n_apps = 2 if rng.random() < SECOND_APP_P else 1
+        kinds = [k for k, weight, _ in APP_MENU for _ in range(weight)]
+        apps = []
+        chosen: List[str] = []
+        while len(apps) < n_apps:
+            kind = rng.choice(kinds)
+            if kind in chosen:
+                continue
+            chosen.append(kind)
+            menu = next(m for k, _, m in APP_MENU if k == kind)
+            apps.append(UserApp(name=f"{name}-{kind}", kind=kind,
+                                payload_bytes=rng.choice(menu)))
+        return UserSpec(name=name, index=index, home=home.name,
+                        hub=home.hub, office=office.name, meeting=meeting,
+                        apps=tuple(apps))
+
+    def users(self) -> Iterator[UserSpec]:
+        for index in range(self.size):
+            yield self.user(index)
+
+    # -- the day ----------------------------------------------------------
+
+    def day_plan(self, user: UserSpec) -> List[TraceEvent]:
+        """The user's full day as a strictly ordered event list.
+
+        Times are rush-hour Gaussians (depart ~8:30, return ~17:30) with
+        clipping, then forced strictly monotone with a one-minute floor
+        between consecutive moves; all times are quantized to 0.1 ms so
+        the digest is platform-stable.
+        """
+        rng = self._rng(user.name, "day")
+        office_hub = self.city.space(user.office).hub
+
+        def gauss(mean_h: float, sigma_h: float, lo_h: float,
+                  hi_h: float) -> float:
+            return min(max(rng.gauss(mean_h, sigma_h), lo_h), hi_h) * HOUR_MS
+
+        depart = gauss(8.5, 0.6, 5.5, 11.0)
+        transit_out = min(max(rng.gauss(25.0, 8.0), 6.0), 70.0) * MINUTE_MS
+        arrive_office = depart + transit_out
+
+        events = [
+            TraceEvent(0.0, user.name, user.home, user.hub,
+                       "commute-out", dwell=False),
+            TraceEvent(0.0, user.name, user.hub, user.office,
+                       "arrive-office", dwell=True),
+        ]
+        times = [depart, arrive_office]
+
+        last = arrive_office
+        if user.meeting is not None:
+            start = rng.choice((10.0, 14.0)) * HOUR_MS \
+                + rng.gauss(0.0, 20.0) * MINUTE_MS
+            start = max(start, arrive_office + 30.0 * MINUTE_MS)
+            length = rng.uniform(40.0, 90.0) * MINUTE_MS
+            events.append(TraceEvent(0.0, user.name, user.office,
+                                     user.meeting, "to-meeting", dwell=True))
+            events.append(TraceEvent(0.0, user.name, user.meeting,
+                                     user.office, "from-meeting",
+                                     dwell=True))
+            times.extend([start, start + length])
+            last = start + length
+
+        depart_office = gauss(17.5, 0.8, 14.0, 21.5)
+        depart_office = max(depart_office, last + 45.0 * MINUTE_MS)
+        transit_home = min(max(rng.gauss(25.0, 8.0), 6.0), 70.0) * MINUTE_MS
+        events.append(TraceEvent(0.0, user.name, user.office, office_hub,
+                                 "commute-home", dwell=False))
+        events.append(TraceEvent(0.0, user.name, office_hub, user.home,
+                                 "arrive-home", dwell=True))
+        times.extend([depart_office, depart_office + transit_home])
+
+        # Strict monotonicity with a floor, then 0.1 ms quantization.
+        out: List[TraceEvent] = []
+        previous = -MINUTE_MS
+        for event, at in zip(events, times):
+            at = round(max(at, previous + MINUTE_MS), 1)
+            previous = at
+            out.append(TraceEvent(at, event.user, event.from_space,
+                                  event.to_space, event.phase, event.dwell))
+        return out
+
+    def iter_user_events(self, user: UserSpec) -> Iterator[TraceEvent]:
+        return iter(self.day_plan(user))
+
+    def iter_trace(self, max_users: Optional[int] = None
+                   ) -> Iterator[TraceEvent]:
+        """The city's whole day in canonical global order.
+
+        A streaming k-way merge over per-user day plans keyed by
+        ``(at_ms, user)`` -- O(users) memory, never a materialized
+        schedule.  This order defines :func:`trace_digest`.
+        """
+        count = self.size if max_users is None else min(max_users, self.size)
+        streams: Iterable[Iterator[Tuple[Tuple[float, str], TraceEvent]]] = (
+            (((e.at_ms, e.user), e) for e in self.day_plan(self.user(i)))
+            for i in range(count))
+        for _key, event in heapq.merge(*streams):
+            yield event
+
+    def trace_digest(self, max_users: Optional[int] = None) -> str:
+        """SHA-256 over the canonical trace -- same seed, same digest."""
+        digest = hashlib.sha256()
+        for event in self.iter_trace(max_users=max_users):
+            digest.update(event.line().encode("ascii"))
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+    def hourly_histogram(self, max_users: Optional[int] = None) -> List[int]:
+        """Moves per hour-of-day -- the rush-hour curve, 24 bins."""
+        bins = [0] * 24
+        for event in self.iter_trace(max_users=max_users):
+            bins[min(23, int(event.at_ms // HOUR_MS))] += 1
+        return bins

@@ -1,0 +1,163 @@
+"""City <-> simcheck Scenario interop: compile, fuzz, minimize.
+
+A city workload is too big to shrink directly -- the shrinker re-runs a
+candidate per reduction, and a 2,000-space day is minutes per run.  The
+bridge is :func:`compile_scenario`: it cuts a bounded, deterministic
+slice of the city (a few commuters, their spaces, their dwell legs) down
+to a plain :class:`~repro.simcheck.scenario.Scenario`, which round-trips
+through the scenario JSON wire format and therefore through everything
+built on it -- the invariant-checking runner, the greedy shrinker and
+replayable repro artifacts.
+
+The compiled slice degrades link specs to the simcheck defaults (the
+scenario format carries no per-tier profiles); that is fine because the
+runtime invariants -- conservation, byte accounting, clock monotonicity
+-- do not depend on bandwidth numbers.
+
+:func:`generate_city_scenario` is the fuzz entry point
+(``python -m repro simcheck --city``): one integer seed -> one small
+compiled city, same determinism contract as
+:func:`repro.simcheck.scenario.generate_scenario`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.city.population import Population
+from repro.city.topology import CityTopology, synthesize
+from repro.simcheck.scenario import AppSpec, HostSpec, MigrationLeg, Scenario
+
+#: Sequential-replay pause cap: the runner advances sim time by each
+#: leg's pause, so commute gaps are compressed from hours to seconds.
+MAX_PAUSE_MS = 5_000.0
+MIN_PAUSE_MS = 20.0
+
+
+def _closure(city: CityTopology, seeds: Set[str]) -> List[str]:
+    """Expand a space set with every uplink parent plus all hubs, so the
+    compiled sub-city stays connected (hub ring + stars survive intact)."""
+    included = set(seeds)
+    for spec in list(map(city.space, seeds)):
+        included.add(spec.hub)
+        if spec.parent:
+            included.add(spec.parent)
+            included.add(city.space(spec.parent).hub)
+    included.update(h.name for h in city.hubs)
+    # Deterministic order: city synthesis order.
+    return [s.name for s in city.spaces if s.name in included]
+
+
+def compile_scenario(config, max_users: int = 6,
+                     max_legs: Optional[int] = 12,
+                     sabotage: str = "") -> Scenario:
+    """Compile a bounded slice of a city workload into a Scenario.
+
+    ``config`` is a :class:`~repro.city.workload.CityConfig` (anything
+    with ``seed``/``spaces``/``users``/``meeting_probability`` works).
+    The slice takes the first ``max_users`` commuters, their reachable
+    spaces, and up to ``max_legs`` of their dwell moves -- the exact legs
+    the streaming runner would submit, with the same destination-host
+    pick, so a violation found at city scale recompiles to the same
+    migration pattern in miniature.
+    """
+    city = synthesize(config.spaces, seed=config.seed)
+    population = Population(
+        city, config.users, seed=config.seed,
+        meeting_probability=config.meeting_probability)
+    count = min(max_users, population.size)
+    users = [population.user(i) for i in range(count)]
+
+    seeds: Set[str] = set()
+    for user in users:
+        seeds.add(user.home)
+        seeds.add(user.office)
+        if user.meeting is not None:
+            seeds.add(user.meeting)
+    spaces = _closure(city, seeds)
+    included = set(spaces)
+
+    hosts: List[HostSpec] = []
+    gateways: Dict[str, str] = {}
+    for name in spaces:
+        spec = city.space(name)
+        gateways[name] = spec.gateway
+        for host in spec.hosts:
+            hosts.append(HostSpec(name=host, space=name))
+    space_links: List[Tuple[str, str]] = [
+        (a, b) for a, b, _tier in city.edges
+        if a in included and b in included]
+
+    def host_for(user, space: str) -> str:
+        names = city.space(space).hosts
+        return names[user.index % len(names)]
+
+    apps: List[AppSpec] = []
+    for user in users:
+        for user_app in user.apps:
+            apps.append(AppSpec(
+                name=user_app.name, kind=user_app.kind, owner=user.name,
+                payload_bytes=user_app.payload_bytes,
+                launch_host=host_for(user, user.home)))
+
+    by_name = {user.name: user for user in users}
+    legs: List[MigrationLeg] = []
+    previous_at = 0.0
+    for event in population.iter_trace(max_users=count):
+        if max_legs is not None and len(legs) >= max_legs:
+            break
+        if not event.dwell:
+            continue
+        user = by_name[event.user]
+        pause = min(max(event.at_ms - previous_at, MIN_PAUSE_MS),
+                    MAX_PAUSE_MS)
+        previous_at = event.at_ms
+        for user_app in user.apps:
+            if max_legs is not None and len(legs) >= max_legs:
+                break
+            legs.append(MigrationLeg(
+                app_name=user_app.name,
+                destination=host_for(user, event.to_space),
+                pause_before_ms=round(pause, 1)))
+            pause = MIN_PAUSE_MS  # siblings move back-to-back
+
+    return Scenario(
+        seed=config.seed, spaces=spaces, gateways=gateways,
+        space_links=space_links, hosts=hosts, apps=apps, legs=legs,
+        warmup_ms=500.0, sabotage=sabotage).validate()
+
+
+def generate_city_scenario(seed: int, spaces: int = 12, users: int = 5,
+                           max_legs: int = 8) -> Scenario:
+    """One integer seed -> one small compiled city (fuzzing entry point).
+
+    Mirrors :func:`repro.simcheck.scenario.generate_scenario`: local RNG
+    only, so the same seed always yields the same scenario.
+    """
+    from repro.city.workload import CityConfig
+
+    config = CityConfig(seed=seed, spaces=spaces, users=users)
+    return compile_scenario(config, max_users=users, max_legs=max_legs)
+
+
+def minimize_city_failure(config, violation_kind: str,
+                          artifact_path: str, max_users: int = 6,
+                          max_legs: int = 10, sabotage: str = "",
+                          budget: int = 80):
+    """Compile a city slice, shrink it against ``violation_kind``, and
+    write a replayable repro artifact.
+
+    This is the city-scale failure workflow: an invariant violation seen
+    by :meth:`CityWorkload.run(check_invariants=True)
+    <repro.city.workload.CityWorkload.run>` recompiles to a bounded
+    scenario here, the simcheck shrinker minimizes it, and the artifact
+    replays via ``python -m repro simcheck --replay``.  Returns the
+    :class:`~repro.simcheck.shrink.ShrinkResult`.
+    """
+    from repro.simcheck.shrink import shrink, write_artifact
+
+    scenario = compile_scenario(config, max_users=max_users,
+                                max_legs=max_legs, sabotage=sabotage)
+    result = shrink(scenario, violation_kind, budget=budget)
+    write_artifact(artifact_path, result, scenario)
+    return result

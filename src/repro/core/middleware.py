@@ -512,6 +512,11 @@ class ScheduledMigration:
     state: str = "queued"  # queued | active | done | rejected
     error: str = ""
     outcome: Optional[MigrationOutcome] = None
+    #: Optional callback fired exactly once when the request leaves the
+    #: scheduler (state "done" or "rejected").  Streaming drivers
+    #: (:mod:`repro.city`) use it to track app placement across tens of
+    #: thousands of legs without polling handles.
+    on_done: Optional[Callable[["ScheduledMigration"], None]] = None
 
     @property
     def queue_wait_ms(self) -> float:
@@ -559,13 +564,16 @@ class MigrationScheduler:
     def submit(self, source: str, app_name: str, destination: str,
                kind: MigrationKind = MigrationKind.FOLLOW_ME,
                policy: BindingPolicy = BindingPolicy.ADAPTIVE,
-               deadline_ms: Optional[float] = None) -> ScheduledMigration:
+               deadline_ms: Optional[float] = None,
+               on_done: Optional[Callable[[ScheduledMigration], None]] = None
+               ) -> ScheduledMigration:
         """Queue a migration; it starts as soon as a slot and its
         destination are free.  Returns a handle immediately."""
         request = ScheduledMigration(
             app_name=app_name, source=source, destination=destination,
             kind=kind, policy=policy, deadline_ms=deadline_ms,
-            seq=next(self._seq), queued_at=self.deployment.loop.now)
+            seq=next(self._seq), queued_at=self.deployment.loop.now,
+            on_done=on_done)
         self._pending.append(request)
         self.requests.append(request)
         self.max_queue_depth = max(self.max_queue_depth, len(self._pending))
@@ -587,12 +595,21 @@ class MigrationScheduler:
         return len(self._pending)
 
     def _pump(self) -> None:
+        # Single-pass min over the queue (no admissible-list allocation):
+        # at city scale this runs once per released slot over queues that
+        # spike into the thousands at rush hour.
         while self.active < self.limit:
-            admissible = [r for r in self._pending
-                          if r.destination not in self._busy_destinations]
-            if not admissible:
+            busy = self._busy_destinations
+            request = None
+            best_key = None
+            for candidate in self._pending:
+                if candidate.destination in busy:
+                    continue
+                key = candidate.sort_key()
+                if best_key is None or key < best_key:
+                    request, best_key = candidate, key
+            if request is None:
                 return
-            request = min(admissible, key=ScheduledMigration.sort_key)
             self._pending.remove(request)
             self._admit(request)
 
@@ -610,6 +627,8 @@ class MigrationScheduler:
             request.error = str(exc)
             self.rejected += 1
             self._emit("scheduler.reject", request)
+            if request.on_done is not None:
+                request.on_done(request)
             return
         request.state = "active"
         request.outcome = outcome
@@ -627,6 +646,10 @@ class MigrationScheduler:
         self.completed += 1
         self._busy_destinations.discard(request.destination)
         self._emit("scheduler.release", request)
+        # Notify before re-pumping: a follow-up leg submitted from the
+        # callback competes for the slot this release just freed.
+        if request.on_done is not None:
+            request.on_done(request)
         self._pump()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -99,31 +99,52 @@ class PrestagingService:
         self._stage_for(user, predicted)
 
     def _stage_for(self, user: str, predicted_space: str) -> None:
+        self.stage(user, predicted_space)
+
+    def stage(self, user: str, predicted_space: str,
+              placements=None) -> int:
+        """Push ``user``'s follow-me applications toward ``predicted_space``.
+
+        The bus-driven path passes no ``placements`` and scans the whole
+        fleet for the user's apps -- fine for a building, O(hosts x apps)
+        for a city.  Fleet-scale drivers (:mod:`repro.city`) that already
+        track where each app runs pass ``placements`` as explicit
+        ``(middleware, app)`` pairs, keeping this service's counters (and
+        therefore the SLO prestage hit rate) authoritative without the
+        scan.  Returns the number of pushes started.
+        """
         deployment = self.deployment
-        for middleware in deployment.middlewares.values():
-            for app in list(middleware.applications.values()):
-                if app.owner != user or app.status is not AppStatus.RUNNING:
-                    continue
-                if not app.user_profile.preference("follow_user", True):
-                    continue
-                if deployment.topology.space_of(middleware.host_name) \
-                        == predicted_space:
-                    continue  # already where the user is headed
-                destination = self._choose_destination(
-                    middleware, app, predicted_space)
-                if destination is None:
-                    continue
-                key = (app.name, destination)
-                if key in self._already_staged:
-                    continue
-                self._already_staged.add(key)
-                self.prestages_started += 1
-                outcome = middleware.prestage(app.name, destination)
-                # A failed push staged nothing: drop the memo so the next
-                # confident prediction tries again.
-                outcome.on_complete(
-                    lambda o, k=key: self._already_staged.discard(k)
-                    if o.failed else None)
+        if placements is None:
+            placements = [
+                (middleware, app)
+                for middleware in deployment.middlewares.values()
+                for app in list(middleware.applications.values())]
+        started = 0
+        for middleware, app in placements:
+            if app.owner != user or app.status is not AppStatus.RUNNING:
+                continue
+            if not app.user_profile.preference("follow_user", True):
+                continue
+            if deployment.topology.space_of(middleware.host_name) \
+                    == predicted_space:
+                continue  # already where the user is headed
+            destination = self._choose_destination(
+                middleware, app, predicted_space)
+            if destination is None:
+                continue
+            key = (app.name, destination)
+            if key in self._already_staged:
+                continue
+            self._already_staged.add(key)
+            self.prestages_started += 1
+            started += 1
+            outcome = middleware.prestage(app.name, destination)
+            # A failed push staged nothing: drop the memo so the next
+            # confident prediction tries again.
+            outcome.on_complete(
+                lambda o, k=key: self._already_staged.discard(k)
+                if o.failed else None)
+        return started
 
     def _choose_destination(self, middleware, app,
                             predicted_space: str) -> Optional[str]:

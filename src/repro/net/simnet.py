@@ -509,6 +509,16 @@ class Link:
             return
         rate = self.bandwidth_mbps * 125.0 / len(active)
         due = now + min(f.jobs[0].remaining for f in active) / rate
+        # Clamp the tick strictly forward of ``now`` in *representable*
+        # float time.  A job re-queued by _begin_contention with a
+        # dust-sized remainder wants a tick delta below ulp(now) at
+        # day-scale sim times; ``now + delta == now`` then pins the loop
+        # to one instant forever (each zero-dt advance renders no service,
+        # so the head never completes).  The clamp costs at most ~1e-12
+        # relative sim-time error and only engages on dust.
+        floor = now + max(self._EPS, abs(now) * 1e-12)
+        if due < floor:
+            due = floor
         if self._tick_timer is not None and self._tick_timer.active:
             self._tick_timer = self._loop.reschedule(self._tick_timer, due)
         else:

@@ -1,0 +1,76 @@
+"""`python -m repro city` and the city bench scenario wiring."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.bench.trajectory import load_bench, run_bench
+
+
+class TestCityCommand:
+    def test_tiny_city_day_prints_slos_and_writes_json(self, tmp_path,
+                                                       capsys):
+        slo_path = tmp_path / "city-slo.json"
+        rc = main(["city", "--seed", "3", "--spaces", "10",
+                   "--users", "6", "--slo-json", str(slo_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "10 spaces" in out
+        assert "fleet SLO report (city, custom tier)" in out
+        payload = json.loads(slo_path.read_text())
+        assert payload["format"] == "repro.city.slo/1"
+        assert payload["seed"] == 3
+        assert payload["legs_submitted"] > 0
+        assert len(payload["hourly_moves"]) == 24
+        assert payload["slo"]["latency_ms"]["p99"] > 0
+        assert payload["slo"]["deadlines"]["miss_rate"] is not None
+
+    def test_check_invariants_flag_keeps_a_clean_day_green(self, capsys):
+        rc = main(["city", "--seed", "3", "--spaces", "10", "--users", "4",
+                   "--check-invariants"])
+        assert rc == 0
+        assert "INVARIANT VIOLATION" not in capsys.readouterr().out
+
+    def test_simcheck_city_mode_fuzzes_compiled_cities(self, capsys):
+        rc = main(["simcheck", "--city", "--seeds", "2", "--no-shrink"])
+        assert rc == 0
+        assert "all 2 seeds passed" in capsys.readouterr().out
+
+
+@pytest.fixture(scope="module")
+def city_record():
+    return run_bench("city", quick=True)
+
+
+class TestCityBenchScenario:
+    def test_record_schema_and_slo_block(self, city_record):
+        record = city_record
+        assert record["scenario"] == "city"
+        assert record["params"]["tier"] == "smoke"
+        assert record["params"]["spaces"] >= 8
+        assert record["extra"]["legs_completed"] > 0
+        assert record["extra"]["trace_digest"]
+        assert record["extra"]["fleet_digest"]
+        slo = record["slo"]
+        assert slo["latency_ms"]["p99"] > 0
+        assert slo["deadlines"]["miss_rate"] is not None
+        assert slo["prestage"]["pushes"] > 0
+        assert {"bulk", "control"} <= set(slo["link_utilization"])
+        json.dumps(record)
+
+    def test_same_seed_same_sim_digest(self, city_record):
+        again = run_bench("city", quick=True)
+        assert again["sim_digest"] == city_record["sim_digest"]
+        assert again["extra"]["trace_digest"] == \
+            city_record["extra"]["trace_digest"]
+        assert again["extra"]["fleet_digest"] == \
+            city_record["extra"]["fleet_digest"]
+
+    def test_bench_cli_writes_the_city_record(self, tmp_path, capsys):
+        rc = main(["bench", "--quick", "--scenario", "city",
+                   "--out-dir", str(tmp_path)])
+        assert rc == 0
+        assert "events/sec" in capsys.readouterr().out
+        record = load_bench(str(tmp_path / "BENCH_city.json"))
+        assert record["scenario"] == "city"

@@ -1,0 +1,140 @@
+"""Population model: seeded determinism plus trace-validity properties.
+
+The Hypothesis properties pin the contract the streaming runner depends
+on: every user's day is a contiguous walk through spaces that exist in
+the synthesized topology, with strictly monotone timestamps -- no user
+is ever in two spaces at once.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.city import DAY_MS, Population, synthesize
+from repro.city.population import APP_MENU, HOUR_MS, MINUTE_MS
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def population(seed, spaces=12, users=6, meeting_probability=0.5):
+    city = synthesize(spaces, seed=seed)
+    return city, Population(city, users, seed=seed,
+                            meeting_probability=meeting_probability)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace_digest(self):
+        _, a = population(33)
+        _, b = population(33)
+        assert a.trace_digest() == b.trace_digest()
+
+    def test_different_seed_different_trace_digest(self):
+        _, a = population(33)
+        _, b = population(34)
+        assert a.trace_digest() != b.trace_digest()
+
+    def test_user_derivation_is_order_independent(self):
+        _, a = population(5)
+        _, b = population(5)
+        # a walks 0..5 first; b asks for user 4 cold.
+        walked = [a.user(i) for i in range(6)]
+        assert b.user(4) == walked[4]
+        assert b.user(0) == walked[0]
+
+    def test_digest_covers_only_the_requested_users(self):
+        _, p = population(5)
+        assert p.trace_digest(max_users=2) == p.trace_digest(max_users=2)
+        assert p.trace_digest(max_users=2) != p.trace_digest(max_users=3)
+
+
+class TestValidation:
+    def test_rejects_empty_population(self):
+        city = synthesize(12, seed=0)
+        with pytest.raises(ValueError, match=">= 1 user"):
+            Population(city, 0)
+
+    def test_rejects_bad_meeting_probability(self):
+        city = synthesize(12, seed=0)
+        with pytest.raises(ValueError, match="meeting probability"):
+            Population(city, 5, meeting_probability=1.5)
+
+
+class TestTraceProperties:
+    @settings(max_examples=20)
+    @given(seed=seeds)
+    def test_timestamps_are_strictly_monotone_per_user(self, seed):
+        _, p = population(seed)
+        for user in p.users():
+            times = [e.at_ms for e in p.day_plan(user)]
+            for earlier, later in zip(times, times[1:]):
+                assert later >= earlier + MINUTE_MS
+            assert all(0.0 <= t < 2 * DAY_MS for t in times)
+
+    @settings(max_examples=20)
+    @given(seed=seeds)
+    def test_no_user_is_in_two_spaces_at_once(self, seed):
+        """Each day is a contiguous walk: every move departs from exactly
+        the space the previous move arrived in, home to home."""
+        _, p = population(seed)
+        for user in p.users():
+            plan = p.day_plan(user)
+            assert plan[0].from_space == user.home
+            assert plan[-1].to_space == user.home
+            for previous, event in zip(plan, plan[1:]):
+                assert event.from_space == previous.to_space
+
+    @settings(max_examples=20)
+    @given(seed=seeds)
+    def test_every_leg_endpoint_exists_in_the_topology(self, seed):
+        city, p = population(seed)
+        for event in p.iter_trace():
+            assert event.from_space in city
+            assert event.to_space in city
+
+    @settings(max_examples=20)
+    @given(seed=seeds)
+    def test_merged_trace_is_in_canonical_order(self, seed):
+        _, p = population(seed)
+        keys = [(e.at_ms, e.user) for e in p.iter_trace()]
+        assert keys == sorted(keys)
+
+    @settings(max_examples=20)
+    @given(seed=seeds)
+    def test_app_mixes_draw_from_the_menu(self, seed):
+        _, p = population(seed)
+        kinds = {kind for kind, _w, _m in APP_MENU}
+        for user in p.users():
+            assert 1 <= len(user.apps) <= 2
+            for app in user.apps:
+                assert app.kind in kinds
+                menu = next(m for k, _w, m in APP_MENU if k == app.kind)
+                assert app.payload_bytes in menu
+            # Two apps never share a kind (names would collide).
+            assert len({a.kind for a in user.apps}) == len(user.apps)
+
+
+class TestRushHour:
+    def test_histogram_peaks_in_the_morning_commute(self):
+        _, p = population(2, spaces=20, users=60)
+        bins = p.hourly_histogram()
+        assert sum(bins) == sum(len(p.day_plan(u)) for u in p.users())
+        peak = max(range(24), key=lambda h: bins[h])
+        assert 6 <= peak <= 11
+        # The 03:00 trough is quiet compared to the peak.
+        assert bins[3] < bins[peak]
+
+    def test_meetings_can_be_disabled(self):
+        _, p = population(2, meeting_probability=0.0)
+        for user in p.users():
+            phases = {e.phase for e in p.day_plan(user)}
+            assert "to-meeting" not in phases
+            assert len(p.day_plan(user)) == 4
+
+    def test_each_dwell_is_a_dwell_and_hops_are_not(self):
+        _, p = population(7)
+        for event in p.iter_trace():
+            if event.phase in ("commute-out", "commute-home"):
+                assert not event.dwell
+            else:
+                assert event.dwell
+            assert event.at_ms == round(event.at_ms, 1)
+            assert event.at_ms // HOUR_MS < 48

@@ -1,0 +1,90 @@
+"""City <-> simcheck Scenario interop: compile, round-trip, shrink."""
+
+import json
+
+import pytest
+
+from repro.city import (
+    CityConfig,
+    compile_scenario,
+    generate_city_scenario,
+    minimize_city_failure,
+)
+from repro.simcheck import (
+    SABOTAGE_VIOLATIONS,
+    replay_artifact,
+    run_scenario,
+)
+from repro.simcheck.scenario import Scenario
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_scenario(CityConfig(seed=6, spaces=12, users=5),
+                            max_users=4, max_legs=10)
+
+
+class TestCompilation:
+    def test_slice_is_a_valid_scenario(self, compiled):
+        assert compiled.validate() is compiled
+        assert 0 < len(compiled.legs) <= 10
+        assert compiled.hosts and compiled.apps
+
+    def test_legs_reference_known_apps_and_hosts(self, compiled):
+        apps = {a.name for a in compiled.apps}
+        hosts = {h.name for h in compiled.hosts}
+        for leg in compiled.legs:
+            assert leg.app_name in apps
+            assert leg.destination in hosts
+            assert leg.pause_before_ms >= 20.0
+
+    def test_sub_city_keeps_its_uplinks(self, compiled):
+        """Every non-hub space in the slice has an edge to its uplink, so
+        the compiled deployment stays routable."""
+        spaces = set(compiled.spaces)
+        linked = {s for pair in compiled.space_links for s in pair}
+        for name in compiled.spaces:
+            if not name.startswith("hub-"):
+                assert name in linked
+        assert spaces >= {s for pair in compiled.space_links for s in pair}
+
+
+class TestJSONRoundTrip:
+    def test_scenario_round_trips_byte_identically(self, compiled):
+        text = compiled.to_json()
+        clone = Scenario.from_json(text)
+        assert clone.to_dict() == compiled.to_dict()
+        assert clone.to_json() == text
+        json.loads(text)  # plain JSON, no custom encoder needed
+
+    def test_round_tripped_scenario_runs_clean(self, compiled):
+        report = run_scenario(Scenario.from_json(compiled.to_json()))
+        assert report.ok
+        assert len(report.legs) == len(compiled.legs)
+        assert all(leg.status == "completed" for leg in report.legs)
+
+
+class TestFuzzEntryPoint:
+    def test_same_seed_same_scenario(self):
+        assert generate_city_scenario(9).to_json() == \
+            generate_city_scenario(9).to_json()
+
+    def test_different_seeds_differ(self):
+        assert generate_city_scenario(9).to_json() != \
+            generate_city_scenario(10).to_json()
+
+
+class TestSabotageRegression:
+    def test_city_failure_shrinks_to_a_replayable_artifact(self, tmp_path):
+        """The city-scale failure workflow end to end: sabotaged slice ->
+        shrinker -> artifact on disk -> replay reproduces the violation."""
+        path = str(tmp_path / "city-repro.json")
+        result = minimize_city_failure(
+            CityConfig(seed=5, spaces=10, users=4),
+            SABOTAGE_VIOLATIONS["wire-skim"], path,
+            max_users=3, max_legs=6, sabotage="wire-skim", budget=60)
+        assert result.violation.kind == SABOTAGE_VIOLATIONS["wire-skim"]
+        assert len(result.scenario.hosts) <= 3
+        report, reproduced = replay_artifact(path)
+        assert reproduced
+        assert result.violation.kind in {v.kind for v in report.violations}

@@ -1,0 +1,101 @@
+"""City topology synthesis: composition, determinism, structure."""
+
+import pytest
+
+from repro.city import composition, synthesize
+from repro.city.topology import (
+    GATEWAY_DELAY_MS,
+    HOSTS_BY_KIND,
+    LAN_BY_KIND,
+    SPACE_KINDS,
+    TIER_LINKS,
+    build_deployment,
+)
+
+
+class TestComposition:
+    def test_counts_sum_to_the_total(self):
+        for spaces in (8, 40, 200, 2_000):
+            counts = composition(spaces)
+            assert sum(counts.values()) == spaces
+            assert set(counts) == set(SPACE_KINDS)
+            assert all(n >= 1 for n in counts.values())
+            assert counts["transit"] >= 2
+
+    def test_too_small_a_city_raises(self):
+        with pytest.raises(ValueError, match=">= 8 spaces"):
+            composition(7)
+
+
+class TestSynthesis:
+    def test_same_inputs_are_byte_identical(self):
+        a = synthesize(64, seed=9)
+        b = synthesize(64, seed=9)
+        assert a.spaces == b.spaces
+        assert a.edges == b.edges
+        assert a.describe() == b.describe()
+
+    def test_every_edge_endpoint_exists_with_a_known_tier(self):
+        city = synthesize(80, seed=1)
+        for space_a, space_b, tier in city.edges:
+            assert space_a in city
+            assert space_b in city
+            assert tier in TIER_LINKS
+
+    def test_hierarchy_is_well_formed(self):
+        city = synthesize(80, seed=1)
+        hub_names = {h.name for h in city.hubs}
+        for spec in city.spaces:
+            assert spec.kind in SPACE_KINDS
+            assert spec.hub in hub_names
+            assert len(spec.hosts) == HOSTS_BY_KIND[spec.kind]
+            assert spec.kind in LAN_BY_KIND
+            assert spec.kind in GATEWAY_DELAY_MS
+            if spec.kind == "meeting":
+                assert city.space(spec.parent).kind == "office"
+            else:
+                assert spec.parent == ""
+
+    def test_city_is_one_connected_component(self):
+        city = synthesize(120, seed=4)
+        parent = {s.name: s.name for s in city.spaces}
+
+        def find(name):
+            while parent[name] != name:
+                parent[name] = parent[parent[name]]
+                name = parent[name]
+            return name
+
+        for a, b, _tier in city.edges:
+            parent[find(a)] = find(b)
+        roots = {find(s.name) for s in city.spaces}
+        assert len(roots) == 1
+
+    def test_names_are_unique(self):
+        city = synthesize(60, seed=2)
+        names = [s.name for s in city.spaces]
+        hosts = [h for s in city.spaces for h in s.hosts]
+        gateways = [s.gateway for s in city.spaces]
+        assert len(set(names)) == len(names)
+        assert len(set(hosts)) == len(hosts) == city.host_count
+        assert len(set(gateways)) == len(gateways)
+
+
+class TestBuildDeployment:
+    def test_materializes_every_space_host_and_gateway(self):
+        city = synthesize(12, seed=7)
+        d = build_deployment(city, admission_limit=4)
+        # Every synthesized host is live middleware; the registry rides
+        # on its own extra host in hub 0's space.
+        assert set(d.middlewares) >= {h for s in city.spaces
+                                      for h in s.hosts}
+        for spec in city.spaces:
+            assert d.topology.space_of(spec.hosts[0]) == spec.name
+        assert d.scheduler is not None
+        assert d.scheduler.limit == 4
+
+    def test_registry_lives_in_hub_zero(self):
+        city = synthesize(12, seed=7)
+        d = build_deployment(city)
+        assert d.topology.space_of("registry") == city.spaces[0].name
+        assert city.spaces[0].kind == "transit"

@@ -123,3 +123,46 @@ def test_outcome_log_records_admission():
     d.run_all()
     assert any("scheduler: admitted" in line
                for line in handle.outcome.events)
+
+
+def test_on_done_fires_once_per_completed_leg():
+    d = backbone_deployment(migrations=2)
+    scheduler = d.enable_migration_scheduler(limit=1)
+    seen = []
+    for i in range(2):
+        scheduler.submit(f"src-{i}", f"app-{i}", f"dst-{i}",
+                         on_done=seen.append)
+    d.run_all()
+    assert [r.app_name for r in seen] == ["app-0", "app-1"]
+    assert all(r.state == "done" and r.outcome.completed for r in seen)
+
+
+def test_on_done_fires_for_synchronous_rejections():
+    d = backbone_deployment(migrations=1)
+    scheduler = d.enable_migration_scheduler(limit=1)
+    seen = []
+    handle = scheduler.submit("src-0", "no-such-app", "dst-0",
+                              on_done=seen.append)
+    assert seen == [handle]
+    assert handle.state == "rejected"
+
+
+def test_follow_up_submitted_from_on_done_reuses_the_freed_slot():
+    d = backbone_deployment(migrations=2)
+    scheduler = d.enable_migration_scheduler(limit=1)
+    followed = []
+
+    def chase(request):
+        # Re-submit the same app onward the moment its first leg lands --
+        # the callback runs before the scheduler re-pumps, so this leg
+        # competes fairly for the slot that just freed.
+        if not followed:
+            followed.append(scheduler.submit(
+                request.destination, request.app_name, "src-0"))
+
+    scheduler.submit("src-0", "app-0", "dst-0", on_done=chase)
+    scheduler.submit("src-1", "app-1", "dst-1")
+    d.run_all()
+    assert followed and followed[0].state == "done"
+    assert followed[0].outcome.completed
+    assert scheduler.completed == 3

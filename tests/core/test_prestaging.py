@@ -325,3 +325,35 @@ class TestPrestageWithContractNet:
                    and not o.plan.prestage][-1]
         assert outcome.plan.destination == "lab-b1"
         assert outcome.plan.carry_components == []
+
+
+class TestExplicitPlacements:
+    def test_stage_with_placements_skips_the_fleet_scan(self):
+        d, office_pc, lab_pc = commuting_deployment()
+        app = launch(d, office_pc)
+        service = d.enable_prestaging()
+        started = service.stage("alice", "lab",
+                                placements=[(office_pc, app)])
+        d.run_all()
+        assert started == 1
+        assert service.prestages_started == 1
+        assert app.host == "office-pc"  # execution did not move
+
+    def test_stage_skips_apps_already_in_the_predicted_space(self):
+        d, office_pc, _lab_pc = commuting_deployment()
+        app = launch(d, office_pc)
+        service = d.enable_prestaging()
+        assert service.stage("alice", "office",
+                             placements=[(office_pc, app)]) == 0
+        assert service.prestages_started == 0
+
+    def test_stage_memoizes_repeat_pushes(self):
+        d, office_pc, _lab_pc = commuting_deployment()
+        app = launch(d, office_pc)
+        service = d.enable_prestaging()
+        assert service.stage("alice", "lab",
+                             placements=[(office_pc, app)]) == 1
+        d.run_all()
+        assert service.stage("alice", "lab",
+                             placements=[(office_pc, app)]) == 0
+        assert service.prestages_started == 1
