@@ -299,6 +299,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     names = list(SCENARIOS) if args.scenario == "all" else [args.scenario]
     regressions = 0
+    drifts = 0
     for name in names:
         record = run_bench(name, quick=args.quick)
         metrics = record["metrics"]
@@ -340,6 +341,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 comparison = compare_bench(baseline, record,
                                            threshold=args.threshold)
                 print(f"  {comparison.summary()}")
+                if comparison.digest_drift:
+                    drifts += 1
+                    # Hard failure: behaviour changed at identical params,
+                    # which no machine difference can explain.  Either the
+                    # change is intended (re-baseline with
+                    # ``python -m repro bench``) or it is a determinism bug.
+                    print(f"::error title=bench digest drift::"
+                          f"{name}: sim digest changed at identical params "
+                          f"-- scenario behaviour drifted; re-baseline if "
+                          f"intended")
                 if comparison.regressed:
                     regressions += 1
                     # Soft failure: a GitHub Actions warning annotation,
@@ -352,8 +363,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print(f"  wrote {path}")
     if args.check:
         print(f"{len(names)} scenario(s), {regressions} regression "
-              f"warning(s)")
-    return 0
+              f"warning(s), {drifts} digest drift(s)")
+    return 1 if drifts else 0
 
 
 def cmd_city(args: argparse.Namespace) -> int:

@@ -234,6 +234,10 @@ class _Transfer:
     recovering: bool = False
     #: End-to-end time of the first chunk (serial-estimate baseline).
     first_chunk_ms: float = 0.0
+    #: True while the current window round was booked analytically (one
+    #: kernel event for the whole round); per-ack refills are deferred to
+    #: the end of the round so the next round can batch too.
+    analytic: bool = False
 
 
 class MobilityService:
@@ -443,11 +447,76 @@ class MobilityService:
                 self._fail(result, str(exc), transfer)
             return
         window = max(1, self.cost_model.transfer_window)
+        if (window > 1 and transfer.in_flight == 0
+                and len(sizes) - transfer.next_to_send >= 2
+                and self._send_window(transfer, window)):
+            return
         while (not transfer.recovering and not result.failed
                and transfer.in_flight < window
                and transfer.next_to_send < len(sizes)):
             if not self._send_chunk(transfer, window):
                 break
+
+    def _send_window(self, transfer: _Transfer, window: int) -> bool:
+        """Try to book a whole window round in one kernel event.
+
+        Delegates to :meth:`Network.send_window`, which only takes the
+        analytic fast path on a direct, deterministic, uncontended link
+        and declines (``None``) otherwise; on decline -- or on any send
+        error -- this returns ``False`` and the caller falls back to the
+        per-chunk pump, whose event pattern, error handling and semantics
+        are unchanged.
+        """
+        result = transfer.result
+        sizes = transfer.chunk_sizes
+        base = transfer.next_to_send
+        count = min(window - transfer.in_flight, len(sizes) - base)
+        epoch = transfer.epoch
+        chunks = []
+        for seq in range(base, base + count):
+            final = seq == len(sizes) - 1
+            payload = ("chunk", transfer.transfer_id, seq, len(sizes),
+                       (transfer.snapshot, transfer.carried, transfer.kind,
+                        result) if final else None)
+
+            def on_delivered(receipt, seq=seq, epoch=epoch):
+                self._chunk_acked(transfer, seq, epoch, receipt)
+
+            def on_dropped(receipt, epoch=epoch):
+                self.transfers_dropped += 1
+                if (epoch != transfer.epoch or result.failed
+                        or result.completed):
+                    return  # a newer window round already took over
+                self._chunk_lost(transfer, "lost in transit",
+                                 lost_phase=True)
+
+            chunks.append((payload, sizes[seq], on_delivered, on_dropped))
+        try:
+            receipts = self.platform.network.send_window(
+                transfer.container.host_name, result.destination,
+                TRANSFER_PROTOCOL, chunks)
+        except RETRYABLE_SEND_ERRORS:
+            return False  # the pump will re-raise and handle it
+        if receipts is None:
+            return False
+        self._obs_next_phase(result, "agent.transfer",
+                             transfer.container.host,
+                             attempt=transfer.attempt, chunk=base,
+                             chunks=len(sizes), window=window,
+                             in_flight=transfer.in_flight, batched=count)
+        transfer.analytic = True
+        transfer.in_flight += count
+        transfer.next_to_send = base + count
+        if transfer.in_flight > result.max_in_flight:
+            result.max_in_flight = transfer.in_flight
+        obs = self.platform.loop.observability
+        if obs is not None:
+            occupancy = obs.metrics.histogram("migration.window.occupancy")
+            for depth in range(transfer.in_flight - count + 1,
+                               transfer.in_flight + 1):
+                occupancy.observe(depth)
+        self._emit_window(transfer, window)
+        return True
 
     def _emit_window(self, transfer: _Transfer, window: int) -> None:
         """Publish the window cursors to obs hooks (invariant checkers).
@@ -549,6 +618,10 @@ class MobilityService:
         if transfer.next_chunk >= total:
             self._window_drained(transfer)
             return
+        if transfer.analytic:
+            if transfer.in_flight > 0:
+                return  # round still replaying; refill when it drains
+            transfer.analytic = False
         if not transfer.recovering:
             self._transmit(transfer)
 
@@ -571,6 +644,7 @@ class MobilityService:
         """Go-back-N: rewind the window to the lowest unacked chunk."""
         transfer.epoch += 1
         transfer.recovering = True
+        transfer.analytic = False
         transfer.in_flight = 0
         transfer.delivered.clear()
         transfer.next_to_send = transfer.next_chunk

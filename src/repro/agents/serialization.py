@@ -36,7 +36,14 @@ def deep_size_bytes(value: Any) -> int:
     Accepts None, bool, int, float, str, bytes and (nested) list / tuple /
     set / dict.  Anything else is rejected -- agent state must be plain data
     to migrate, exactly like Java's ``Serializable`` contract.
+
+    The walk is iterative (an explicit stack), so deeply nested state is
+    sized without recursion limits, and a container that reaches itself --
+    directly or through any number of levels -- raises
+    :class:`SerializationError` the way a real serializer would reject a
+    cyclic object graph.
     """
+    # Scalar fast path: no stack, no ancestor set.
     if value is None:
         return 1
     if isinstance(value, bool):
@@ -47,24 +54,84 @@ def deep_size_bytes(value: Any) -> int:
         return _OVERHEAD_PER_OBJECT + len(value.encode("utf-8"))
     if isinstance(value, (bytes, bytearray)):
         return _OVERHEAD_PER_OBJECT + len(value)
-    if isinstance(value, (list, tuple, set, frozenset)):
-        return _OVERHEAD_PER_OBJECT + sum(deep_size_bytes(v) for v in value)
-    if isinstance(value, dict):
-        total = _OVERHEAD_PER_OBJECT + sum(
-            deep_size_bytes(k) + deep_size_bytes(v) for k, v in value.items())
-        # Virtual payloads: domain objects (media files, code bundles) are
-        # not materialized in memory, but their wire size must be honest.
-        virtual = value.get("__virtual_bytes__")
-        if isinstance(virtual, int) and virtual > 0:
-            total += virtual
-        return total
-    if hasattr(value, "size_bytes") and isinstance(
-            getattr(value, "size_bytes"), int):
-        # Domain objects (e.g. data components) may declare their own size.
-        return _OVERHEAD_PER_OBJECT + value.size_bytes
-    raise SerializationError(
-        f"cannot size value of type {type(value).__name__}; agent state "
-        f"must be plain data")
+    total = 0
+    stack = [value]
+    # Identity set of *container* ancestors on the current DFS path: a
+    # container re-encountered while still open is a cycle.  Sentinel
+    # frames pop ids when a container's children are exhausted, so shared
+    # (diamond) references are still legal and charged once per occurrence.
+    open_ids: set = set()
+    while stack:
+        node = stack.pop()
+        if type(node) is _CloseFrame:
+            open_ids.discard(node.ident)
+            continue
+        if node is None:
+            total += 1
+            continue
+        if isinstance(node, bool):
+            total += _SIZE_BOOL
+            continue
+        if isinstance(node, (int, float)):
+            total += _SIZE_NUMBER
+            continue
+        if isinstance(node, str):
+            total += _OVERHEAD_PER_OBJECT + len(node.encode("utf-8"))
+            continue
+        if isinstance(node, (bytes, bytearray)):
+            total += _OVERHEAD_PER_OBJECT + len(node)
+            continue
+        if isinstance(node, (list, tuple, set, frozenset)):
+            ident = id(node)
+            if ident in open_ids:
+                raise SerializationError(
+                    "cannot size cyclic agent state: a "
+                    f"{type(node).__name__} contains itself")
+            open_ids.add(ident)
+            total += _OVERHEAD_PER_OBJECT
+            stack.append(_CloseFrame(ident))
+            stack.extend(node)
+            continue
+        if isinstance(node, dict):
+            ident = id(node)
+            if ident in open_ids:
+                raise SerializationError(
+                    "cannot size cyclic agent state: a dict contains "
+                    "itself")
+            open_ids.add(ident)
+            total += _OVERHEAD_PER_OBJECT
+            # Virtual payloads: domain objects (media files, code bundles)
+            # are not materialized in memory, but their wire size must be
+            # honest.
+            virtual = node.get("__virtual_bytes__")
+            if type(virtual) is int and virtual > 0:
+                total += virtual
+            stack.append(_CloseFrame(ident))
+            for k, v in node.items():
+                stack.append(k)
+                stack.append(v)
+            continue
+        declared = getattr(node, "size_bytes", None)
+        if type(declared) is int:
+            # Domain objects (e.g. data components) may declare their own
+            # size.  ``type`` (not ``isinstance``) on purpose: ``bool`` is
+            # an ``int`` subclass, and ``size_bytes=True`` is a bug to
+            # reject, not a 1-byte payload.
+            total += _OVERHEAD_PER_OBJECT + declared
+            continue
+        raise SerializationError(
+            f"cannot size value of type {type(node).__name__}; agent state "
+            f"must be plain data")
+    return total
+
+
+class _CloseFrame:
+    """Stack sentinel: pops a container off the open-ancestor set."""
+
+    __slots__ = ("ident",)
+
+    def __init__(self, ident: int):
+        self.ident = ident
 
 
 #: Registry of migratable agent classes by symbolic name.

@@ -270,8 +270,12 @@ class BenchComparison:
     #: dominated by fixed setup cost, so their events/sec says nothing
     #: about a full-mode baseline (and vice versa).
     comparable: bool = True
-    #: Non-blocking observations (mode mismatch, digest drift, ...).
+    #: Non-blocking observations (mode mismatch, params changed, ...).
     notes: List[str] = field(default_factory=list)
+    #: True when sim_digest changed at identical mode+params: the scenario
+    #: *behaved* differently, which is never machine noise.  Unlike an
+    #: events/sec dip this is a hard CI failure (``--check`` exits 1).
+    digest_drift: bool = False
 
     @property
     def ratio(self) -> float:
@@ -298,11 +302,11 @@ def compare_bench(baseline: Dict[str, Any], current: Dict[str, Any],
                   threshold: float = DEFAULT_THRESHOLD) -> BenchComparison:
     """Compare a fresh record against a committed baseline.
 
-    Only events/sec drives the regression verdict (it is what the roadmap
-    optimizes); everything else that differs lands in ``notes``.  A
-    ``sim_digest`` mismatch at *equal* params is the loud note: the
-    scenario's behaviour changed, so wall-clock deltas are not
-    apples-to-apples.
+    Only events/sec drives the (soft) regression verdict -- wall clock is
+    machine-relative.  A ``sim_digest`` mismatch at *equal* mode and
+    params is different in kind: the scenario's behaviour changed, which
+    no machine difference can explain, so it sets ``digest_drift`` and
+    the CLI turns it into a hard failure.
     """
     if baseline["scenario"] != current["scenario"]:
         raise ValueError(
@@ -323,6 +327,7 @@ def compare_bench(baseline: Dict[str, Any], current: Dict[str, Any],
     elif baseline.get("params") != current.get("params"):
         comparison.notes.append("scenario params changed since baseline")
     elif baseline.get("sim_digest") != current.get("sim_digest"):
+        comparison.digest_drift = True
         comparison.notes.append(
             "sim digest drifted at identical params: scenario behaviour "
             "changed, re-baseline before trusting the trend")

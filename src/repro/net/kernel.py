@@ -7,13 +7,24 @@ reads the wall clock, so experiments are fast and fully deterministic.
 Events scheduled for the same instant fire in scheduling order (a
 monotonically increasing sequence number breaks ties), which keeps causally
 ordered callbacks causally ordered.
+
+The queue is a two-level calendar: a *near* binary heap holding the
+soonest events and a *far* dict of coarse time buckets.  Pushes land in
+the near heap only when they fall before the already-pulled horizon;
+everything else is appended to its bucket in O(1) and heapified only when
+its bucket becomes the earliest.  Because entries are ordered by the full
+``(due, seq)`` key wherever they sit, the dispatch order is provably
+identical to a single binary heap -- the calendar only changes *when* the
+ordering work happens, never its result.  Cancelled timers stay behind as
+tombstones (cheap, never dispatched) and are compacted away in bulk when
+they dominate the queue (see :meth:`EventLoop._compact`).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 
 class SimulationError(RuntimeError):
@@ -27,7 +38,8 @@ class Timer:
     Cancelling an already fired or already cancelled timer is a no-op.
     """
 
-    __slots__ = ("due", "seq", "callback", "args", "cancelled", "fired")
+    __slots__ = ("due", "seq", "callback", "args", "cancelled", "fired",
+                 "_loop")
 
     def __init__(self, due: float, seq: int, callback: Callable[..., None], args: Tuple[Any, ...]):
         self.due = due
@@ -36,10 +48,16 @@ class Timer:
         self.args = args
         self.cancelled = False
         self.fired = False
+        self._loop: Optional["EventLoop"] = None
 
     def cancel(self) -> None:
         """Prevent the callback from running (no-op if it already ran)."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        loop = self._loop
+        if loop is not None:
+            loop._note_cancel()
 
     @property
     def active(self) -> bool:
@@ -62,9 +80,34 @@ class EventLoop:
         loop.now              # -> 10.0
     """
 
+    #: Width of one far-calendar bucket in simulated ms.  Events due within
+    #: the current bucket go straight to the near heap; later events are
+    #: binned and only heapified when their bucket becomes the earliest.
+    _BUCKET_MS = 1024.0
+    #: Tombstone compaction trigger: at least this many cancelled entries
+    #: *and* tombstones at least half the queue.  High on purpose -- small
+    #: scenarios (including the frozen goldens, whose queue never exceeds a
+    #: dozen entries) must never observe a compaction, because the raw
+    #: :attr:`heap_depth` gauge is part of their pinned traces.
+    _COMPACT_MIN_DEAD = 256
+
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
-        self._queue: List[Tuple[float, int, Timer]] = []
+        #: Near heap: ``(due, seq, Timer)`` entries, the only structure
+        #: events are popped from.
+        self._near: List[Tuple[float, int, Timer]] = []
+        #: Far calendar: bucket index -> unsorted entry list.
+        self._far: Dict[int, List[Tuple[float, int, Timer]]] = {}
+        #: Heap of far bucket indices (no duplicates: an index is present
+        #: iff its bucket exists in ``_far``).
+        self._bucket_heap: List[int] = []
+        #: Highest bucket index already merged into the near heap; pushes
+        #: at or below this land in the near heap directly.
+        self._pulled_upto = int(self._now // self._BUCKET_MS)
+        #: Raw entries across both levels, tombstones included.
+        self._size = 0
+        #: Cancelled entries still buried in the queue.
+        self._dead = 0
         self._seq = itertools.count()
         self._running = False
         self._processed = 0
@@ -72,6 +115,11 @@ class EventLoop:
         #: default) keeps the dispatch loop entirely uninstrumented -- one
         #: attribute read and an ``is None`` check per event, nothing else.
         self.observability = None
+        # Cached metric instrument handles for the dispatch hot path,
+        # rebuilt whenever the attached registry changes identity.
+        self._metrics_for = None
+        self._ev_counter = None
+        self._depth_gauge = None
 
     @property
     def now(self) -> float:
@@ -80,13 +128,55 @@ class EventLoop:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return sum(1 for _, _, t in self._queue if t.active)
+        """Number of *active* events still queued.
+
+        Cancelled tombstones are excluded: they occupy queue slots (see
+        :attr:`heap_depth`) but will never dispatch.
+        """
+        return self._size - self._dead
+
+    @property
+    def heap_depth(self) -> int:
+        """Raw queue entries, cancelled tombstones included.
+
+        This is the O(1) depth the kernel gauge and obs hooks report; the
+        difference ``heap_depth - pending`` is the current tombstone debt.
+        """
+        return self._size
 
     @property
     def processed(self) -> int:
         """Total number of events executed so far."""
         return self._processed
+
+    def _note_cancel(self) -> None:
+        """A queued timer was cancelled; count the tombstone."""
+        self._dead += 1
+        if (self._dead >= self._COMPACT_MIN_DEAD
+                and self._dead * 2 >= self._size):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Physically remove every tombstone from both calendar levels.
+
+        Runs in O(live) when the dead fraction crosses the threshold, so
+        the amortized cost per cancellation is O(1).  Compaction never
+        changes dispatch order (ordering is by the full ``(due, seq)``
+        key) -- it only shrinks :attr:`heap_depth`.
+        """
+        self._near = [e for e in self._near if not e[2].cancelled]
+        heapq.heapify(self._near)
+        size = len(self._near)
+        for index in list(self._far):
+            bucket = [e for e in self._far[index] if not e[2].cancelled]
+            if bucket:
+                self._far[index] = bucket
+                size += len(bucket)
+            else:
+                del self._far[index]
+        self._bucket_heap = sorted(self._far)
+        self._size = size
+        self._dead = 0
 
     def call_at(self, when: float, callback: Callable[..., None], *args: Any) -> Timer:
         """Schedule ``callback(*args)`` at absolute simulated time ``when``."""
@@ -95,7 +185,19 @@ class EventLoop:
                 f"cannot schedule event in the past: {when:.3f} < now {self._now:.3f}"
             )
         timer = Timer(float(when), next(self._seq), callback, args)
-        heapq.heappush(self._queue, (timer.due, timer.seq, timer))
+        timer._loop = self
+        entry = (timer.due, timer.seq, timer)
+        index = int(timer.due // self._BUCKET_MS)
+        if index <= self._pulled_upto:
+            heapq.heappush(self._near, entry)
+        else:
+            bucket = self._far.get(index)
+            if bucket is None:
+                self._far[index] = [entry]
+                heapq.heappush(self._bucket_heap, index)
+            else:
+                bucket.append(entry)
+        self._size += 1
         return timer
 
     def call_later(self, delay: float, callback: Callable[..., None], *args: Any) -> Timer:
@@ -110,24 +212,61 @@ class EventLoop:
         return self.call_at(self._now, callback, *args)
 
     def reschedule(self, timer: Timer, when: float) -> Timer:
-        """Move a pending timer to a new due time.
+        """Move a *pending* timer to a new due time.
 
-        Cancels ``timer`` (a no-op if it already fired or was cancelled)
-        and schedules the same callback/args at ``when``, returning the new
-        handle.  Used by the fair-share link engine, which must shift its
-        predicted completion event whenever a flow joins or leaves a link.
-        The old heap entry stays behind as a cancelled tombstone -- cheap,
-        and it never dispatches.
+        Cancels ``timer`` and schedules the same callback/args at ``when``,
+        returning the new handle.  Used by the fair-share link engine,
+        which must shift its predicted completion event whenever a flow
+        joins or leaves a link.  The old queue entry stays behind as a
+        cancelled tombstone -- cheap, never dispatched, and compacted away
+        in bulk if tombstones ever dominate the queue.
+
+        Rescheduling a timer that already fired raises
+        :class:`SimulationError`: its callback has run (or is running), so
+        silently re-queueing it would dispatch the event twice.  Callers
+        that race completion must check :attr:`Timer.active` first and
+        book a fresh timer instead.
         """
+        if timer.fired:
+            raise SimulationError(
+                f"cannot reschedule fired timer for "
+                f"{getattr(timer.callback, '__qualname__', timer.callback)!r}: "
+                f"its callback already dispatched")
         timer.cancel()
         return self.call_at(when, timer.callback, *timer.args)
 
+    def _pull_far(self) -> None:
+        """Turn the earliest far bucket into the new near heap.
+
+        Only called when the near heap is empty.  Safe by construction:
+        near entries are always strictly below the pulled horizon
+        ``(_pulled_upto + 1) * _BUCKET_MS`` (pushes at or below the
+        horizon go near directly), and every entry in far bucket ``i``
+        is due at or after ``i * _BUCKET_MS`` -- so the global minimum
+        lives in the near heap whenever it is non-empty, and the next
+        bucket in line holds it otherwise.
+        """
+        if not self._bucket_heap:
+            return
+        index = heapq.heappop(self._bucket_heap)
+        self._pulled_upto = index
+        entries = self._far.pop(index)
+        heapq.heapify(entries)
+        self._near = entries
+
     def _pop_due(self) -> Optional[Timer]:
-        while self._queue:
-            _, _, timer = heapq.heappop(self._queue)
+        near = self._near
+        while True:
+            if not near:
+                self._pull_far()
+                near = self._near
+                if not near:
+                    return None
+            _, _, timer = heapq.heappop(near)
+            self._size -= 1
             if not timer.cancelled:
                 return timer
-        return None
+            self._dead -= 1
 
     def step(self) -> bool:
         """Run the single earliest pending event.
@@ -148,28 +287,40 @@ class EventLoop:
         return True
 
     def _dispatch_traced(self, obs, timer: Timer) -> None:
-        """Run one event under a kernel dispatch span.
+        """Run one event under the kernel instrumentation.
 
-        The span is synchronous, so instrumentation fired inside the
-        callback (network transfers, ACL events) nests under it.  The
-        queue-depth gauge samples ``len(_queue)`` rather than
-        :attr:`pending` to stay O(1) per event.
+        The dispatch span is synchronous, so instrumentation fired inside
+        the callback (network transfers, ACL events) nests under it; when
+        the tracer is disabled the span machinery is skipped entirely.
+        The queue-depth gauge samples :attr:`heap_depth` (raw entries,
+        tombstones included) to stay O(1) per event.
         """
-        callback = timer.callback
-        name = getattr(callback, "__qualname__", "") or type(callback).__name__
         metrics = obs.metrics
-        metrics.counter("kernel.events").inc()
-        metrics.gauge("kernel.queue_depth").set(len(self._queue))
-        with obs.tracer.span(name, category="kernel"):
+        if metrics is not self._metrics_for:
+            self._metrics_for = metrics
+            self._ev_counter = metrics.counter("kernel.events")
+            self._depth_gauge = metrics.gauge("kernel.queue_depth")
+        self._ev_counter.inc()
+        self._depth_gauge.set(self._size)
+        callback = timer.callback
+        tracer = obs.tracer
+        hooks = obs.hooks
+        if tracer.enabled or hooks:
+            name = (getattr(callback, "__qualname__", "")
+                    or type(callback).__name__)
+        if tracer.enabled:
+            with tracer.span(name, category="kernel"):
+                callback(*timer.args)
+        else:
             callback(*timer.args)
-        if obs.hooks:
+        if hooks:
             # Post-dispatch checkpoint for runtime invariant checkers
             # (repro.simcheck) and the wall-clock profiler
             # (repro.obs.perf): state has settled for this instant.
-            # ``depth`` counts raw heap entries (cancelled tombstones
+            # ``depth`` counts raw queue entries (cancelled tombstones
             # included) so the read stays O(1).
             obs.emit("kernel.event", now=self._now, callback=name,
-                     processed=self._processed, depth=len(self._queue))
+                     processed=self._processed, depth=self._size)
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Run events until the queue drains, ``until`` is reached, or
@@ -201,13 +352,20 @@ class EventLoop:
         return ran
 
     def _peek_due(self) -> Optional[Timer]:
-        while self._queue:
-            _, _, timer = self._queue[0]
+        near = self._near
+        while True:
+            if not near:
+                self._pull_far()
+                near = self._near
+                if not near:
+                    return None
+            _, _, timer = near[0]
             if timer.cancelled:
-                heapq.heappop(self._queue)
+                heapq.heappop(near)
+                self._size -= 1
+                self._dead -= 1
                 continue
             return timer
-        return None
 
     def run_until_idle(self, max_events: int = 1_000_000) -> int:
         """Drain the whole queue; guard against runaway loops via max_events."""

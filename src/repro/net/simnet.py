@@ -37,6 +37,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.net.clock import HostClock
 from repro.net.kernel import EventLoop
+from repro.obs.tracer import NULL_SPAN
 
 #: The two link traffic classes (see :func:`traffic_class`).
 CONTROL = "control"
@@ -212,8 +213,8 @@ class _BulkJob:
     """One bulk message's passage over a link (see :class:`Link`)."""
 
     __slots__ = ("size_bytes", "remaining", "jitter", "lost", "finish_tx",
-                 "flow", "dispatch", "on_arrival", "timer", "receipt",
-                 "on_dropped")
+                 "arrival", "flow", "dispatch", "on_arrival", "timer",
+                 "receipt", "on_dropped")
 
     def __init__(self, size_bytes: int, jitter: float, lost: bool, flow,
                  dispatch, on_arrival, receipt, on_dropped):
@@ -225,6 +226,10 @@ class _BulkJob:
         self.lost = lost
         #: Absolute time the last byte leaves the wire (set when known).
         self.finish_tx = 0.0
+        #: Analytic arrival instant; set only for batch members (see
+        #: :meth:`Link.book_bulk_window`), whose delivery is deferred to
+        #: the shared batch timer.
+        self.arrival = 0.0
         self.flow = flow
         #: Network-supplied scheduler: ``dispatch(arrival) -> Timer`` books
         #: the delivery/forward event.  ``None`` for lost phantoms.
@@ -253,6 +258,21 @@ class _BulkFlow:
         self.cursor = 0.0
         #: FIFO clamp: within a flow, jitter can never reorder deliveries.
         self.last_arrival = 0.0
+
+
+class _BulkBatch:
+    """One analytic window round: W chunks of a single flow whose wire
+    times were computed arithmetically up front, deferred behind a single
+    shared kernel timer (see :meth:`Network.send_window`)."""
+
+    __slots__ = ("flow", "jobs", "timer", "complete")
+
+    def __init__(self, flow: _BulkFlow, jobs: List[_BulkJob], complete):
+        self.flow = flow
+        self.jobs = jobs
+        self.timer = None
+        #: ``complete(jobs)`` replays the member deliveries in order.
+        self.complete = complete
 
 
 class Link:
@@ -313,6 +333,13 @@ class Link:
         #: Jobs fully serialized but still propagating (latency in flight);
         #: kept so a hard link cut can cancel their deliveries.
         self._latency_flight: List[_BulkJob] = []
+        #: Analytic window batches in flight (see Network.send_window):
+        #: whole uncontended window rounds booked under one kernel timer.
+        self._batches: List["_BulkBatch"] = []
+        # Cached per-link metric handles, rebuilt when the registry
+        # changes identity (see Network._observe_hop).
+        self._obs_ok = None
+        self._obs_lost = None
 
     def endpoints(self) -> Tuple[str, str]:
         return (self.a, self.b)
@@ -395,8 +422,9 @@ class Link:
                        None if lost else dispatch,
                        None if lost else on_arrival, receipt, on_dropped)
         if not self._contended:
-            if not any(f.cursor > now + self._EPS and f is not flow
-                       for f in self._flows.values()):
+            if len(self._flows) == 1 or not any(
+                    f.cursor > now + self._EPS and f is not flow
+                    for f in self._flows.values()):
                 # Uncontended: exactly the legacy exclusive-reservation
                 # arithmetic, against this flow's own cursor.
                 start = max(now, flow.cursor)
@@ -419,6 +447,71 @@ class Link:
         flow.jobs.append(job)
         self._retune(now)
         return None, lost
+
+    def bulk_window_eligible(self, flow_key: Tuple[str, str],
+                             now: float) -> bool:
+        """True when a whole window round can be booked analytically:
+        deterministic wire (no jitter, no loss) and no *other* bulk flow
+        active -- the same gate :meth:`enqueue_bulk` uses for its
+        uncontended fast path."""
+        if self._contended or self.jitter_ms > 0 or self.loss_rate > 0:
+            return False
+        for f in self._flows.values():
+            if f.key != flow_key and f.cursor > now + self._EPS:
+                return False
+        return True
+
+    def book_bulk_window(self, loop: EventLoop, now: float,
+                         flow_key: Tuple[str, str], entries, complete
+                         ) -> List[_BulkJob]:
+        """Analytic fast path: book one window round in a single event.
+
+        ``entries`` is ``[(size_bytes, dispatch, receipt, on_dropped)]``.
+        Every member's start / finish / arrival is the exact arithmetic
+        :meth:`enqueue_bulk` would have produced uncontended (the wire is
+        deterministic by precondition, so there are no RNG draws either
+        way), but instead of one kernel timer per chunk a single timer at
+        the *last* member's arrival fires ``complete(jobs)``, which
+        replays the deliveries in order.  ``dispatch`` is held in reserve:
+        if contention dissolves the batch mid-round, members fall back to
+        individually booked deliveries.
+
+        Caller must have checked :meth:`bulk_window_eligible`.
+        """
+        self._loop = loop
+        flow = self._flows.get(flow_key)
+        if flow is None:
+            flow = self._flows[flow_key] = _BulkFlow(flow_key)
+        cursor = max(now, flow.cursor)
+        last_arrival = flow.last_arrival
+        latency = self.latency_ms
+        jobs: List[_BulkJob] = []
+        for size, dispatch, receipt, on_dropped in entries:
+            tx = self.transmission_ms(size)
+            self.class_busy_ms[BULK] += tx
+            self.bytes_carried += size
+            self.messages_carried += 1
+            job = _BulkJob(size, 0.0, False, flow, dispatch, None, receipt,
+                           on_dropped)
+            cursor += tx
+            job.finish_tx = cursor
+            arrival = cursor + latency
+            if arrival < last_arrival:
+                arrival = last_arrival
+            last_arrival = arrival
+            job.arrival = arrival
+            jobs.append(job)
+        flow.cursor = cursor
+        flow.last_arrival = last_arrival
+        batch = _BulkBatch(flow, jobs, complete)
+        batch.timer = loop.call_at(last_arrival, self._complete_batch, batch)
+        self._batches.append(batch)
+        return jobs
+
+    def _complete_batch(self, batch: _BulkBatch) -> None:
+        self._batches.remove(batch)
+        batch.timer = None
+        batch.complete(batch.jobs)
 
     def _prune_latency_flight(self) -> None:
         self._latency_flight[:] = [j for j in self._latency_flight
@@ -446,6 +539,25 @@ class Link:
             else:
                 still_flying.append(job)
         self._latency_flight = still_flying
+        for batch in self._batches:
+            # Dissolve analytic batches: a shared timer can no longer
+            # stand in for per-member deliveries once the wire rate
+            # changes.  Fully serialized members get individual delivery
+            # events (late members deliver at ``now``); members still
+            # serializing rejoin their flow queue with the untransmitted
+            # remainder, exactly like pulled-back latency-flight jobs.
+            if batch.timer is not None and batch.timer.active:
+                batch.timer.cancel()
+            batch.timer = None
+            for job in batch.jobs:
+                if job.finish_tx > now + self._EPS:
+                    job.remaining = (job.finish_tx - now) * full_rate
+                    job.flow.jobs.append(job)
+                else:
+                    when = job.arrival if job.arrival > now else now
+                    job.timer = job.dispatch(when)
+                    self._latency_flight.append(job)
+        self._batches = []
         self._fluid_at = now
         self._contended = True
 
@@ -553,6 +665,23 @@ class Link:
         if self._tick_timer is not None and self._tick_timer.active:
             self._tick_timer.cancel()
         self._tick_timer = None
+        now = self._loop.now if self._loop is not None else 0.0
+        for batch in self._batches:
+            if batch.timer is not None and batch.timer.active:
+                batch.timer.cancel()
+            batch.timer = None
+            # Members whose analytic arrival already passed were only
+            # *administratively* undelivered -- the cut cannot retract
+            # bytes that reached the far end.  Deliver that prefix (late,
+            # but stamped with its true arrival) so checkpointed resume
+            # sees the same acked base the per-chunk path would have.
+            arrived = [j for j in batch.jobs
+                       if j.arrival <= now + self._EPS]
+            if arrived:
+                batch.complete(arrived)
+            aborted.extend(j for j in batch.jobs
+                           if j.arrival > now + self._EPS)
+        self._batches = []
         for flow in self._flows.values():
             for job in flow.jobs:
                 if not job.lost:
@@ -637,6 +766,14 @@ class Network:
         # the pending deliveries and fail their receipts.
         self._in_flight: Dict[Link, List[Tuple[Any, DeliveryReceipt,
                                                Optional[Callable]]]] = {}
+        # O(1) link lookup by (endpoint, endpoint); maintained by
+        # connect()/disconnect().  link_between() used to scan the
+        # adjacency list, which is a per-hop cost on every send.
+        self._pair_links: Dict[Tuple[str, str], Link] = {}
+        # Cached per-protocol delivered/dropped counter handles, rebuilt
+        # when the attached metrics registry changes identity.
+        self._metrics_for = None
+        self._proto_counters: Dict[Tuple[str, str], Any] = {}
 
     # -- construction -----------------------------------------------------
 
@@ -674,6 +811,8 @@ class Network:
         self._links.append(link)
         self._adjacency[a].append(link)
         self._adjacency[b].append(link)
+        self._pair_links[(a, b)] = link
+        self._pair_links[(b, a)] = link
         self._invalidate_routes()
         return link
 
@@ -695,6 +834,8 @@ class Network:
         self._links.remove(link)
         self._adjacency[a].remove(link)
         self._adjacency[b].remove(link)
+        del self._pair_links[(a, b)]
+        del self._pair_links[(b, a)]
         self._invalidate_routes()
         # Retire the link's per-hop counters so the link-level byte
         # reconciliation (simcheck) survives the topology change.  A later
@@ -748,10 +889,7 @@ class Network:
         return list(self._links)
 
     def link_between(self, a: str, b: str) -> Optional[Link]:
-        for link in self._adjacency.get(a, []):
-            if link.connects(a, b):
-                return link
-        return None
+        return self._pair_links.get((a, b))
 
     def route(self, source: str, destination: str) -> List[str]:
         """Hop-minimal path of host names from source to destination (BFS).
@@ -827,14 +965,128 @@ class Network:
         self._forward(receipt, path, 0, on_delivered, on_dropped)
         return receipt
 
+    def send_window(self, source: str, destination: str, protocol: str,
+                    chunks) -> Optional[List[DeliveryReceipt]]:
+        """Analytic fast path: book a whole bulk window round at once.
+
+        ``chunks`` is ``[(payload, size_bytes, on_delivered, on_dropped)]``
+        for one flow.  On a *direct*, deterministic (no jitter, no loss),
+        uncontended link the entire round's wire times are a closed-form
+        computation -- identical to what per-chunk :meth:`send` would
+        produce -- so one kernel event at the last arrival replays all
+        deliveries (each receipt stamped with its own analytic arrival)
+        instead of one event per chunk.  Returns the receipts, or ``None``
+        when the fast path does not apply (multi-hop route, jitter, loss,
+        contention, non-bulk protocol): the caller must then fall back to
+        per-chunk :meth:`send`, whose semantics are unchanged.
+
+        Offline endpoints raise exactly like :meth:`send`.
+        """
+        if len(chunks) < 2 or traffic_class(protocol) != BULK \
+                or source == destination:
+            return None
+        src = self.host(source)
+        if not src.online:
+            raise HostOfflineError(f"source host {source!r} is offline")
+        dst = self.host(destination)
+        if not dst.online:
+            raise HostOfflineError(
+                f"destination host {destination!r} is offline")
+        link = self.link_between(source, destination)
+        if link is None:
+            return None
+        loop = self.loop
+        now = loop.now
+        flow_key = (source, destination)
+        if not link.bulk_window_eligible(flow_key, now):
+            return None
+        receipts: List[DeliveryReceipt] = []
+        entries = []
+        deliver_cbs = []
+        for payload, size, on_delivered, on_dropped in chunks:
+            message = Message(source, destination, protocol, payload, size,
+                              message_id=next(self._msg_ids), sent_at=now)
+            receipt = DeliveryReceipt(message)
+
+            def dispatch(arrival: float, receipt=receipt,
+                         on_delivered=on_delivered, on_dropped=on_dropped):
+                # Fallback for a batch dissolved by contention: book this
+                # member's delivery individually, like enqueue_bulk would.
+                return loop.call_at(arrival, self._deliver, receipt,
+                                    on_delivered, on_dropped)
+
+            entries.append((size, dispatch, receipt, on_dropped))
+            deliver_cbs.append(on_delivered)
+            receipts.append(receipt)
+        jobs = link.book_bulk_window(
+            loop, now, flow_key, entries,
+            lambda jobs: self._deliver_batch(jobs, deliver_cbs))
+        obs = loop.observability
+        queue_ms = link.bulk_queue_ms(flow_key, now)
+        for job, receipt in zip(jobs, receipts):
+            receipt.hops = 1
+            src.bytes_sent += job.size_bytes
+            self.bytes_on_wire += job.size_bytes
+            if obs is not None:
+                # Same per-chunk series the pump records; each chunk's
+                # queue time is its wait behind the round's earlier chunks.
+                self._observe_hop(obs, receipt, link, source, destination,
+                                  queue_ms, job.arrival, False)
+            queue_ms += link.transmission_ms(job.size_bytes)
+        return receipts
+
+    def _deliver_batch(self, jobs: List[_BulkJob], deliver_cbs) -> None:
+        """Replay an analytic batch's member deliveries in order.
+
+        Fired by the batch's single kernel timer at the *last* member's
+        arrival (or early, with an arrived prefix, when a hard link cut
+        dissolves the batch); each receipt is stamped with its own
+        analytic arrival, not the event's fire time.
+        """
+        obs = self.loop.observability
+        for job, on_delivered in zip(jobs, deliver_cbs):
+            receipt = job.receipt
+            size = receipt.message.size_bytes
+            self.bytes_off_wire += size
+            dst = self._hosts[receipt.message.destination]
+            if not dst.online:
+                self._drop(receipt, job.on_dropped)
+                continue
+            receipt.delivered = True
+            receipt.delivered_at = job.arrival
+            if obs is not None:
+                self._proto_counter(obs.metrics, "delivered",
+                                    receipt.message.protocol).inc()
+            dst.deliver(receipt.message)
+            self.bytes_delivered_total += size
+            if on_delivered is not None:
+                on_delivered(receipt)
+
+    def _proto_counter(self, metrics, kind: str, protocol: str):
+        """Cached ``net.delivered`` / ``net.dropped`` counter handle.
+
+        Per-delivery label-key construction inside the registry dominates
+        the cost of bumping a counter at city scale; the cache is keyed on
+        registry identity so a fresh Observability invalidates it.
+        """
+        if metrics is not self._metrics_for:
+            self._metrics_for = metrics
+            self._proto_counters.clear()
+        key = (kind, protocol)
+        counter = self._proto_counters.get(key)
+        if counter is None:
+            counter = metrics.counter("net." + kind, protocol=protocol)
+            self._proto_counters[key] = counter
+        return counter
+
     def _drop(self, receipt: DeliveryReceipt,
               on_dropped: Optional[Callable[[DeliveryReceipt], None]]) -> None:
         self.messages_dropped += 1
         receipt.dropped = True
         obs = self.loop.observability
         if obs is not None:
-            obs.metrics.counter(
-                "net.dropped", protocol=receipt.message.protocol).inc()
+            self._proto_counter(obs.metrics, "dropped",
+                                receipt.message.protocol).inc()
         if on_dropped is not None:
             on_dropped(receipt)
 
@@ -849,18 +1101,39 @@ class Network:
         messages, whose drop is synchronous, so their span closes now.
         """
         message = receipt.message
-        label = f"{link.a}<->{link.b}"
         metrics = obs.metrics
-        metrics.histogram("net.link.queue_ms", link=label).observe(queue_ms)
+        # Per-link instrument handles are cached on the Link (keyed on
+        # registry identity); each path builds its own tuple lazily so a
+        # run that never loses a message never materializes loss series.
         if lost:
-            metrics.counter("net.link.lost", link=label).inc()
+            cached = link._obs_lost
+            if cached is None or cached[0] is not metrics:
+                label = f"{link.a}<->{link.b}"
+                cached = link._obs_lost = (
+                    metrics,
+                    metrics.histogram("net.link.queue_ms", link=label),
+                    metrics.counter("net.link.lost", link=label))
+            cached[1].observe(queue_ms)
+            cached[2].inc()
         else:
-            metrics.counter("net.link.bytes", link=label).inc(
-                message.size_bytes)
-            metrics.counter("net.link.messages", link=label).inc()
-        span = obs.tracer.begin_span(
+            cached = link._obs_ok
+            if cached is None or cached[0] is not metrics:
+                label = f"{link.a}<->{link.b}"
+                cached = link._obs_ok = (
+                    metrics,
+                    metrics.histogram("net.link.queue_ms", link=label),
+                    metrics.counter("net.link.bytes", link=label),
+                    metrics.counter("net.link.messages", link=label))
+            cached[1].observe(queue_ms)
+            cached[2].inc(message.size_bytes)
+            cached[3].inc()
+        tracer = obs.tracer
+        if not tracer.enabled:
+            return NULL_SPAN
+        span = tracer.begin_span(
             "net.transfer", category="net",
-            link=label, hop=f"{here}->{there}", protocol=message.protocol,
+            link=f"{link.a}<->{link.b}", hop=f"{here}->{there}",
+            protocol=message.protocol,
             bytes=message.size_bytes, bandwidth_mbps=link.bandwidth_mbps,
             latency_ms=link.latency_ms, queue_ms=queue_ms,
             message_id=message.message_id)
@@ -1018,8 +1291,8 @@ class Network:
         receipt.delivered_at = self.loop.now
         obs = self.loop.observability
         if obs is not None:
-            obs.metrics.counter(
-                "net.delivered", protocol=receipt.message.protocol).inc()
+            self._proto_counter(obs.metrics, "delivered",
+                                receipt.message.protocol).inc()
         dst.deliver(receipt.message)
         self.bytes_delivered_total += receipt.message.size_bytes
         if on_delivered is not None:

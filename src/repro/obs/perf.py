@@ -206,11 +206,14 @@ class KernelProfiler:
             self._wall_started = None
 
     def _on_event(self, kind: str, payload: Dict[str, Any]) -> None:
+        # Hot: runs once per kernel event while attached.  The kernel is
+        # the only emitter of "kernel.event" and always supplies float
+        # ``now`` / int ``depth``, so no defensive conversions here.
         if kind != "kernel.event":
             return
         wall = time.perf_counter()
-        dt_ms = (wall - self._last_wall) * 1000.0 \
-            if self._last_wall is not None else 0.0
+        last = self._last_wall
+        dt_ms = (wall - last) * 1000.0 if last is not None else 0.0
         self._last_wall = wall
         self.events += 1
         name = payload.get("callback") or "?"
@@ -221,11 +224,10 @@ class KernelProfiler:
         now = payload.get("now")
         if now is not None:
             if self._first_sim is None:
-                self._first_sim = float(now)
-            self._last_sim = float(now)
+                self._first_sim = now
+            self._last_sim = now
         depth = payload.get("depth")
         if depth is not None:
-            depth = int(depth)
             if self._depth_min is None or depth < self._depth_min:
                 self._depth_min = depth
             if depth > self._depth_max:

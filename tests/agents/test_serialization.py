@@ -61,6 +61,42 @@ class TestDeepSize:
         big = deep_size_bytes({"data": b"x" * 10_000})
         assert big - small == 9_900
 
+    def test_cyclic_list_raises_instead_of_recursion_error(self):
+        state = [1, 2]
+        state.append(state)
+        with pytest.raises(SerializationError, match="cyclic"):
+            deep_size_bytes(state)
+
+    def test_indirect_cycle_through_dict_raises(self):
+        inner = {"up": None}
+        outer = {"down": inner}
+        inner["up"] = outer
+        with pytest.raises(SerializationError, match="cyclic"):
+            deep_size_bytes(outer)
+
+    def test_deeply_nested_state_does_not_blow_the_stack(self):
+        # Far past the default recursion limit: the old recursive walk
+        # died with RecursionError around depth ~1000.
+        value = 7
+        for _ in range(50_000):
+            value = [value]
+        assert deep_size_bytes(value) == 50_000 * 16 + 8
+
+    def test_shared_diamond_references_are_legal_and_charged_twice(self):
+        shared = [1, 2, 3]  # 16 + 24 bytes
+        assert deep_size_bytes([shared, shared]) == 16 + 2 * 40
+
+    def test_bool_size_bytes_attribute_rejected(self):
+        class Liar:
+            size_bytes = True  # bool passes isinstance(..., int)
+        with pytest.raises(SerializationError):
+            deep_size_bytes(Liar())
+
+    def test_true_int_size_bytes_still_accepted(self):
+        class Blob:
+            size_bytes = 12
+        assert deep_size_bytes([Blob()]) == 16 + 16 + 12
+
 
 @register_agent_type
 class StatefulAgent(Agent):

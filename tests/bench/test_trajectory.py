@@ -149,12 +149,31 @@ class TestComparison:
                                    _record(90_000.0, digest="b"))
         assert any("digest drifted" in n for n in comparison.notes)
 
+    def test_digest_drift_at_equal_params_is_a_hard_flag(self):
+        # Behaviour change at identical mode+params is never machine
+        # noise; the CLI turns this flag into a non-zero exit.
+        comparison = compare_bench(_record(100_000.0, digest="a"),
+                                   _record(100_000.0, digest="b"))
+        assert comparison.digest_drift
+        assert not comparison.regressed  # eps is fine; drift is separate
+
     def test_param_change_noted_instead_of_digest(self):
         comparison = compare_bench(
             _record(100_000.0, params={"legs": 12}, digest="a"),
             _record(90_000.0, params={"legs": 40}, digest="b"))
         assert any("params changed" in n for n in comparison.notes)
         assert not any("digest" in n for n in comparison.notes)
+        assert not comparison.digest_drift
+
+    def test_mode_mismatch_never_sets_digest_drift(self):
+        comparison = compare_bench(
+            _record(100_000.0, mode="full", digest="a"),
+            _record(10_000.0, mode="quick", digest="b"))
+        assert not comparison.digest_drift
+
+    def test_identical_digest_does_not_drift(self):
+        comparison = compare_bench(_record(100_000.0), _record(90_000.0))
+        assert not comparison.digest_drift
 
     def test_zero_baseline_does_not_divide(self):
         comparison = compare_bench(_record(0.0), _record(100.0))

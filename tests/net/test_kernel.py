@@ -195,3 +195,219 @@ def test_property_cancelled_subset_never_fires(delays, data):
         timers[i].cancel()
     loop.run()
     assert set(fired) == set(range(len(delays))) - to_cancel
+
+
+# -- timer lifecycle edges ----------------------------------------------------
+
+def test_reschedule_moves_a_pending_timer():
+    loop = EventLoop()
+    fired = []
+    timer = loop.call_later(10.0, fired.append, "x")
+    moved = loop.reschedule(timer, 50.0)
+    loop.run()
+    assert fired == ["x"]
+    assert loop.now == 50.0
+    assert timer.cancelled and not timer.fired
+    assert moved.fired
+
+
+def test_reschedule_after_fire_raises_instead_of_double_dispatch():
+    """Regression: rescheduling a fired timer used to silently re-queue its
+    callback, dispatching the event twice."""
+    loop = EventLoop()
+    fired = []
+    timer = loop.call_later(1.0, fired.append, "x")
+    loop.run()
+    assert fired == ["x"]
+    with pytest.raises(SimulationError):
+        loop.reschedule(timer, 5.0)
+    loop.run()
+    assert fired == ["x"]  # exactly once
+
+
+def test_reschedule_cancelled_timer_books_a_fresh_event():
+    loop = EventLoop()
+    fired = []
+    timer = loop.call_later(10.0, fired.append, "x")
+    timer.cancel()
+    loop.reschedule(timer, 20.0)
+    loop.run()
+    assert fired == ["x"]
+    assert loop.now == 20.0
+
+
+def test_cancel_after_fire_does_not_corrupt_counters():
+    loop = EventLoop()
+    first = loop.call_later(1.0, lambda: None)
+    loop.call_later(2.0, lambda: None)
+    loop.step()
+    assert first.fired
+    first.cancel()  # true no-op: must not count a tombstone
+    first.cancel()
+    assert not first.cancelled
+    assert loop.pending == 1
+    assert loop.heap_depth == 1
+
+
+def test_heap_depth_counts_tombstones_pending_does_not():
+    loop = EventLoop()
+    timers = [loop.call_later(float(i + 1), lambda: None) for i in range(4)]
+    timers[0].cancel()
+    timers[2].cancel()
+    assert loop.pending == 2
+    assert loop.heap_depth == 4
+    loop.run()
+    assert loop.pending == 0
+    assert loop.heap_depth == 0
+
+
+def test_double_cancel_counts_one_tombstone():
+    loop = EventLoop()
+    timer = loop.call_later(1.0, lambda: None)
+    loop.call_later(2.0, lambda: None)
+    timer.cancel()
+    timer.cancel()
+    assert loop.pending == 1
+    assert loop.heap_depth == 2
+
+
+def test_compaction_preserves_same_instant_fifo_order():
+    loop = EventLoop()
+    fired = []
+    keep = []
+    timers = []
+    for i in range(600):
+        timers.append(loop.call_later(100.0, fired.append, i))
+    for i, timer in enumerate(timers):
+        if i % 3 != 0:
+            timer.cancel()  # 400 tombstones: crosses the compaction bar
+        else:
+            keep.append(i)
+    assert loop.heap_depth < 600  # compaction physically removed tombstones
+    assert loop.pending == len(keep)
+    loop.run()
+    assert fired == keep  # same-instant FIFO (scheduling order) survives
+
+
+def test_reschedule_churn_keeps_heap_depth_bounded():
+    """Regression: every reschedule leaves a tombstone; before compaction
+    the queue grew without bound under retune-heavy workloads."""
+    loop = EventLoop()
+    fired = []
+    timer = loop.call_later(1.0, fired.append, "done")
+    for i in range(2_000):
+        timer = loop.reschedule(timer, 2.0 + i * 0.001)
+    assert loop.heap_depth < 1_200  # 2000 tombstones were compacted away
+    loop.run()
+    assert fired == ["done"]
+    assert loop.processed == 1
+
+
+def test_ordering_across_far_bucket_boundaries():
+    loop = EventLoop()
+    fired = []
+    width = EventLoop._BUCKET_MS
+    dues = [width - 0.001, width, width + 0.001, 2 * width, 2 * width - 0.5,
+            0.5, 3 * width + 1.0, width * 0.5]
+    for due in dues:
+        loop.call_at(due, fired.append, due)
+    loop.run()
+    assert fired == sorted(dues)
+
+
+def test_callbacks_schedule_into_far_future_and_back():
+    loop = EventLoop()
+    seen = []
+
+    def hop(n):
+        seen.append(loop.now)
+        if n == 0:
+            loop.call_later(50_000.0, hop, 1)  # far calendar
+        elif n == 1:
+            loop.call_soon(hop, 2)             # same instant, near heap
+        elif n == 2:
+            loop.call_later(0.25, hop, 3)
+
+    loop.call_later(5.0, hop, 0)
+    loop.run()
+    assert seen == [5.0, 50_005.0, 50_005.0, 50_005.25]
+
+
+class _ReferenceHeapLoop:
+    """The pre-calendar kernel, minimal: one binary heap, lazy tombstones.
+
+    Used as the ordering oracle: whatever schedule the calendar queue is
+    fed, the dispatch order must match this reference exactly.
+    """
+
+    def __init__(self):
+        import heapq
+        import itertools
+        self._heapq = heapq
+        self._queue = []
+        self._seq = itertools.count()
+        self.now = 0.0
+
+    def call_at(self, when, tag):
+        entry = [float(when), next(self._seq), tag, True]
+        self._heapq.heappush(self._queue, entry)
+        return entry
+
+    def run(self):
+        order = []
+        while self._queue:
+            due, _, tag, live = self._heapq.heappop(self._queue)
+            if not live:
+                continue
+            self.now = due
+            order.append(tag)
+        return order
+
+
+@given(data=st.data())
+@settings(max_examples=80)
+def test_property_calendar_queue_matches_reference_heap(data):
+    """Random schedules with cancels and reschedules dispatch in exactly
+    the order the plain binary heap would have produced."""
+    dues = data.draw(st.lists(
+        st.floats(0.0, 5_000.0), min_size=1, max_size=50))
+    loop = EventLoop()
+    reference = _ReferenceHeapLoop()
+    fired = []
+    timers = {}
+    for i, due in enumerate(dues):
+        timers[i] = (loop.call_at(due, fired.append, i),
+                     reference.call_at(due, i))
+    to_cancel = data.draw(st.sets(st.integers(0, len(dues) - 1)))
+    to_reschedule = data.draw(st.dictionaries(
+        st.integers(0, len(dues) - 1), st.floats(0.0, 10_000.0),
+        max_size=10))
+    for i in sorted(to_cancel):
+        timer, entry = timers[i]
+        timer.cancel()
+        entry[3] = False
+    for i, when in sorted(to_reschedule.items()):
+        timer, entry = timers[i]
+        if not timer.active:
+            continue
+        timers[i] = (loop.reschedule(timer, when),
+                     reference.call_at(when, i))
+        entry[3] = False
+    loop.run()
+    assert fired == reference.run()
+    assert loop.pending == 0
+
+
+def test_calendar_queue_is_event_order_identical_to_heap_on_scale_bench():
+    """The ISSUE-8 compatibility proof: the full concurrent-migration scale
+    scenario (repro.bench.scale) produces a byte-identical trace digest
+    under the calendar queue.  The pinned digest was captured by running
+    the same scenario on the pre-calendar single-heap kernel."""
+    from repro.bench.scale import concurrent_migration_experiment
+    from repro.obs import Observability
+    from repro.simcheck import trace_digest
+
+    obs = Observability()
+    concurrent_migration_experiment(migrations=2, observability=obs)
+    assert trace_digest(obs) == (
+        "9eb5cc527995ebda48ce945c0237172b140185a98f2c621ca8111417f5fdbc3e")
