@@ -380,6 +380,8 @@ def cmd_city(args: argparse.Namespace) -> int:
         config.users = args.users
     if args.no_prestage:
         config.prestage = False
+    if args.federated:
+        config.federated_registry = True
     obs = _make_obs(args)
     print(f"city: running {config.spaces} spaces / {config.users} users "
           f"(seed {config.seed})...", file=sys.stderr)
@@ -486,7 +488,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the standing perf scenarios and write BENCH_*.json")
     bench.add_argument("--scenario", default="all",
                        choices=["all", "scale", "transfer_window",
-                                "workload_day", "city"],
+                                "workload_day", "city", "registry"],
                        help="which standing scenario to run (default all)")
     bench.add_argument("--quick", action="store_true",
                        help="smaller parameter sets for CI smoke runs")
@@ -524,6 +526,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="override the tier's user count")
     city.add_argument("--quick", action="store_true",
                       help="shorthand for --tier smoke (CI smoke runs)")
+    city.add_argument("--federated", action="store_true",
+                      help="shard the registry per space with gateway "
+                           "aggregators instead of one flat center")
     city.add_argument("--no-prestage", action="store_true",
                       help="disable morning-commute component pre-staging")
     city.add_argument("--check-invariants", action="store_true",

@@ -10,6 +10,14 @@ Registrations are eternal by default.  When the facilitator is given a
 ``lease_ms``), each entry expires unless renewed -- so a crashed host's
 agents silently drop out of the yellow pages instead of being advertised
 forever (see :meth:`~repro.agents.platform.AgentPlatform.enable_df_leases`).
+
+Expiry is *active* when a ``schedule`` callable is installed: the
+facilitator keeps one timer armed at the earliest lease deadline and
+sweeps when it fires, so stale entries disappear at their expiry
+sim-time even if nobody ever searches again -- and ``on_expired`` fires
+per dropped entry (the platform turns that into a ``fault.lease_expired``
+hook event).  Without a scheduler the legacy passive behaviour remains:
+expired entries are filtered at read time and swept on ``search``.
 """
 
 from __future__ import annotations
@@ -56,6 +64,12 @@ class DirectoryFacilitator:
         #: Lease applied by :meth:`register` when no explicit one is given
         #: (0 keeps the legacy eternal registrations).
         self.default_lease_ms = default_lease_ms
+        #: ``schedule(delay_ms, fn) -> timer`` enabling active expiry.
+        self.schedule: Optional[Callable[[float, Callable[[], None]], Any]] = None
+        #: Called once per entry dropped by a sweep.
+        self.on_expired: Optional[Callable[[ServiceDescription], None]] = None
+        self._timer: Any = None
+        self._timer_at: Optional[float] = None
 
     # -- leases ---------------------------------------------------------------
 
@@ -74,10 +88,49 @@ class DirectoryFacilitator:
         if self.clock is None:
             return 0
         live = [s for s in self._services if not self._expired(s)]
-        removed = len(self._services) - len(live)
+        dropped = [s for s in self._services if self._expired(s)]
         self._services = live
-        self.leases_expired += removed
-        return removed
+        self.leases_expired += len(dropped)
+        if self.on_expired is not None:
+            for service in dropped:
+                self.on_expired(service)
+        self._arm()
+        return len(dropped)
+
+    def _arm(self) -> None:
+        """Keep one timer armed at the earliest lease deadline."""
+        if self.schedule is None or self.clock is None:
+            return
+        deadlines = [s.expires_at for s in self._services
+                     if s.expires_at is not None]
+        if not deadlines:
+            if self._timer is not None:
+                self._timer.cancel()
+                self._timer = None
+                self._timer_at = None
+            return
+        due = min(deadlines)
+        if (self._timer is not None and self._timer_at is not None
+                and self._timer_at <= due + 1e-9):
+            return  # the armed timer already fires at or before ``due``
+        if self._timer is not None:
+            self._timer.cancel()
+        self._timer_at = due
+        self._timer = self.schedule(max(0.0, due - self.clock()),
+                                    self._on_timer)
+
+    def _on_timer(self) -> None:
+        self._timer = None
+        self._timer_at = None
+        self.sweep_expired()  # re-arms for the next deadline
+
+    def disarm(self) -> None:
+        """Stop active expiry (when renewals end, state freezes)."""
+        self.schedule = None
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+            self._timer_at = None
 
     def renew(self, name: str, owner: str,
               lease_ms: Optional[float] = None) -> bool:
@@ -86,6 +139,7 @@ class DirectoryFacilitator:
         if service is None:
             return False
         service.expires_at = self._expiry(lease_ms)
+        self._arm()
         return True
 
     def renew_owner(self, owner: str, lease_ms: Optional[float] = None) -> int:
@@ -96,12 +150,14 @@ class DirectoryFacilitator:
             if service.owner == owner:
                 service.expires_at = self._expiry(lease_ms)
                 renewed += 1
+        self._arm()
         return renewed
 
     def release_all(self, lease_ms: Optional[float] = None) -> None:
         """(Re)stamp every live registration -- used when leases turn on."""
         for service in self._services:
             service.expires_at = self._expiry(lease_ms)
+        self._arm()
 
     # -- registry -------------------------------------------------------------
 
@@ -115,6 +171,7 @@ class DirectoryFacilitator:
             description.expires_at = self._expiry(lease_ms)
         self._services.append(description)
         self.registrations += 1
+        self._arm()
         return description
 
     def deregister(self, name: str, owner: str) -> bool:

@@ -164,12 +164,19 @@ class AgentPlatform:
 
         Containers on *online* hosts renew their agents' registrations every
         ``lease_ms / 2``; a crashed host stops renewing, so its agents fall
-        out of the directory within one lease.  Ticks stop ``horizon_ms``
-        after enabling so ``run_until_idle`` still quiesces.
+        out of the directory within one lease.  Renewal ticks stop
+        ``horizon_ms`` after enabling so ``run_until_idle`` still quiesces.
+
+        Expiry itself is timer-driven: the DF keeps a timer armed at the
+        earliest lease deadline, so a crashed host's entries drop at their
+        expiry sim-time -- not at the next search or renewal tick -- and
+        each one emits a ``fault.lease_expired`` hook event.
         """
         if lease_ms <= 0:
             raise PlatformError(f"lease_ms must be positive: {lease_ms}")
         self.df.default_lease_ms = lease_ms
+        self.df.schedule = self.loop.call_later
+        self.df.on_expired = self._on_df_lease_expired
         self.df.release_all()
         self._lease_until = self.loop.now + horizon_ms
         interval = lease_ms / 2
@@ -182,12 +189,23 @@ class AgentPlatform:
             for agent in container.agents:
                 self.df.renew_owner(
                     f"{agent.local_name}@{container.host_name}")
-        expired = self.df.sweep_expired()
-        obs = self.loop.observability
-        if expired and obs is not None:
-            obs.metrics.counter("df.lease_expired").inc(expired)
+        self.df.sweep_expired()
         if self.loop.now + interval <= self._lease_until:
             self.loop.call_later(interval, self._lease_tick, interval)
+        else:
+            # Renewals are over: freeze the directory instead of letting
+            # the expiry timer reap every live host's entries.
+            self.df.disarm()
+
+    def _on_df_lease_expired(self, service) -> None:
+        obs = self.loop.observability
+        if obs is None:
+            return
+        obs.metrics.counter("df.lease_expired").inc()
+        if obs.hooks:
+            obs.emit("fault.lease_expired", scope="df", name=service.name,
+                     service_type=service.service_type, owner=service.owner,
+                     expired_at=self.loop.now)
 
     # -- containers -----------------------------------------------------------
 

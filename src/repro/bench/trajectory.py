@@ -173,15 +173,144 @@ def _run_city(observability, quick: bool) -> Tuple[Dict, Dict, Optional[Dict]]:
     return params, extra, result.slo.to_dict()
 
 
+def _swallow_registry_result(result, error) -> None:
+    """Sink for bench-issued registry reads (latency is the measurement)."""
+
+
+def _registry_mode_stats(observability, deployment,
+                         issued: int) -> Dict[str, Any]:
+    """Extract one sub-run's registry numbers without creating series."""
+    latency: Optional[Dict[str, Any]] = None
+    for hist in observability.metrics.histograms():
+        if hist.name == "registry.lookup.latency_ms" and hist.values:
+            latency = {
+                "n": hist.count,
+                "p50": hist.percentile(50.0),
+                "p95": hist.percentile(95.0),
+                "p99": hist.percentile(99.0),
+                "max": max(hist.values),
+            }
+    counts: Dict[str, int] = {}
+    for counter in observability.metrics.counters():
+        if counter.name.startswith("registry."):
+            counts[counter.name] = counts.get(counter.name, 0) \
+                + int(counter.value)
+    hits = counts.get("registry.cache.hit", 0)
+    misses = counts.get("registry.cache.miss", 0)
+    stats = {
+        "lookups_issued": issued,
+        "latency_ms": latency,
+        "messages": counts.get("registry.messages", 0),
+        "requests": counts.get("registry.requests", 0),
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "cache_invalidates": counts.get("registry.cache.invalidate", 0),
+        "cache_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+    }
+    federation = getattr(deployment, "federation", None)
+    if federation is not None:
+        stats["federation"] = federation.stats()
+    return stats
+
+
+def _run_registry(observability, quick: bool
+                  ) -> Tuple[Dict, Dict, Optional[Dict]]:
+    """Flat center vs federated shards under one city lookup storm.
+
+    Both modes build the same city (every commuter's apps launched at
+    home, which already exercises registration-write locality), then
+    replay an identical deterministic read sweep: per app, ``passes``
+    repeats of a ``components_at`` (every ``global_every``-th app an
+    ``application_hosts`` fan-out instead), spaced so the flat center
+    stays below its service capacity -- the comparison measures
+    architecture, not a melted queue.  The flat sub-run streams into a
+    private hub (its digest lands in ``extra``); the federated sub-run
+    streams into the outer hub, so the record's ``sim_digest`` pins the
+    federated behaviour.
+    """
+    from repro.city import CityConfig, CityWorkload
+    from repro.obs import Observability
+    from repro.simcheck.runner import reset_global_state, trace_digest
+
+    tier = "smoke" if quick else "quick"
+    passes, spacing_ms, repeat_gap_ms = 3, 8.0, 100.0
+    global_every = 100
+
+    def sweep(federated: bool, obs) -> Tuple[Any, int]:
+        reset_global_state()
+        config = CityConfig.for_tier(tier, seed=11,
+                                     federated_registry=federated,
+                                     registry_telemetry=True)
+        workload = CityWorkload(config, observability=obs)
+        deployment = workload.build()
+        deployment.run_all()
+        loop = deployment.loop
+        issued = 0
+        t0 = loop.now + 10.0
+        for i, (app_name, host) in enumerate(sorted(
+                workload.app_host.items())):
+            client = deployment.middleware(host).registry_client
+            if i % global_every == 0:
+                operation: str = "application_hosts"
+                args: Dict[str, Any] = {"app_name": app_name}
+            else:
+                operation = "components_at"
+                args = {"app_name": app_name, "host": host}
+            base = t0 + i * spacing_ms
+            for repeat in range(passes):
+                loop.call_at(base + repeat * repeat_gap_ms, client.call,
+                             operation, dict(args),
+                             _swallow_registry_result)
+                issued += 1
+        deployment.run_all()
+        return deployment, issued
+
+    flat_obs = Observability(trace=False)
+    flat_deployment, flat_issued = sweep(False, flat_obs)
+    flat = _registry_mode_stats(flat_obs, flat_deployment, flat_issued)
+    flat_digest = trace_digest(flat_obs)
+    fed_deployment, fed_issued = sweep(True, observability)
+    federated = _registry_mode_stats(observability, fed_deployment,
+                                     fed_issued)
+
+    params: Dict[str, Any] = dict(
+        tier=tier, seed=11, passes=passes, spacing_ms=spacing_ms,
+        repeat_gap_ms=repeat_gap_ms, global_every=global_every)
+    improvement = {}
+    if flat["latency_ms"] and federated["latency_ms"]:
+        for q in ("p50", "p95", "p99"):
+            flat_q = flat["latency_ms"][q]
+            fed_q = federated["latency_ms"][q]
+            # None, not inf: cached federated reads are 0 ms and IEEE
+            # infinities are not valid strict JSON.
+            improvement[f"{q}_speedup"] = \
+                flat_q / fed_q if fed_q > 0 else None
+    if federated["messages"]:
+        improvement["message_ratio"] = \
+            flat["messages"] / federated["messages"]
+    extra = {
+        "flat": flat,
+        "federated": federated,
+        "improvement": improvement,
+        # Digest of the flat sub-run (the outer hub pins the federated
+        # one), so both behaviours are drift-checked commit to commit.
+        "flat_sim_digest": flat_digest,
+    }
+    return params, extra, None
+
+
 #: Standing scenarios, in trajectory order.  ``scale`` is the primary one
 #: CI and the roadmap track; ``city`` is the heavy-traffic yardstick the
-#: roadmap's kernel speedups are measured against; the others cover the
-#: transfer engine and the churn/pre-staging macro path.
+#: roadmap's kernel speedups are measured against; ``registry`` pits the
+#: federated registry against the flat center under one lookup storm;
+#: the others cover the transfer engine and the churn/pre-staging macro
+#: path.
 SCENARIOS: Dict[str, Callable] = {
     "scale": _run_scale,
     "transfer_window": _run_transfer_window,
     "workload_day": _run_workload_day,
     "city": _run_city,
+    "registry": _run_registry,
 }
 
 

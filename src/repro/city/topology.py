@@ -199,7 +199,9 @@ def synthesize(spaces: int, seed: int = 0) -> CityTopology:
 
 
 def build_deployment(city: CityTopology, observability=None,
-                     config=None, admission_limit: Optional[int] = None):
+                     config=None, admission_limit: Optional[int] = None,
+                     federated: bool = False,
+                     registry_telemetry: bool = False):
     """Materialize a synthesized city as a live Deployment.
 
     The registry center gets a dedicated host in hub 0's space (installed
@@ -207,11 +209,22 @@ def build_deployment(city: CityTopology, observability=None,
     directory), every space gets its gateway, and each edge gets its
     tier's link profile.  Returns the deployment; the caller launches
     applications and drives traffic.
+
+    With ``federated`` the flat center becomes a federation placed along
+    the city's hierarchy: transit/office/meeting shards live on their own
+    gateways, home shards aggregate on their hub's gateway (keeping the
+    slow access link off the shard path), and each hub gateway is the
+    aggregator for the spaces it serves.
     """
     from repro.core.middleware import Deployment
 
     d = Deployment(seed=city.seed, observability=observability,
                    config=config)
+    if federated:
+        d.enable_federated_registry(auto_shards=False)
+    if registry_telemetry:
+        from repro.registry.registry import enable_registry_telemetry
+        enable_registry_telemetry(d.network)
     first = city.spaces[0]
     d.add_space(first.name, lan=LAN_BY_KIND[first.kind])
     d.install_registry(first.name, host_name="registry")
@@ -222,6 +235,20 @@ def build_deployment(city: CityTopology, observability=None,
             d.add_host(host, spec.name)
         d.add_gateway(spec.gateway, spec.name,
                       processing_delay_ms=GATEWAY_DELAY_MS[spec.kind])
+        if federated:
+            fed = d.federation
+            if spec.kind == "transit":
+                # Hub gateways aggregate: they fan global lookups out and
+                # host their homes' shards (transit spaces come first in
+                # city.spaces, so every hub gateway exists by the time a
+                # home needs it).
+                fed.install_aggregator(spec.gateway)
+                fed.install_shard(spec.name, spec.gateway)
+            elif spec.kind == "home":
+                fed.install_shard(spec.name, f"gw-{spec.hub}")
+            else:
+                fed.install_shard(spec.name, spec.gateway)
+            fed.assign_aggregator(spec.name, f"gw-{spec.hub}")
     for space_a, space_b, tier in city.edges:
         d.connect_spaces(space_a, space_b, TIER_LINKS[tier])
     if admission_limit is not None:

@@ -46,6 +46,12 @@ class CityConfig:
     deadline_ms: Optional[float] = 180_000.0
     #: Pre-stage office components during the morning commute.
     prestage: bool = True
+    #: Replace the flat registry center with per-space shards and
+    #: gateway aggregators (see :mod:`repro.registry.federation`).
+    federated_registry: bool = False
+    #: Opt into registry hook events + metrics (lookup latency, message
+    #: counts); off by default to keep trace digests byte-stable.
+    registry_telemetry: bool = False
     meeting_probability: float = 0.5
     #: Event budget for draining the day (full tier needs tens of
     #: millions; the kernel raises SimulationError beyond this).
@@ -156,7 +162,9 @@ class CityWorkload:
         self.city = synthesize(config.spaces, seed=config.seed)
         self.deployment = build_deployment(
             self.city, observability=self.observability,
-            admission_limit=config.admission_limit)
+            admission_limit=config.admission_limit,
+            federated=config.federated_registry,
+            registry_telemetry=config.registry_telemetry)
         if config.prestage:
             self.deployment.enable_prestaging()
         self.population = Population(

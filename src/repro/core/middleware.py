@@ -104,7 +104,9 @@ class MDAgentMiddleware:
         self.adaptor = Adaptor()
         self.resolver = BindingResolver(self.config.data_carry_threshold_bytes)
         self.mobility_manager = MobilityManager(self, self.config.mobility)
-        if self.config.registry_cache_ttl_ms > 0:
+        if deployment.federation is not None:
+            self.registry_client = deployment.federation.client_for(host.name)
+        elif self.config.registry_cache_ttl_ms > 0:
             self.registry_client = CachingRegistryClient(
                 deployment.network, host.name, deployment.registry_host,
                 cache_ttl_ms=self.config.registry_cache_ttl_ms)
@@ -712,6 +714,8 @@ class Deployment:
         self._outcome_seq = itertools.count(1)
         self.prestaging = None
         self.scheduler: Optional[MigrationScheduler] = None
+        #: Federated registry (optional) -- see enable_federated_registry().
+        self.federation = None
         # Fault injection (optional): the chaos engine arms per its config
         # ("first-migration" by default) and replays its plan on the loop.
         self.chaos = None
@@ -724,6 +728,28 @@ class Deployment:
             self.chaos.arm()
 
     # -- construction ------------------------------------------------------
+
+    def enable_federated_registry(self, cache_ttl_ms: float = 2_000.0,
+                                  auto_shards: bool = True):
+        """Replace the flat registry center with the per-space federation.
+
+        Must run before any host is added.  With ``auto_shards`` every
+        :meth:`add_gateway` call installs that space's shard on the
+        gateway; custom placement (e.g. the city's hub aggregation) sets
+        it to False and installs shards/aggregators explicitly.  The
+        first host still provides the fallback shard, which owns records
+        of spaces without one.
+        """
+        if self.federation is not None:
+            return self.federation
+        if self.middlewares or self.registry_host is not None:
+            raise MiddlewareError(
+                "enable_federated_registry() must run before hosts are added")
+        from repro.registry.federation import RegistryFederation
+        self.federation = RegistryFederation(self, cache_ttl_ms=cache_ttl_ms)
+        self.federation.auto_shards = auto_shards
+        self.federation.attach_bus(self.bus, TOPIC_APP)
+        return self.federation
 
     def add_space(self, name: str, lan: Optional[LinkSpec] = None):
         return self.topology.add_space(name, lan)
@@ -742,7 +768,10 @@ class Deployment:
                                       drift_ppm=drift_ppm,
                                       cpu_factor=profile.cpu_factor)
         if self.registry_host is None:
-            self.registry_server = install_registry(self.network, name)
+            if self.federation is not None:
+                self.federation.install_fallback(name)
+            else:
+                self.registry_server = install_registry(self.network, name)
             self.registry_host = name
         container = self.platform.create_container(name)
         middleware = MDAgentMiddleware(self, host, container, profile,
@@ -751,19 +780,28 @@ class Deployment:
         self.device_profiles[name] = profile
         return middleware
 
-    def install_registry(self, space: str,
-                         host_name: str = "registry") -> RegistryServer:
-        """Dedicate a host to the registry center (call before add_host)."""
+    def install_registry(self, space: str, host_name: str = "registry"):
+        """Dedicate a host to the registry center (call before add_host).
+
+        Under a federation this host carries the fallback shard instead
+        of the flat center (returns the host's FederationNode).
+        """
         if self.registry_host is not None:
             raise MiddlewareError("registry already installed")
         self.topology.add_host(host_name, space)
-        self.registry_server = install_registry(self.network, host_name)
         self.registry_host = host_name
+        if self.federation is not None:
+            return self.federation.install_fallback(host_name)
+        self.registry_server = install_registry(self.network, host_name)
         return self.registry_server
 
     def add_gateway(self, name: str, space: str,
                     processing_delay_ms: float = 5.0):
-        return self.topology.add_gateway(name, space, processing_delay_ms)
+        gateway = self.topology.add_gateway(name, space, processing_delay_ms)
+        if (self.federation is not None and self.federation.auto_shards
+                and space not in self.federation.shards):
+            self.federation.install_shard(space, name)
+        return gateway
 
     def connect_spaces(self, space_a: str, space_b: str,
                        spec: Optional[LinkSpec] = None) -> None:
@@ -888,7 +926,7 @@ class Deployment:
         outcomes = list(self.outcomes.values())
         completed = [o for o in outcomes if o.completed]
         failed = [o for o in outcomes if o.failed]
-        return {
+        stats = {
             "sim_time_ms": self.loop.now,
             "events_processed": self.loop.processed,
             "hosts": len(self.middlewares),
@@ -915,10 +953,16 @@ class Deployment:
             "bytes_migrated": sum(o.bytes_transferred for o in completed),
             "context_events_published": self.bus.published,
             "context_events_stored": self.store.total_stored,
-            "registry_lookups": (self.registry_server.center.lookups
-                                 if self.registry_server else 0),
+            "registry_lookups": (
+                self.federation.total_lookups()
+                if self.federation is not None
+                else self.registry_server.center.lookups
+                if self.registry_server else 0),
             "network_messages_dropped": self.network.messages_dropped,
         }
+        if self.federation is not None:
+            stats.update(self.federation.stats())
+        return stats
 
     # -- running ----------------------------------------------------------------------
 

@@ -15,13 +15,15 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.context.model import ContextEvent, TOPIC_APP, TOPIC_LOCATION
 from repro.core.application import AppStatus
+from repro.registry.federation import INVALIDATING_EVENTS
 
 #: Application lifecycle transitions that invalidate staged pairs: after
 #: any of these the app's component footprint (or its very existence at
 #: the staged destination) may have changed, so earlier pushes no longer
-#: guarantee anything and the destination must be re-evaluated.
-_INVALIDATING_EVENTS = frozenset(
-    {"started", "resumed", "stopped", "rolled-back"})
+#: guarantee anything and the destination must be re-evaluated.  The
+#: federated registry shares the same seam: these events also invalidate
+#: its cached lookups (see :mod:`repro.registry.federation`).
+_INVALIDATING_EVENTS = INVALIDATING_EVENTS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.middleware import Deployment

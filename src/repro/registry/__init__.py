@@ -10,8 +10,18 @@ format." (paper §4.2.2.)
 - :mod:`repro.registry.registry` -- the :class:`RegistryCenter` itself plus
   a network-backed :class:`RegistryServer` / :class:`RegistryClient` pair so
   remote lookups pay real (simulated) round trips.
+- :mod:`repro.registry.federation` -- the federated architecture: per-space
+  :class:`RegistryShard` s, aggregating :class:`FederationNode` s that fan
+  cross-space lookups out over the network, coherence-token TTL caches and
+  lease-based expiry for crashed hosts.
 """
 
+from repro.registry.federation import (
+    FederatedRegistryClient,
+    FederationNode,
+    RegistryFederation,
+    RegistryShard,
+)
 from repro.registry.records import (
     ApplicationRecord,
     InterfaceDescription,
@@ -20,11 +30,14 @@ from repro.registry.records import (
     ResourceRecord,
 )
 from repro.registry.registry import (
+    READ_OPERATIONS,
+    WRITE_OPERATIONS,
     CachingRegistryClient,
     RegistryCenter,
     RegistryClient,
     RegistryError,
     RegistryServer,
+    enable_registry_telemetry,
     install_registry,
 )
 from repro.registry.store import load_registry, save_registry
@@ -32,14 +45,21 @@ from repro.registry.store import load_registry, save_registry
 __all__ = [
     "ApplicationRecord",
     "CachingRegistryClient",
+    "FederatedRegistryClient",
+    "FederationNode",
     "InterfaceDescription",
     "Operation",
+    "READ_OPERATIONS",
     "RecordError",
     "RegistryCenter",
     "RegistryClient",
     "RegistryError",
+    "RegistryFederation",
     "RegistryServer",
+    "RegistryShard",
     "ResourceRecord",
+    "WRITE_OPERATIONS",
+    "enable_registry_telemetry",
     "install_registry",
     "load_registry",
     "save_registry",

@@ -30,9 +30,80 @@ REGISTRY_PROTOCOL = "registry.rpc"
 _REQUEST_SIZE = 512
 _RESPONSE_SIZE = 2048
 
+#: The RPC read surface (cacheable) and write surface (invalidating).
+READ_OPERATIONS = frozenset({
+    "lookup_application", "components_at", "application_hosts",
+    "resources_on", "find_compatible", "rebind_map", "semantic_query",
+    "describe_resources",
+})
+WRITE_OPERATIONS = frozenset({
+    "register_application", "deregister_application",
+    "register_resource", "deregister_resource",
+})
+
 
 class RegistryError(RuntimeError):
     """Raised on invalid registry operations."""
+
+
+# -- opt-in telemetry ---------------------------------------------------------
+#
+# Registry metrics and hook events are gated on a per-network flag so
+# that runs which pinned their trace digests before this instrumentation
+# existed (golden fixtures, committed BENCH baselines) are bit-for-bit
+# unchanged.  The federation, the simcheck runner and the registry bench
+# turn it on; everything else keeps the old wire behaviour.
+
+def enable_registry_telemetry(network: Network) -> None:
+    network.registry_telemetry = True
+
+
+def registry_telemetry_enabled(network: Network) -> bool:
+    return getattr(network, "registry_telemetry", False)
+
+
+def count_registry_message(network: Network, source: str,
+                           destination: str) -> None:
+    """Account one registry message, weighted by the links it traverses."""
+    if not registry_telemetry_enabled(network):
+        return
+    obs = network.loop.observability
+    if obs is None:
+        return
+    if source == destination:
+        return
+    try:
+        hops = max(1, len(network.route(source, destination)) - 1)
+    except Exception:
+        hops = 1
+    obs.metrics.counter("registry.messages").inc(hops)
+
+
+def count_registry_request(network: Network) -> None:
+    if not registry_telemetry_enabled(network):
+        return
+    obs = network.loop.observability
+    if obs is not None:
+        obs.metrics.counter("registry.requests").inc()
+
+
+def emit_registry_event(network: Network, event: str, **payload: Any) -> None:
+    """Ledger events (``registry.request``/``response``/``fail``) for the
+    simcheck message-conservation invariant."""
+    if not registry_telemetry_enabled(network):
+        return
+    obs = network.loop.observability
+    if obs is not None and obs.hooks:
+        obs.emit(event, **payload)
+
+
+def observe_lookup_latency(network: Network, latency_ms: float) -> None:
+    if not registry_telemetry_enabled(network):
+        return
+    obs = network.loop.observability
+    if obs is not None:
+        obs.metrics.histogram("registry.lookup.latency_ms").observe(
+            latency_ms)
 
 
 class RegistryCenter:
@@ -127,6 +198,23 @@ class RegistryCenter:
         return sorted((r for r in self._resources.values() if r.host == host),
                       key=lambda r: r.resource_id)
 
+    def describe_resources(self, resource_ids: List[str]
+                           ) -> Dict[str, Dict[str, Any]]:
+        """Semantic classification of known resources: inferred (non-marker)
+        classes plus substitutability.  This is what a federated peer needs
+        to match one of *our* resources against *its* inventory without
+        holding our records (see :mod:`repro.registry.federation`)."""
+        self.lookups += 1
+        info: Dict[str, Dict[str, Any]] = {}
+        for resource_id in sorted(set(resource_ids)):
+            if resource_id not in self._resources:
+                continue
+            info[resource_id] = {
+                "classes": sorted(self.matcher.semantic_classes(resource_id)),
+                "substitutable": self.matcher.is_substitutable(resource_id),
+            }
+        return info
+
     def find_compatible(self, required_resource: str,
                         host: str) -> MatchResult:
         """Best semantically compatible resource for ``required_resource``
@@ -205,6 +293,8 @@ class RegistryCenter:
         if operation == "semantic_query":
             return self.semantic_query(list(args["patterns"]),
                                        args.get("variables"))
+        if operation == "describe_resources":
+            return self.describe_resources(list(args["resource_ids"]))
         raise RegistryError(f"unknown registry operation {operation!r}")
 
 
@@ -246,7 +336,8 @@ class RegistryServer:
             self.network.send(self.host_name, reply_to, REGISTRY_PROTOCOL,
                               payload, _RESPONSE_SIZE)
         except Exception:
-            pass  # requester vanished; its client times out
+            return  # requester vanished; its client times out
+        count_registry_message(self.network, self.host_name, reply_to)
 
 
 class RegistryClient:
@@ -270,6 +361,7 @@ class RegistryClient:
         self.timeout_ms = float(timeout_ms)
         self._pending: Dict[int, Callable[[Any, Optional[str]], None]] = {}
         self._timers: Dict[int, Any] = {}
+        self._operations: Dict[int, str] = {}
         self.calls = 0
         self.timeouts = 0
         RegistryClient._instances[(id(network), host_name)] = self
@@ -278,25 +370,47 @@ class RegistryClient:
             host.register_handler(REGISTRY_PROTOCOL, self._on_response)
 
     def call(self, operation: str, args: Dict[str, Any],
-             callback: Callable[[Any, Optional[str]], None]) -> None:
+             callback: Callable[[Any, Optional[str]], None],
+             server: Optional[str] = None) -> None:
         self.calls += 1
         loop = self.network.loop
-        if self.host_name == self.server_host:
+        target = self.server_host if server is None else server
+        count_registry_request(self.network)
+        if (operation in READ_OPERATIONS
+                and registry_telemetry_enabled(self.network)):
+            started = loop.now
+            inner = callback
+
+            def timed(result: Any, error: Optional[str]) -> None:
+                observe_lookup_latency(self.network, loop.now - started)
+                inner(result, error)
+
+            callback = timed
+        emit_registry_event(self.network, "registry.request",
+                            operation=operation, source=self.host_name,
+                            target=target)
+        if self.host_name == target:
             # Local registry access: no network trip, immediate dispatch.
             def local():
                 try:
-                    server = _local_center_lookup(self.network,
-                                                  self.server_host)
-                    callback(server.dispatch(operation, args), None)
+                    center = _local_center_lookup(self.network, target)
+                    result = center.dispatch(operation, args)
                 except Exception as exc:
+                    emit_registry_event(self.network, "registry.fail",
+                                        operation=operation, error=str(exc))
                     callback(None, str(exc))
+                    return
+                emit_registry_event(self.network, "registry.response",
+                                    operation=operation)
+                callback(result, None)
 
             loop.call_soon(local)
             return
         request_id = next(self._request_ids)
         self._pending[request_id] = callback
+        self._operations[request_id] = operation
         try:
-            self.network.send(self.host_name, self.server_host,
+            self.network.send(self.host_name, target,
                               REGISTRY_PROTOCOL,
                               ("request", request_id, operation, args),
                               _REQUEST_SIZE,
@@ -305,6 +419,7 @@ class RegistryClient:
         except Exception as exc:
             self._fail(request_id, f"registry unreachable: {exc}")
             return
+        count_registry_message(self.network, self.host_name, target)
         self._timers[request_id] = loop.call_later(self.timeout_ms,
                                                    self._timeout, request_id)
 
@@ -316,7 +431,10 @@ class RegistryClient:
     def _fail(self, request_id: int, error: str) -> None:
         self._cancel_timer(request_id)
         callback = self._pending.pop(request_id, None)
+        operation = self._operations.pop(request_id, None)
         if callback is not None:
+            emit_registry_event(self.network, "registry.fail",
+                                operation=operation, error=error)
             callback(None, error)
 
     def _timeout(self, request_id: int) -> None:
@@ -331,7 +449,12 @@ class RegistryClient:
             return
         self._cancel_timer(request_id)
         callback = self._pending.pop(request_id, None)
+        operation = self._operations.pop(request_id, None)
         if callback is not None:
+            # Only a still-pending request counts as answered; a reply to
+            # a leaked/failed request must not balance the ledger.
+            emit_registry_event(self.network, "registry.response",
+                                operation=operation)
             callback(result, error)
 
 
@@ -345,10 +468,7 @@ class CachingRegistryClient(RegistryClient):
     are rare compared to the AA's read bursts).
     """
 
-    READ_OPERATIONS = frozenset({
-        "lookup_application", "components_at", "application_hosts",
-        "resources_on", "find_compatible", "rebind_map", "semantic_query",
-    })
+    READ_OPERATIONS = READ_OPERATIONS
 
     def __init__(self, network: Network, host_name: str, server_host: str,
                  timeout_ms: float = 5_000.0, cache_ttl_ms: float = 10_000.0):

@@ -20,7 +20,19 @@ simulation's own conservation laws):
 - **window cursor sanity** -- for pipelined transfers,
   ``base <= head <= base + window`` with ``0 <= in_flight <= head - base``;
 - **rx-table occupancy** -- the receiver-side chunk dedup tables stay
-  bounded during the run and empty at quiescence.
+  bounded during the run and empty at quiescence;
+- **registry cache coherence** -- every cache hit the federated registry
+  serves carries a coherence token at least as new as the checker's own
+  model of the write generations and lifecycle epochs (built from
+  ``registry.invalidate`` hook events and the context bus), so a stale
+  serve is caught the instant it happens;
+- **registry message conservation** -- every ``registry.request`` hook
+  event is balanced by exactly one ``registry.response`` or
+  ``registry.fail`` by quiescence (a leaked in-flight request stays
+  unbalanced);
+- **no zombie leases** -- at quiescence, no DF service and no registry
+  shard record whose lease deadline has passed is still present while
+  active expiry is armed.
 """
 
 from __future__ import annotations
@@ -28,7 +40,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
+from repro.context.model import TOPIC_APP
 from repro.core.application import AppStatus
+from repro.registry.federation import INVALIDATING_EVENTS
 
 
 @dataclass
@@ -66,6 +80,9 @@ VIOLATION_KINDS = (
     "rx-table-bound",
     "rx-table-leak",
     "non-quiescent",
+    "stale-cache-serve",
+    "zombie-lease",
+    "registry-conservation",
 )
 
 
@@ -78,6 +95,16 @@ class InvariantChecker:
         self._expected: Dict[str, set] = {}
         self._jump_allowance: Dict[str, int] = {}
         self._last_kernel_now: float = float("-inf")
+        # Independent model of registry coherence state, rebuilt from the
+        # hook stream (registry.invalidate) and the context bus -- never
+        # read back from the federation itself, so a federation that
+        # *forgets* to invalidate diverges from this model and any serve
+        # carrying the forgotten token gets flagged.
+        self._app_gens: Dict[str, int] = {}
+        self._app_epochs: Dict[str, int] = {}
+        self._resource_gen = 0
+        self._registry_requests = 0
+        self._registry_answers = 0
         self._installed = False
         #: Optional ``callback(violation)`` fired the instant a violation
         #: is recorded -- the runner uses it to freeze the flight
@@ -97,6 +124,13 @@ class InvariantChecker:
         obs.add_hook(self._on_event)
         for host in self.deployment.network.hosts:
             host.clock.on_regress = self._make_regress(host.name)
+        bus = getattr(self.deployment, "bus", None)
+        if bus is not None:
+            # Mirror the federation's lifecycle-epoch bookkeeping.  The
+            # federation subscribed first (at enable time), so its epoch
+            # bump always lands before ours on the same publish -- the
+            # checker's model never runs ahead of reality.
+            bus.subscribe(TOPIC_APP, self._on_app_lifecycle)
         self._installed = True
         return self
 
@@ -126,6 +160,14 @@ class InvariantChecker:
             self._check_window(payload)
         elif kind in ("fault.inject", "fault.revert"):
             self._note_fault(kind, payload)
+        elif kind == "registry.request":
+            self._registry_requests += 1
+        elif kind in ("registry.response", "registry.fail"):
+            self._registry_answers += 1
+        elif kind == "registry.invalidate":
+            self._note_invalidate(payload)
+        elif kind == "registry.cache.serve":
+            self._check_cache_serve(payload)
 
     def _check_kernel(self, payload: Dict[str, Any]) -> None:
         now = float(payload["now"])
@@ -170,6 +212,48 @@ class InvariantChecker:
             self._jump_allowance[host] = \
                 self._jump_allowance.get(host, 0) + 1
 
+    # -- registry coherence ------------------------------------------------
+
+    def _on_app_lifecycle(self, event) -> None:
+        if event.attributes.get("event") in INVALIDATING_EVENTS:
+            app = event.subject
+            self._app_epochs[app] = self._app_epochs.get(app, 0) + 1
+
+    def _note_invalidate(self, payload: Dict[str, Any]) -> None:
+        if payload.get("scope") == "app":
+            self._app_gens[str(payload["app"])] = int(payload["gen"])
+        else:
+            self._resource_gen = int(payload["resource_gen"])
+
+    def _check_cache_serve(self, payload: Dict[str, Any]) -> None:
+        where = payload.get("where")
+        host = payload.get("host")
+        if "resource_gen" in payload:
+            served = int(payload["resource_gen"])
+            if served < self._resource_gen:
+                self.record(
+                    "stale-cache-serve",
+                    f"{where} cache on {host!r} served "
+                    f"{payload.get('operation')!r} at resource generation "
+                    f"{served} after generation {self._resource_gen}",
+                    **payload)
+            return
+        if "app" not in payload:
+            return
+        app = str(payload["app"])
+        gen = int(payload.get("gen", 0))
+        epoch = int(payload.get("epoch", 0))
+        current_gen = self._app_gens.get(app, 0)
+        current_epoch = self._app_epochs.get(app, 0)
+        if gen < current_gen or epoch < current_epoch:
+            self.record(
+                "stale-cache-serve",
+                f"{where} cache on {host!r} served "
+                f"{payload.get('operation')!r} for app {app!r} at "
+                f"gen={gen}/epoch={epoch} after "
+                f"gen={current_gen}/epoch={current_epoch}",
+                **payload)
+
     def _make_regress(self, host_name: str):
         def on_regress(clock, previous: float, current: float) -> None:
             if self._jump_allowance.get(host_name, 0) > 0:
@@ -194,7 +278,53 @@ class InvariantChecker:
         self._check_bytes()
         self._check_rx_tables()
         self._check_conservation()
+        self._check_registry_ledger()
+        self._check_leases()
         return self.violations
+
+    def _check_registry_ledger(self) -> None:
+        if self._registry_requests != self._registry_answers:
+            self.record(
+                "registry-conservation",
+                f"{self._registry_requests} registry requests vs "
+                f"{self._registry_answers} responses+failures at "
+                f"quiescence -- "
+                f"{abs(self._registry_requests - self._registry_answers)} "
+                f"request(s) leaked or double-answered")
+
+    def _check_leases(self) -> None:
+        now = self.deployment.loop.now
+        df = self.deployment.platform.df
+        # schedule is None when leases were never enabled or when the
+        # renewal horizon passed and the directory froze (legit state);
+        # with active expiry armed, an expired entry still present means
+        # the sweep machinery is broken.
+        if df.schedule is not None and df.clock is not None:
+            for service in df._services:
+                if service.expires_at is not None \
+                        and service.expires_at <= now:
+                    self.record(
+                        "zombie-lease",
+                        f"DF service {service.name!r} "
+                        f"(owner {service.owner!r}) expired at "
+                        f"{service.expires_at:.1f} ms but is still "
+                        f"registered", name=service.name,
+                        owner=service.owner)
+        federation = getattr(self.deployment, "federation", None)
+        if federation is None:
+            return
+        for space, shard in sorted(federation.shards.items()):
+            if shard.schedule is None:
+                continue  # leases disabled, or frozen past the horizon
+            for key, deadline in sorted(shard.lease_deadlines().items()):
+                if deadline <= now:
+                    kind, name, host = key
+                    self.record(
+                        "zombie-lease",
+                        f"registry {kind} lease {name!r}@{host!r} in "
+                        f"shard {(space or 'fallback')!r} expired at "
+                        f"{deadline:.1f} ms but the record is still "
+                        f"registered", space=space, name=name, host=host)
 
     def _check_bytes(self) -> None:
         net = self.deployment.network

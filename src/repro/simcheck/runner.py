@@ -104,6 +104,117 @@ def _sabotage_link_skim(deployment) -> None:
     deployment.loop.call_later(1.0, skim)
 
 
+def _ignore(result, error) -> None:
+    """Callback for sabotage-issued registry reads (outcome irrelevant)."""
+
+
+def _sabotage_stale_cache(deployment) -> None:
+    """Break a client cache's coherence-token check, then write + re-read.
+
+    The second read is TTL-valid but its stored token predates the
+    deregistration, so serving it is exactly the stale-cache defect the
+    ``stale-cache-serve`` invariant exists to catch.
+    """
+    fed = deployment.federation
+    host = deployment.network.hosts[0].name
+    client = fed.client_for(host)
+    args = {"app_name": "stale-app", "host": host}
+
+    def plant() -> None:
+        shard = fed.shards[fed.space_with_shard(host)]
+        shard.dispatch("register_application", {"record": {
+            "app_name": "stale-app", "host": host,
+            "components": ["logic"]}})
+        client.call("components_at", dict(args), _ignore)
+
+    def corrupt() -> None:
+        client._skip_token_check = True
+        shard = fed.shards[fed.space_with_shard(host)]
+        shard.dispatch("deregister_application", dict(args))
+
+    def reread() -> None:
+        client.call("components_at", dict(args), _ignore)
+
+    deployment.loop.call_later(1.0, plant)
+    deployment.loop.call_later(60.0, corrupt)
+    deployment.loop.call_later(90.0, reread)
+
+
+def _sabotage_dropped_invalidation(deployment) -> None:
+    """Suppress the lifecycle-event invalidation seam, then re-read.
+
+    A ``stopped`` lifecycle event should bump the app's epoch and kill
+    every cached read that depends on it; with the seam disabled the
+    client cache happily serves its pre-stop entry.
+    """
+    from repro.context.model import TOPIC_APP, ContextEvent
+
+    fed = deployment.federation
+    host = deployment.network.hosts[0].name
+    client = fed.client_for(host)
+    args = {"app_name": "stale-app", "host": host}
+
+    def plant() -> None:
+        shard = fed.shards[fed.space_with_shard(host)]
+        shard.dispatch("register_application", {"record": {
+            "app_name": "stale-app", "host": host,
+            "components": ["logic"]}})
+        client.call("components_at", dict(args), _ignore)
+
+    def corrupt() -> None:
+        fed.invalidation_disabled = True
+        deployment.bus.publish(ContextEvent(
+            topic=TOPIC_APP, subject="stale-app",
+            attributes={"event": "stopped"},
+            timestamp=deployment.loop.now, source="sabotage"))
+
+    def reread() -> None:
+        client.call("components_at", dict(args), _ignore)
+
+    deployment.loop.call_later(1.0, plant)
+    deployment.loop.call_later(60.0, corrupt)
+    deployment.loop.call_later(90.0, reread)
+
+
+def _sabotage_zombie_lease(deployment) -> None:
+    """Plant a leased DF entry whose sweeps silently do nothing."""
+    from repro.agents.directory import ServiceDescription
+
+    df = deployment.platform.df
+    df.schedule = deployment.loop.call_later
+    df.sweep_expired = lambda: 0  # the defect: expiry never drops entries
+    df.register(ServiceDescription(
+        name="zombie", service_type="ghost", owner="ghost@nowhere"),
+        lease_ms=5.0)
+
+
+def _sabotage_lost_reply(deployment) -> None:
+    """Leak one in-flight registry request (its reply finds nobody home)."""
+    fed = deployment.federation
+    caller = None
+    for h in deployment.network.hosts:
+        target, _space = fed.route(h.name, "application_hosts", {})
+        if target is not None and target != h.name:
+            caller = h.name  # its global reads really cross the wire
+            break
+    if caller is None:
+        return  # single-host scenario: nothing can be in flight
+    client = fed.client_for(caller)
+
+    def plant() -> None:
+        client.call("application_hosts", {"app_name": "anyone"}, _ignore)
+
+    def leak() -> None:
+        for timer in client._timers.values():
+            timer.cancel()
+        client._timers.clear()
+        client._pending.clear()
+        client._operations.clear()
+
+    deployment.loop.call_later(1.0, plant)
+    deployment.loop.call_later(1.05, leak)
+
+
 #: Deliberate, deterministic defects the runner can plant after building a
 #: deployment (``Scenario.sabotage``).  Test-only: they exist so the
 #: invariant checkers and the shrinker can be validated against known
@@ -113,6 +224,10 @@ SABOTAGE_HOOKS = {
     "clock-skip": _sabotage_clock_skip,
     "wire-skim": _sabotage_wire_skim,
     "link-skim": _sabotage_link_skim,
+    "stale-cache": _sabotage_stale_cache,
+    "dropped-invalidation": _sabotage_dropped_invalidation,
+    "zombie-lease": _sabotage_zombie_lease,
+    "lost-reply": _sabotage_lost_reply,
 }
 
 #: The violation kind each sabotage tag must produce.
@@ -121,7 +236,16 @@ SABOTAGE_VIOLATIONS = {
     "clock-skip": "clock-monotonicity",
     "wire-skim": "byte-accounting",
     "link-skim": "link-accounting",
+    "stale-cache": "stale-cache-serve",
+    "dropped-invalidation": "stale-cache-serve",
+    "zombie-lease": "zombie-lease",
+    "lost-reply": "registry-conservation",
 }
+
+#: Tags that only make sense against a federated registry; the runner
+#: flips ``scenario.federated_registry`` on for them before building.
+SABOTAGE_NEEDS_FEDERATION = frozenset(
+    {"stale-cache", "dropped-invalidation", "lost-reply"})
 
 
 @dataclass
@@ -196,11 +320,18 @@ def run_scenario(scenario: Scenario, fresh_state: bool = True
     from repro.core import BindingPolicy
     from repro.core.errors import MiddlewareError, MigrationError
     from repro.obs import FlightRecorder, Observability
+    from repro.registry.registry import enable_registry_telemetry
 
     if fresh_state:
         reset_global_state()
+    if scenario.sabotage in SABOTAGE_NEEDS_FEDERATION:
+        scenario.federated_registry = True
     observability = Observability()
     deployment = build_deployment(scenario, observability=observability)
+    # Registry hook events feed the conservation and cache-coherence
+    # checkers; simcheck digests are only ever compared run-to-run, so
+    # the extra telemetry cannot drift any committed baseline.
+    enable_registry_telemetry(deployment.network)
     checker = InvariantChecker(deployment).install()
     # Black box: ring-buffer the hook stream and freeze it the instant the
     # first violation records, so the dump shows the breach's lead-up

@@ -120,6 +120,10 @@ class Scenario:
     transfer_window: int = 1
     warmup_ms: float = 500.0
     sabotage: str = ""
+    #: Build the deployment with a federated registry (per-space shards
+    #: behind the gateways instead of one flat center).  The runner flips
+    #: this on automatically for sabotage tags that need a federation.
+    federated_registry: bool = False
 
     # -- derived views ----------------------------------------------------
 
@@ -203,6 +207,7 @@ class Scenario:
             "transfer_window": self.transfer_window,
             "warmup_ms": self.warmup_ms,
             "sabotage": self.sabotage,
+            "federated_registry": self.federated_registry,
         }
 
     @classmethod
@@ -228,6 +233,8 @@ class Scenario:
                 transfer_window=int(data.get("transfer_window", 1)),
                 warmup_ms=float(data.get("warmup_ms", 500.0)),
                 sabotage=str(data.get("sabotage", "")),
+                federated_registry=bool(
+                    data.get("federated_registry", False)),
             ).validate()
         except (KeyError, TypeError, ValueError) as exc:
             raise SimcheckError(f"malformed scenario: {exc}") from None
@@ -356,6 +363,10 @@ def build_deployment(scenario: Scenario, observability=None):
         max_transfer_retries=8)
     deployment = Deployment(seed=scenario.seed, observability=observability,
                             faults=faults)
+    if scenario.federated_registry:
+        # Before any host exists: the first host becomes the fallback
+        # shard and each gateway auto-installs its space's shard.
+        deployment.enable_federated_registry()
     for space in scenario.spaces:
         deployment.add_space(space)
     for spec in scenario.hosts:

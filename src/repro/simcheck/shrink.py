@@ -180,6 +180,9 @@ def artifact_dict(result: ShrinkResult,
         "scenario": result.scenario.to_dict(),
         "shrunk_from": original.describe(),
         "shrink_evaluations": result.evaluations,
+        # Deployment counters from the minimal run (federation shard /
+        # cache / lease stats included when the scenario is federated).
+        "stats": dict(result.report.stats),
         "replay": "python -m repro simcheck --replay <this file>",
         # Black-box dump from the *minimal* scenario's run: the runtime
         # events (kernel dispatches, window moves, faults) leading up to

@@ -1,0 +1,127 @@
+"""Regression tests for timer-driven DF lease expiry.
+
+The original lease support only reaped expired yellow-pages entries
+*passively* -- at the next ``search`` or renewal sweep.  An entry of a
+crashed host therefore lingered (and kept counting in ``len(df)``)
+until somebody happened to search, and no fault event marked the
+expiry.  These tests pin the fix: with a scheduler installed, the DF
+keeps a timer armed at the earliest lease deadline, entries drop at
+their expiry *sim-time* with no search anywhere in sight, and each
+drop emits a ``fault.lease_expired`` hook event with ``scope="df"``.
+"""
+
+from repro.agents.directory import DirectoryFacilitator, ServiceDescription
+from repro.agents.platform import AgentPlatform
+from repro.agents.agent import Agent
+from repro.net.kernel import EventLoop
+from repro.net.simnet import Network
+from repro.obs import Observability
+
+
+def make_df(loop: EventLoop) -> DirectoryFacilitator:
+    df = DirectoryFacilitator(clock=lambda: loop.now,
+                              default_lease_ms=500.0)
+    df.schedule = loop.call_later
+    return df
+
+
+class TestTimerDrivenExpiry:
+    def test_entry_expires_on_its_timer_without_any_search(self):
+        loop = EventLoop()
+        df = make_df(loop)
+        expired = []
+        df.on_expired = expired.append
+        df.register(ServiceDescription("player", "application", "ma@h1"))
+        loop.advance(499.0)
+        assert not expired and len(df) == 1
+        loop.advance(2.0)
+        # No search, no sweep, no renewal tick was ever called: the
+        # armed timer alone removed the entry at its deadline.
+        assert df._services == []
+        assert df.leases_expired == 1
+        assert [s.name for s in expired] == ["player"]
+        assert df.searches == 0
+
+    def test_timer_rearms_for_the_next_staggered_deadline(self):
+        loop = EventLoop()
+        df = make_df(loop)
+        dropped = []
+        df.on_expired = lambda s: dropped.append((s.name, loop.now))
+        df.register(ServiceDescription("early", "t", "a@h1"))
+        loop.advance(200.0)
+        df.register(ServiceDescription("late", "t", "b@h2"))
+        loop.advance(301.0)  # past early's deadline (500), before late's
+        assert [s.name for s in df._services] == ["late"]
+        loop.advance(200.0)  # past late's deadline (700)
+        assert df._services == []
+        assert [(name, at <= 501.0) for name, at in dropped] == [
+            ("early", True), ("late", False)]
+
+    def test_renewal_pushes_the_armed_timer_back(self):
+        loop = EventLoop()
+        df = make_df(loop)
+        df.register(ServiceDescription("player", "application", "ma@h1"))
+        loop.advance(400.0)
+        assert df.renew("player", "ma@h1")
+        loop.advance(400.0)  # old deadline (500) passes harmlessly
+        assert len(df) == 1
+        loop.advance(200.0)  # renewed deadline (900) fires
+        assert df._services == []
+
+    def test_without_a_scheduler_expiry_stays_passive(self):
+        """The legacy shape of the gap: no timer, the entry lingers in
+        the table until a read filters it."""
+        loop = EventLoop()
+        df = DirectoryFacilitator(clock=lambda: loop.now,
+                                  default_lease_ms=500.0)
+        df.register(ServiceDescription("player", "application", "ma@h1"))
+        loop.advance(1_000.0)
+        assert len(df._services) == 1  # still in the table...
+        assert len(df) == 0  # ...but filtered from every read
+        assert df.search(service_type="application") == []
+        assert df._services == []  # the search finally swept it
+
+
+class TestPlatformFaultEvent:
+    def make_rig(self):
+        loop = EventLoop()
+        loop.observability = Observability()
+        net = Network(loop)
+        net.create_host("h1")
+        net.create_host("h2")
+        net.connect("h1", "h2", bandwidth_mbps=10.0, latency_ms=1.0)
+        platform = AgentPlatform(net)
+        platform.create_container("h1")
+        platform.create_container("h2")
+        return loop, net, platform
+
+    def test_crash_expiry_emits_the_df_fault_event(self):
+        loop, net, platform = self.make_rig()
+        events = []
+        loop.observability.add_hook(
+            lambda event, payload: events.append((event, payload)))
+        platform.container("h1").create_agent(Agent, "keeper")
+        platform.container("h2").create_agent(Agent, "victim")
+        platform.df.register(
+            ServiceDescription("player", "application", "victim@h2"))
+        platform.df.register(
+            ServiceDescription("library", "resource", "keeper@h1"))
+        platform.enable_df_leases(500.0, horizon_ms=4_000.0)
+        loop.call_at(1_000.0, lambda: setattr(net.host("h2"), "online",
+                                              False))
+        loop.run()
+        faults = [p for e, p in events if e == "fault.lease_expired"]
+        assert len(faults) == 1
+        payload = faults[0]
+        assert payload["scope"] == "df"
+        assert payload["name"] == "player"
+        assert payload["service_type"] == "application"
+        assert payload["owner"] == "victim@h2"
+        # The drop happened within one lease of the crash, not at the
+        # end of the run when renewals stopped.
+        assert 1_000.0 < payload["expired_at"] <= 1_500.0 + 250.0
+        assert loop.observability.metrics.counter(
+            "df.lease_expired").value == 1
+        # The live host's entry survived the whole horizon.
+        assert platform.df.find("library", "keeper@h1") is not None
+        assert platform.df.searches == 0  # nothing here ever searched

@@ -59,7 +59,7 @@ class TestRecordSchema:
 
     def test_standing_scenarios_registered(self):
         assert list(SCENARIOS) == ["scale", "transfer_window",
-                                   "workload_day", "city"]
+                                   "workload_day", "city", "registry"]
 
 
 class TestDeterminism:
