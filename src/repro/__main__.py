@@ -112,11 +112,14 @@ def _print_fault_log(deployment) -> None:
 def cmd_quickstart(args: argparse.Namespace) -> int:
     from repro import BindingPolicy, Deployment
     from repro.apps import MusicPlayerApp
+    from repro.core.middleware import MiddlewareConfig
     from repro.core.trace import DeploymentTracer
 
     obs = _make_obs(args)
     faults = _make_faults(args)
-    d = Deployment(seed=args.seed, observability=obs, faults=faults)
+    config = MiddlewareConfig(migration_protocol=args.migration_protocol)
+    d = Deployment(seed=args.seed, config=config, observability=obs,
+                   faults=faults)
     d.add_space("lab")
     src = d.add_host("host1", "lab")
     dst = d.add_host("host2", "lab")
@@ -434,6 +437,11 @@ def build_parser() -> argparse.ArgumentParser:
     quickstart.add_argument("--policy", choices=["adaptive", "static"],
                             default="adaptive")
     quickstart.add_argument("--seed", type=int, default=42)
+    quickstart.add_argument("--migration-protocol",
+                            choices=["direct", "fipa"], default="direct",
+                            help="pre-transfer capability negotiation: "
+                                 "'direct' (in-process checks) or 'fipa' "
+                                 "(propose/accept-proposal ACL exchange)")
     _add_obs_flags(quickstart)
     _add_fault_flags(quickstart)
     quickstart.set_defaults(func=cmd_quickstart)

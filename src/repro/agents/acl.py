@@ -26,6 +26,8 @@ class Performative(enum.Enum):
     CONFIRM = "confirm"
     FAILURE = "failure"
     PROPOSE = "propose"
+    ACCEPT_PROPOSAL = "accept-proposal"
+    REJECT_PROPOSAL = "reject-proposal"
     SUBSCRIBE = "subscribe"
     CANCEL = "cancel"
 

@@ -388,6 +388,122 @@ class ContractNetResponder(Behaviour):
         return False
 
 
+class ProposeInitiator(Behaviour):
+    """One FIPA-propose conversation from the initiator side.
+
+    Sends a PROPOSE and waits for ACCEPT-PROPOSAL / REJECT-PROPOSAL (the
+    FIPA interoperable-mobility shape: capabilities are negotiated before
+    any state moves).  Callbacks: ``on_accept``, ``on_reject`` (each
+    optional, receiving the ACL message) and ``on_timeout``.
+    """
+
+    _conversation_ids = itertools.count(1)
+
+    def __init__(self, receiver: str, content: Any, protocol: str,
+                 on_accept: Optional[Callable[[ACLMessage], None]] = None,
+                 on_reject: Optional[Callable[[ACLMessage], None]] = None,
+                 on_timeout: Optional[Callable[[], None]] = None,
+                 timeout_ms: Optional[float] = None, name: str = ""):
+        super().__init__(name or f"propose-to-{receiver}")
+        self.receiver = receiver
+        self.content = content
+        self.protocol = protocol
+        self.on_accept = on_accept
+        self.on_reject = on_reject
+        self.on_timeout = on_timeout
+        self.timeout_ms = timeout_ms
+        self.conversation_id = f"prop-{next(self._conversation_ids)}"
+        self.state = "start"
+        self.timed_out = False
+        self._deadline_timer = None
+
+    def on_start(self) -> None:
+        proposal = ACLMessage(
+            Performative.PROPOSE,
+            receivers=[self.receiver],
+            content=self.content,
+            conversation_id=self.conversation_id,
+            protocol=self.protocol,
+        ).with_reply_id()
+        self.agent.send(proposal)
+        self.state = "waiting"
+        if self.timeout_ms is not None:
+            self._deadline_timer = self.agent.loop.call_later(
+                self.timeout_ms, self._timeout)
+
+    def _timeout(self) -> None:
+        if self.state != "done":
+            self.timed_out = True
+            self.state = "done"
+            if self.on_timeout is not None:
+                self.on_timeout()
+            self.restart()
+            self.agent.schedule_step()
+
+    def action(self) -> None:
+        if self.state == "done":
+            return
+        message = self.agent.receive(conversation_id=self.conversation_id)
+        if message is None:
+            self.block()
+            return
+        if message.performative is Performative.ACCEPT_PROPOSAL:
+            self._finish()
+            if self.on_accept is not None:
+                self.on_accept(message)
+        elif message.performative is Performative.REJECT_PROPOSAL:
+            self._finish()
+            if self.on_reject is not None:
+                self.on_reject(message)
+
+    def _finish(self) -> None:
+        self.state = "done"
+        if self._deadline_timer is not None:
+            self._deadline_timer.cancel()
+
+    def done(self) -> bool:
+        return self.state == "done"
+
+
+class ProposeResponder(Behaviour):
+    """Serves FIPA proposals for one protocol, forever.
+
+    ``handler(message) -> (accept: bool, payload)``; the payload rides in
+    the ACCEPT-PROPOSAL (a capability grant) or the REJECT-PROPOSAL (the
+    rejection reason).
+    """
+
+    def __init__(self, protocol: str,
+                 handler: Callable[[ACLMessage], "tuple"],
+                 name: str = ""):
+        super().__init__(name or f"proposals-{protocol}")
+        self.protocol = protocol
+        self.handler = handler
+        self.served = 0
+        self.accepted = 0
+        self.rejected = 0
+
+    def action(self) -> None:
+        message = self.agent.receive(performative=Performative.PROPOSE,
+                                     protocol=self.protocol)
+        if message is None:
+            self.block()
+            return
+        self.served += 1
+        accept, payload = self.handler(message)
+        if accept:
+            self.accepted += 1
+            self.agent.send(message.create_reply(
+                Performative.ACCEPT_PROPOSAL, payload))
+        else:
+            self.rejected += 1
+            self.agent.send(message.create_reply(
+                Performative.REJECT_PROPOSAL, payload))
+
+    def done(self) -> bool:
+        return False
+
+
 class RequestResponder(Behaviour):
     """Serves FIPA requests for one protocol, forever.
 

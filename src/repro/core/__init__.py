@@ -9,6 +9,9 @@ Public surface:
   -- the Fig. 1 mobility matrix and the adaptive/static binding policies.
 - :class:`MigrationOutcome` -- suspend/migrate/resume phase timings.
 - :class:`DecisionEngine` -- the rule-driven migration decision.
+- :class:`MiddlewarePhase` / :class:`MiddlewareContract` /
+  :func:`validate_middleware_stack` -- the explicit migration pipeline
+  and its deployment-time contract validator.
 """
 
 from repro.core.adaptor import AdaptationChange, AdaptationReport, Adaptor
@@ -46,6 +49,7 @@ from repro.core.errors import (
     ApplicationError,
     MiddlewareError,
     MigrationError,
+    PipelineError,
     SnapshotError,
 )
 from repro.core.metrics import MigrationOutcome, PhaseStats, summarize
@@ -56,6 +60,21 @@ from repro.core.middleware import (
 )
 from repro.core.mobile_agent import MDMobileAgent
 from repro.core.mobility import MobilityConfig, MobilityManager
+from repro.core.pipeline import (
+    CAPABILITY_PROTOCOL,
+    MIDDLEWARE_CONTRACTS,
+    MIGRATION_PROTOCOLS,
+    MiddlewareContract,
+    MiddlewarePhase,
+    MigrationContext,
+    MigrationPipeline,
+    MigrationRequest,
+    ValidationResult,
+    build_migration_pipeline,
+    build_prestage_pipeline,
+    migration_phases,
+    validate_middleware_stack,
+)
 from repro.core.profiles import (
     DeviceProfile,
     ResourceProfile,
@@ -66,6 +85,9 @@ from repro.core.rulesets import default_migration_rules, paper_rules
 from repro.core.snapshot import Snapshot, SnapshotManager
 
 __all__ = [
+    "CAPABILITY_PROTOCOL",
+    "MIDDLEWARE_CONTRACTS",
+    "MIGRATION_PROTOCOLS",
     "AdaptationChange",
     "AdaptationError",
     "AdaptationReport",
@@ -89,14 +111,20 @@ __all__ = [
     "MDMobileAgent",
     "MDMobileAgentManager",
     "MiddlewareConfig",
+    "MiddlewareContract",
     "MiddlewareError",
+    "MiddlewarePhase",
+    "MigrationContext",
     "MigrationError",
     "MigrationKind",
     "MigrationOutcome",
+    "MigrationPipeline",
     "MigrationPlan",
+    "MigrationRequest",
     "MobilityConfig",
     "MobilityManager",
     "PhaseStats",
+    "PipelineError",
     "PresentationComponent",
     "ResourceBinding",
     "ResourceProfile",
@@ -106,11 +134,16 @@ __all__ = [
     "SnapshotManager",
     "SyncRole",
     "UserProfile",
+    "ValidationResult",
     "application_type",
+    "build_migration_pipeline",
+    "build_prestage_pipeline",
     "default_migration_rules",
     "handheld_profile",
+    "migration_phases",
     "paper_rules",
     "register_application_type",
     "register_component_type",
     "summarize",
+    "validate_middleware_stack",
 ]

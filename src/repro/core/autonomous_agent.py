@@ -286,9 +286,28 @@ class MDMobileAgentManager(Agent):
         super().__init__(local_name)
         self.middleware: Optional["MDAgentMiddleware"] = None
         self.requests_handled = 0
+        self._capability_responder = None
 
     def attach(self, middleware: "MDAgentMiddleware") -> None:
         self.middleware = middleware
+
+    def enable_capability_responder(self) -> None:
+        """Serve FIPA capability proposals (propose/accept/reject) -- the
+        destination side of the interop migration protocol."""
+        if self._capability_responder is not None:
+            return
+        from repro.agents.protocols import ProposeResponder
+        from repro.core.pipeline import CAPABILITY_PROTOCOL
+        self._capability_responder = ProposeResponder(
+            CAPABILITY_PROTOCOL, self._consider_proposal,
+            name="capability-negotiation")
+        self.add_behaviour(self._capability_responder)
+
+    def _consider_proposal(self, message: ACLMessage):
+        middleware = self.middleware
+        if middleware is None or not isinstance(message.content, dict):
+            return False, {"reason": "malformed proposal"}
+        return middleware.evaluate_migration_proposal(message.content)
 
     def setup(self) -> None:
         agent = self

@@ -13,6 +13,10 @@ class MigrationError(MiddlewareError):
     """A migration could not be planned or executed."""
 
 
+class PipelineError(MiddlewareError):
+    """A middleware stack failed validation (mis-ordered, incomplete...)."""
+
+
 class AdaptationError(MiddlewareError):
     """Post-migration adaptation failed."""
 

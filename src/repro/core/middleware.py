@@ -44,10 +44,22 @@ from repro.core.errors import MigrationError, MiddlewareError
 from repro.core.metrics import MigrationOutcome
 from repro.core.mobile_agent import MDMobileAgent
 from repro.core.mobility import MobilityConfig, MobilityManager
+from repro.core.pipeline import (
+    MigrationContext,
+    MigrationRequest,
+    build_migration_pipeline,
+    build_prestage_pipeline,
+)
 from repro.core.profiles import DeviceProfile
 from repro.core.snapshot import SnapshotManager
 from repro.net.kernel import EventLoop
-from repro.net.simnet import Host, Message, Network, register_bulk_protocol
+from repro.net.simnet import (
+    Host,
+    Message,
+    Network,
+    NetworkError,
+    register_bulk_protocol,
+)
 from repro.net.topology import LinkSpec, Topology
 from repro.registry.records import ApplicationRecord, InterfaceDescription, Operation
 from repro.registry.registry import (
@@ -85,6 +97,24 @@ class MiddlewareConfig:
     #: TTL of the middleware's registry read cache; 0 disables caching
     #: (every planning lookup pays the round trip).
     registry_cache_ttl_ms: float = 0.0
+    #: Migration protocol: "direct" (classic homogeneous deployment, the
+    #: capability grant is implicit and free) or "fipa" (pre-transfer
+    #: propose/accept-proposal/reject-proposal negotiation over ACL).
+    migration_protocol: str = "direct"
+    #: Capability tuple advertised during FIPA negotiation.
+    platform_kind: str = "mdagent"
+    serialization_version: int = 1
+    #: Foreign platform kinds this middleware agrees to host (its own
+    #: kind is always accepted).
+    accepted_platform_kinds: Tuple[str, ...] = ()
+    #: Deadline for one FIPA negotiation round trip.
+    negotiation_timeout_ms: float = 5_000.0
+    #: Per-attempt deadline on remote-data fetches; 0 keeps the classic
+    #: no-deadline behaviour (the default, so pinned traces are stable).
+    remote_fetch_timeout_ms: float = 0.0
+    #: Fetch attempts (with the platform cost model's seeded backoff)
+    #: before the failure is reported to the caller.
+    remote_fetch_retries: int = 3
     mobility: MobilityConfig = field(default_factory=MobilityConfig)
 
 
@@ -93,12 +123,25 @@ class MDAgentMiddleware:
 
     def __init__(self, deployment: "Deployment", host: Host,
                  container: AgentContainer, device_profile: DeviceProfile,
-                 config: Optional[MiddlewareConfig] = None):
+                 config: Optional[MiddlewareConfig] = None,
+                 platform_kind: Optional[str] = None,
+                 accepted_platform_kinds: Optional[Tuple[str, ...]] = None):
         self.deployment = deployment
         self.host = host
         self.container = container
         self.device_profile = device_profile
         self.config = config if config is not None else MiddlewareConfig()
+        # Interop identity (per-host overrides beat the config defaults).
+        self.platform_kind = platform_kind or self.config.platform_kind
+        self.accepted_platform_kinds = tuple(
+            accepted_platform_kinds if accepted_platform_kinds is not None
+            else self.config.accepted_platform_kinds)
+        self.serialization_version = self.config.serialization_version
+        # The validated middleware stacks this host runs migrations with.
+        self.migration_pipeline = build_migration_pipeline(self.config)
+        self.prestage_pipeline = build_prestage_pipeline(self.config)
+        #: Test seam: phase names after which an injected failure fires.
+        self.pipeline_failpoints: frozenset = frozenset()
         self.applications: Dict[str, Application] = {}
         self.snapshot_manager = SnapshotManager()
         self.adaptor = Adaptor()
@@ -115,6 +158,7 @@ class MDAgentMiddleware:
                 deployment.network, host.name, deployment.registry_host)
         self._response_times: Dict[str, float] = {}
         self._fetch_callbacks: Dict[int, Callable[[], None]] = {}
+        self._fetch_requests: Dict[int, Dict[str, Any]] = {}
         self._fetch_ids = itertools.count(1)
         host.middleware = self  # type: ignore[attr-defined]
         host.register_handler(SYNC_PROTOCOL, self._on_sync)
@@ -126,6 +170,11 @@ class MDAgentMiddleware:
         self.mam: MDMobileAgentManager = container.create_agent(
             MDMobileAgentManager, f"mam-{host.name}")
         self.mam.attach(self)
+        if self.config.migration_protocol == "fipa":
+            # Only the FIPA protocol serves capability proposals; the
+            # default deployment registers no extra behaviour so its
+            # kernel trace stays byte-identical to the monolith's.
+            self.mam.enable_capability_responder()
         # Context bridges: location events and explicit user commands wake
         # the AA; network probes feed the response-time cache Rule 3
         # thresholds against.
@@ -238,106 +287,89 @@ class MDAgentMiddleware:
                 kind: MigrationKind = MigrationKind.FOLLOW_ME,
                 policy: BindingPolicy = BindingPolicy.ADAPTIVE
                 ) -> MigrationOutcome:
-        """Plan and execute a migration; returns the (async) outcome.
+        """Plan and execute a migration through the middleware pipeline;
+        returns the (async) outcome.
 
-        Planning (registry lookups for destination inventory and resource
-        matches) happens before the measured suspension phase begins, which
-        matches the paper's measurement window.
+        The pipeline runs the declared stack -- admission, planning,
+        capability negotiation, suspend, capture, transfer, check-in,
+        rebind, power-up -- with planning's registry lookups happening
+        before the measured suspension phase begins, which matches the
+        paper's measurement window.  Admission errors (unknown app, bad
+        destination) raise synchronously; everything later fails the
+        outcome.
         """
-        app = self.application(app_name)
-        if app.status is not AppStatus.RUNNING:
-            raise MigrationError(f"{app_name!r} is not running")
-        if destination == self.host_name:
-            raise MigrationError("destination equals current host")
-        if not self.network.has_host(destination):
-            raise MigrationError(f"unknown destination host {destination!r}")
-        self.deployment._arm_chaos("first-migration")
-        provisional = MigrationPlan(app_name, self.host_name, destination,
-                                    kind, policy)
-        outcome = MigrationOutcome(provisional)
-        token = self.deployment.new_outcome_token(app_name)
-        self.deployment.outcomes[token] = outcome
-
-        def with_components(components, error):
-            if error is not None:
-                self._fail(outcome, f"registry lookup failed: {error}")
-                return
-            required = [b.resource_id for b in app.resource_bindings]
-            if not required:
-                finish_plan(components or [], {})
-                return
-            self.registry_client.call(
-                "rebind_map",
-                {"required": required, "host": destination},
-                lambda matches, err2: finish_plan(components or [],
-                                                  matches or {})
-                if err2 is None else self._fail(outcome, err2))
-
-        def finish_plan(components: List[str],
-                        matches: Dict[str, Optional[str]]):
-            plan = self.resolver.plan(
-                app, self.host_name, destination,
-                destination_components=components,
-                resource_matches=matches, kind=kind, policy=policy)
-            plan.token = token  # type: ignore[attr-defined]
-            outcome.plan = plan
-            outcome.log(f"plan: {plan.summary()}")
-            try:
-                self.mobility_manager.execute(app, plan, outcome)
-            except Exception as exc:
-                self._fail(outcome, str(exc))
-
-        self.registry_client.call(
-            "components_at", {"app_name": app_name, "host": destination},
-            with_components)
-        return outcome
+        request = MigrationRequest(app_name=app_name,
+                                   destination=destination,
+                                   kind=kind, policy=policy)
+        ctx = MigrationContext(self.migration_pipeline, self, request,
+                               failpoints=self.pipeline_failpoints)
+        self.migration_pipeline.start(ctx)
+        return ctx.outcome
 
     def prestage(self, app_name: str, destination: str) -> MigrationOutcome:
         """Push this app's missing components to ``destination`` ahead of a
         predicted move; execution stays here, but a later migration finds
         the components installed and wraps only the state."""
-        app = self.application(app_name)
-        if destination == self.host_name:
-            raise MigrationError("cannot prestage to the current host")
-        if not self.network.has_host(destination):
-            raise MigrationError(f"unknown destination host {destination!r}")
-        provisional = MigrationPlan(app_name, self.host_name, destination,
-                                    MigrationKind.FOLLOW_ME,
-                                    BindingPolicy.ADAPTIVE, prestage=True)
-        outcome = MigrationOutcome(provisional)
-        token = self.deployment.new_outcome_token(app_name)
-        self.deployment.outcomes[token] = outcome
+        request = MigrationRequest(app_name=app_name,
+                                   destination=destination, prestage=True)
+        ctx = MigrationContext(self.prestage_pipeline, self, request,
+                               failpoints=self.pipeline_failpoints)
+        self.prestage_pipeline.start(ctx)
+        return ctx.outcome
 
-        def with_components(components, error):
-            if error is not None:
-                self._fail(outcome, f"registry lookup failed: {error}")
-                return
-            plan = self.resolver.plan(
-                app, self.host_name, destination,
-                destination_components=components or [],
-                kind=MigrationKind.FOLLOW_ME,
-                policy=BindingPolicy.ADAPTIVE)
-            # Pre-staging ships code/UI only: data streams (or travels)
-            # at real migration time, and resource bindings re-match then.
-            plan.remote_data = []
-            plan.remote_data_bytes = {}
-            plan.resource_rebinds = []
-            plan.prestage = True
-            plan.token = token
-            outcome.plan = plan
-            if not plan.carry_components:
-                outcome.completed = True
-                outcome.log("nothing to prestage: destination already has "
-                            "every component kind")
-                outcome._finish()
-                return
-            outcome.log(f"prestage plan: {plan.summary()}")
-            self.mobility_manager.prestage_execute(app, plan, outcome)
+    # -- FIPA capability negotiation ---------------------------------------
 
-        self.registry_client.call(
-            "components_at", {"app_name": app_name, "host": destination},
-            with_components)
-        return outcome
+    def capability_proposal(self, plan: MigrationPlan) -> Dict[str, Any]:
+        """The capability tuple PROPOSEd to a destination pre-transfer."""
+        app = self.applications.get(plan.app_name)
+        resource_classes: List[str] = []
+        requirements: Dict[str, Any] = {}
+        if app is not None:
+            seen = set()
+            for binding in app.resource_bindings:
+                if binding.resource_class not in seen:
+                    seen.add(binding.resource_class)
+                    resource_classes.append(binding.resource_class)
+            requirements = dict(app.device_requirements)
+        return {
+            "action": "migrate-propose",
+            "app_name": plan.app_name,
+            "source": plan.source,
+            "destination": plan.destination,
+            "kind": plan.kind.value,
+            "platform_kind": self.platform_kind,
+            "serialization_version": self.serialization_version,
+            "estimated_bytes": plan.estimated_bytes,
+            "resource_classes": resource_classes,
+            "device_requirements": requirements,
+        }
+
+    def evaluate_migration_proposal(self, proposal: Dict[str, Any]
+                                    ) -> Tuple[bool, Dict[str, Any]]:
+        """Destination-side policy for a FIPA capability proposal.
+
+        Returns ``(accept, payload)``: on accept the payload is this
+        host's capability grant, on reject it carries the reason.  A
+        rejection here is *graceful* -- the source has not suspended
+        anything yet, so its application keeps running.
+        """
+        version = proposal.get("serialization_version")
+        if version != self.serialization_version:
+            return False, {"reason": f"serialization version {version!r} "
+                                     f"unsupported (speaks "
+                                     f"v{self.serialization_version})"}
+        kind = proposal.get("platform_kind")
+        accepted = {self.platform_kind, *self.accepted_platform_kinds}
+        if kind not in accepted:
+            return False, {"reason": f"platform kind {kind!r} not accepted "
+                                     f"(accepts {sorted(accepted)})"}
+        requirements = proposal.get("device_requirements") or {}
+        if not self.device_profile.satisfies(requirements):
+            return False, {"reason": "device profile cannot satisfy the "
+                                     "application's requirements"}
+        return True, {"platform_kind": self.platform_kind,
+                      "serialization_version": self.serialization_version,
+                      "host": self.host_name}
 
     @staticmethod
     def _fail(outcome: MigrationOutcome, reason: str) -> None:
@@ -390,6 +422,16 @@ class MDAgentMiddleware:
                                self.host_name), 64)
 
     def _on_sync(self, message: Message) -> None:
+        # Sync traffic can legally race a migration: the app may already be
+        # suspended, stopped or uninstalled here when the update lands.
+        # Nothing that arrives over this protocol may raise through
+        # Host.deliver -- drop and account instead.
+        try:
+            self._handle_sync(message)
+        except Exception as exc:
+            self._drop_middleware_message(SYNC_PROTOCOL, message, exc)
+
+    def _handle_sync(self, message: Message) -> None:
         payload = message.payload
         if payload[0] == "update":
             _, app_name, key, value, origin = payload
@@ -413,22 +455,103 @@ class MDAgentMiddleware:
     # -- remote data streaming -------------------------------------------------------------
 
     def fetch_remote_data(self, source_host: str, app_name: str,
-                          nbytes: int, callback: Callable[[], None]) -> None:
+                          nbytes: int, callback: Callable[[], None],
+                          on_failed: Optional[Callable[[str], None]] = None
+                          ) -> None:
         """Fetch ``nbytes`` of a remote-bound data component from its home.
 
         Pays a request trip plus the data transfer; the callback fires when
         the bytes arrive (stream opened / first buffer filled).
+
+        With ``config.remote_fetch_timeout_ms`` set, every attempt is
+        armed with a deadline: a crashed or partitioned source no longer
+        hangs the destination's resume forever.  Timed-out attempts retry
+        with the platform cost model's seeded backoff, and after
+        ``remote_fetch_retries`` attempts the failure is reported through
+        ``on_failed`` (or dropped with a fault emit when no handler was
+        given).
         """
         if nbytes <= 0 or source_host == self.host_name:
             self.loop.call_soon(callback)
             return
         token = next(self._fetch_ids)
         self._fetch_callbacks[token] = callback
-        self.network.send(self.host_name, source_host, DATA_PROTOCOL,
-                          ("fetch", token, app_name, nbytes, self.host_name),
-                          256)
+        self._fetch_requests[token] = {
+            "source": source_host, "app_name": app_name, "nbytes": nbytes,
+            "on_failed": on_failed, "attempt": 0, "timer": None,
+        }
+        self._fetch_send(token)
+
+    def _fetch_send(self, token: int) -> None:
+        request = self._fetch_requests.get(token)
+        if request is None:
+            return
+        request["attempt"] += 1
+        timeout = self.config.remote_fetch_timeout_ms
+        if timeout > 0:
+            request["timer"] = self.loop.call_later(
+                timeout, self._fetch_timeout, token)
+        try:
+            self.network.send(
+                self.host_name, request["source"], DATA_PROTOCOL,
+                ("fetch", token, request["app_name"], request["nbytes"],
+                 self.host_name), 256)
+        except NetworkError as exc:
+            # The source is already unreachable at send time.  With a
+            # deadline armed the timeout path retries/fails the request;
+            # without one, fail immediately rather than propagating out
+            # of the caller (often a timer callback).
+            self._emit_fault("fetch-send-failed", token=token,
+                            source=request["source"], reason=str(exc))
+            if timeout <= 0:
+                self._fetch_fail(token, f"remote fetch from "
+                                        f"{request['source']} failed: {exc}")
+
+    def _fetch_timeout(self, token: int) -> None:
+        request = self._fetch_requests.get(token)
+        if request is None:
+            return
+        request["timer"] = None
+        source = request["source"]
+        self._emit_fault("fetch-timeout", token=token, source=source,
+                         attempt=request["attempt"])
+        if request["attempt"] >= max(1, self.config.remote_fetch_retries):
+            self._fetch_fail(
+                token, f"remote fetch from {source} timed out after "
+                       f"{request['attempt']} attempts")
+            return
+        backoff = self.deployment.platform.mobility.cost_model.backoff_ms(
+            request["attempt"] - 1, key=f"fetch-{self.host_name}-{token}")
+        request["timer"] = self.loop.call_later(backoff, self._fetch_retry,
+                                                token)
+
+    def _fetch_retry(self, token: int) -> None:
+        self._fetch_send(token)
+
+    def _fetch_fail(self, token: int, reason: str) -> None:
+        request = self._fetch_requests.pop(token, None)
+        self._fetch_callbacks.pop(token, None)
+        if request is None:
+            return
+        timer = request.get("timer")
+        if timer is not None:
+            timer.cancel()
+        on_failed = request.get("on_failed")
+        if on_failed is not None:
+            on_failed(reason)
+        else:
+            self._emit_fault("fetch-failed", token=token, reason=reason)
 
     def _on_data(self, message: Message) -> None:
+        try:
+            self._handle_data(message)
+        except NetworkError as exc:
+            # The requester crashed or roamed offline between asking and
+            # being served: drop the reply instead of raising through
+            # Host.deliver on the serving host.
+            self._drop_middleware_message(DATA_PROTOCOL, message, exc)
+
+    def _handle_data(self, message: Message) -> None:
         payload = message.payload
         if payload[0] == "fetch":
             _, token, app_name, nbytes, requester = payload
@@ -436,9 +559,29 @@ class MDAgentMiddleware:
                               ("data", token, app_name), nbytes)
         elif payload[0] == "data":
             _, token, _app_name = payload
+            request = self._fetch_requests.pop(token, None)
+            if request is not None and request.get("timer") is not None:
+                request["timer"].cancel()
             callback = self._fetch_callbacks.pop(token, None)
             if callback is not None:
                 callback()
+
+    def _drop_middleware_message(self, protocol: str, message: Message,
+                                 exc: Exception) -> None:
+        """Account a dropped sync/data message (fault emit + counter)."""
+        payload = message.payload
+        kind = payload[0] if isinstance(payload, tuple) and payload else "?"
+        self._emit_fault(
+            "sync-drop" if protocol == SYNC_PROTOCOL else "data-drop",
+            payload_kind=str(kind), reason=str(exc))
+
+    def _emit_fault(self, kind: str, **detail: Any) -> None:
+        obs = self.loop.observability
+        if obs is not None:
+            if obs.hooks:
+                obs.emit(f"fault.{kind}", host=self.host_name,
+                         t=self.loop.now, **detail)
+            obs.metrics.counter("fault.middleware", kind=kind).inc()
 
     # -- context plumbing ------------------------------------------------------------------
 
@@ -643,6 +786,12 @@ class MigrationScheduler:
         outcome.on_complete(lambda _o, r=request: self._release(r))
 
     def _release(self, request: ScheduledMigration) -> None:
+        if request.state != "active":
+            # Already released (or never admitted): an outcome that fails
+            # during negotiation/pre-transfer and again later -- or a
+            # duplicate completion callback -- must not decrement the
+            # active count twice and wedge the queue.
+            return
         request.state = "done"
         self.active -= 1
         self.completed += 1
@@ -756,12 +905,16 @@ class Deployment:
 
     def add_host(self, name: str, space: str,
                  profile: Optional[DeviceProfile] = None,
-                 skew_ms: float = 0.0, drift_ppm: float = 0.0
+                 skew_ms: float = 0.0, drift_ppm: float = 0.0,
+                 platform_kind: Optional[str] = None,
+                 accepted_platform_kinds: Optional[Tuple[str, ...]] = None
                  ) -> MDAgentMiddleware:
         """Create a host in a space and start a middleware on it.
 
         The first host added also becomes the registry center unless
-        :meth:`install_registry` ran earlier.
+        :meth:`install_registry` ran earlier.  ``platform_kind`` and
+        ``accepted_platform_kinds`` override the config defaults for
+        mixed-platform (FIPA interop) deployments.
         """
         profile = profile if profile is not None else DeviceProfile(host=name)
         host = self.topology.add_host(name, space, skew_ms=skew_ms,
@@ -774,8 +927,10 @@ class Deployment:
                 self.registry_server = install_registry(self.network, name)
             self.registry_host = name
         container = self.platform.create_container(name)
-        middleware = MDAgentMiddleware(self, host, container, profile,
-                                       self.config)
+        middleware = MDAgentMiddleware(
+            self, host, container, profile, self.config,
+            platform_kind=platform_kind,
+            accepted_platform_kinds=accepted_platform_kinds)
         self.middlewares[name] = middleware
         self.device_profiles[name] = profile
         return middleware

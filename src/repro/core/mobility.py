@@ -23,7 +23,6 @@ from repro.core.binding import (
     MigrationPlan,
     ResourceRebind,
 )
-from repro.core.errors import MigrationError
 from repro.core.metrics import MigrationOutcome
 from repro.core.mobile_agent import MDMobileAgent
 
@@ -117,7 +116,17 @@ def end_outcome_spans(outcome: MigrationOutcome, **attributes) -> None:
 
 
 class MobilityManager:
-    """Source-side executor of migration plans (one per middleware)."""
+    """Source-side executor of migration plans (one per middleware).
+
+    Since the pipeline refactor the phase *logic* lives in
+    :mod:`repro.core.pipeline`; this class keeps the cost knobs, the
+    mobile-agent name sequence, the rollback/failure-accounting helpers,
+    and the timer continuation methods (``_wrap_and_send`` and friends).
+    Those methods are the monolith's historical timer targets: the kernel
+    records every dispatched callback's qualified name in the trace, so
+    keeping the names -- as one-line continuations into the pipeline --
+    keeps the pinned bench/golden digests byte-identical.
+    """
 
     def __init__(self, middleware: "MDAgentMiddleware",
                  config: Optional[MobilityConfig] = None):
@@ -132,121 +141,25 @@ class MobilityManager:
     def loop(self):
         return self.middleware.loop
 
-    def execute(self, app: Application, plan: MigrationPlan,
-                outcome: MigrationOutcome) -> MigrationOutcome:
-        """Run a plan: suspend -> wrap -> migrate (dest side continues)."""
-        middleware = self.middleware
-        if app.status is not AppStatus.RUNNING:
-            raise MigrationError(
-                f"cannot migrate {app.name!r}: status is {app.status}")
-        if plan.source != middleware.host_name:
-            raise MigrationError(
-                f"plan source {plan.source!r} is not this host "
-                f"{middleware.host_name!r}")
-        self.migrations_started += 1
-        outcome.started_at = self.loop.now
-        obs = self.loop.observability
-        if obs is not None:
-            # The phase spans carry exactly the timestamps that feed the
-            # outcome's suspend/migrate/resume figures (Fig. 8/9 series):
-            # both are written from the same loop.now at the same call
-            # sites, so trace and tables agree to the float bit.
-            root = obs.tracer.begin_span(
-                "app.migration", category="migration", host=middleware.host,
-                app=plan.app_name, source=plan.source,
-                destination=plan.destination, kind=plan.kind.value,
-                policy=plan.policy.value)
-            outcome._obs_root = root
-            outcome._obs_phase = root.child("suspend", host=middleware.host,
-                                            app=plan.app_name)
-            outcome.on_complete(
-                lambda o: end_outcome_spans(o, failed=o.failed))
-        cpu = middleware.host.cpu_factor
-        config = self.config
-        if plan.kind is MigrationKind.FOLLOW_ME:
-            app.suspend()
-            outcome.log(f"suspended {app.name} at {self.loop.now:.1f}")
-        snapshot = middleware.snapshot_manager.capture(app, now=self.loop.now)
-        size_mb = snapshot.size_bytes / 1e6
-        if plan.kind is MigrationKind.FOLLOW_ME:
-            suspend_cost = (config.suspend_base_ms
-                            + config.snapshot_ms_per_mb * size_mb) * cpu
-        else:
-            suspend_cost = (config.clone_snapshot_base_ms
-                            + config.snapshot_ms_per_mb * size_mb) * cpu
-        self.loop.call_later(suspend_cost, self._wrap_and_send, app, plan,
-                             outcome, snapshot)
-        return outcome
+    # -- pipeline timer continuations ---------------------------------------
+    # Scheduled via loop.call_later by the pipeline phases; each marks the
+    # paid cost window done and hands control back to the stack.
 
-    def _wrap_and_send(self, app: Application, plan: MigrationPlan,
-                       outcome: MigrationOutcome, snapshot) -> None:
-        middleware = self.middleware
-        outcome.suspend_done_at = self.loop.now
-        root = getattr(outcome, "_obs_root", None)
-        if root is not None:
-            outcome._obs_phase.end(host=middleware.host)
-            outcome._obs_phase = root.child("migrate", host=middleware.host,
-                                            app=plan.app_name)
-        manifest = app.to_manifest(plan.carry_components)
-        # A migrating sync master hands its replica set over: the manifest
-        # carries the list so the new host can re-point every replica.
-        coordinator = app.coordinator
-        if (plan.kind is MigrationKind.FOLLOW_ME
-                and coordinator.sync_role.value == "master"
-                and coordinator.replica_hosts):
-            manifest["sync_master"] = {
-                "replicas": list(coordinator.replica_hosts)}
-        # Remote-bound data components still appear in the manifest as
-        # lightweight stubs (size 0 on the wire) so the destination knows
-        # the URL to stream from.
-        for name in plan.remote_data:
-            if app.has_component(name):
-                component = app.component(name)
-                stub = component.to_dict()
-                stub["size_bytes"] = 0
-                stub["__virtual_bytes__"] = 0
-                stub["remote_url"] = f"md://{plan.source}/{app.name}/{name}"
-                manifest["components"].append(stub)
-        # Resource bindings are tiny metadata: they always travel so the
-        # destination can re-establish them (to a local match or remotely).
-        carried_names = {c["name"] for c in manifest["components"]}
-        for rebind in plan.resource_rebinds:
-            if rebind.binding_name in carried_names:
-                continue
-            if app.has_component(rebind.binding_name):
-                manifest["components"].append(
-                    app.component(rebind.binding_name).to_dict())
-        ma_name = f"ma-{plan.app_name}-{next(self._ma_seq)}"
-        ma = middleware.container.create_agent(MDMobileAgent, ma_name)
-        ma.load_cargo(manifest, snapshot.to_dict(), plan_to_dict(plan))
-        result = ma.do_move(plan.destination)
-        outcome.bytes_transferred = result.size_bytes
-        outcome.depart_local = 0.0  # filled when checkout completes
+    def _wrap_and_send(self, ctx) -> None:
+        """State capture cost paid: continue with the transfer phase."""
+        ctx.complete_phase()
 
-        def on_moved(r):
-            outcome.depart_local = r.depart_local
-            outcome.arrive_local = r.arrive_local
-            outcome.agent_departed_at = r.checked_out_at
-            outcome.agent_arrived_at = r.arrived_at
-            outcome.transfer_retries = r.transfer_retries
-            outcome.transfer_resumed = r.transfer_resumed
-            outcome.dedup_hits = r.dedup_hits
-            for entry in r.recovery_log:
-                outcome.log(f"transfer recovery: {entry}")
-            if r.failed:
-                outcome.failed = True
-                outcome.failure_reason = r.failure_reason
-                if plan.kind is MigrationKind.FOLLOW_ME:
-                    self._rollback(app, snapshot, outcome)
-                self._count_failure(plan)
-                outcome._finish()
+    def _rebind_and_open(self, ctx) -> None:
+        """Restore cost paid at the destination: continue with rebind."""
+        ctx.complete_phase()
 
-        result.on_complete(on_moved)
-        if plan.kind is MigrationKind.FOLLOW_ME:
-            # Cut-paste: the source copy stops (data files stay on disk for
-            # remote streaming, but the user-facing instance is gone).
-            app.stop()
-            outcome.log(f"source instance of {app.name} stopped")
+    def _send_prestage(self, ctx) -> None:
+        """Packing cost paid: continue with the prestage transfer."""
+        ctx.complete_phase()
+
+    def _finish_prestage(self, ctx) -> None:
+        """Install cost paid at the destination: finish the prestage."""
+        ctx.complete_phase()
 
     def _count_failure(self, plan: MigrationPlan) -> None:
         """Counterpart of the ``migration.completed`` counter: without it
@@ -272,192 +185,23 @@ class MobilityManager:
         outcome.log(f"rolled back {app.name} at source "
                     f"{middleware.host_name} after transfer failure")
 
-    # -- pre-staging (predictor-driven warm-up) -----------------------------
-
-    def prestage_execute(self, app: Application, plan: MigrationPlan,
-                         outcome: MigrationOutcome) -> MigrationOutcome:
-        """Push the plan's components to the destination without moving
-        execution; the app keeps running at the source untouched."""
-        plan.prestage = True
-        outcome.started_at = self.loop.now
-        obs = self.loop.observability
-        if obs is not None:
-            outcome._obs_root = obs.tracer.begin_span(
-                "app.prestage", category="migration",
-                host=self.middleware.host, app=plan.app_name,
-                source=plan.source, destination=plan.destination)
-            outcome.on_complete(
-                lambda o: end_outcome_spans(o, failed=o.failed))
-        pack_cost = (self.config.clone_snapshot_base_ms
-                     * self.middleware.host.cpu_factor)
-        self.loop.call_later(pack_cost, self._send_prestage, app, plan,
-                             outcome)
-        return outcome
-
-    def _send_prestage(self, app: Application, plan: MigrationPlan,
-                       outcome: MigrationOutcome) -> None:
-        outcome.suspend_done_at = self.loop.now
-        manifest = app.to_manifest(plan.carry_components)
-        empty_snapshot = {
-            "app_name": app.name, "snapshot_id": 0,
-            "taken_at": self.loop.now, "coordinator_state": {},
-            "app_state": {}, "component_versions": {}, "size_bytes": 64,
-        }
-        ma_name = f"pre-{plan.app_name}-{next(self._ma_seq)}"
-        ma = self.middleware.container.create_agent(MDMobileAgent, ma_name)
-        ma.load_cargo(manifest, empty_snapshot, plan_to_dict(plan))
-        result = ma.do_move(plan.destination)
-        outcome.bytes_transferred = result.size_bytes
-
-        def on_moved(r):
-            if r.failed:
-                outcome.failed = True
-                outcome.failure_reason = r.failure_reason
-                self._count_failure(plan)
-                outcome._finish()
-
-        result.on_complete(on_moved)
-
-    def _finish_prestage(self, app: Application, plan: MigrationPlan,
-                         outcome: Optional[MigrationOutcome],
-                         ma: MDMobileAgent) -> None:
-        middleware = self.middleware
-        middleware.registry_client.call(
-            "register_application",
-            {"record": middleware._application_record(app).to_dict()},
-            lambda result, error: None)
-        if outcome is not None:
-            outcome.resume_done_at = self.loop.now
-            outcome.completed = True
-            outcome.log(f"prestaged {plan.carry_components} on "
-                        f"{middleware.host_name}")
-            outcome._finish()
-        ma.do_delete()
-
     # -- destination side (invoked by the middleware on MA arrival) --------
 
     def receive(self, ma: MDMobileAgent, outcome: Optional[MigrationOutcome]
                 ) -> None:
-        """Unwrap cargo at the destination and resume the application."""
-        middleware = self.middleware
-        plan = plan_from_dict(ma.plan)
-        manifest = ma.manifest
-        snapshot_data = ma.snapshot
-        now = self.loop.now
-        if outcome is not None:
-            outcome.migrate_done_at = now
-            outcome.log(f"mobile agent {ma.local_name} checked in at "
-                        f"{now:.1f}")
-            phase = getattr(outcome, "_obs_phase", None)
-            if phase is not None and not phase.finished:
-                # The migrate phase ends here, on the destination's clock.
-                phase.end(host=middleware.host)
-                outcome._obs_phase = outcome._obs_root.child(
-                    "resume", host=middleware.host, app=plan.app_name)
-        app = middleware.applications.get(plan.app_name)
-        if app is None:
-            app = Application.from_manifest(manifest)
-            middleware.install_application(app, register=True)
-        else:
-            merged = app.merge_components(manifest)
-            if outcome is not None and merged:
-                outcome.log(f"merged carried components: {merged}")
-        if plan.prestage:
-            # Components are installed; execution stays at the source.
-            install_cost = (self.config.clone_snapshot_base_ms
-                            * middleware.host.cpu_factor)
-            self.loop.call_later(install_cost, self._finish_prestage, app,
-                                 plan, outcome, ma)
-            return
-        config = self.config
-        cpu = middleware.host.cpu_factor
-        size_mb = snapshot_data.get("size_bytes", 0) / 1e6
-        resume_cost = (config.resume_base_ms
-                       + config.restore_ms_per_mb * size_mb
-                       + config.rebind_ms_per_resource
-                       * len(plan.resource_rebinds)
-                       + config.adapt_ms) * cpu
-        self.loop.call_later(resume_cost, self._rebind_and_open, app, plan,
-                             snapshot_data, outcome, ma)
+        """Continue an arriving agent's pipeline past the hand-off phase.
 
-    def _rebind_and_open(self, app: Application, plan: MigrationPlan,
-                         snapshot_data: Dict[str, Any],
-                         outcome: Optional[MigrationOutcome],
-                         ma: MDMobileAgent) -> None:
+        When the source-side context travelled with the outcome (the
+        normal in-deployment case) the arrival completes its transfer
+        phase; otherwise a destination-only context is synthesised so
+        agents from foreign deployments still power up."""
         middleware = self.middleware
-        # Re-establish resource bindings per the plan.
-        for rebind in plan.resource_rebinds:
-            if app.has_component(rebind.binding_name):
-                binding = app.component(rebind.binding_name)
-                binding.rebind(rebind.target_resource or
-                               rebind.original_resource, rebind.mode)
-                if outcome is not None:
-                    outcome.log(f"rebound {rebind.binding_name} -> "
-                                f"{rebind.target_resource} ({rebind.mode})")
-        remote_total = sum(plan.remote_data_bytes.values())
-        if remote_total > 0:
-            # "They will be played remotely through URL in the original
-            # host": open the stream by fetching the initial fraction.
-            fetch_bytes = int(remote_total * self.config.remote_open_fraction)
-            self.loop.call_later(
-                self.config.remote_open_base_ms,
-                middleware.fetch_remote_data, plan.source, plan.app_name,
-                fetch_bytes,
-                lambda: self._finish_resume(app, plan, snapshot_data,
-                                            outcome, ma))
-            if outcome is not None:
-                outcome.log(f"opening remote data: fetching {fetch_bytes} B "
-                            f"from {plan.source}")
-        else:
-            self._finish_resume(app, plan, snapshot_data, outcome, ma)
-
-    def _finish_resume(self, app: Application, plan: MigrationPlan,
-                       snapshot_data: Dict[str, Any],
-                       outcome: Optional[MigrationOutcome],
-                       ma: MDMobileAgent) -> None:
-        middleware = self.middleware
-        from repro.core.snapshot import Snapshot
-        snapshot = Snapshot.from_dict(snapshot_data)
-        if app.status is AppStatus.RUNNING:
-            # Already running here (e.g. a sync replica); just refresh state.
-            middleware.snapshot_manager.restore(app, snapshot)
-        else:
-            middleware.snapshot_manager.restore(app, snapshot)
-            app.start(middleware)
-        # Adapt to the destination device and the owner's preferences.
-        report = middleware.adaptor.adapt(app, middleware.device_profile,
-                                          app.user_profile)
-        if outcome is not None and report.changes:
-            outcome.log(f"adapted: {len(report.changes)} attribute changes")
-        if plan.kind is MigrationKind.CLONE_DISPATCH:
-            middleware.establish_sync_replica(app, plan.source)
-            if outcome is not None:
-                outcome.log(f"sync link established to master {plan.source}")
-        sync_master = getattr(ma, "manifest", {}).get("sync_master")
-        if sync_master is not None:
-            # Master handoff: reclaim the replica set and re-point every
-            # replica at this host.
-            middleware.assume_sync_master(app, sync_master["replicas"])
-            if outcome is not None:
-                outcome.log(f"sync master moved; re-pointed replicas "
-                            f"{sync_master['replicas']}")
-        middleware.registry_client.call(
-            "register_application",
-            {"record": middleware._application_record(app).to_dict()},
-            lambda result, error: None)
-        middleware.publish_app_event(app, "resumed")
+        ctx = None
         if outcome is not None:
-            outcome.resume_done_at = self.loop.now
-            outcome.completed = True
-            obs = self.loop.observability
-            if obs is not None:
-                end_outcome_spans(outcome, host=middleware.host,
-                                  bytes=outcome.bytes_transferred)
-                metrics = obs.metrics
-                metrics.counter("migration.completed",
-                                kind=plan.kind.value).inc()
-                for phase_name, value in outcome.phases().items():
-                    metrics.histogram("migration.phase_ms", phase=phase_name,
-                                      app=plan.app_name).observe(value)
-            outcome._finish()
-        ma.do_delete()
+            ctx = getattr(outcome, "_pipeline_ctx", None)
+        if ctx is None:
+            plan = plan_from_dict(ma.plan)
+            pipeline = (middleware.prestage_pipeline if plan.prestage
+                        else middleware.migration_pipeline)
+            ctx = pipeline.arrival_context(middleware, ma, outcome)
+        ctx.arrive(middleware, ma)

@@ -1,0 +1,1231 @@
+"""Explicit middleware pipeline: ordered phases with declared contracts.
+
+ROADMAP item 4 calls for restructuring the monolithic middleware as an
+explicit middleware stack so heterogeneous platforms can exchange agents.
+This module is that stack: admission, planning, capability negotiation,
+suspend, state capture, transfer, check-in, binding re-establishment and
+power-up are separate :class:`MiddlewarePhase` objects with declared
+``requires``/``provides`` contracts over a shared
+:class:`MigrationContext`, and :func:`validate_middleware_stack` rejects
+mis-ordered or incomplete stacks when the pipeline is *built* -- at
+deployment construction time, not when the first migration runs.
+
+The default ("direct") stack reproduces the classic monolithic behaviour
+event-for-event: phase hand-offs reuse the exact timer callbacks the
+monolith scheduled (``MobilityManager._wrap_and_send`` and friends are
+now thin continuations), so kernel traces -- and therefore the pinned
+bench and golden digests -- stay byte-identical.
+
+The "fipa" stack inserts a pre-transfer ``propose/accept/reject``
+capability negotiation over ACL (platform kind, serialization version,
+resource classes), modelled on the FIPA interoperable-mobility proposal:
+an incompatible destination rejects the proposal *before* the source
+application is suspended, so a platform mismatch degrades to a clean
+failed :class:`MigrationOutcome` with the source app still running.
+
+Failure handling is uniform: when any phase fails, the context rolls the
+migration back through every phase already passed (newest first), each
+phase undoing only what it did -- resume a suspended source, delete an
+arrived mobile agent, uninstall a half-installed destination copy,
+restore and restart the source instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.application import Application, AppStatus
+from repro.core.binding import BindingPolicy, MigrationKind, MigrationPlan
+from repro.core.errors import MigrationError, PipelineError
+from repro.core.metrics import MigrationOutcome
+from repro.core.mobile_agent import MDMobileAgent
+from repro.core.mobility import end_outcome_spans, plan_from_dict, plan_to_dict
+
+#: ACL protocol of the FIPA capability-negotiation exchange.
+CAPABILITY_PROTOCOL = "md-capability"
+
+
+# -- contracts --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MiddlewareContract:
+    """What one phase consumes and produces on the migration context.
+
+    ``site`` declares which middleware runs the phase: ``"source"``
+    phases execute where the application currently lives, and
+    ``"destination"`` phases execute after the mobile agent's hand-off.
+    """
+
+    requires: FrozenSet[str] = frozenset()
+    provides: FrozenSet[str] = frozenset()
+    site: str = "source"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "requires", frozenset(self.requires))
+        object.__setattr__(self, "provides", frozenset(self.provides))
+        if self.site not in ("source", "destination"):
+            raise PipelineError(f"unknown contract site {self.site!r}")
+
+
+class MiddlewarePhase:
+    """One named concern in a migration pipeline.
+
+    Subclasses set :attr:`name`, :attr:`contract` and implement
+    :meth:`run`.  A phase either calls ``ctx.complete_phase()`` before
+    returning (synchronous completion) or schedules work that calls it
+    later; exceptions raised from :meth:`run` fail the migration through
+    ``ctx.fail`` with :meth:`describe_error`'s rendering.
+    """
+
+    name: str = "phase"
+    contract: MiddlewareContract = MiddlewareContract()
+    #: The hand-off phase: the last source-site phase, whose completion
+    #: is signalled by the mobile agent's arrival at the destination.
+    handoff: bool = False
+
+    def run(self, ctx: "MigrationContext") -> None:
+        raise NotImplementedError
+
+    def rollback(self, ctx: "MigrationContext") -> None:
+        """Undo this phase's effects after a later (or own) failure."""
+
+    def describe_error(self, ctx: "MigrationContext",
+                       exc: BaseException) -> str:
+        return str(exc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of :func:`validate_middleware_stack`."""
+
+    ok: bool
+    errors: List[str] = field(default_factory=list)
+    provided: FrozenSet[str] = frozenset()
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def validate_middleware_stack(
+        phases: Sequence[MiddlewarePhase],
+        initial_keys: Iterable[str] = ("request",),
+        required_final: Iterable[str] = ("resumed",)) -> ValidationResult:
+    """Statically check a stack's ordering and completeness.
+
+    Rejects: empty stacks, duplicate phase names, a phase whose
+    ``requires`` is not covered by the initial keys plus every earlier
+    phase's ``provides`` (the mis-ordering case), re-provided keys, a
+    source-site phase after a destination-site one, anything but exactly
+    one hand-off phase (which must be the last source-site phase), and a
+    stack whose final key set misses ``required_final``.
+    """
+    errors: List[str] = []
+    available = set(initial_keys)
+    if not phases:
+        errors.append("middleware stack is empty")
+    seen_names: set = set()
+    seen_destination = False
+    handoffs = [p for p in phases if p.handoff]
+    for index, phase in enumerate(phases):
+        if phase.name in seen_names:
+            errors.append(f"duplicate phase name {phase.name!r}")
+        seen_names.add(phase.name)
+        contract = phase.contract
+        missing = sorted(contract.requires - available)
+        if missing:
+            errors.append(
+                f"phase {phase.name!r} (position {index}) requires "
+                f"{missing} but no earlier phase provides them "
+                f"(available: {sorted(available)})")
+        re_provided = sorted(contract.provides & available)
+        if re_provided:
+            errors.append(f"phase {phase.name!r} re-provides {re_provided}")
+        if contract.site == "destination":
+            seen_destination = True
+        elif seen_destination:
+            errors.append(
+                f"source-site phase {phase.name!r} appears after a "
+                f"destination-site phase")
+        if phase.handoff and contract.site != "source":
+            errors.append(f"hand-off phase {phase.name!r} must be "
+                          f"source-site")
+        available |= contract.provides
+    if len(handoffs) != 1:
+        errors.append(f"stack needs exactly one hand-off phase, found "
+                      f"{len(handoffs)}")
+    else:
+        handoff_index = phases.index(handoffs[0])
+        for later in phases[handoff_index + 1:]:
+            if later.contract.site != "destination":
+                errors.append(
+                    f"phase {later.name!r} after the hand-off must be "
+                    f"destination-site")
+        for earlier in phases[:handoff_index]:
+            if earlier.contract.site != "source":
+                errors.append(
+                    f"destination-site phase {earlier.name!r} appears "
+                    f"before the hand-off")
+    missing_final = sorted(set(required_final) - available)
+    if missing_final:
+        errors.append(f"stack never provides {missing_final} -- incomplete "
+                      f"pipeline")
+    return ValidationResult(ok=not errors, errors=errors,
+                            provided=frozenset(available))
+
+
+# -- context ----------------------------------------------------------------
+
+
+@dataclass
+class MigrationRequest:
+    """What the caller asked for (the pipeline's initial context key)."""
+
+    app_name: str
+    destination: str
+    kind: MigrationKind = MigrationKind.FOLLOW_ME
+    policy: BindingPolicy = BindingPolicy.ADAPTIVE
+    prestage: bool = False
+
+
+class MigrationContext:
+    """Typed, shared state one migration carries through its pipeline.
+
+    The contract keys (``request``, ``app``, ``outcome``, ``plan``,
+    ``grant``, ``suspended``, ``snapshot``, ``agent``, ``arrival``,
+    ``bindings``, ``resumed``) name milestones; the concrete data lives
+    in the attributes below.
+    """
+
+    def __init__(self, pipeline: "MigrationPipeline",
+                 middleware, request: Optional[MigrationRequest],
+                 failpoints: Iterable[str] = ()):
+        self.pipeline = pipeline
+        #: Source middleware (None for a destination-only arrival replay).
+        self.middleware = middleware
+        self.request = request
+        self.app: Optional[Application] = None
+        self.outcome: Optional[MigrationOutcome] = None
+        self.token: str = ""
+        self.plan: Optional[MigrationPlan] = None
+        self.grant: Optional[Dict[str, Any]] = None
+        self.snapshot = None
+        self.ma: Optional[MDMobileAgent] = None
+        self.ma_arrived = False
+        #: Destination middleware, set at mobile-agent arrival.
+        self.destination_middleware = None
+        #: The plan as unwrapped from the agent's cargo at the destination.
+        self.arrived_plan: Optional[MigrationPlan] = None
+        self.dest_app: Optional[Application] = None
+        self.dest_installed = False
+        self.snapshot_data: Optional[Dict[str, Any]] = None
+        #: Keys provided so far (contract milestones, for introspection).
+        self.keys: set = set(pipeline.initial_keys)
+        #: Test seam: phase names after which a failure is injected.
+        self.failpoints = frozenset(failpoints)
+        self.finished = False
+        self._suspended_here = False
+        self._transfer_started = False
+        self._index = 0
+        self._entered: Optional[MiddlewarePhase] = None
+        self._completed: List[MiddlewarePhase] = []
+        self._in_run = False
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def any_middleware(self):
+        return self.middleware if self.middleware is not None \
+            else self.destination_middleware
+
+    @property
+    def loop(self):
+        return self.any_middleware.loop
+
+    @property
+    def observability(self):
+        return self.loop.observability
+
+    def phase_names(self) -> List[str]:
+        return [p.name for p in self.pipeline.phases]
+
+    # -- progression -------------------------------------------------------
+
+    def complete_phase(self) -> None:
+        """Mark the current phase done and advance the pipeline."""
+        if self.finished:
+            return
+        phase = self.pipeline.phases[self._index]
+        self._completed.append(phase)
+        self.keys |= phase.contract.provides
+        self._index += 1
+        if self._index >= len(self.pipeline.phases):
+            self.finished = True
+            return
+        if phase.name in self.failpoints:
+            self.fail(f"injected failure after phase {phase.name!r}")
+            return
+        if not self._in_run:
+            self.pipeline._advance(self)
+
+    def finish_early(self) -> None:
+        """End the pipeline cleanly before the last phase (e.g. a prestage
+        plan with nothing to ship)."""
+        self.finished = True
+
+    def arrive(self, destination_middleware, ma: MDMobileAgent) -> None:
+        """The mobile agent checked in: complete the hand-off phase and
+        continue with the destination-site phases."""
+        self.destination_middleware = destination_middleware
+        self.ma = ma
+        self.ma_arrived = True
+        self.arrived_plan = plan_from_dict(ma.plan)
+        self.complete_phase()
+
+    def fail(self, reason: str,
+             before_finish: Optional[Callable[[], None]] = None) -> None:
+        """Fail the migration: record the reason, roll back every phase
+        passed so far (newest first), then finish the outcome.
+
+        ``before_finish`` runs after the rollback chain but before the
+        outcome's completion callbacks fire -- the transfer phase uses it
+        to keep the classic failure-counter ordering.
+        """
+        if self.finished:
+            return
+        outcome = self.outcome
+        if outcome is not None and (outcome.completed or outcome.failed):
+            self.finished = True
+            return
+        self.finished = True
+        if outcome is not None:
+            outcome.failed = True
+            outcome.failure_reason = reason
+        chain: List[MiddlewarePhase] = []
+        if self._entered is not None and \
+                self._entered not in self._completed:
+            chain.append(self._entered)
+        chain.extend(reversed(self._completed))
+        for phase in chain:
+            try:
+                phase.rollback(self)
+            except Exception:  # pragma: no cover - rollback best-effort
+                pass
+        if before_finish is not None:
+            before_finish()
+        if outcome is not None:
+            outcome._finish()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<MigrationContext {self.pipeline.name} "
+                f"phase={self._index}/{len(self.pipeline.phases)} "
+                f"keys={sorted(self.keys)}>")
+
+
+# -- driver -----------------------------------------------------------------
+
+
+class MigrationPipeline:
+    """An ordered, validated middleware stack plus its trampoline driver.
+
+    ``observe=True`` wraps every phase entry in a ``pipeline.phase`` span
+    and counter (used by the FIPA stack); the default stack leaves it off
+    so the pinned digests stay untouched.
+    """
+
+    def __init__(self, name: str, phases: Sequence[MiddlewarePhase],
+                 initial_keys: Iterable[str] = ("request",),
+                 required_final: Iterable[str] = ("resumed",),
+                 observe: bool = False):
+        result = validate_middleware_stack(phases, initial_keys,
+                                           required_final)
+        if not result.ok:
+            raise PipelineError(
+                f"invalid middleware stack {name!r}: "
+                + "; ".join(result.errors))
+        self.name = name
+        self.phases: List[MiddlewarePhase] = list(phases)
+        self.initial_keys = tuple(initial_keys)
+        self.observe = observe
+        self._handoff_index = next(
+            i for i, p in enumerate(self.phases) if p.handoff)
+
+    def phase(self, name: str) -> MiddlewarePhase:
+        for phase in self.phases:
+            if phase.name == name:
+                return phase
+        raise PipelineError(f"no phase {name!r} in pipeline {self.name!r}")
+
+    def start(self, ctx: MigrationContext) -> MigrationContext:
+        self._advance(ctx)
+        return ctx
+
+    def _advance(self, ctx: MigrationContext) -> None:
+        """Run phases until one completes asynchronously, fails, or the
+        stack is exhausted.  Synchronous phases call
+        ``ctx.complete_phase()`` inside :meth:`MiddlewarePhase.run`; the
+        loop detects the advanced index and continues without any extra
+        kernel event."""
+        phases = self.phases
+        while not ctx.finished and ctx._index < len(phases):
+            phase = phases[ctx._index]
+            ctx._entered = phase
+            before = ctx._index
+            ctx._in_run = True
+            try:
+                self._run_phase(ctx, phase)
+            except Exception as exc:
+                ctx._in_run = False
+                if ctx.outcome is None and ctx.middleware is not None:
+                    # Admission-time errors (unknown app/destination...)
+                    # surface synchronously to the caller, exactly like
+                    # the classic monolithic migrate().
+                    raise
+                ctx.fail(phase.describe_error(ctx, exc))
+                return
+            ctx._in_run = False
+            if ctx.finished or ctx._index == before:
+                # Failed, finished, or waiting for an async completion
+                # (timer, network round trip, agent arrival).
+                return
+
+    def _run_phase(self, ctx: MigrationContext,
+                   phase: MiddlewarePhase) -> None:
+        if not self.observe:
+            phase.run(ctx)
+            return
+        obs = ctx.observability
+        if obs is None:
+            phase.run(ctx)
+            return
+        if obs.tracer.enabled:
+            with obs.tracer.span("pipeline.phase", category="pipeline",
+                                 pipeline=self.name, phase=phase.name):
+                phase.run(ctx)
+        else:
+            phase.run(ctx)
+        obs.metrics.counter("pipeline.phase", pipeline=self.name,
+                            phase=phase.name).inc()
+
+    def arrival_context(self, destination_middleware,
+                        ma: MDMobileAgent,
+                        outcome: Optional[MigrationOutcome]
+                        ) -> MigrationContext:
+        """Destination-only context for an agent whose source-side context
+        is unavailable (unknown token, cross-deployment arrival): the
+        pipeline resumes at the hand-off phase as if the source phases had
+        run elsewhere."""
+        ctx = MigrationContext(self, None, None)
+        ctx.outcome = outcome
+        ctx.plan = plan_from_dict(ma.plan)
+        ctx._index = self._handoff_index
+        ctx._entered = self.phases[self._handoff_index]
+        for phase in self.phases[:self._handoff_index]:
+            ctx.keys |= phase.contract.provides
+        return ctx
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<MigrationPipeline {self.name!r} "
+                f"{[p.name for p in self.phases]}>")
+
+
+# -- migration phases -------------------------------------------------------
+
+
+class AdmissionPhase(MiddlewarePhase):
+    """Validate the request, arm chaos, mint the outcome and its token."""
+
+    name = "admission"
+    contract = MiddlewareContract(requires=frozenset({"request"}),
+                                  provides=frozenset({"app", "outcome"}))
+
+    def run(self, ctx: MigrationContext) -> None:
+        middleware = ctx.middleware
+        request = ctx.request
+        app = middleware.application(request.app_name)
+        if app.status is not AppStatus.RUNNING:
+            raise MigrationError(f"{request.app_name!r} is not running")
+        if request.destination == middleware.host_name:
+            raise MigrationError("destination equals current host")
+        if not middleware.network.has_host(request.destination):
+            raise MigrationError(
+                f"unknown destination host {request.destination!r}")
+        middleware.deployment._arm_chaos("first-migration")
+        provisional = MigrationPlan(request.app_name, middleware.host_name,
+                                    request.destination, request.kind,
+                                    request.policy)
+        outcome = MigrationOutcome(provisional)
+        token = middleware.deployment.new_outcome_token(request.app_name)
+        middleware.deployment.outcomes[token] = outcome
+        outcome._pipeline_ctx = ctx  # type: ignore[attr-defined]
+        ctx.app = app
+        ctx.outcome = outcome
+        ctx.token = token
+        ctx.complete_phase()
+
+
+class PlanningPhase(MiddlewarePhase):
+    """Registry lookups (destination inventory, resource matches) and the
+    binding resolver's plan.  Happens before the measured suspension
+    phase begins, matching the paper's measurement window."""
+
+    name = "planning"
+    contract = MiddlewareContract(requires=frozenset({"app", "outcome"}),
+                                  provides=frozenset({"plan"}))
+
+    def run(self, ctx: MigrationContext) -> None:
+        middleware = ctx.middleware
+        app = ctx.app
+        request = ctx.request
+        outcome = ctx.outcome
+
+        def with_components(components, error):
+            if error is not None:
+                ctx.fail(f"registry lookup failed: {error}")
+                return
+            required = [b.resource_id for b in app.resource_bindings]
+            if not required:
+                finish_plan(components or [], {})
+                return
+            middleware.registry_client.call(
+                "rebind_map",
+                {"required": required, "host": request.destination},
+                lambda matches, err2: finish_plan(components or [],
+                                                  matches or {})
+                if err2 is None else ctx.fail(err2))
+
+        def finish_plan(components: List[str],
+                        matches: Dict[str, Optional[str]]):
+            plan = middleware.resolver.plan(
+                app, middleware.host_name, request.destination,
+                destination_components=components,
+                resource_matches=matches, kind=request.kind,
+                policy=request.policy)
+            plan.token = ctx.token  # type: ignore[attr-defined]
+            outcome.plan = plan
+            outcome.log(f"plan: {plan.summary()}")
+            ctx.plan = plan
+            ctx.complete_phase()
+
+        middleware.registry_client.call(
+            "components_at",
+            {"app_name": request.app_name, "host": request.destination},
+            with_components)
+
+
+class DirectNegotiationPhase(MiddlewarePhase):
+    """The classic protocol: the destination middleware is assumed
+    homogeneous, so the capability grant is implicit and free -- no
+    events, no messages, no digest drift."""
+
+    name = "negotiation"
+    contract = MiddlewareContract(requires=frozenset({"plan"}),
+                                  provides=frozenset({"grant"}))
+
+    def run(self, ctx: MigrationContext) -> None:
+        middleware = ctx.middleware
+        ctx.grant = {"protocol": "direct",
+                     "platform_kind": middleware.platform_kind,
+                     "serialization_version":
+                         middleware.serialization_version}
+        ctx.complete_phase()
+
+
+class FipaNegotiationPhase(MiddlewarePhase):
+    """FIPA-shaped pre-transfer capability negotiation.
+
+    The source's mobile-agent manager PROPOSEs its capability tuple
+    (platform kind, serialization version, resource classes, device
+    requirements) to the destination's manager over ACL; the destination
+    answers ACCEPT-PROPOSAL with its own capabilities (the grant) or
+    REJECT-PROPOSAL with a reason.  Rejection and timeout fail the
+    migration *before* suspension, leaving the source app running.
+    """
+
+    name = "negotiation"
+    contract = MiddlewareContract(requires=frozenset({"plan"}),
+                                  provides=frozenset({"grant"}))
+
+    def run(self, ctx: MigrationContext) -> None:
+        from repro.agents.protocols import ProposeInitiator
+
+        middleware = ctx.middleware
+        plan = ctx.plan
+        outcome = ctx.outcome
+        proposal = middleware.capability_proposal(plan)
+        responder_aid = f"mam-{plan.destination}@{plan.destination}"
+
+        def on_accept(message):
+            grant = message.content if isinstance(message.content, dict) \
+                else {}
+            outcome.log(
+                f"negotiation: {plan.destination} accepted "
+                f"({grant.get('platform_kind', '?')}"
+                f"/v{grant.get('serialization_version', '?')})")
+            ctx.grant = grant
+            ctx.complete_phase()
+
+        def on_reject(message):
+            detail = message.content.get("reason", "no reason given") \
+                if isinstance(message.content, dict) else str(message.content)
+            outcome.log(f"negotiation: {plan.destination} rejected "
+                        f"proposal: {detail}")
+            ctx.fail(f"migration proposal rejected by "
+                     f"{plan.destination}: {detail}")
+
+        def on_timeout():
+            ctx.fail(f"capability negotiation with {plan.destination} "
+                     f"timed out")
+
+        outcome.log(f"negotiation: proposing "
+                    f"{proposal['platform_kind']}"
+                    f"/v{proposal['serialization_version']} to "
+                    f"{plan.destination}")
+        middleware.mam.add_behaviour(ProposeInitiator(
+            responder_aid, proposal, CAPABILITY_PROTOCOL,
+            on_accept=on_accept, on_reject=on_reject,
+            on_timeout=on_timeout,
+            timeout_ms=middleware.config.negotiation_timeout_ms,
+            name=f"negotiate-{plan.app_name}"))
+
+
+class SuspendPhase(MiddlewarePhase):
+    """Stop the source instance (follow-me) and open the measured
+    suspension window: status checks, counters, and the observability
+    root span live here."""
+
+    name = "suspend"
+    contract = MiddlewareContract(requires=frozenset({"plan", "grant"}),
+                                  provides=frozenset({"suspended"}))
+
+    def run(self, ctx: MigrationContext) -> None:
+        middleware = ctx.middleware
+        manager = middleware.mobility_manager
+        app = ctx.app
+        plan = ctx.plan
+        outcome = ctx.outcome
+        if app.status is not AppStatus.RUNNING:
+            raise MigrationError(
+                f"cannot migrate {app.name!r}: status is {app.status}")
+        if plan.source != middleware.host_name:
+            raise MigrationError(
+                f"plan source {plan.source!r} is not this host "
+                f"{middleware.host_name!r}")
+        manager.migrations_started += 1
+        outcome.started_at = manager.loop.now
+        obs = manager.loop.observability
+        if obs is not None:
+            # The phase spans carry exactly the timestamps that feed the
+            # outcome's suspend/migrate/resume figures (Fig. 8/9 series):
+            # both are written from the same loop.now at the same call
+            # sites, so trace and tables agree to the float bit.
+            root = obs.tracer.begin_span(
+                "app.migration", category="migration", host=middleware.host,
+                app=plan.app_name, source=plan.source,
+                destination=plan.destination, kind=plan.kind.value,
+                policy=plan.policy.value)
+            outcome._obs_root = root
+            outcome._obs_phase = root.child("suspend", host=middleware.host,
+                                            app=plan.app_name)
+            outcome.on_complete(
+                lambda o: end_outcome_spans(o, failed=o.failed))
+        if plan.kind is MigrationKind.FOLLOW_ME:
+            app.suspend()
+            ctx._suspended_here = True
+            outcome.log(f"suspended {app.name} at {manager.loop.now:.1f}")
+        ctx.complete_phase()
+
+    def rollback(self, ctx: MigrationContext) -> None:
+        # Only undo a suspension this phase performed, and only while the
+        # transfer never started -- once the agent is in flight the
+        # transfer phase owns the source instance's fate (stop/restore).
+        if not ctx._suspended_here or ctx._transfer_started:
+            return
+        app = ctx.app
+        if app is None or app.status is not AppStatus.SUSPENDED:
+            return
+        app.resume()
+        middleware = ctx.middleware
+        if middleware is not None:
+            middleware.publish_app_event(app, "rolled-back")
+        if ctx.outcome is not None:
+            ctx.outcome.log(f"rolled back: resumed {app.name} at source "
+                            f"{middleware.host_name}")
+
+
+class CapturePhase(MiddlewarePhase):
+    """Snapshot the application and pay the CPU-scaled suspension cost;
+    completion continues in ``MobilityManager._wrap_and_send`` (the
+    monolith's timer target, kept for trace identity)."""
+
+    name = "capture"
+    contract = MiddlewareContract(requires=frozenset({"suspended"}),
+                                  provides=frozenset({"snapshot"}))
+
+    def run(self, ctx: MigrationContext) -> None:
+        middleware = ctx.middleware
+        manager = middleware.mobility_manager
+        config = manager.config
+        app = ctx.app
+        plan = ctx.plan
+        cpu = middleware.host.cpu_factor
+        snapshot = middleware.snapshot_manager.capture(
+            app, now=manager.loop.now)
+        ctx.snapshot = snapshot
+        size_mb = snapshot.size_bytes / 1e6
+        if plan.kind is MigrationKind.FOLLOW_ME:
+            suspend_cost = (config.suspend_base_ms
+                            + config.snapshot_ms_per_mb * size_mb) * cpu
+        else:
+            suspend_cost = (config.clone_snapshot_base_ms
+                            + config.snapshot_ms_per_mb * size_mb) * cpu
+        manager.loop.call_later(suspend_cost, manager._wrap_and_send, ctx)
+
+
+class TransferPhase(MiddlewarePhase):
+    """Wrap the app in a mobile agent and ship it: manifest assembly,
+    sync-master hand-over, remote-data stubs, check-out.  The phase
+    completes when the agent checks in at the destination (the hand-off);
+    a transfer failure rolls the source back."""
+
+    name = "transfer"
+    contract = MiddlewareContract(requires=frozenset({"snapshot"}),
+                                  provides=frozenset({"agent"}))
+    handoff = True
+
+    def run(self, ctx: MigrationContext) -> None:
+        middleware = ctx.middleware
+        manager = middleware.mobility_manager
+        app = ctx.app
+        plan = ctx.plan
+        outcome = ctx.outcome
+        snapshot = ctx.snapshot
+        ctx._transfer_started = True
+        outcome.suspend_done_at = manager.loop.now
+        root = getattr(outcome, "_obs_root", None)
+        if root is not None:
+            outcome._obs_phase.end(host=middleware.host)
+            outcome._obs_phase = root.child("migrate", host=middleware.host,
+                                            app=plan.app_name)
+        manifest = app.to_manifest(plan.carry_components)
+        # A migrating sync master hands its replica set over: the manifest
+        # carries the list so the new host can re-point every replica.
+        coordinator = app.coordinator
+        if (plan.kind is MigrationKind.FOLLOW_ME
+                and coordinator.sync_role.value == "master"
+                and coordinator.replica_hosts):
+            manifest["sync_master"] = {
+                "replicas": list(coordinator.replica_hosts)}
+        # Remote-bound data components still appear in the manifest as
+        # lightweight stubs (size 0 on the wire) so the destination knows
+        # the URL to stream from.
+        for name in plan.remote_data:
+            if app.has_component(name):
+                component = app.component(name)
+                stub = component.to_dict()
+                stub["size_bytes"] = 0
+                stub["__virtual_bytes__"] = 0
+                stub["remote_url"] = f"md://{plan.source}/{app.name}/{name}"
+                manifest["components"].append(stub)
+        # Resource bindings are tiny metadata: they always travel so the
+        # destination can re-establish them (to a local match or remotely).
+        carried_names = {c["name"] for c in manifest["components"]}
+        for rebind in plan.resource_rebinds:
+            if rebind.binding_name in carried_names:
+                continue
+            if app.has_component(rebind.binding_name):
+                manifest["components"].append(
+                    app.component(rebind.binding_name).to_dict())
+        ma_name = f"ma-{plan.app_name}-{next(manager._ma_seq)}"
+        ma = middleware.container.create_agent(MDMobileAgent, ma_name)
+        ma.load_cargo(manifest, snapshot.to_dict(), plan_to_dict(plan))
+        ctx.ma = ma
+        result = ma.do_move(plan.destination)
+        outcome.bytes_transferred = result.size_bytes
+        outcome.depart_local = 0.0  # filled when checkout completes
+
+        def on_moved(r):
+            outcome.depart_local = r.depart_local
+            outcome.arrive_local = r.arrive_local
+            outcome.agent_departed_at = r.checked_out_at
+            outcome.agent_arrived_at = r.arrived_at
+            outcome.transfer_retries = r.transfer_retries
+            outcome.transfer_resumed = r.transfer_resumed
+            outcome.dedup_hits = r.dedup_hits
+            for entry in r.recovery_log:
+                outcome.log(f"transfer recovery: {entry}")
+            if r.failed:
+                ctx.fail(r.failure_reason,
+                         before_finish=lambda: manager._count_failure(plan))
+
+        result.on_complete(on_moved)
+        if plan.kind is MigrationKind.FOLLOW_ME:
+            # Cut-paste: the source copy stops (data files stay on disk for
+            # remote streaming, but the user-facing instance is gone).
+            app.stop()
+            outcome.log(f"source instance of {app.name} stopped")
+
+    def rollback(self, ctx: MigrationContext) -> None:
+        if ctx.ma is not None and ctx.ma_arrived:
+            # The agent made it across but the destination failed to power
+            # the app up: clean the courier out of the destination container.
+            ctx.ma.do_delete()
+        middleware = ctx.middleware
+        if middleware is None:
+            return
+        plan = ctx.plan
+        if plan is not None and plan.kind is MigrationKind.FOLLOW_ME:
+            middleware.mobility_manager._rollback(ctx.app, ctx.snapshot,
+                                                  ctx.outcome)
+
+
+class CheckinPhase(MiddlewarePhase):
+    """Destination check-in: stamp the migrate phase, unwrap the cargo,
+    install or merge components, and pay the restore cost (completion
+    continues in ``MobilityManager._rebind_and_open``)."""
+
+    name = "checkin"
+    contract = MiddlewareContract(requires=frozenset({"agent"}),
+                                  provides=frozenset({"arrival"}),
+                                  site="destination")
+
+    def run(self, ctx: MigrationContext) -> None:
+        middleware = ctx.destination_middleware
+        manager = middleware.mobility_manager
+        ma = ctx.ma
+        outcome = ctx.outcome
+        plan = ctx.arrived_plan
+        manifest = ma.manifest
+        snapshot_data = ma.snapshot
+        now = manager.loop.now
+        if outcome is not None:
+            outcome.migrate_done_at = now
+            outcome.log(f"mobile agent {ma.local_name} checked in at "
+                        f"{now:.1f}")
+            phase = getattr(outcome, "_obs_phase", None)
+            if phase is not None and not phase.finished:
+                # The migrate phase ends here, on the destination's clock.
+                phase.end(host=middleware.host)
+                outcome._obs_phase = outcome._obs_root.child(
+                    "resume", host=middleware.host, app=plan.app_name)
+        app = middleware.applications.get(plan.app_name)
+        if app is None:
+            app = Application.from_manifest(manifest)
+            middleware.install_application(app, register=True)
+            ctx.dest_installed = True
+        else:
+            merged = app.merge_components(manifest)
+            if outcome is not None and merged:
+                outcome.log(f"merged carried components: {merged}")
+        ctx.dest_app = app
+        ctx.snapshot_data = snapshot_data
+        config = manager.config
+        cpu = middleware.host.cpu_factor
+        size_mb = snapshot_data.get("size_bytes", 0) / 1e6
+        resume_cost = (config.resume_base_ms
+                       + config.restore_ms_per_mb * size_mb
+                       + config.rebind_ms_per_resource
+                       * len(plan.resource_rebinds)
+                       + config.adapt_ms) * cpu
+        manager.loop.call_later(resume_cost, manager._rebind_and_open, ctx)
+
+    def rollback(self, ctx: MigrationContext) -> None:
+        middleware = ctx.destination_middleware
+        if middleware is None or not ctx.dest_installed:
+            return
+        app = ctx.dest_app
+        if app is not None and app.status is not AppStatus.RUNNING \
+                and app.name in middleware.applications:
+            middleware.uninstall_application(app.name)
+
+    def describe_error(self, ctx: MigrationContext,
+                       exc: BaseException) -> str:
+        host = ctx.destination_middleware.host_name \
+            if ctx.destination_middleware is not None else "?"
+        return f"unwrap failed at {host}: {exc}"
+
+
+class RebindPhase(MiddlewarePhase):
+    """Re-establish resource bindings per the plan and open remote data
+    streams ("played remotely through URL in the original host")."""
+
+    name = "rebind"
+    contract = MiddlewareContract(requires=frozenset({"arrival"}),
+                                  provides=frozenset({"bindings"}),
+                                  site="destination")
+
+    def run(self, ctx: MigrationContext) -> None:
+        middleware = ctx.destination_middleware
+        manager = middleware.mobility_manager
+        app = ctx.dest_app
+        plan = ctx.arrived_plan
+        outcome = ctx.outcome
+        for rebind in plan.resource_rebinds:
+            if app.has_component(rebind.binding_name):
+                binding = app.component(rebind.binding_name)
+                binding.rebind(rebind.target_resource or
+                               rebind.original_resource, rebind.mode)
+                if outcome is not None:
+                    outcome.log(f"rebound {rebind.binding_name} -> "
+                                f"{rebind.target_resource} ({rebind.mode})")
+        remote_total = sum(plan.remote_data_bytes.values())
+        if remote_total > 0:
+            # "They will be played remotely through URL in the original
+            # host": open the stream by fetching the initial fraction.
+            fetch_bytes = int(remote_total
+                              * manager.config.remote_open_fraction)
+            manager.loop.call_later(
+                manager.config.remote_open_base_ms,
+                middleware.fetch_remote_data, plan.source, plan.app_name,
+                fetch_bytes, ctx.complete_phase, ctx.fail)
+            if outcome is not None:
+                outcome.log(f"opening remote data: fetching {fetch_bytes} B "
+                            f"from {plan.source}")
+        else:
+            ctx.complete_phase()
+
+
+class PowerUpPhase(MiddlewarePhase):
+    """Restore state, start, adapt, re-establish sync links, register and
+    publish the resumption -- the app is running at the destination."""
+
+    name = "powerup"
+    contract = MiddlewareContract(requires=frozenset({"bindings"}),
+                                  provides=frozenset({"resumed"}),
+                                  site="destination")
+
+    def run(self, ctx: MigrationContext) -> None:
+        from repro.core.snapshot import Snapshot
+
+        middleware = ctx.destination_middleware
+        manager = middleware.mobility_manager
+        app = ctx.dest_app
+        plan = ctx.arrived_plan
+        outcome = ctx.outcome
+        ma = ctx.ma
+        snapshot = Snapshot.from_dict(ctx.snapshot_data)
+        if app.status is AppStatus.RUNNING:
+            # Already running here (e.g. a sync replica); just refresh state.
+            middleware.snapshot_manager.restore(app, snapshot)
+        else:
+            middleware.snapshot_manager.restore(app, snapshot)
+            app.start(middleware)
+        # Adapt to the destination device and the owner's preferences.
+        report = middleware.adaptor.adapt(app, middleware.device_profile,
+                                          app.user_profile)
+        if outcome is not None and report.changes:
+            outcome.log(f"adapted: {len(report.changes)} attribute changes")
+        if plan.kind is MigrationKind.CLONE_DISPATCH:
+            middleware.establish_sync_replica(app, plan.source)
+            if outcome is not None:
+                outcome.log(f"sync link established to master {plan.source}")
+        sync_master = getattr(ma, "manifest", {}).get("sync_master")
+        if sync_master is not None:
+            # Master handoff: reclaim the replica set and re-point every
+            # replica at this host.
+            middleware.assume_sync_master(app, sync_master["replicas"])
+            if outcome is not None:
+                outcome.log(f"sync master moved; re-pointed replicas "
+                            f"{sync_master['replicas']}")
+        middleware.registry_client.call(
+            "register_application",
+            {"record": middleware._application_record(app).to_dict()},
+            lambda result, error: None)
+        middleware.publish_app_event(app, "resumed")
+        if outcome is not None:
+            outcome.resume_done_at = manager.loop.now
+            outcome.completed = True
+            obs = manager.loop.observability
+            if obs is not None:
+                end_outcome_spans(outcome, host=middleware.host,
+                                  bytes=outcome.bytes_transferred)
+                metrics = obs.metrics
+                metrics.counter("migration.completed",
+                                kind=plan.kind.value).inc()
+                for phase_name, value in outcome.phases().items():
+                    metrics.histogram("migration.phase_ms", phase=phase_name,
+                                      app=plan.app_name).observe(value)
+            outcome._finish()
+        ma.do_delete()
+        ctx.complete_phase()
+
+
+# -- pre-staging phases -----------------------------------------------------
+
+
+class PrestageAdmissionPhase(MiddlewarePhase):
+    """Validate a pre-staging request and mint its outcome."""
+
+    name = "admission"
+    contract = MiddlewareContract(requires=frozenset({"request"}),
+                                  provides=frozenset({"app", "outcome"}))
+
+    def run(self, ctx: MigrationContext) -> None:
+        middleware = ctx.middleware
+        request = ctx.request
+        app = middleware.application(request.app_name)
+        if request.destination == middleware.host_name:
+            raise MigrationError("cannot prestage to the current host")
+        if not middleware.network.has_host(request.destination):
+            raise MigrationError(
+                f"unknown destination host {request.destination!r}")
+        provisional = MigrationPlan(request.app_name, middleware.host_name,
+                                    request.destination,
+                                    MigrationKind.FOLLOW_ME,
+                                    BindingPolicy.ADAPTIVE, prestage=True)
+        outcome = MigrationOutcome(provisional)
+        token = middleware.deployment.new_outcome_token(request.app_name)
+        middleware.deployment.outcomes[token] = outcome
+        outcome._pipeline_ctx = ctx  # type: ignore[attr-defined]
+        ctx.app = app
+        ctx.outcome = outcome
+        ctx.token = token
+        ctx.complete_phase()
+
+
+class PrestagePlanningPhase(MiddlewarePhase):
+    """Plan which components to push ahead; completes the outcome early
+    when the destination already holds every component kind."""
+
+    name = "planning"
+    contract = MiddlewareContract(requires=frozenset({"app", "outcome"}),
+                                  provides=frozenset({"plan"}))
+
+    def run(self, ctx: MigrationContext) -> None:
+        middleware = ctx.middleware
+        app = ctx.app
+        request = ctx.request
+        outcome = ctx.outcome
+
+        def with_components(components, error):
+            if error is not None:
+                ctx.fail(f"registry lookup failed: {error}")
+                return
+            plan = middleware.resolver.plan(
+                app, middleware.host_name, request.destination,
+                destination_components=components or [],
+                kind=MigrationKind.FOLLOW_ME,
+                policy=BindingPolicy.ADAPTIVE)
+            # Pre-staging ships code/UI only: data streams (or travels)
+            # at real migration time, and resource bindings re-match then.
+            plan.remote_data = []
+            plan.remote_data_bytes = {}
+            plan.resource_rebinds = []
+            plan.prestage = True
+            plan.token = ctx.token
+            outcome.plan = plan
+            ctx.plan = plan
+            if not plan.carry_components:
+                outcome.completed = True
+                outcome.log("nothing to prestage: destination already has "
+                            "every component kind")
+                outcome._finish()
+                ctx.finish_early()
+                return
+            outcome.log(f"prestage plan: {plan.summary()}")
+            ctx.complete_phase()
+
+        middleware.registry_client.call(
+            "components_at",
+            {"app_name": request.app_name, "host": request.destination},
+            with_components)
+
+
+class PackPhase(MiddlewarePhase):
+    """Open the prestage span and pay the packing cost (completion
+    continues in ``MobilityManager._send_prestage``)."""
+
+    name = "pack"
+    contract = MiddlewareContract(requires=frozenset({"plan"}),
+                                  provides=frozenset({"package"}))
+
+    def run(self, ctx: MigrationContext) -> None:
+        middleware = ctx.middleware
+        manager = middleware.mobility_manager
+        plan = ctx.plan
+        outcome = ctx.outcome
+        plan.prestage = True
+        outcome.started_at = manager.loop.now
+        obs = manager.loop.observability
+        if obs is not None:
+            outcome._obs_root = obs.tracer.begin_span(
+                "app.prestage", category="migration",
+                host=middleware.host, app=plan.app_name,
+                source=plan.source, destination=plan.destination)
+            outcome.on_complete(
+                lambda o: end_outcome_spans(o, failed=o.failed))
+        pack_cost = (manager.config.clone_snapshot_base_ms
+                     * middleware.host.cpu_factor)
+        manager.loop.call_later(pack_cost, manager._send_prestage, ctx)
+
+
+class PrestageTransferPhase(MiddlewarePhase):
+    """Ship the component package in a mobile agent; the app keeps
+    running at the source untouched (so a transfer failure needs no
+    rollback)."""
+
+    name = "transfer"
+    contract = MiddlewareContract(requires=frozenset({"package"}),
+                                  provides=frozenset({"agent"}))
+    handoff = True
+
+    def run(self, ctx: MigrationContext) -> None:
+        middleware = ctx.middleware
+        manager = middleware.mobility_manager
+        app = ctx.app
+        plan = ctx.plan
+        outcome = ctx.outcome
+        outcome.suspend_done_at = manager.loop.now
+        manifest = app.to_manifest(plan.carry_components)
+        empty_snapshot = {
+            "app_name": app.name, "snapshot_id": 0,
+            "taken_at": manager.loop.now, "coordinator_state": {},
+            "app_state": {}, "component_versions": {}, "size_bytes": 64,
+        }
+        ma_name = f"pre-{plan.app_name}-{next(manager._ma_seq)}"
+        ma = middleware.container.create_agent(MDMobileAgent, ma_name)
+        ma.load_cargo(manifest, empty_snapshot, plan_to_dict(plan))
+        ctx.ma = ma
+        result = ma.do_move(plan.destination)
+        outcome.bytes_transferred = result.size_bytes
+
+        def on_moved(r):
+            if r.failed:
+                ctx.fail(r.failure_reason,
+                         before_finish=lambda: manager._count_failure(plan))
+
+        result.on_complete(on_moved)
+
+
+class InstallPhase(MiddlewarePhase):
+    """Destination check-in for a prestage package: unwrap, merge the
+    components and pay the install cost (completion continues in
+    ``MobilityManager._finish_prestage``)."""
+
+    name = "install"
+    contract = MiddlewareContract(requires=frozenset({"agent"}),
+                                  provides=frozenset({"arrival"}),
+                                  site="destination")
+
+    def run(self, ctx: MigrationContext) -> None:
+        middleware = ctx.destination_middleware
+        manager = middleware.mobility_manager
+        ma = ctx.ma
+        outcome = ctx.outcome
+        plan = ctx.arrived_plan
+        manifest = ma.manifest
+        now = manager.loop.now
+        if outcome is not None:
+            outcome.migrate_done_at = now
+            outcome.log(f"mobile agent {ma.local_name} checked in at "
+                        f"{now:.1f}")
+        app = middleware.applications.get(plan.app_name)
+        if app is None:
+            app = Application.from_manifest(manifest)
+            middleware.install_application(app, register=True)
+            ctx.dest_installed = True
+        else:
+            merged = app.merge_components(manifest)
+            if outcome is not None and merged:
+                outcome.log(f"merged carried components: {merged}")
+        ctx.dest_app = app
+        install_cost = (manager.config.clone_snapshot_base_ms
+                        * middleware.host.cpu_factor)
+        manager.loop.call_later(install_cost, manager._finish_prestage, ctx)
+
+    def describe_error(self, ctx: MigrationContext,
+                       exc: BaseException) -> str:
+        host = ctx.destination_middleware.host_name \
+            if ctx.destination_middleware is not None else "?"
+        return f"unwrap failed at {host}: {exc}"
+
+
+class PrestageFinishPhase(MiddlewarePhase):
+    """Register the pre-staged components and close the outcome."""
+
+    name = "finish"
+    contract = MiddlewareContract(requires=frozenset({"arrival"}),
+                                  provides=frozenset({"resumed"}),
+                                  site="destination")
+
+    def run(self, ctx: MigrationContext) -> None:
+        middleware = ctx.destination_middleware
+        manager = middleware.mobility_manager
+        app = ctx.dest_app
+        plan = ctx.arrived_plan
+        outcome = ctx.outcome
+        ma = ctx.ma
+        middleware.registry_client.call(
+            "register_application",
+            {"record": middleware._application_record(app).to_dict()},
+            lambda result, error: None)
+        if outcome is not None:
+            outcome.resume_done_at = manager.loop.now
+            outcome.completed = True
+            outcome.log(f"prestaged {plan.carry_components} on "
+                        f"{middleware.host_name}")
+            outcome._finish()
+        ma.do_delete()
+        ctx.complete_phase()
+
+
+# -- stack builders ---------------------------------------------------------
+
+
+#: The default migration stack's contracts, by phase name (documentation
+#: and introspection surface; the builders below construct the phases).
+MIDDLEWARE_CONTRACTS: Dict[str, MiddlewareContract] = {
+    phase.name: phase.contract
+    for phase in (AdmissionPhase(), PlanningPhase(),
+                  DirectNegotiationPhase(), SuspendPhase(), CapturePhase(),
+                  TransferPhase(), CheckinPhase(), RebindPhase(),
+                  PowerUpPhase())
+}
+
+#: Protocols a middleware config may select.
+MIGRATION_PROTOCOLS = ("direct", "fipa")
+
+
+def migration_phases(protocol: str = "direct"
+                     ) -> Tuple[MiddlewarePhase, ...]:
+    """The ordered phase objects of one migration stack."""
+    if protocol == "direct":
+        negotiation: MiddlewarePhase = DirectNegotiationPhase()
+    elif protocol == "fipa":
+        negotiation = FipaNegotiationPhase()
+    else:
+        raise PipelineError(f"unknown migration protocol {protocol!r} "
+                            f"(expected one of {MIGRATION_PROTOCOLS})")
+    return (AdmissionPhase(), PlanningPhase(), negotiation, SuspendPhase(),
+            CapturePhase(), TransferPhase(), CheckinPhase(), RebindPhase(),
+            PowerUpPhase())
+
+
+def build_migration_pipeline(config) -> MigrationPipeline:
+    """The migration stack for one middleware config (validated)."""
+    protocol = getattr(config, "migration_protocol", "direct")
+    return MigrationPipeline(
+        f"migration/{protocol}", migration_phases(protocol),
+        observe=(protocol != "direct"))
+
+
+def build_prestage_pipeline(config) -> MigrationPipeline:
+    """The pre-staging stack (always direct: it ships code, not state)."""
+    phases = (PrestageAdmissionPhase(), PrestagePlanningPhase(),
+              PackPhase(), PrestageTransferPhase(), InstallPhase(),
+              PrestageFinishPhase())
+    return MigrationPipeline("prestage/direct", phases)

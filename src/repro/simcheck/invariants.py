@@ -83,6 +83,7 @@ VIOLATION_KINDS = (
     "stale-cache-serve",
     "zombie-lease",
     "registry-conservation",
+    "migration-terminal",
 )
 
 
@@ -280,7 +281,22 @@ class InvariantChecker:
         self._check_conservation()
         self._check_registry_ledger()
         self._check_leases()
+        self._check_migrations_terminal()
         return self.violations
+
+    def _check_migrations_terminal(self) -> None:
+        """Every migration that started must have reached a terminal
+        pipeline phase (completed or failed) by quiescence -- a started
+        outcome that is neither means the pipeline wedged mid-flight."""
+        for token, outcome in sorted(self.deployment.outcomes.items()):
+            if outcome.completed or outcome.failed:
+                continue
+            plan = outcome.plan
+            self.record(
+                "migration-terminal",
+                f"migration {token!r} ({plan.app_name} "
+                f"{plan.source}->{plan.destination}) never reached a "
+                f"terminal phase", token=token)
 
     def _check_registry_ledger(self) -> None:
         if self._registry_requests != self._registry_answers:

@@ -39,6 +39,7 @@ def reset_global_state() -> None:
     import repro.agents.acl as acl
     from repro.agents.protocols import (
         ContractNetInitiator,
+        ProposeInitiator,
         RequestInitiator,
         SubscriptionInitiator,
     )
@@ -46,6 +47,7 @@ def reset_global_state() -> None:
     from repro.registry import registry as registry_module
 
     acl._reply_ids = itertools.count(1)
+    ProposeInitiator._conversation_ids = itertools.count(1)
     RequestInitiator._conversation_ids = itertools.count(1)
     SubscriptionInitiator._conversation_ids = itertools.count(1)
     ContractNetInitiator._conversation_ids = itertools.count(1)
@@ -215,6 +217,25 @@ def _sabotage_lost_reply(deployment) -> None:
     deployment.loop.call_later(1.05, leak)
 
 
+def _sabotage_wedged_migration(deployment) -> None:
+    """Plant a started-but-never-terminal migration outcome.
+
+    Models a pipeline that lost a continuation mid-flight: the outcome is
+    registered (the migration "started") but no phase ever completes or
+    fails it, so it must trip the ``migration-terminal`` check.
+    """
+    from repro.core.binding import MigrationPlan
+    from repro.core.metrics import MigrationOutcome
+
+    def wedge() -> None:
+        host = deployment.network.hosts[0].name
+        plan = MigrationPlan(app_name="wedged-app", source=host,
+                             destination=host, token="wedged-app#sabotage")
+        deployment.outcomes["wedged-app#sabotage"] = MigrationOutcome(plan)
+
+    deployment.loop.call_later(1.0, wedge)
+
+
 #: Deliberate, deterministic defects the runner can plant after building a
 #: deployment (``Scenario.sabotage``).  Test-only: they exist so the
 #: invariant checkers and the shrinker can be validated against known
@@ -228,6 +249,7 @@ SABOTAGE_HOOKS = {
     "dropped-invalidation": _sabotage_dropped_invalidation,
     "zombie-lease": _sabotage_zombie_lease,
     "lost-reply": _sabotage_lost_reply,
+    "wedged-migration": _sabotage_wedged_migration,
 }
 
 #: The violation kind each sabotage tag must produce.
@@ -240,6 +262,7 @@ SABOTAGE_VIOLATIONS = {
     "dropped-invalidation": "stale-cache-serve",
     "zombie-lease": "zombie-lease",
     "lost-reply": "registry-conservation",
+    "wedged-migration": "migration-terminal",
 }
 
 #: Tags that only make sense against a federated registry; the runner

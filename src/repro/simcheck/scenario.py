@@ -124,6 +124,9 @@ class Scenario:
     #: behind the gateways instead of one flat center).  The runner flips
     #: this on automatically for sabotage tags that need a federation.
     federated_registry: bool = False
+    #: Migration protocol every middleware runs: "direct" (classic) or
+    #: "fipa" (pre-transfer capability negotiation over ACL).
+    migration_protocol: str = "direct"
 
     # -- derived views ----------------------------------------------------
 
@@ -187,6 +190,9 @@ class Scenario:
         if self.transfer_window < 1:
             raise SimcheckError(f"transfer_window must be >= 1: "
                                 f"{self.transfer_window}")
+        if self.migration_protocol not in ("direct", "fipa"):
+            raise SimcheckError(f"unknown migration protocol "
+                                f"{self.migration_protocol!r}")
         self.plan.validate()
         return self
 
@@ -208,6 +214,7 @@ class Scenario:
             "warmup_ms": self.warmup_ms,
             "sabotage": self.sabotage,
             "federated_registry": self.federated_registry,
+            "migration_protocol": self.migration_protocol,
         }
 
     @classmethod
@@ -235,6 +242,8 @@ class Scenario:
                 sabotage=str(data.get("sabotage", "")),
                 federated_registry=bool(
                     data.get("federated_registry", False)),
+                migration_protocol=str(
+                    data.get("migration_protocol", "direct")),
             ).validate()
         except (KeyError, TypeError, ValueError) as exc:
             raise SimcheckError(f"malformed scenario: {exc}") from None
@@ -317,6 +326,10 @@ def generate_scenario(seed: int, max_spaces: int = 3,
             spaces=[s for s in spaces if s in gateways],
             count=rng.randint(1, 4),
             horizon_ms=6_000.0)
+    # Drawn last so scenarios below this seed-stream point are unchanged
+    # relative to older generator versions.
+    scenario.migration_protocol = rng.choice(
+        ["direct", "direct", "direct", "fipa"])
     return scenario.validate()
 
 
@@ -351,7 +364,7 @@ def build_deployment(scenario: Scenario, observability=None):
     Applications are *not* launched here -- the runner launches them so it
     can register their component sets with the invariant checker first.
     """
-    from repro.core.middleware import Deployment
+    from repro.core.middleware import Deployment, MiddlewareConfig
     from repro.core.profiles import DeviceProfile
     from repro.faults.engine import FaultConfig
 
@@ -361,8 +374,14 @@ def build_deployment(scenario: Scenario, observability=None):
         transfer_window=scenario.transfer_window,
         migration_deadline_ms=30_000.0,
         max_transfer_retries=8)
-    deployment = Deployment(seed=scenario.seed, observability=observability,
-                            faults=faults)
+    # Simcheck runs arm the remote-fetch deadline: with hosts crashing
+    # mid-migration, the migration-terminal invariant needs every fetch
+    # to resolve (succeed or fail) in bounded time.
+    config = MiddlewareConfig(
+        migration_protocol=scenario.migration_protocol,
+        remote_fetch_timeout_ms=10_000.0)
+    deployment = Deployment(seed=scenario.seed, config=config,
+                            observability=observability, faults=faults)
     if scenario.federated_registry:
         # Before any host exists: the first host becomes the fallback
         # shard and each gateway auto-installs its space's shard.
